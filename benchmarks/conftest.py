@@ -1,0 +1,38 @@
+"""Benchmark fixtures: result recording shared by every bench.
+
+Each benchmark regenerates one table/figure of the paper and records
+the rendered table under ``benchmarks/results/<name>.txt`` so the
+numbers survive pytest's output capture.  EXPERIMENTS.md snapshots the
+recorded values against the paper's.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record():
+    """Write a rendered experiment table to the results directory."""
+
+    def _record(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment functions are end-to-end simulations (seconds to
+    minutes); statistical repetition belongs to the simulation seeds,
+    not to wall-clock rounds.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

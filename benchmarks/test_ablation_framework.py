@@ -1,0 +1,162 @@
+"""Ablation — framework-level design choices (DESIGN.md §5).
+
+- consensus rule: the paper's simple majority vs accuracy-weighted
+  majority (Section 2.1 mentions both);
+- worker performance testing (Algorithm 2 step 3): uncertainty-driven
+  vs disabled (uncertainty_weight pins the two factors).
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.experiments.runner import run_approach
+from repro.experiments.setups import make_setup
+
+
+def test_ablation_consensus_rule(benchmark, record):
+    """Weighted consensus must not lose to simple majority."""
+
+    def sweep():
+        setup = make_setup("itemcompare", seed=7, scale=0.25)
+        results = {}
+        for rule in ("majority", "weighted"):
+            variant = setup.with_config(setup.config.with_consensus(rule))
+            result = run_approach(
+                "iCrowd", variant, run_tag="ablate-consensus"
+            )
+            results[rule] = result.overall_accuracy
+        return results
+
+    results = run_once(benchmark, sweep)
+    record(
+        "ablation_consensus",
+        "consensus-rule ablation (iCrowd, itemcompare scale 0.25)\n"
+        + "\n".join(f"{rule:<10} {acc:.3f}" for rule, acc in results.items()),
+    )
+    assert results["weighted"] >= results["majority"] - 0.05
+
+
+def test_ablation_uncertainty_weight(benchmark, record):
+    """The testing score's two factors both earn their keep: the pure
+    extremes must not beat the balanced default by a wide margin."""
+
+    def sweep():
+        base = make_setup("itemcompare", seed=7, scale=0.25)
+        results = {}
+        for weight in (0.0, 0.5, 1.0):
+            assigner = replace(
+                base.config.assigner, uncertainty_weight=weight
+            )
+            config = replace(base.config, assigner=assigner)
+            variant = base.with_config(config)
+            result = run_approach(
+                "iCrowd", variant, run_tag="ablate-uncertainty"
+            )
+            results[weight] = result.overall_accuracy
+        return results
+
+    results = run_once(benchmark, sweep)
+    record(
+        "ablation_uncertainty_weight",
+        "performance-testing weight ablation (iCrowd)\n"
+        + "\n".join(f"w={w:<6} {acc:.3f}" for w, acc in results.items()),
+    )
+    balanced = results[0.5]
+    assert balanced >= min(results[0.0], results[1.0]) - 0.05
+
+
+def test_ablation_assignment_view(benchmark, record):
+    """Set-packing greedy (Algorithm 3) vs Hungarian matching.
+
+    The paper argues for completing whole top-worker *sets* (so
+    consensus — and estimation feedback — arrives early) over plain
+    per-worker matching; this ablation quantifies that choice.
+    """
+
+    def sweep():
+        setup = make_setup("itemcompare", seed=7, scale=0.25)
+        results = {}
+        for approach in ("Matching", "iCrowd"):
+            total = 0.0
+            for rep in range(3):
+                result = run_approach(
+                    approach, setup, run_tag=f"ablate-view-{rep}"
+                )
+                total += result.overall_accuracy
+            results[approach] = total / 3
+        return results
+
+    results = run_once(benchmark, sweep)
+    record(
+        "ablation_assignment_view",
+        "assignment-view ablation (3-rep means)\n"
+        + "\n".join(
+            f"{name:<10} {acc:.3f}" for name, acc in results.items()
+        ),
+    )
+    # the set-packing view must not lose to plain matching
+    assert results["iCrowd"] >= results["Matching"] - 0.03
+
+
+def test_ablation_early_stopping(benchmark, record):
+    """Confidence-based early stopping (related work [26]): fewer votes
+    for comparable accuracy."""
+    from repro.core.early_stop import EarlyStopICrowd
+    from repro.platform import SimulatedPlatform
+
+    def sweep():
+        setup = make_setup("itemcompare", seed=7, scale=0.25)
+        exclude = set(setup.qualification_tasks)
+        results = {}
+        for name, threshold in (("fixed-k", None), ("early-0.7", 0.7)):
+            accs, votes = [], []
+            for rep in range(3):
+                if threshold is None:
+                    policy = run_approach(
+                        "iCrowd", setup, run_tag=f"stop-{rep}"
+                    )
+                    accs.append(policy.overall_accuracy)
+                    votes.append(
+                        sum(
+                            1
+                            for e in policy.report.events.answers()
+                            if not e.is_test and e.task_id not in exclude
+                        )
+                    )
+                else:
+                    early = EarlyStopICrowd(
+                        setup.tasks,
+                        setup.config,
+                        graph=setup.graph,
+                        qualification_tasks=list(
+                            setup.qualification_tasks
+                        ),
+                        estimator=setup.estimator,
+                        confidence_threshold=threshold,
+                    )
+                    pool = setup.fresh_pool(f"stop-{rep}")
+                    report = SimulatedPlatform(
+                        setup.tasks, pool, early
+                    ).run()
+                    accs.append(
+                        report.accuracy(setup.tasks, exclude=exclude)
+                    )
+                    votes.append(early.votes_spent())
+            results[name] = (
+                sum(accs) / len(accs),
+                sum(votes) / len(votes),
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    lines = ["early-stopping ablation (3-rep means)"]
+    lines.append(f"{'policy':<12}{'accuracy':<12}{'votes':<10}")
+    for name, (acc, votes) in results.items():
+        lines.append(f"{name:<12}{acc:<12.3f}{votes:<10.0f}")
+    record("ablation_early_stop", "\n".join(lines))
+
+    fixed_acc, fixed_votes = results["fixed-k"]
+    early_acc, early_votes = results["early-0.7"]
+    assert early_votes < fixed_votes  # budget saved
+    assert early_acc >= fixed_acc - 0.1  # without a quality collapse

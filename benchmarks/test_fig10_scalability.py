@@ -1,0 +1,64 @@
+"""Figure 10 — scalability of assignment with simulation.
+
+Paper shape: elapsed time grows **sub-linearly** in the number of
+microtasks (their index structures make per-request work depend on the
+local neighbourhood, not |T|), and grows with the neighbour bound.
+
+The default sizes are scaled down from the paper's 0.2M-1M so the bench
+finishes quickly; pass the paper sizes through ``fig10_scalability``
+directly for a full-scale run.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_scalability
+
+SIZES = [25_000, 50_000, 100_000, 200_000]
+
+
+def test_fig10_assignment_scalability(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig10_scalability(
+            sizes=SIZES,
+            neighbor_bounds=[20, 40],
+            requests_per_size=2000,
+            seed=7,
+        ),
+    )
+    record("fig10_scalability", result.format_table())
+
+    for bound in (20, 40):
+        series = result.series(bound)
+        # sub-linear: 8x more tasks must cost far less than 8x the time
+        ratio = series[-1] / max(series[0], 1e-9)
+        size_ratio = SIZES[-1] / SIZES[0]
+        assert ratio < size_ratio, (
+            f"assignment time grew super-linearly: {series}"
+        )
+    # a larger neighbour bound means more inference work per answer
+    total_20 = sum(result.series(20))
+    total_40 = sum(result.series(40))
+    assert total_40 > total_20
+
+
+def test_fig10_insertion_protocol(benchmark, record):
+    """The paper's actual growth protocol: per-round assignment time
+    stays flat as batches accumulate."""
+    from repro.experiments import fig10_insertion
+
+    result = run_once(
+        benchmark,
+        lambda: fig10_insertion(
+            batch_size=25_000,
+            rounds=4,
+            max_neighbors=20,
+            requests_per_round=2000,
+            seed=7,
+        ),
+    )
+    record("fig10_insertion", result.format_table())
+
+    series = result.elapsed_per_round
+    # the last round (4x the corpus) must not cost 4x the first round
+    assert series[-1] < 4 * max(series[0], 1e-9)

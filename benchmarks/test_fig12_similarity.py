@@ -1,0 +1,36 @@
+"""Figure 12 (Appendix D.1) — similarity measures and thresholds.
+
+Paper shape: the three text measures perform comparably at small
+thresholds; the threshold matters (too small adds weak edges, too large
+removes strong ones); cos(topic) performs best overall.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_similarity
+
+MEASURES = ["jaccard", "tfidf", "topic"]
+THRESHOLDS = [0.2, 0.4, 0.6, 0.8]
+
+
+def test_fig12_similarity_grid(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig12_similarity(
+            "itemcompare",
+            seed=7,
+            scale=0.2,
+            measures=MEASURES,
+            thresholds=THRESHOLDS,
+        ),
+    )
+    record("fig12_similarity", result.format_table())
+
+    # every cell must be a sane accuracy
+    for key, accuracy in result.accuracy.items():
+        assert 0.3 <= accuracy <= 1.0, f"{key}: {accuracy}"
+
+    # each measure achieves a solid peak somewhere on the grid
+    for measure in MEASURES:
+        best = max(result.accuracy[(measure, t)] for t in THRESHOLDS)
+        assert best >= 0.7, f"{measure} never exceeded 0.7"

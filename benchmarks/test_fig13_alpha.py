@@ -1,0 +1,29 @@
+"""Figure 13 (Appendix D.2) — the alpha parameter sweep.
+
+Paper shape: both extremes lose — α=0 (pure smoothing: every connected
+task gets the same estimate) and α=100 (pure fidelity: no graph
+inference) are beaten by a balanced α; the paper settles on α=1.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13_alpha
+
+ALPHAS = [0.0, 0.1, 1.0, 10.0, 100.0]
+
+
+def test_fig13_alpha_sweep(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig13_alpha(
+            "itemcompare", seed=7, scale=0.33, alphas=ALPHAS
+        ),
+    )
+    record("fig13_alpha", result.format_table())
+
+    balanced = max(
+        result.accuracy[0.1], result.accuracy[1.0], result.accuracy[10.0]
+    )
+    # a balanced alpha must match-or-beat both extremes
+    assert balanced >= result.accuracy[0.0] - 0.02
+    assert balanced >= result.accuracy[100.0] - 0.02

@@ -1,0 +1,37 @@
+"""Figure 14 (Appendix D.3) — the assignment-size (k) sweep.
+
+Paper shape: iCrowd has the highest accuracy at every k; accuracy
+generally improves with k with diminishing returns (the paper reports
+~5% improvement for iCrowd from k=1 to k=3).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14_assignment_size
+
+KS = [1, 3, 5]
+APPROACHES = ["RandomMV", "RandomEM", "AvgAccPV", "iCrowd"]
+
+
+def test_fig14_assignment_size(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig14_assignment_size(
+            "itemcompare", seed=7, scale=0.25, ks=KS, approaches=APPROACHES
+        ),
+    )
+    record("fig14_k", result.format_table())
+
+    # iCrowd wins (or ties within noise) at every k
+    for k in KS:
+        icrowd = result.accuracy[("iCrowd", k)]
+        for approach in APPROACHES:
+            if approach == "iCrowd":
+                continue
+            assert icrowd >= result.accuracy[(approach, k)] - 0.03, (
+                f"iCrowd lost to {approach} at k={k}"
+            )
+
+    # voting with more workers helps iCrowd (k=1 → k≥3)
+    icrowd_series = result.series("iCrowd")
+    assert max(icrowd_series[1:]) >= icrowd_series[0]

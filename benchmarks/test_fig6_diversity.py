@@ -1,0 +1,47 @@
+"""Figure 6 — diverse worker accuracies across domains.
+
+Paper shape: individual workers are strong in some domains and weak in
+others (e.g. 0.875 in Books&Authors vs 0.176 in FIFA for one worker),
+and the top worker differs per domain.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6_diversity
+
+
+def test_fig6_itemcompare_diversity(benchmark, record):
+    result = run_once(
+        benchmark, lambda: fig6_diversity("itemcompare", seed=7, scale=0.33)
+    )
+    record("fig6_itemcompare", result.format_table())
+
+    assert result.per_worker, "no worker completed enough microtasks"
+    # a sizeable share of workers show a wide accuracy span (> 0.3)
+    spans = [result.diversity_span(w) for w in result.per_worker]
+    wide = sum(1 for s in spans if s > 0.3)
+    assert wide >= len(spans) * 0.3
+
+    # the best worker differs across at least two domains
+    best_by_domain = {}
+    for domain in result.domains:
+        scored = [
+            (accs[domain][1], worker)
+            for worker, accs in result.per_worker.items()
+            if domain in accs and accs[domain][0] >= 5
+        ]
+        if scored:
+            best_by_domain[domain] = max(scored)[1]
+    assert len(set(best_by_domain.values())) >= 2
+
+
+def test_fig6_yahooqa_diversity(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig6_diversity("yahooqa", seed=7, scale=1.0,
+                               min_completed=15),
+    )
+    record("fig6_yahooqa", result.format_table())
+    assert result.per_worker
+    spans = [result.diversity_span(w) for w in result.per_worker]
+    assert max(spans) > 0.3

@@ -1,0 +1,32 @@
+"""Figure 7 — effect of qualification selection (RandomQF vs InfQF).
+
+Paper shape: InfQF beats RandomQF in the overall (ALL) case on both
+datasets (~8% on YahooQA) and in most individual domains.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig7_qualification
+
+
+def test_fig7_itemcompare(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: fig7_qualification("itemcompare", seed=7, scale=0.33),
+    )
+    record("fig7_itemcompare", result.format_table())
+    inf = result.accuracies["InfQF"]["ALL"]
+    random = result.accuracies["RandomQF"]["ALL"]
+    # influence-selected qualification must not lose overall (paper
+    # reports a clear win; we allow a small noise margin)
+    assert inf >= random - 0.03
+
+
+def test_fig7_yahooqa(benchmark, record):
+    result = run_once(
+        benchmark, lambda: fig7_qualification("yahooqa", seed=7)
+    )
+    record("fig7_yahooqa", result.format_table())
+    inf = result.accuracies["InfQF"]["ALL"]
+    random = result.accuracies["RandomQF"]["ALL"]
+    assert inf >= random - 0.03

@@ -1,0 +1,32 @@
+"""Figure 8 — effect of adaptive assignment (QF-Only / BestEffort /
+Adapt).
+
+Paper shape: Adapt best on both datasets; QF-Only worst in most cases;
+BestEffort in between (its local assignment lets weak votes leak into
+the majority).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig8_adaptive
+
+
+def test_fig8_itemcompare(benchmark, record):
+    result = run_once(
+        benchmark, lambda: fig8_adaptive("itemcompare", seed=7, scale=0.33)
+    )
+    record("fig8_itemcompare", result.format_table())
+    adapt = result.accuracies["Adapt"]["ALL"]
+    best_effort = result.accuracies["BestEffort"]["ALL"]
+    qf_only = result.accuracies["QF-Only"]["ALL"]
+    assert adapt >= best_effort - 0.03
+    assert adapt >= qf_only - 0.03
+    assert adapt == max(adapt, best_effort, qf_only)
+
+
+def test_fig8_yahooqa(benchmark, record):
+    result = run_once(benchmark, lambda: fig8_adaptive("yahooqa", seed=7))
+    record("fig8_yahooqa", result.format_table())
+    adapt = result.accuracies["Adapt"]["ALL"]
+    assert adapt >= result.accuracies["QF-Only"]["ALL"] - 0.03
+    assert adapt >= result.accuracies["BestEffort"]["ALL"] - 0.03

@@ -1,0 +1,19 @@
+"""Table 4 — dataset statistics (paper: 110/6/25 and 360/4/53)."""
+
+from conftest import run_once
+
+from repro.experiments import table4_datasets
+
+
+def test_table4_dataset_statistics(benchmark, record):
+    result = run_once(benchmark, lambda: table4_datasets(seed=7))
+    record("table4_datasets", result.format_table())
+
+    by_name = {spec.name: spec for spec in result.specs}
+    # paper-exact statistics
+    assert by_name["YahooQA"].num_tasks == 110
+    assert by_name["YahooQA"].num_domains == 6
+    assert result.num_workers["YahooQA"] == 25
+    assert by_name["ItemCompare"].num_tasks == 360
+    assert by_name["ItemCompare"].num_domains == 4
+    assert result.num_workers["ItemCompare"] == 53

@@ -1,0 +1,28 @@
+"""Table 5 (Appendix D.4) — approximation error of the greedy
+assignment vs the exact optimum, varying active workers 3-7.
+
+Paper shape: errors below 2% at every pool size.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table5_approximation
+
+WORKER_COUNTS = [3, 4, 5, 6, 7]
+
+
+def test_table5_greedy_approximation_error(benchmark, record):
+    result = run_once(
+        benchmark,
+        lambda: table5_approximation(
+            "itemcompare", seed=7, worker_counts=WORKER_COUNTS
+        ),
+    )
+    record("table5_approx", result.format_table())
+
+    for count in WORKER_COUNTS:
+        error = result.error_percent[count]
+        assert 0.0 <= error <= 5.0, (
+            f"approximation error {error:.2f}% at {count} workers "
+            f"exceeds the paper's regime"
+        )

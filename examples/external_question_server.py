@@ -1,0 +1,89 @@
+"""ExternalQuestion integration demo (paper Appendix A / Figure 11).
+
+Starts the iCrowd web server the way the paper deploys it behind
+Amazon Mechanical Turk's ExternalQuestion mechanism, then plays the
+role of AMT: simulated workers poll ``GET /request`` for microtasks and
+``POST /submit`` their answers until the job completes.
+
+Run:  python examples/external_question_server.py
+"""
+
+import http.client
+import json
+
+from repro.core import ICrowd, ICrowdConfig
+from repro.core.config import GraphConfig
+from repro.datasets import make_itemcompare
+from repro.platform import ICrowdHTTPServer
+from repro.workers import WorkerPool, generate_profiles
+
+
+def http_call(address, method, path, payload=None):
+    """One HTTP round-trip to the iCrowd server."""
+    conn = http.client.HTTPConnection(*address, timeout=10)
+    body = json.dumps(payload) if payload is not None else None
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    return response.status, (json.loads(raw) if raw else None)
+
+
+def main() -> None:
+    tasks = make_itemcompare(seed=3, tasks_per_domain=10)
+    profiles = generate_profiles(tasks.domains(), num_workers=12, seed=3)
+    pool = WorkerPool(profiles, seed=3)
+    config = ICrowdConfig(
+        graph=GraphConfig(measure="jaccard", threshold=0.3), seed=3
+    )
+    icrowd = ICrowd(tasks, config)
+
+    with ICrowdHTTPServer(tasks, icrowd) as server:
+        address = server.address
+        print(f"iCrowd server listening on http://{address[0]}:{address[1]}")
+        steps = 0
+        while steps < 5000:
+            steps += 1
+            pool.tick()
+            worker_id = pool.sample_requester()
+            if worker_id is None:
+                continue
+            status, body = http_call(
+                address, "GET", f"/request?worker={worker_id}"
+            )
+            if status != 200:
+                continue
+            # the worker answers what the iframe showed her
+            label = pool.worker(worker_id).answer(tasks[body["task_id"]])
+            http_call(
+                address,
+                "POST",
+                "/submit",
+                {
+                    "worker": worker_id,
+                    "task_id": body["task_id"],
+                    "label": int(label),
+                    "is_test": body["is_test"],
+                },
+            )
+            pool.note_submission(worker_id)
+            _, progress = http_call(address, "GET", "/status")
+            if progress["finished"]:
+                break
+        _, progress = http_call(address, "GET", "/status")
+        print(
+            f"finished={progress['finished']} after {steps} requests; "
+            f"{progress['completed_tasks']}/{progress['total_tasks']} "
+            f"tasks completed"
+        )
+        exclude = set(icrowd.qualification_tasks)
+        predictions = icrowd.predictions()
+        considered = [t for t in tasks if t.task_id not in exclude]
+        correct = sum(
+            1 for t in considered if predictions[t.task_id] == t.truth
+        )
+        print(f"accuracy over HTTP: {correct / len(considered):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of *iCrowd: An Adaptive Crowdsourcing
+Framework* (Fan, Li, Ooi, Tan, Feng; SIGMOD 2015).
+
+Public surface:
+
+- :mod:`repro.core` — the paper's contribution: graph-based accuracy
+  estimation, adaptive assignment, qualification selection, and the
+  :class:`repro.core.ICrowd` orchestrator.
+- :mod:`repro.platform` — a simulated MTurk-style platform.
+- :mod:`repro.workers` — simulated workers with domain-diverse accuracy.
+- :mod:`repro.datasets` — synthetic YahooQA / ItemCompare corpora.
+- :mod:`repro.aggregation` — majority voting, Dawid–Skene EM,
+  probabilistic verification.
+- :mod:`repro.baselines` — RandomMV, RandomEM, AvgAccPV, QF-Only,
+  BestEffort.
+- :mod:`repro.experiments` — runners regenerating every table/figure.
+
+Quickstart::
+
+    from repro.core import ICrowd, ICrowdConfig
+    from repro.datasets import make_itemcompare
+    from repro.platform import SimulatedPlatform
+    from repro.workers import WorkerPool, generate_profiles
+
+    tasks = make_itemcompare(seed=7)
+    pool = WorkerPool(generate_profiles(tasks.domains(), 53, seed=7))
+    icrowd = ICrowd(tasks, ICrowdConfig.paper_defaults())
+    report = SimulatedPlatform(tasks, pool, icrowd).run()
+    print(report.accuracy(tasks, exclude=set(icrowd.qualification_tasks)))
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import ICrowd, ICrowdConfig
+
+__all__ = ["ICrowd", "ICrowdConfig", "__version__"]

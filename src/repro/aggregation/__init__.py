@@ -1,0 +1,22 @@
+"""Answer-aggregation substrate.
+
+The paper's baselines aggregate redundant answers three ways:
+
+- **majority voting** (RandomMV and iCrowd's consensus rule),
+- **Dawid–Skene EM** [31, 8] (RandomEM): jointly estimates worker
+  confusion matrices and task truths,
+- **probabilistic verification** [22] (AvgAccPV): Bayesian product of
+  per-worker accuracies from gold-injected estimates.
+"""
+
+from repro.aggregation.majority import majority_vote, weighted_majority_vote
+from repro.aggregation.em import DawidSkene, DawidSkeneResult
+from repro.aggregation.pv import probabilistic_verification
+
+__all__ = [
+    "DawidSkene",
+    "DawidSkeneResult",
+    "majority_vote",
+    "probabilistic_verification",
+    "weighted_majority_vote",
+]

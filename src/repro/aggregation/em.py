@@ -1,0 +1,148 @@
+"""Dawid–Skene EM aggregation (the paper's RandomEM baseline).
+
+Implements the classic maximum-likelihood estimation of observer error
+rates (Dawid & Skene 1979, cited as [8]; Sheng et al. 2008 as [31]) for
+binary tasks:
+
+- **E step** — posterior P(truth_t = YES) from current worker confusion
+  matrices and the class prior;
+- **M step** — re-estimate each worker's 2×2 confusion matrix and the
+  prior from the posteriors.
+
+Initialisation follows the standard majority-vote soft start.  Laplace
+smoothing keeps confusion matrices away from 0/1 so the iteration never
+degenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.types import Answer, Label, TaskId, WorkerId
+
+
+@dataclass
+class DawidSkeneResult:
+    """Converged EM output."""
+
+    #: Posterior probability that each task's truth is YES.
+    posterior_yes: dict[TaskId, float]
+    #: Per-worker 2×2 confusion matrices: ``[true][observed]``.
+    confusion: dict[WorkerId, np.ndarray]
+    #: Estimated class prior P(truth = YES).
+    prior_yes: float
+    #: Iterations until convergence (or the cap).
+    iterations: int
+
+    def predictions(self) -> dict[TaskId, Label]:
+        """MAP label per task (ties toward NO)."""
+        return {
+            t: Label.YES if p > 0.5 else Label.NO
+            for t, p in self.posterior_yes.items()
+        }
+
+    def worker_accuracy(self, worker_id: WorkerId) -> float:
+        """Prior-weighted diagonal of the confusion matrix."""
+        matrix = self.confusion[worker_id]
+        return float(
+            self.prior_yes * matrix[1, 1] + (1 - self.prior_yes) * matrix[0, 0]
+        )
+
+
+class DawidSkene:
+    """Binary Dawid–Skene EM estimator.
+
+    Parameters
+    ----------
+    max_iter:
+        EM iteration cap.
+    tol:
+        Convergence threshold on the max posterior change.
+    smoothing:
+        Laplace pseudo-count for confusion-matrix rows.
+    """
+
+    def __init__(
+        self, max_iter: int = 100, tol: float = 1e-6, smoothing: float = 0.01
+    ) -> None:
+        if max_iter <= 0:
+            raise ValueError("max_iter must be positive")
+        if tol <= 0:
+            raise ValueError("tol must be positive")
+        if smoothing < 0:
+            raise ValueError("smoothing must be >= 0")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+
+    def run(self, answers: Iterable[Answer]) -> DawidSkeneResult:
+        """Run EM over a flat answer list."""
+        answers = list(answers)
+        if not answers:
+            raise ValueError("Dawid-Skene needs at least one answer")
+        tasks = sorted({a.task_id for a in answers})
+        workers = sorted({a.worker_id for a in answers})
+        t_index = {t: i for i, t in enumerate(tasks)}
+        w_index = {w: i for i, w in enumerate(workers)}
+        n_tasks, n_workers = len(tasks), len(workers)
+
+        # per-task observation lists: (worker index, observed label)
+        obs: list[list[tuple[int, int]]] = [[] for _ in range(n_tasks)]
+        for answer in answers:
+            obs[t_index[answer.task_id]].append(
+                (w_index[answer.worker_id], int(answer.label))
+            )
+
+        # soft majority-vote initialisation of the posteriors
+        posterior = np.empty(n_tasks)
+        for ti, votes in enumerate(obs):
+            yes = sum(1 for _, label in votes if label == 1)
+            posterior[ti] = (yes + 0.5) / (len(votes) + 1.0)
+
+        confusion = np.full((n_workers, 2, 2), 0.5)
+        prior_yes = 0.5
+        iterations = 0
+        for iterations in range(1, self.max_iter + 1):
+            # ---- M step: confusion matrices & prior from posteriors
+            counts = np.full((n_workers, 2, 2), self.smoothing)
+            for ti, votes in enumerate(obs):
+                p_yes = posterior[ti]
+                for wi, label in votes:
+                    counts[wi, 1, label] += p_yes
+                    counts[wi, 0, label] += 1.0 - p_yes
+            confusion = counts / counts.sum(axis=2, keepdims=True)
+            prior_yes = float(posterior.mean())
+            prior_yes = min(max(prior_yes, 1e-6), 1 - 1e-6)
+
+            # ---- E step: posteriors from confusion matrices
+            new_posterior = np.empty(n_tasks)
+            log_prior = np.log([1.0 - prior_yes, prior_yes])
+            log_confusion = np.log(np.clip(confusion, 1e-12, None))
+            for ti, votes in enumerate(obs):
+                log_like = log_prior.copy()
+                for wi, label in votes:
+                    log_like[0] += log_confusion[wi, 0, label]
+                    log_like[1] += log_confusion[wi, 1, label]
+                shift = log_like.max()
+                likes = np.exp(log_like - shift)
+                new_posterior[ti] = likes[1] / likes.sum()
+
+            delta = float(np.max(np.abs(new_posterior - posterior)))
+            posterior = new_posterior
+            if delta < self.tol:
+                break
+
+        return DawidSkeneResult(
+            posterior_yes={t: float(posterior[t_index[t]]) for t in tasks},
+            confusion={w: confusion[w_index[w]].copy() for w in workers},
+            prior_yes=prior_yes,
+            iterations=iterations,
+        )
+
+
+def em_aggregate(answers: Iterable[Answer]) -> dict[TaskId, Label]:
+    """Convenience wrapper: run EM and return MAP labels."""
+    return DawidSkene().run(answers).predictions()

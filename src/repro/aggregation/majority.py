@@ -1,0 +1,59 @@
+"""Majority voting aggregation (Section 2.1's voting scheme)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.types import Answer, Label, TaskId, WorkerId
+
+
+def majority_vote(
+    answers: Iterable[Answer], tie_break: Label = Label.NO
+) -> dict[TaskId, Label]:
+    """Simple majority vote per task.
+
+    The paper uses odd ``k`` so ties cannot occur in a completed task;
+    for robustness incomplete/even vote sets break ties to ``tie_break``.
+    """
+    yes: dict[TaskId, int] = {}
+    no: dict[TaskId, int] = {}
+    for answer in answers:
+        bucket = yes if answer.label is Label.YES else no
+        bucket[answer.task_id] = bucket.get(answer.task_id, 0) + 1
+    results: dict[TaskId, Label] = {}
+    for task_id in set(yes) | set(no):
+        y = yes.get(task_id, 0)
+        n = no.get(task_id, 0)
+        if y > n:
+            results[task_id] = Label.YES
+        elif n > y:
+            results[task_id] = Label.NO
+        else:
+            results[task_id] = tie_break
+    return results
+
+
+def weighted_majority_vote(
+    answers: Iterable[Answer],
+    weights: Mapping[WorkerId, float],
+    default_weight: float = 0.5,
+    tie_break: Label = Label.NO,
+) -> dict[TaskId, Label]:
+    """Majority vote with per-worker weights (e.g. estimated accuracy).
+
+    Workers missing from ``weights`` contribute ``default_weight``.
+    """
+    score: dict[TaskId, float] = {}
+    for answer in answers:
+        weight = weights.get(answer.worker_id, default_weight)
+        delta = weight if answer.label is Label.YES else -weight
+        score[answer.task_id] = score.get(answer.task_id, 0.0) + delta
+    results: dict[TaskId, Label] = {}
+    for task_id, value in score.items():
+        if value > 0:
+            results[task_id] = Label.YES
+        elif value < 0:
+            results[task_id] = Label.NO
+        else:
+            results[task_id] = tie_break
+    return results

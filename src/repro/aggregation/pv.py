@@ -1,0 +1,73 @@
+"""Probabilistic verification aggregation (CDAS, Liu et al. 2012 [22]).
+
+The AvgAccPV baseline estimates a single average accuracy per worker
+from gold-injected qualification tasks and aggregates answers with a
+Bayesian product: assuming independent workers with accuracy ``p_w``,
+
+    P(truth = YES | votes) ∝ Π_{w votes YES} p_w · Π_{w votes NO} (1 - p_w)
+
+and symmetrically for NO; the higher posterior wins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.core.types import Answer, Label, TaskId, WorkerId
+
+
+def _clamp(p: float) -> float:
+    return min(max(p, 1e-6), 1.0 - 1e-6)
+
+
+def verification_posterior(
+    votes: Iterable[tuple[Label, float]], prior_yes: float = 0.5
+) -> float:
+    """Posterior P(truth = YES) given ``(label, worker accuracy)`` votes."""
+    log_yes = math.log(_clamp(prior_yes))
+    log_no = math.log(_clamp(1.0 - prior_yes))
+    for label, accuracy in votes:
+        accuracy = _clamp(accuracy)
+        if label is Label.YES:
+            log_yes += math.log(accuracy)
+            log_no += math.log(1.0 - accuracy)
+        else:
+            log_yes += math.log(1.0 - accuracy)
+            log_no += math.log(accuracy)
+    shift = max(log_yes, log_no)
+    yes = math.exp(log_yes - shift)
+    no = math.exp(log_no - shift)
+    return yes / (yes + no)
+
+
+def probabilistic_verification(
+    answers: Iterable[Answer],
+    accuracies: Mapping[WorkerId, float],
+    default_accuracy: float = 0.5,
+    prior_yes: float = 0.5,
+) -> dict[TaskId, Label]:
+    """Aggregate answers with the CDAS probabilistic-verification model.
+
+    Parameters
+    ----------
+    answers:
+        All collected answers.
+    accuracies:
+        Average per-worker accuracy (from gold qualification tasks).
+    default_accuracy:
+        Accuracy for workers without an estimate.
+    prior_yes:
+        Class prior on YES.
+    """
+    by_task: dict[TaskId, list[tuple[Label, float]]] = {}
+    for answer in answers:
+        accuracy = accuracies.get(answer.worker_id, default_accuracy)
+        by_task.setdefault(answer.task_id, []).append(
+            (answer.label, accuracy)
+        )
+    results: dict[TaskId, Label] = {}
+    for task_id, votes in by_task.items():
+        posterior = verification_posterior(votes, prior_yes=prior_yes)
+        results[task_id] = Label.YES if posterior > 0.5 else Label.NO
+    return results

@@ -1,0 +1,35 @@
+"""Baseline assignment/aggregation approaches (Sections 6.1 & 6.3.2).
+
+Comparison baselines:
+
+- :class:`RandomMV` — random assignment + majority voting,
+- :class:`RandomEM` — random assignment + Dawid–Skene EM aggregation,
+- :class:`AvgAccPV` — gold-injected average worker accuracy, assignment
+  restricted to high-accuracy workers, probabilistic-verification
+  aggregation (the CDAS approach [22]),
+
+and the adaptive-assignment ablations of Section 6.3.2:
+
+- :class:`QFOnly` — accuracies estimated from qualification only, never
+  updated adaptively,
+- :class:`BestEffort` — adaptive estimation, but each worker simply
+  receives her own highest-accuracy task (no global scheme, no testing).
+
+All of them satisfy :class:`repro.platform.PolicyProtocol`.
+"""
+
+from repro.baselines.random_mv import RandomMV
+from repro.baselines.random_em import RandomEM
+from repro.baselines.avgacc_pv import AvgAccPV
+from repro.baselines.qf_only import QFOnly
+from repro.baselines.best_effort import BestEffort
+from repro.baselines.matching import MatchingPolicy
+
+__all__ = [
+    "AvgAccPV",
+    "BestEffort",
+    "MatchingPolicy",
+    "QFOnly",
+    "RandomEM",
+    "RandomMV",
+]

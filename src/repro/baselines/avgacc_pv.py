@@ -1,0 +1,103 @@
+"""AvgAccPV baseline (the CDAS approach [22]).
+
+Estimates a single *average* accuracy per worker from gold-injected
+qualification microtasks, keeps only workers above a threshold, and
+aggregates answers with the probabilistic-verification model.  This is
+the strongest non-adaptive baseline in the paper — and the one whose
+blind spot (no per-domain accuracy) iCrowd exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.aggregation.pv import probabilistic_verification
+from repro.baselines.random_mv import RandomMV
+from repro.core.qualification import WarmUp
+from repro.core.types import Assignment, Label, TaskId, TaskSet, WorkerId
+
+
+class AvgAccPV(RandomMV):
+    """Gold-injected average-accuracy policy with PV aggregation.
+
+    Parameters
+    ----------
+    tasks:
+        Full microtask set.
+    qualification_tasks:
+        The shared qualification set with requester-labelled truth.
+    threshold:
+        Minimum average qualification accuracy to keep a worker.
+    k, seed:
+        As in :class:`RandomMV`.
+    """
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        qualification_tasks: Sequence[TaskId],
+        threshold: float = 0.5,
+        k: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            tasks, k=k, seed=seed, excluded_tasks=qualification_tasks
+        )
+        truth = {t: tasks[t].truth for t in qualification_tasks}
+        self.warmup = WarmUp(truth, threshold=threshold)
+
+    # ------------------------------------------------------------------
+    def on_worker_request(
+        self,
+        worker_id: WorkerId,
+        active_workers: Iterable[WorkerId] | None = None,
+    ) -> Assignment | None:
+        """Qualification first; then random tasks for qualified workers."""
+        if not self.warmup.is_qualified(worker_id):
+            return None
+        pending = self.warmup.next_task(worker_id)
+        if pending is not None:
+            return Assignment(
+                task_id=pending, worker_id=worker_id, is_test=True
+            )
+        return super().on_worker_request(worker_id, active_workers)
+
+    def on_answer(
+        self,
+        worker_id: WorkerId,
+        task_id: TaskId,
+        label: Label,
+        is_test: bool = False,
+    ) -> None:
+        """Grade qualification answers; record the rest as votes."""
+        if task_id in self.warmup.qualification_truth:
+            self.warmup.grade(worker_id, task_id, label)
+            return
+        super().on_answer(worker_id, task_id, label, is_test)
+
+    def is_worker_rejected(self, worker_id: WorkerId) -> bool:
+        """Whether warm-up eliminated this worker (platform hook)."""
+        return not self.warmup.is_qualified(worker_id)
+
+    # ------------------------------------------------------------------
+    def worker_accuracies(self) -> dict[WorkerId, float]:
+        """Average qualification accuracy per graded worker."""
+        return {
+            w: self.warmup.average_accuracy(w)
+            for w in self.warmup.qualified_workers()
+        }
+
+    def predictions(self) -> dict[TaskId, Label]:
+        """Probabilistic verification with average accuracies."""
+        answers = self.all_answers()
+        base = super(AvgAccPV, self).predictions()
+        if not answers:
+            return base
+        pv = probabilistic_verification(answers, self.worker_accuracies())
+        out: dict[TaskId, Label] = {}
+        for task_id, label in base.items():
+            if task_id in self.excluded:
+                out[task_id] = label
+            else:
+                out[task_id] = pv.get(task_id, label)
+        return out

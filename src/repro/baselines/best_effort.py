@@ -1,0 +1,42 @@
+"""BestEffort ablation (Section 6.3.2, strategy 2).
+
+Adaptively updates accuracy estimates exactly like iCrowd, but assigns
+each requesting worker her *own* best task — the eligible uncompleted
+microtask with the highest estimated accuracy for that worker — with no
+global scheme and no performance testing.  The paper shows this local
+view backfires: the worker's best task usually has better candidates,
+so low-accuracy votes leak into the majority and poison subsequent
+estimation.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import ICrowd
+from repro.core.types import Assignment, WorkerId
+
+
+class BestEffort(ICrowd):
+    """iCrowd estimation + greedy per-worker (non-global) assignment."""
+
+    def _choose_assignment(
+        self, worker_id: WorkerId, actives: list[WorkerId]
+    ) -> Assignment | None:
+        accuracies = self._estimates[worker_id]
+        best_task = None
+        best_value = -1.0
+        for state in self._states.values():
+            if state.completed or state.remaining == 0:
+                continue
+            if state.has_seen(worker_id):
+                continue
+            value = float(accuracies[state.task_id])
+            if value > best_value or (
+                value == best_value
+                and best_task is not None
+                and state.task_id < best_task
+            ):
+                best_value = value
+                best_task = state.task_id
+        if best_task is None:
+            return None
+        return Assignment(task_id=best_task, worker_id=worker_id)

@@ -1,0 +1,30 @@
+"""QF-Only ablation (Section 6.3.2, strategy 1).
+
+Uses iCrowd's graph-based estimation seeded by the qualification
+microtasks, but never updates the estimates as workers complete real
+tasks: the observed-accuracy vector ``q^w`` is frozen to the
+qualification grades.  Assignment still runs the adaptive scheme, so
+the only difference from full iCrowd (beyond worker testing, which is
+pointless under frozen estimates) is the missing adaptive feedback —
+which is exactly what Figure 8 isolates.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import ICrowd
+from repro.core.types import TaskId, WorkerId
+
+
+class QFOnly(ICrowd):
+    """iCrowd with estimation frozen to the qualification grades."""
+
+    def _observed_of(self, worker_id: WorkerId) -> dict[TaskId, float]:
+        """Only qualification answers contribute to ``q^w``."""
+        observed: dict[TaskId, float] = {}
+        truth = self.warmup.qualification_truth
+        for answer in self._answers.get(worker_id, ()):
+            gold = truth.get(answer.task_id)
+            if gold is None:
+                continue
+            observed[answer.task_id] = 1.0 if answer.label == gold else 0.0
+        return observed

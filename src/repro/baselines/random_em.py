@@ -1,0 +1,36 @@
+"""RandomEM baseline: random assignment + Dawid–Skene EM aggregation.
+
+Same assignment strategy as :class:`repro.baselines.RandomMV`; the
+final results are produced by the EM algorithm of [31, 8], which
+iteratively estimates per-worker confusion matrices and task truths.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.em import DawidSkene
+from repro.baselines.random_mv import RandomMV
+from repro.core.types import Label, TaskId
+
+
+class RandomEM(RandomMV):
+    """Random-assignment policy aggregated with Dawid–Skene EM.
+
+    EM runs over the complete answer matrix whenever predictions are
+    requested; partial runs fall back to majority voting for tasks EM
+    has not seen (which cannot happen once the run finishes).
+    """
+
+    def predictions(self) -> dict[TaskId, Label]:
+        """EM-aggregated results (majority fallback for unseen tasks)."""
+        answers = self.all_answers()
+        base = super().predictions()
+        if not answers:
+            return base
+        em_result = DawidSkene().run(answers).predictions()
+        out: dict[TaskId, Label] = {}
+        for task_id, label in base.items():
+            if task_id in self.excluded:
+                out[task_id] = label  # ground truth
+            else:
+                out[task_id] = em_result.get(task_id, label)
+        return out

@@ -1,0 +1,151 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig9 --dataset itemcompare --seed 7 --scale 0.33
+    python -m repro.cli table5
+    python -m repro.cli fig10 --sizes 25000 50000 100000
+
+Each command prints the same rows/series the paper reports for that
+experiment (see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig6_diversity,
+    fig7_qualification,
+    fig8_adaptive,
+    fig9_comparison,
+    fig10_scalability,
+    fig12_similarity,
+    fig13_alpha,
+    fig14_assignment_size,
+    fig15_distribution,
+    table4_datasets,
+    table5_approximation,
+)
+
+#: Experiments taking the standard (dataset, seed, scale) signature.
+_STANDARD = {
+    "fig6": fig6_diversity,
+    "fig7": fig7_qualification,
+    "fig8": fig8_adaptive,
+    "fig9": fig9_comparison,
+    "fig12": fig12_similarity,
+    "fig13": fig13_alpha,
+    "fig14": fig14_assignment_size,
+    "fig15": fig15_distribution,
+}
+
+_DESCRIPTIONS = {
+    "table4": "dataset statistics",
+    "fig6": "worker accuracy diversity across domains",
+    "fig7": "qualification selection: RandomQF vs InfQF",
+    "fig8": "adaptive assignment: QF-Only / BestEffort / Adapt",
+    "fig9": "comparison with RandomMV / RandomEM / AvgAccPV",
+    "fig10": "assignment scalability",
+    "fig12": "similarity measures and thresholds",
+    "fig13": "alpha parameter sweep",
+    "fig14": "assignment size (k) sweep",
+    "table5": "greedy assignment approximation error",
+    "fig15": "assignment distribution over workers",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with one subcommand per experiment."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate iCrowd (SIGMOD 2015) evaluation results.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    table4 = sub.add_parser("table4", help=_DESCRIPTIONS["table4"])
+    table4.add_argument("--seed", type=int, default=7)
+    for name, _ in _STANDARD.items():
+        cmd = sub.add_parser(name, help=_DESCRIPTIONS[name])
+        cmd.add_argument(
+            "--dataset",
+            choices=["itemcompare", "yahooqa"],
+            default="itemcompare",
+        )
+        cmd.add_argument("--seed", type=int, default=7)
+        cmd.add_argument(
+            "--scale",
+            type=float,
+            default=0.33,
+            help="fraction of the paper's task count (1.0 = full size)",
+        )
+    fig10 = sub.add_parser("fig10", help=_DESCRIPTIONS["fig10"])
+    fig10.add_argument(
+        "--sizes", type=int, nargs="+",
+        default=[25_000, 50_000, 100_000, 200_000],
+    )
+    fig10.add_argument(
+        "--neighbors", type=int, nargs="+", default=[20, 40]
+    )
+    fig10.add_argument("--requests", type=int, default=2000)
+    fig10.add_argument("--seed", type=int, default=7)
+    fig10.add_argument(
+        "--insertion",
+        action="store_true",
+        help="run the Section 6.5 insertion protocol instead of the "
+        "pre-built-graph sweep",
+    )
+    table5 = sub.add_parser("table5", help=_DESCRIPTIONS["table5"])
+    table5.add_argument("--seed", type=int, default=7)
+    table5.add_argument(
+        "--workers", type=int, nargs="+", default=[3, 4, 5, 6, 7]
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, description in _DESCRIPTIONS.items():
+            print(f"{name:<8} {description}")
+        return 0
+    if args.command == "table4":
+        print(table4_datasets(seed=args.seed).format_table())
+        return 0
+    if args.command == "fig10":
+        if args.insertion:
+            from repro.experiments import fig10_insertion
+
+            result = fig10_insertion(
+                batch_size=args.sizes[0],
+                rounds=len(args.sizes),
+                max_neighbors=args.neighbors[0],
+                requests_per_round=args.requests,
+                seed=args.seed,
+            )
+        else:
+            result = fig10_scalability(
+                sizes=args.sizes,
+                neighbor_bounds=args.neighbors,
+                requests_per_size=args.requests,
+                seed=args.seed,
+            )
+        print(result.format_table())
+        return 0
+    if args.command == "table5":
+        result = table5_approximation(
+            seed=args.seed, worker_counts=args.workers
+        )
+        print(result.format_table())
+        return 0
+    runner = _STANDARD[args.command]
+    result = runner(args.dataset, seed=args.seed, scale=args.scale)
+    print(result.format_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Adaptive microtask assignment (Section 4).
+
+Implements:
+
+- **Top worker sets** (Definition 3): for each uncompleted task, the
+  ``k' = k - |W^d(t_i)|`` eligible workers with the highest estimated
+  accuracies.
+- **Greedy optimal assignment** (Algorithm 3): the optimal microtask
+  assignment of Definition 4 is NP-hard (Lemma 4, by reduction from
+  k-set packing), so candidates are picked greedily by average worker
+  accuracy, discarding candidates that share workers with selections.
+- **Algorithm 2** (``assign``): top-worker generation, greedy selection,
+  then performance testing for idle workers.
+
+The greedy step uses a max-heap with lazy invalidation instead of the
+naive O(|T|²) rescan: each pop either yields a still-valid candidate or
+discards a stale one, giving O(|T| log |T| + overlaps).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import AssignerConfig
+from repro.core.types import Assignment, TaskId, WorkerId
+
+
+@dataclass(frozen=True)
+class TopWorkerSet:
+    """A candidate assignment ⟨t_i, Ŵ(t_i)⟩ (Definition 3).
+
+    ``workers`` is ordered by descending estimated accuracy and has size
+    ``min(k', |eligible|)``.
+    """
+
+    task_id: TaskId
+    workers: tuple[tuple[WorkerId, float], ...]
+
+    @property
+    def worker_ids(self) -> frozenset[WorkerId]:
+        return frozenset(w for w, _ in self.workers)
+
+    @property
+    def sum_accuracy(self) -> float:
+        """Overall accuracy ``Σ_{w∈Ŵ(t_i)} p_i^w`` (Definition 4)."""
+        return sum(p for _, p in self.workers)
+
+    @property
+    def avg_accuracy(self) -> float:
+        """Greedy selection score of Algorithm 3 (average accuracy)."""
+        if not self.workers:
+            return 0.0
+        return self.sum_accuracy / len(self.workers)
+
+
+@dataclass
+class TaskState:
+    """Assignment-relevant state of one task, as seen by the assigner.
+
+    ``assigned_workers`` is ``W^d(t_i)``: workers that answered the task
+    or are currently holding it (their answers count toward ``k``).
+    ``tested_workers`` saw the task as a performance test; their answers
+    do not count toward ``k`` but they must not see the task again.
+    """
+
+    task_id: TaskId
+    k: int
+    assigned_workers: set[WorkerId] = field(default_factory=set)
+    tested_workers: set[WorkerId] = field(default_factory=set)
+    completed: bool = False
+
+    @property
+    def remaining(self) -> int:
+        """Available assignment size ``k' = k - |W^d(t_i)|``."""
+        return max(0, self.k - len(self.assigned_workers))
+
+    def has_seen(self, worker_id: WorkerId) -> bool:
+        """Whether the worker already saw this task (vote or test)."""
+        return (
+            worker_id in self.assigned_workers
+            or worker_id in self.tested_workers
+        )
+
+    def eligible(self, workers: Sequence[WorkerId]) -> list[WorkerId]:
+        """Workers in ``W^u(t_i)`` = workers not already on this task."""
+        return [w for w in workers if not self.has_seen(w)]
+
+
+def compute_top_worker_set(
+    state: TaskState,
+    active_workers: Sequence[WorkerId],
+    accuracies: Mapping[WorkerId, np.ndarray],
+) -> TopWorkerSet | None:
+    """Build Ŵ(t_i) for one task, or None when nothing can be assigned."""
+    if state.completed or state.remaining == 0:
+        return None
+    eligible = state.eligible(active_workers)
+    if not eligible:
+        return None
+    scored = sorted(
+        ((w, float(accuracies[w][state.task_id])) for w in eligible),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    return TopWorkerSet(
+        task_id=state.task_id,
+        workers=tuple(scored[: state.remaining]),
+    )
+
+
+def compute_top_worker_sets(
+    states: Sequence[TaskState],
+    active_workers: Sequence[WorkerId],
+    accuracies: Mapping[WorkerId, np.ndarray],
+) -> list[TopWorkerSet]:
+    """Algorithm 2, step 1: top worker sets for all uncompleted tasks."""
+    sets: list[TopWorkerSet] = []
+    for state in states:
+        top = compute_top_worker_set(state, active_workers, accuracies)
+        if top is not None and top.workers:
+            sets.append(top)
+    return sets
+
+
+def compute_top_worker_sets_fast(
+    states: Sequence[TaskState],
+    active_workers: Sequence[WorkerId],
+    accuracies: Mapping[WorkerId, np.ndarray],
+) -> list[TopWorkerSet]:
+    """Vectorised equivalent of :func:`compute_top_worker_sets`.
+
+    Stacks the per-worker accuracy vectors into one matrix and ranks
+    each task's column with numpy.  Produces byte-identical output to
+    the reference implementation (same ``(-accuracy, worker_id)`` tie
+    ordering); the reference stays for differential testing.
+    """
+    workers = list(active_workers)
+    if not workers:
+        return []
+    matrix = np.stack([np.asarray(accuracies[w]) for w in workers])
+    # a stable ordering key per worker for deterministic tie-breaks
+    worker_rank = np.argsort(np.argsort(np.array(workers)))
+    sets: list[TopWorkerSet] = []
+    for state in states:
+        if state.completed or state.remaining == 0:
+            continue
+        column = matrix[:, state.task_id]
+        if state.assigned_workers or state.tested_workers:
+            mask = np.array(
+                [not state.has_seen(w) for w in workers], dtype=bool
+            )
+            if not mask.any():
+                continue
+        else:
+            mask = None
+        if mask is None:
+            scores = column
+            order = np.lexsort((worker_rank, -scores))
+        else:
+            scores = np.where(mask, column, -np.inf)
+            order = np.lexsort((worker_rank, -scores))
+            order = order[: int(mask.sum())]
+        top = order[: state.remaining]
+        sets.append(
+            TopWorkerSet(
+                task_id=state.task_id,
+                workers=tuple(
+                    (workers[i], float(column[i])) for i in top
+                ),
+            )
+        )
+    return sets
+
+
+def greedy_assign(candidates: Sequence[TopWorkerSet]) -> list[TopWorkerSet]:
+    """Algorithm 3: greedy approximation of optimal microtask assignment.
+
+    Repeatedly selects the candidate with the highest average worker
+    accuracy whose workers are all still free, until no candidate
+    remains.  Ties break by task id for determinism.
+    """
+    heap: list[tuple[float, TaskId, TopWorkerSet]] = [
+        (-c.avg_accuracy, c.task_id, c) for c in candidates if c.workers
+    ]
+    heapq.heapify(heap)
+    used_workers: set[WorkerId] = set()
+    scheme: list[TopWorkerSet] = []
+    while heap:
+        _, _, candidate = heapq.heappop(heap)
+        if candidate.worker_ids & used_workers:
+            continue  # stale: overlaps an earlier selection
+        scheme.append(candidate)
+        used_workers |= candidate.worker_ids
+    return scheme
+
+
+def scheme_value(scheme: Sequence[TopWorkerSet]) -> float:
+    """Objective of Definition 4: Σ over selected tasks of Σ p_i^w."""
+    return sum(c.sum_accuracy for c in scheme)
+
+
+class AdaptiveAssigner:
+    """Algorithm 2: the full adaptive assignment framework.
+
+    Combines top-worker-set generation, greedy scheme selection and
+    worker performance testing (delegated to a
+    :class:`repro.core.testing.PerformanceTester` supplied by the
+    framework).
+    """
+
+    def __init__(
+        self,
+        config: AssignerConfig | None = None,
+        tester=None,
+    ) -> None:
+        self.config = config or AssignerConfig()
+        self.tester = tester
+
+    def assign(
+        self,
+        states: Sequence[TaskState],
+        active_workers: Sequence[WorkerId],
+        accuracies: Mapping[WorkerId, np.ndarray],
+    ) -> list[Assignment]:
+        """Produce assignments for the current active worker set.
+
+        Returns one :class:`Assignment` per (worker, task) pair in the
+        greedy scheme, plus test assignments (``is_test=True``) for
+        workers left idle when a tester is configured.
+        """
+        candidates = compute_top_worker_sets_fast(
+            states, active_workers, accuracies
+        )
+        scheme = greedy_assign(candidates)
+        assignments: list[Assignment] = []
+        assigned_workers: set[WorkerId] = set()
+        for selected in scheme:
+            for worker_id, _ in selected.workers:
+                assignments.append(
+                    Assignment(task_id=selected.task_id, worker_id=worker_id)
+                )
+                assigned_workers.add(worker_id)
+        if self.tester is not None:
+            for worker_id in active_workers:
+                if worker_id in assigned_workers:
+                    continue
+                test_task = self.tester.choose_test_task(
+                    worker_id, states, accuracies
+                )
+                if test_task is not None:
+                    assignments.append(
+                        Assignment(
+                            task_id=test_task,
+                            worker_id=worker_id,
+                            is_test=True,
+                        )
+                    )
+        return assignments
+
+    def assign_for_worker(
+        self,
+        worker_id: WorkerId,
+        states: Sequence[TaskState],
+        active_workers: Sequence[WorkerId],
+        accuracies: Mapping[WorkerId, np.ndarray],
+    ) -> Assignment | None:
+        """Assignment for one requesting worker (the platform's unit of
+        interaction — each iteration is triggered by a worker request).
+
+        Runs the full scheme over all active workers so the requesting
+        worker is only given a task for which she is part of the best
+        scheme; falls back to a performance test otherwise.
+        """
+        if worker_id not in active_workers:
+            raise ValueError(f"worker {worker_id!r} is not active")
+        candidates = compute_top_worker_sets_fast(
+            states, active_workers, accuracies
+        )
+        scheme = greedy_assign(candidates)
+        for selected in scheme:
+            for scheme_worker, _ in selected.workers:
+                if scheme_worker == worker_id:
+                    return Assignment(
+                        task_id=selected.task_id, worker_id=worker_id
+                    )
+        # the requester is in no selected top worker set: test her
+        # performance instead (Algorithm 2, step 3) — but only her; the
+        # other idle workers get their tests when they request.
+        if self.tester is None:
+            return None
+        test_task = self.tester.choose_test_task(
+            worker_id, states, accuracies
+        )
+        if test_task is None:
+            return None
+        return Assignment(task_id=test_task, worker_id=worker_id, is_test=True)

@@ -1,0 +1,186 @@
+"""Hungarian algorithm and matching-based assignment (related work [20]).
+
+The paper's related-work section points at the Hungarian method (Kuhn)
+as the classical tool for assignment problems.  iCrowd's own problem is
+*not* bipartite matching — a task needs a whole worker *set*, which is
+why Definition 4 reduces from k-set packing — but a matching-based
+assigner is a natural comparator: in each round, match each available
+worker to one task slot so the summed estimated accuracy is maximal.
+
+This module implements:
+
+- :func:`hungarian` — the O(n³) Kuhn–Munkres algorithm on a rectangular
+  cost matrix (minimisation), written from scratch (no scipy.optimize
+  dependency) using the standard potentials-and-augmenting-path
+  formulation;
+- :func:`max_accuracy_matching` — convenience wrapper maximising summed
+  accuracy of worker→task-slot pairs;
+- :class:`MatchingAssigner` — a drop-in alternative to the greedy
+  Algorithm 3 for one assignment round, used by the ablation bench to
+  quantify what the set-packing view buys over per-worker matching.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.assigner import TaskState
+from repro.core.types import Assignment, TaskId, WorkerId
+
+
+def hungarian(cost: np.ndarray) -> list[tuple[int, int]]:
+    """Minimum-cost assignment on a rectangular matrix.
+
+    Parameters
+    ----------
+    cost:
+        ``(n_rows, n_cols)`` cost matrix; every row is assigned to a
+        distinct column (requires ``n_rows <= n_cols``).
+
+    Returns
+    -------
+    list of (row, column)
+        One entry per row, columns pairwise distinct, minimising the
+        total cost.
+
+    Notes
+    -----
+    Implements the JV-style potentials formulation: rows are inserted
+    one at a time, each insertion finds a shortest augmenting path in
+    O(n_cols²), for O(n_rows · n_cols²) total.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.ndim != 2:
+        raise ValueError("cost must be a 2-D matrix")
+    n_rows, n_cols = cost.shape
+    if n_rows > n_cols:
+        raise ValueError(
+            f"hungarian needs n_rows <= n_cols, got {cost.shape}; "
+            f"transpose the matrix and swap the output pairs"
+        )
+    INF = np.inf
+    # potentials; column 0 is a virtual column simplifying the loop
+    u = np.zeros(n_rows + 1)
+    v = np.zeros(n_cols + 1)
+    # match[j] = row currently assigned to column j (1-based virtual 0)
+    match = np.zeros(n_cols + 1, dtype=np.int64)
+
+    for row in range(1, n_rows + 1):
+        match[0] = row
+        j0 = 0
+        minv = np.full(n_cols + 1, INF)
+        used = np.zeros(n_cols + 1, dtype=bool)
+        way = np.zeros(n_cols + 1, dtype=np.int64)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = INF
+            j1 = -1
+            for j in range(1, n_cols + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n_cols + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        # augment along the found path
+        while j0:
+            j1 = way[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    pairs = [
+        (int(match[j]) - 1, j - 1)
+        for j in range(1, n_cols + 1)
+        if match[j] != 0
+    ]
+    pairs.sort()
+    return pairs
+
+
+def max_accuracy_matching(
+    accuracy: np.ndarray,
+) -> list[tuple[int, int]]:
+    """Maximum-total-accuracy assignment (rows=workers, cols=slots)."""
+    accuracy = np.asarray(accuracy, dtype=np.float64)
+    return hungarian(accuracy.max() - accuracy)
+
+
+class MatchingAssigner:
+    """One-round worker→task matching via the Hungarian algorithm.
+
+    Expands each uncompleted task into ``k'`` identical slots, builds
+    the worker × slot accuracy matrix (ineligible pairs get a strongly
+    negative value) and solves a single maximum matching.  Unlike
+    Algorithm 3 it never leaves a worker idle while any slot remains,
+    but it also cannot prefer *completing* a task over spreading
+    workers thin — which is exactly the behaviour the paper's
+    set-packing objective encodes, and what the ablation bench
+    measures.
+    """
+
+    #: accuracy assigned to (worker, slot) pairs that must not match
+    FORBIDDEN = -1e6
+
+    def assign(
+        self,
+        states: Sequence[TaskState],
+        active_workers: Sequence[WorkerId],
+        accuracies: Mapping[WorkerId, np.ndarray],
+    ) -> list[Assignment]:
+        """Match every available worker to at most one task slot."""
+        workers = list(active_workers)
+        if not workers:
+            return []
+        slots: list[TaskId] = []
+        for state in states:
+            if state.completed:
+                continue
+            slots.extend([state.task_id] * state.remaining)
+        if not slots:
+            return []
+        state_by_id = {s.task_id: s for s in states}
+        matrix = np.full((len(workers), len(slots)), self.FORBIDDEN)
+        for wi, worker in enumerate(workers):
+            vector = accuracies[worker]
+            for si, task_id in enumerate(slots):
+                if state_by_id[task_id].has_seen(worker):
+                    continue
+                matrix[wi, si] = float(vector[task_id])
+        if len(workers) > len(slots):
+            # Hungarian needs rows <= cols: pad with dummy slots
+            pad = np.full(
+                (len(workers), len(workers) - len(slots)), self.FORBIDDEN
+            )
+            matrix = np.hstack([matrix, pad])
+        pairs = max_accuracy_matching(matrix)
+        assignments: list[Assignment] = []
+        seen_tasks: dict[WorkerId, set[TaskId]] = {}
+        for wi, si in pairs:
+            if si >= len(slots):
+                continue  # dummy slot
+            if matrix[wi, si] <= self.FORBIDDEN / 2:
+                continue  # forbidden pair chosen only to stay feasible
+            worker = workers[wi]
+            task_id = slots[si]
+            if task_id in seen_tasks.setdefault(worker, set()):
+                continue
+            seen_tasks[worker].add(task_id)
+            assignments.append(
+                Assignment(task_id=task_id, worker_id=worker)
+            )
+        return assignments

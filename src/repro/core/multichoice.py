@@ -1,0 +1,142 @@
+"""Multi-choice microtask extension (Section 2.1, footnote on choices).
+
+The paper presents binary microtasks "for ease of presentation" and
+notes the techniques extend to more than two choices.  This module
+provides that extension for the voting/observed-accuracy layer:
+
+- :class:`MultiVoteState` — plurality voting over an arbitrary label
+  set, with completion at ``k`` answers;
+- :func:`plurality_vote` — batch aggregation;
+- :func:`multichoice_observed_accuracy` — Eq. (5) generalised: with
+  ``m`` choices an incorrect worker picks a specific wrong label with
+  probability ``(1 - p) / (m - 1)`` (the symmetric-error model that
+  Dawid–Skene also reduces to), and the observed accuracy is the
+  posterior that the consensus label is the true one given everyone's
+  votes under that model.
+
+The estimator and assigner layers are label-agnostic (they consume only
+observed accuracies), so this module is all that is needed to run
+iCrowd on multi-choice workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.types import TaskId, WorkerId
+
+#: A multi-choice answer label (any hashable; strings in practice).
+Choice = Hashable
+
+
+@dataclass
+class MultiVoteState:
+    """Voting state for one multi-choice microtask."""
+
+    task_id: TaskId
+    k: int
+    choices: tuple[Choice, ...]
+    answers: list[tuple[WorkerId, Choice]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if len(self.choices) < 2:
+            raise ValueError("a microtask needs at least two choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError("choices must be distinct")
+
+    def add(self, worker_id: WorkerId, choice: Choice) -> None:
+        """Record a vote (one per worker; choice must be valid)."""
+        if choice not in self.choices:
+            raise ValueError(f"choice {choice!r} not among {self.choices}")
+        if any(w == worker_id for w, _ in self.answers):
+            raise ValueError(
+                f"worker {worker_id!r} already voted on task {self.task_id}"
+            )
+        self.answers.append((worker_id, choice))
+
+    def is_complete(self) -> bool:
+        """True once k answers are collected."""
+        return len(self.answers) >= self.k
+
+    def tallies(self) -> Counter:
+        """Vote counts per choice."""
+        return Counter(choice for _, choice in self.answers)
+
+    def consensus(self) -> Choice:
+        """Plurality winner; ties break by choice order (stable)."""
+        tallies = self.tallies()
+        best_count = max(tallies.values(), default=0)
+        for choice in self.choices:
+            if tallies.get(choice, 0) == best_count:
+                return choice
+        return self.choices[0]
+
+
+def plurality_vote(
+    votes: Iterable[tuple[TaskId, WorkerId, Choice]],
+    choices: Sequence[Choice],
+) -> dict[TaskId, Choice]:
+    """Batch plurality aggregation over a flat vote list."""
+    by_task: dict[TaskId, Counter] = {}
+    for task_id, _, choice in votes:
+        by_task.setdefault(task_id, Counter())[choice] += 1
+    results: dict[TaskId, Choice] = {}
+    for task_id, tallies in by_task.items():
+        best_count = max(tallies.values())
+        for choice in choices:
+            if tallies.get(choice, 0) == best_count:
+                results[task_id] = choice
+                break
+    return results
+
+
+def _clamp(p: float) -> float:
+    return min(max(p, 1e-6), 1.0 - 1e-6)
+
+
+def multichoice_observed_accuracy(
+    worker_choice: Choice,
+    consensus: Choice,
+    votes: Iterable[tuple[Choice, float]],
+    num_choices: int,
+) -> float:
+    """Generalised Eq. (5) under the symmetric-error model.
+
+    Computes the posterior that the consensus label is the true label
+    given all votes (each worker answers correctly w.p. her accuracy
+    and picks each specific wrong label w.p. ``(1-p)/(m-1)``), assuming
+    a uniform prior over the ``m`` labels restricted to the labels that
+    actually received votes plus the consensus.  The worker's observed
+    accuracy is that posterior when she agrees with the consensus, and
+    the posterior of *her own* label being true when she does not —
+    exactly the binary Eq. (5) at ``m = 2``.
+    """
+    if num_choices < 2:
+        raise ValueError("num_choices must be at least 2")
+    votes = list(votes)
+    candidates = {consensus, worker_choice} | {c for c, _ in votes}
+
+    def log_likelihood(true_label: Choice) -> float:
+        total = 0.0
+        for choice, accuracy in votes:
+            accuracy = _clamp(accuracy)
+            if choice == true_label:
+                total += math.log(accuracy)
+            else:
+                total += math.log((1.0 - accuracy) / (num_choices - 1))
+        return total
+
+    log_posts = {c: log_likelihood(c) for c in candidates}
+    shift = max(log_posts.values())
+    posts = {c: math.exp(v - shift) for c, v in log_posts.items()}
+    normaliser = sum(posts.values())
+    if normaliser == 0.0:
+        return 1.0 / num_choices
+    if worker_choice == consensus:
+        return posts[consensus] / normaliser
+    return posts[worker_choice] / normaliser

@@ -1,0 +1,149 @@
+"""Exact optimal microtask assignment (Definition 4; Appendix D.4).
+
+The optimal assignment problem — pick a subset of ⟨task, top-worker-set⟩
+candidates with pairwise-disjoint worker sets maximising the summed
+worker accuracy — is NP-hard (Lemma 4: reduction from weighted k-set
+packing).  The paper's Appendix D.4 compares the greedy Algorithm 3
+against an enumeration-based optimum for small active-worker counts
+(3–7 workers) and reports < 2% approximation error.
+
+Two exact solvers are provided:
+
+- :func:`enumerate_optimal` — depth-first enumeration with
+  branch-and-bound pruning; faithful to the paper's "enumerate all
+  feasible assignment schemes" but pruned so the Table 5 bench finishes.
+- :func:`bitmask_optimal` — dynamic programming over worker subsets,
+  exact and fast whenever the active worker pool is small (≤ ~20),
+  which is exactly the regime of Appendix D.4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.assigner import TopWorkerSet, scheme_value
+
+
+def _validate(candidates: Sequence[TopWorkerSet]) -> list[TopWorkerSet]:
+    out = [c for c in candidates if c.workers]
+    for candidate in out:
+        if len(candidate.worker_ids) != len(candidate.workers):
+            raise ValueError(
+                f"candidate for task {candidate.task_id} repeats a worker"
+            )
+    return out
+
+
+def enumerate_optimal(
+    candidates: Sequence[TopWorkerSet],
+) -> tuple[float, list[TopWorkerSet]]:
+    """Exhaustive search for the optimal scheme with B&B pruning.
+
+    Candidates are sorted by descending value; at each node the residual
+    upper bound (sum of remaining candidate values, ignoring conflicts)
+    prunes branches that cannot beat the incumbent.
+
+    Returns
+    -------
+    (value, scheme)
+        Objective value and one optimal scheme (possibly empty).
+    """
+    cands = sorted(
+        _validate(candidates),
+        key=lambda c: (-c.sum_accuracy, c.task_id),
+    )
+    n = len(cands)
+    # suffix_bound[i] = sum of values of candidates i..n-1
+    suffix_bound = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix_bound[i] = suffix_bound[i + 1] + cands[i].sum_accuracy
+
+    best_value = 0.0
+    best_scheme: list[TopWorkerSet] = []
+    chosen: list[TopWorkerSet] = []
+
+    def dfs(index: int, used: frozenset, value: float) -> None:
+        nonlocal best_value, best_scheme
+        if value > best_value:
+            best_value = value
+            best_scheme = list(chosen)
+        if index >= n or value + suffix_bound[index] <= best_value:
+            return
+        candidate = cands[index]
+        if not (candidate.worker_ids & used):
+            chosen.append(candidate)
+            dfs(
+                index + 1,
+                used | candidate.worker_ids,
+                value + candidate.sum_accuracy,
+            )
+            chosen.pop()
+        dfs(index + 1, used, value)
+
+    dfs(0, frozenset(), 0.0)
+    return best_value, best_scheme
+
+
+def bitmask_optimal(
+    candidates: Sequence[TopWorkerSet],
+) -> tuple[float, list[TopWorkerSet]]:
+    """Exact DP over worker subsets.
+
+    State = set of busy workers (bitmask); for each candidate either
+    skip it or, when its workers are free, take it.  Complexity
+    O(|candidates| · 2^|workers|) — exact and practical for the small
+    active pools of Appendix D.4.
+    """
+    cands = _validate(candidates)
+    workers = sorted({w for c in cands for w in c.worker_ids})
+    if len(workers) > 24:
+        raise ValueError(
+            f"bitmask solver supports ≤ 24 distinct workers, got "
+            f"{len(workers)}; use enumerate_optimal"
+        )
+    index_of = {w: i for i, w in enumerate(workers)}
+    masks = [
+        sum(1 << index_of[w] for w in c.worker_ids) for c in cands
+    ]
+
+    # best[mask] = (value, chosen candidate indices) reachable with the
+    # exact busy-set `mask`
+    best: dict[int, tuple[float, tuple[int, ...]]] = {0: (0.0, ())}
+    for idx, (candidate, mask) in enumerate(zip(cands, masks)):
+        updates: dict[int, tuple[float, tuple[int, ...]]] = {}
+        for busy, (value, picks) in best.items():
+            if busy & mask:
+                continue
+            new_busy = busy | mask
+            new_value = value + candidate.sum_accuracy
+            incumbent = best.get(new_busy, updates.get(new_busy))
+            if incumbent is None or new_value > incumbent[0]:
+                updates[new_busy] = (new_value, picks + (idx,))
+        for busy, entry in updates.items():
+            incumbent = best.get(busy)
+            if incumbent is None or entry[0] > incumbent[0]:
+                best[busy] = entry
+
+    value, picks = max(best.values(), key=lambda entry: entry[0])
+    return value, [cands[i] for i in picks]
+
+
+def approximation_error(
+    candidates: Sequence[TopWorkerSet],
+    greedy_scheme: Sequence[TopWorkerSet],
+    solver: str = "bitmask",
+) -> float:
+    """Appendix D.4's error metric ``(OPT − APP) / OPT × 100%``.
+
+    Returns 0 when the optimum is zero (empty instance).
+    """
+    if solver == "bitmask":
+        opt, _ = bitmask_optimal(candidates)
+    elif solver == "enumerate":
+        opt, _ = enumerate_optimal(candidates)
+    else:
+        raise ValueError(f"unknown solver {solver!r}")
+    app = scheme_value(greedy_scheme)
+    if opt <= 0:
+        return 0.0
+    return (opt - app) / opt * 100.0

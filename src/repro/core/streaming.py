@@ -1,0 +1,214 @@
+"""Incremental task insertion (the Section 6.5 protocol).
+
+The paper's scalability experiment does not build a 1M-task graph up
+front: "Initially, the entire microtask set was empty.  We inserted 0.2
+million microtasks at each time and ran iCrowd to evaluate the
+efficiency."  That protocol needs a graph that *grows*:
+
+- :class:`GrowableGraph` — adjacency-dict similarity graph with O(1)
+  task insertion, O(degree) edge insertion, and on-demand symmetric
+  normalisation rows (``s_ij / sqrt(d_i d_j)``) — no global rebuild;
+- :class:`StreamingAssigner` — the indexed assigner of
+  :mod:`repro.core.indexes` generalised over a growable graph, plus
+  :meth:`StreamingAssigner.insert_tasks` to feed new batches into the
+  live frontier.
+
+Per-request work stays neighbourhood-bounded, so assignment time is
+flat across insertion rounds — the Figure 10 shape under the paper's
+actual protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.indexes import SparseEstimateIndex
+from repro.core.types import TaskId, WorkerId
+
+
+class GrowableGraph:
+    """A similarity graph that supports incremental growth.
+
+    Stores adjacency as one dict per task; the symmetric-normalised row
+    needed by the estimation update is computed on demand from current
+    degrees, so inserting tasks or edges never rebuilds anything.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: list[dict[TaskId, float]] = []
+        self._degree: list[float] = []
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(adj) for adj in self._adjacency) // 2
+
+    def add_tasks(self, count: int) -> range:
+        """Append ``count`` isolated tasks; returns their id range."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        start = self.num_tasks
+        for _ in range(count):
+            self._adjacency.append({})
+            self._degree.append(0.0)
+        return range(start, start + count)
+
+    def add_edge(self, i: TaskId, j: TaskId, weight: float) -> None:
+        """Insert (or overwrite) the undirected edge ``{i, j}``."""
+        n = self.num_tasks
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"edge ({i}, {j}) out of range (n={n})")
+        if i == j:
+            raise ValueError("self-loops are not allowed")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        previous = self._adjacency[i].get(j, 0.0)
+        self._adjacency[i][j] = weight
+        self._adjacency[j][i] = weight
+        self._degree[i] += weight - previous
+        self._degree[j] += weight - previous
+
+    def neighbors(self, task_id: TaskId) -> dict[TaskId, float]:
+        """Adjacency dict of a task (live view; do not mutate)."""
+        return self._adjacency[task_id]
+
+    def degree(self, task_id: TaskId) -> float:
+        """Weighted degree ``D_ii``."""
+        return self._degree[task_id]
+
+    def normalized_row(self, task_id: TaskId) -> dict[TaskId, float]:
+        """Row of ``S' = D^{-1/2} S D^{-1/2}`` under *current* degrees."""
+        d_i = self._degree[task_id]
+        if d_i <= 0:
+            return {}
+        out: dict[TaskId, float] = {}
+        for j, weight in self._adjacency[task_id].items():
+            d_j = self._degree[j]
+            if d_j > 0:
+                out[j] = weight / (d_i * d_j) ** 0.5
+        return out
+
+
+class StreamingAssigner:
+    """Indexed assignment over a growing task set (Section 6.5).
+
+    The per-worker sparse-estimate indexes and the frontier stack are
+    identical to :class:`repro.core.indexes.ScalableAssigner`; the
+    difference is the graph backend (growable) and the
+    :meth:`insert_tasks` entry point that feeds new batches into the
+    live frontier.  Estimation updates use the one-hop Neumann
+    truncation (the paper's bounded-neighbour inference), recomputed
+    from current degrees so newly inserted edges take effect
+    immediately.
+    """
+
+    def __init__(
+        self,
+        graph: GrowableGraph,
+        damping: float,
+        k: int = 3,
+        prior: float = 0.5,
+    ) -> None:
+        if not 0 < damping < 1:
+            raise ValueError(f"damping must be in (0, 1), got {damping}")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.graph = graph
+        self.damping = damping
+        self.k = k
+        self.prior = prior
+        self._indexes: dict[WorkerId, SparseEstimateIndex] = {}
+        self._seen: dict[WorkerId, set[TaskId]] = {}
+        self._votes: dict[TaskId, int] = {}
+        self._completed: set[TaskId] = set()
+        self._frontier: list[TaskId] = list(
+            range(graph.num_tasks - 1, -1, -1)
+        )
+
+    # ------------------------------------------------------------------
+    def insert_tasks(
+        self,
+        count: int,
+        edges: Iterable[tuple[TaskId, TaskId, float]] = (),
+    ) -> range:
+        """Insert a batch of tasks (and their similarity edges) live.
+
+        New tasks join the assignment frontier immediately; edges may
+        connect new tasks to each other or to existing ones.
+        """
+        new_ids = self.graph.add_tasks(count)
+        for i, j, weight in edges:
+            self.graph.add_edge(i, j, weight)
+        # newest first, matching the LIFO frontier of the batch before
+        self._frontier.extend(reversed(new_ids))
+        return new_ids
+
+    # ------------------------------------------------------------------
+    def _one_hop_row(self, task_id: TaskId) -> dict[TaskId, float]:
+        c = self.damping
+        row = {task_id: 1.0 - c}
+        for j, value in self.graph.normalized_row(task_id).items():
+            contribution = c * (1.0 - c) * value
+            row[j] = row.get(j, 0.0) + contribution
+        return row
+
+    def observe(
+        self, worker_id: WorkerId, task_id: TaskId, observed: float
+    ) -> None:
+        """Fold one observation into the worker's sparse estimate."""
+        index = self._indexes.get(worker_id)
+        if index is None:
+            index = SparseEstimateIndex(prior=self.prior)
+            self._indexes[worker_id] = index
+        row = self._one_hop_row(task_id)
+        updates: dict[TaskId, float] = {}
+        for neighbor, mass in row.items():
+            if mass <= 0:
+                continue
+            weight = min(mass, 1.0)
+            blended = weight * observed + (1.0 - weight) * self.prior
+            previous = index.value(neighbor)
+            if neighbor in index._values:
+                blended = 0.5 * (previous + blended)
+            updates[neighbor] = min(max(blended, 0.0), 1.0)
+        index.update(updates)
+
+    def request(self, worker_id: WorkerId) -> TaskId | None:
+        """Serve the best available task (indexed; |T|-independent)."""
+        seen = self._seen.setdefault(worker_id, set())
+        index = self._indexes.get(worker_id)
+        excluded = seen | self._completed
+        best = None
+        if index is not None:
+            best = index.pop_best(excluded)
+        if best is not None and index.value(best) > self.prior:
+            seen.add(best)
+            return best
+        while self._frontier:
+            candidate = self._frontier.pop()
+            if candidate in self._completed or candidate in seen:
+                continue
+            seen.add(candidate)
+            return candidate
+        if best is not None:
+            seen.add(best)
+            return best
+        return None
+
+    def answer(
+        self, worker_id: WorkerId, task_id: TaskId, observed: float
+    ) -> None:
+        """Record an answer: vote count, completion, estimate update."""
+        votes = self._votes.get(task_id, 0) + 1
+        self._votes[task_id] = votes
+        if votes >= self.k:
+            self._completed.add(task_id)
+        self.observe(worker_id, task_id, observed)
+
+    @property
+    def num_completed(self) -> int:
+        return len(self._completed)

@@ -1,0 +1,174 @@
+"""Worker performance testing (Section 4.1, Step 3).
+
+When a worker is not part of any top worker set — because she is new, or
+because she already exhausted the tasks she is demonstrably good at —
+the framework *actively* tests her on a microtask chosen by two factors:
+
+1. **Uncertainty** of the current accuracy estimate on the task,
+   modelled as the variance of a Beta(N₁+1, N₀+1) posterior where N₁/N₀
+   count the worker's (estimated-)correct/incorrect completions among
+   tasks similar to the candidate (its graph neighbourhood):
+
+       Var = (N₁+1)(N₀+1) / ((N₁+N₀+2)² (N₁+N₀+3))
+
+2. **Quality of the co-workers** already assigned to the candidate task:
+   a test wedged between accurate workers yields a trustworthy consensus
+   to grade the tested worker against.
+
+The score is a convex combination of the normalised variance (its
+maximum, 1/12, occurs at the uninformed Beta(1, 1)) and the mean
+estimated accuracy of the existing workers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.graph import SimilarityGraph
+from repro.core.types import TaskId, WorkerId
+
+#: Maximum variance of a Beta(a, b) with a, b >= 1 (attained at a=b=1).
+_MAX_BETA_VARIANCE = 1.0 / 12.0
+
+#: Callback returning a worker's sparse observed accuracies ``q^w``.
+ObservedLookup = Callable[[WorkerId], Mapping[TaskId, float]]
+
+
+def beta_variance(n_correct: float, n_incorrect: float) -> float:
+    """Variance of Beta(n_correct + 1, n_incorrect + 1).
+
+    ``n_correct`` / ``n_incorrect`` may be fractional: Eq. (5) grades
+    consensus answers with probabilities, so counts are expected values.
+    """
+    if n_correct < 0 or n_incorrect < 0:
+        raise ValueError("counts must be non-negative")
+    a = n_correct + 1.0
+    b = n_incorrect + 1.0
+    total = a + b
+    return (a * b) / (total * total * (total + 1.0))
+
+
+class PerformanceTester:
+    """Chooses test microtasks for idle workers.
+
+    Parameters
+    ----------
+    graph:
+        Similarity graph, used to define "tasks similar to the candidate"
+        for the uncertainty term.
+    observed_of:
+        Lookup for a worker's observed accuracies on globally completed
+        tasks.
+    uncertainty_weight:
+        Weight of the variance factor; the co-worker quality factor gets
+        the complement.
+    prior_accuracy:
+        Accuracy assumed for co-workers without an estimate.
+    """
+
+    def __init__(
+        self,
+        graph: SimilarityGraph,
+        observed_of: ObservedLookup,
+        uncertainty_weight: float = 0.5,
+        prior_accuracy: float = 0.5,
+    ) -> None:
+        if not 0 <= uncertainty_weight <= 1:
+            raise ValueError("uncertainty_weight must be in [0, 1]")
+        self.graph = graph
+        self.observed_of = observed_of
+        self.uncertainty_weight = uncertainty_weight
+        self.prior_accuracy = prior_accuracy
+
+    # ------------------------------------------------------------------
+    def uncertainty(
+        self,
+        worker_id: WorkerId,
+        task_id: TaskId,
+        observed: Mapping[TaskId, float] | None = None,
+    ) -> float:
+        """Normalised Beta-posterior variance of ``w`` around ``task_id``.
+
+        Counts the worker's performance over the candidate task's graph
+        neighbourhood (the candidate itself included).  ``observed`` may
+        be supplied to avoid recomputing ``q^w`` per candidate.
+        """
+        if observed is None:
+            observed = self.observed_of(worker_id)
+        neighborhood = {task_id} | {
+            j for j, _ in self.graph.neighbors(task_id)
+        }
+        n_correct = 0.0
+        n_total = 0.0
+        for neighbor in neighborhood:
+            q = observed.get(neighbor)
+            if q is None:
+                continue
+            n_correct += q
+            n_total += 1.0
+        variance = beta_variance(n_correct, n_total - n_correct)
+        return variance / _MAX_BETA_VARIANCE
+
+    def coworker_quality(
+        self,
+        task_state,
+        accuracies: Mapping[WorkerId, np.ndarray],
+    ) -> float:
+        """Mean estimated accuracy of workers already on the task."""
+        values = []
+        for worker_id in task_state.assigned_workers:
+            vector = accuracies.get(worker_id)
+            if vector is None:
+                values.append(self.prior_accuracy)
+            else:
+                values.append(float(vector[task_state.task_id]))
+        if not values:
+            return 0.0
+        return float(np.mean(values))
+
+    def score(
+        self,
+        worker_id: WorkerId,
+        task_state,
+        accuracies: Mapping[WorkerId, np.ndarray],
+        observed: Mapping[TaskId, float] | None = None,
+    ) -> float:
+        """Combined test desirability of a candidate task."""
+        w = self.uncertainty_weight
+        return w * self.uncertainty(
+            worker_id, task_state.task_id, observed=observed
+        ) + (1.0 - w) * self.coworker_quality(task_state, accuracies)
+
+    def choose_test_task(
+        self,
+        worker_id: WorkerId,
+        states: Sequence,
+        accuracies: Mapping[WorkerId, np.ndarray],
+    ) -> TaskId | None:
+        """Best test task for an idle worker, or None when nothing fits.
+
+        Candidates are tasks that other workers have been assigned to
+        (so a graded consensus will exist) and that the worker has not
+        answered herself.
+        """
+        best_task: TaskId | None = None
+        best_score = -1.0
+        observed = self.observed_of(worker_id)
+        for state in states:
+            if state.has_seen(worker_id):
+                continue
+            if not state.assigned_workers:
+                continue
+            value = self.score(
+                worker_id, state, accuracies, observed=observed
+            )
+            if value > best_score or (
+                value == best_score
+                and best_task is not None
+                and state.task_id < best_task
+            ):
+                best_score = value
+                best_task = state.task_id
+        return best_task

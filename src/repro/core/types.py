@@ -1,0 +1,215 @@
+"""Core value types shared across the iCrowd reproduction.
+
+The paper (Section 2.1) models crowdsourcing as a set of binary
+*microtasks* answered by a dynamic set of *workers*.  Each microtask is
+assigned to ``k`` workers and resolved by majority voting.  These types
+are deliberately small, immutable where possible, and free of behaviour
+that belongs to the estimator / assigner layers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: Identifier of a microtask within a :class:`TaskSet` (dense, 0-based).
+TaskId = int
+
+#: Opaque worker identifier (the simulated platform uses ``"w<N>"`` strings,
+#: mirroring MTurk worker ids such as ``A2YEBGPVQ41ESM``).
+WorkerId = str
+
+
+class Label(enum.IntEnum):
+    """Binary answer to a microtask (paper restricts to YES/NO choices)."""
+
+    NO = 0
+    YES = 1
+
+    def flipped(self) -> "Label":
+        """Return the opposite label."""
+        return Label.NO if self is Label.YES else Label.YES
+
+    @classmethod
+    def from_bool(cls, value: bool) -> "Label":
+        """Map ``True`` to YES and ``False`` to NO."""
+        return cls.YES if value else cls.NO
+
+
+@dataclass(frozen=True)
+class Task:
+    """A binary microtask.
+
+    Attributes
+    ----------
+    task_id:
+        Dense index of the task in its :class:`TaskSet`.
+    text:
+        Natural-language payload shown to workers; tokenised for the
+        similarity graph (Table 1 of the paper shows entity-resolution
+        pairs with their token sets).
+    domain:
+        Topical domain of the task (e.g. ``"NBA"``).  Ground truth for
+        evaluation of accuracy diversity; *never* revealed to the
+        estimator, which must discover structure via the similarity
+        graph.
+    truth:
+        Gold answer, used by the evaluation harness and by the warm-up
+        component when the task is chosen as a qualification microtask.
+    features:
+        Optional numeric feature vector (e.g. POI coordinates) for the
+        Euclidean similarity variant of Section 3.3.
+    """
+
+    task_id: TaskId
+    text: str
+    domain: str
+    truth: Label
+    features: Optional[tuple[float, ...]] = None
+
+    def tokens(self) -> frozenset[str]:
+        """Lower-cased token set of the task text (cached per call site)."""
+        return frozenset(self.text.lower().split())
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A single worker's submitted answer to a task."""
+
+    task_id: TaskId
+    worker_id: WorkerId
+    label: Label
+    #: Monotone submission sequence number assigned by the platform.
+    seq: int = 0
+
+    def is_correct(self, truth: Label) -> bool:
+        """Whether this answer matches the supplied gold label."""
+        return self.label == truth
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A pending (worker, task) pairing produced by an assignment policy."""
+
+    task_id: TaskId
+    worker_id: WorkerId
+    #: True when the assignment is a qualification / performance test
+    #: rather than a contribution toward the task's ``k`` votes.
+    is_test: bool = False
+
+
+@dataclass
+class TaskResult:
+    """Aggregated outcome of a globally completed task."""
+
+    task_id: TaskId
+    consensus: Label
+    votes_yes: int
+    votes_no: int
+
+    @property
+    def total_votes(self) -> int:
+        return self.votes_yes + self.votes_no
+
+    @property
+    def margin(self) -> int:
+        """Vote margin of the winning label (ties return zero)."""
+        return abs(self.votes_yes - self.votes_no)
+
+
+class TaskSet:
+    """An ordered, indexable collection of :class:`Task` objects.
+
+    Provides O(1) lookup by id and convenience accessors used throughout
+    the estimator and the experiment harness.
+    """
+
+    def __init__(self, tasks: Sequence[Task]):
+        tasks = list(tasks)
+        for expected, task in enumerate(tasks):
+            if task.task_id != expected:
+                raise ValueError(
+                    f"task ids must be dense 0..n-1; got {task.task_id} at "
+                    f"position {expected}"
+                )
+        self._tasks: list[Task] = tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks)
+
+    def __getitem__(self, task_id: TaskId) -> Task:
+        return self._tasks[task_id]
+
+    def ids(self) -> range:
+        """All task ids in order."""
+        return range(len(self._tasks))
+
+    def domains(self) -> list[str]:
+        """Distinct domains in first-appearance order."""
+        seen: dict[str, None] = {}
+        for task in self._tasks:
+            seen.setdefault(task.domain, None)
+        return list(seen)
+
+    def by_domain(self, domain: str) -> list[Task]:
+        """All tasks belonging to ``domain``."""
+        return [t for t in self._tasks if t.domain == domain]
+
+    def truths(self) -> list[Label]:
+        """Gold labels in task-id order."""
+        return [t.truth for t in self._tasks]
+
+
+@dataclass
+class VoteState:
+    """Mutable per-task voting state maintained by the platform.
+
+    Tracks who answered what, and whether the task has reached its
+    consensus ("globally completed" in the paper's terminology).
+    """
+
+    task_id: TaskId
+    k: int
+    answers: list[Answer] = field(default_factory=list)
+
+    def workers(self) -> set[WorkerId]:
+        """Workers that have already answered this task."""
+        return {a.worker_id for a in self.answers}
+
+    def add(self, answer: Answer) -> None:
+        """Record an answer; a worker may vote at most once per task."""
+        if answer.worker_id in self.workers():
+            raise ValueError(
+                f"worker {answer.worker_id} already answered task "
+                f"{self.task_id}"
+            )
+        self.answers.append(answer)
+
+    @property
+    def votes_yes(self) -> int:
+        return sum(1 for a in self.answers if a.label is Label.YES)
+
+    @property
+    def votes_no(self) -> int:
+        return sum(1 for a in self.answers if a.label is Label.NO)
+
+    def is_complete(self) -> bool:
+        """True once ``k`` answers are collected (global completion)."""
+        return len(self.answers) >= self.k
+
+    def consensus(self) -> Label:
+        """Majority label; ties break toward NO (k is odd in the paper)."""
+        return Label.YES if self.votes_yes > self.votes_no else Label.NO
+
+    def result(self) -> TaskResult:
+        """Freeze the current tallies into a :class:`TaskResult`."""
+        return TaskResult(
+            task_id=self.task_id,
+            consensus=self.consensus(),
+            votes_yes=self.votes_yes,
+            votes_no=self.votes_no,
+        )

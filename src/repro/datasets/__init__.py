@@ -1,0 +1,31 @@
+"""Dataset substrate: synthetic stand-ins for the paper's two corpora.
+
+The paper evaluates on two MTurk datasets (Table 4):
+
+- **YahooQA** — 110 question-answer quality-judgement microtasks across
+  six domains (FIFA, Books & Authors, Diet & Fitness, Home Schooling,
+  Hunting, Philosophy), 25 workers.
+- **ItemCompare** — 360 item-comparison microtasks across four domains
+  (Food, NBA, Auto, Country; 90 each), 53 workers.
+
+Neither corpus is public, so generators synthesise tasks with the same
+shape: per-domain vocabularies make in-domain tasks textually similar
+(which the similarity graph must discover), ground truth is derived from
+an internal knowledge base, and sizes match Table 4 exactly.
+"""
+
+from repro.datasets.base import DatasetSpec, build_task_set
+from repro.datasets.itemcompare import ITEMCOMPARE_DOMAINS, make_itemcompare
+from repro.datasets.poi import NEIGHBORHOODS, make_poi
+from repro.datasets.yahooqa import YAHOOQA_DOMAINS, make_yahooqa
+
+__all__ = [
+    "DatasetSpec",
+    "ITEMCOMPARE_DOMAINS",
+    "NEIGHBORHOODS",
+    "YAHOOQA_DOMAINS",
+    "build_task_set",
+    "make_itemcompare",
+    "make_poi",
+    "make_yahooqa",
+]

@@ -1,0 +1,40 @@
+"""Shared dataset plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.types import Label, Task, TaskSet
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Statistics of a generated dataset (mirrors the paper's Table 4)."""
+
+    name: str
+    num_tasks: int
+    num_domains: int
+    domains: tuple[str, ...]
+
+    @classmethod
+    def of(cls, name: str, tasks: TaskSet) -> "DatasetSpec":
+        domains = tuple(tasks.domains())
+        return cls(
+            name=name,
+            num_tasks=len(tasks),
+            num_domains=len(domains),
+            domains=domains,
+        )
+
+
+def build_task_set(
+    rows: Sequence[tuple[str, str, Label]],
+) -> TaskSet:
+    """Build a :class:`TaskSet` from ``(text, domain, truth)`` rows."""
+    return TaskSet(
+        [
+            Task(task_id=i, text=text, domain=domain, truth=truth)
+            for i, (text, domain, truth) in enumerate(rows)
+        ]
+    )

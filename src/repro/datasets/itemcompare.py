@@ -1,0 +1,180 @@
+"""Synthetic ItemCompare dataset (Section 6.1, dataset 2).
+
+The paper's ItemCompare corpus asks workers to compare two items on a
+domain-specific criterion: which food has more calories, which NBA team
+won more championships, which car is more fuel efficient, which country
+has larger total area.  Four domains × 90 tasks = 360 microtasks.
+
+This generator carries a small internal knowledge base per domain —
+items with a numeric attribute — and emits binary microtasks of the
+form "Does <A> <criterion-verb> than <B>?" whose ground truth follows
+from the attribute values.  Domain-specific vocabulary in the task text
+makes in-domain tasks textually similar, which is what the similarity
+graph must pick up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Label, TaskSet
+from repro.datasets.base import build_task_set
+from repro.utils.rng import spawn_rng
+
+ITEMCOMPARE_DOMAINS: tuple[str, ...] = ("Food", "NBA", "Auto", "Country")
+
+#: Tasks per domain in the paper (Table 4: 360 tasks over 4 domains).
+TASKS_PER_DOMAIN = 90
+
+
+@dataclass(frozen=True)
+class ComparisonDomain:
+    """One comparison domain: items, attribute, and question phrasing."""
+
+    name: str
+    question: str  # format string with {a} and {b}
+    items: tuple[tuple[str, float], ...]  # (item name, attribute value)
+
+
+_FOOD_ITEMS = (
+    ("chocolate bar", 546.0), ("honey", 304.0), ("avocado", 160.0),
+    ("banana", 89.0), ("apple", 52.0), ("cheddar cheese", 403.0),
+    ("peanut butter", 588.0), ("white rice", 130.0), ("salmon fillet", 208.0),
+    ("broccoli", 34.0), ("butter", 717.0), ("olive oil", 884.0),
+    ("yogurt", 59.0), ("bagel", 250.0), ("almonds", 579.0),
+    ("watermelon", 30.0), ("fried chicken", 246.0), ("tofu", 76.0),
+    ("oatmeal", 68.0), ("ice cream", 207.0),
+)
+
+_NBA_ITEMS = (
+    ("boston celtics", 17.0), ("los angeles lakers", 16.0),
+    ("chicago bulls", 6.0), ("golden state warriors", 6.0),
+    ("san antonio spurs", 5.0), ("philadelphia 76ers", 3.0),
+    ("detroit pistons", 3.0), ("miami heat", 3.0),
+    ("milwaukee bucks", 1.0), ("houston rockets", 2.0),
+    ("new york knicks", 2.0), ("dallas mavericks", 1.0),
+    ("cleveland cavaliers", 1.0), ("portland trail blazers", 1.0),
+    ("atlanta hawks", 1.0), ("washington wizards", 1.0),
+    ("oklahoma city thunder", 1.0), ("utah jazz", 0.0),
+    ("phoenix suns", 0.0), ("brooklyn nets", 0.0),
+)
+
+_AUTO_ITEMS = (
+    ("toyota camry sedan", 28.0), ("lexus es sedan", 24.0),
+    ("honda civic", 33.0), ("ford f150 truck", 19.0),
+    ("toyota prius hybrid", 52.0), ("chevrolet tahoe suv", 16.0),
+    ("honda accord", 30.0), ("bmw 328i sedan", 26.0),
+    ("jeep wrangler", 18.0), ("tesla model s", 98.0),
+    ("nissan altima", 31.0), ("subaru outback wagon", 26.0),
+    ("mazda mx5 roadster", 29.0), ("dodge ram truck", 17.0),
+    ("audi a4 sedan", 27.0), ("hyundai elantra", 32.0),
+    ("kia soul", 27.0), ("volkswagen golf", 29.0),
+    ("porsche 911 coupe", 21.0), ("mini cooper", 30.0),
+)
+
+_COUNTRY_ITEMS = (
+    ("russia", 17098.0), ("canada", 9985.0), ("china", 9597.0),
+    ("united states", 9834.0), ("brazil", 8516.0), ("australia", 7692.0),
+    ("india", 3287.0), ("argentina", 2780.0), ("kazakhstan", 2725.0),
+    ("algeria", 2382.0), ("mexico", 1964.0), ("indonesia", 1905.0),
+    ("iran", 1648.0), ("mongolia", 1564.0), ("peru", 1285.0),
+    ("egypt", 1010.0), ("nigeria", 924.0), ("france", 644.0),
+    ("spain", 506.0), ("japan", 378.0),
+)
+
+DOMAINS: dict[str, ComparisonDomain] = {
+    "Food": ComparisonDomain(
+        name="Food",
+        question=(
+            "food nutrition compare calories does {a} contain more "
+            "calories per serving than {b}"
+        ),
+        items=_FOOD_ITEMS,
+    ),
+    "NBA": ComparisonDomain(
+        name="NBA",
+        question=(
+            "nba basketball compare championships did the {a} win more "
+            "nba championship titles than the {b}"
+        ),
+        items=_NBA_ITEMS,
+    ),
+    "Auto": ComparisonDomain(
+        name="Auto",
+        question=(
+            "auto car compare fuel economy is the {a} more fuel "
+            "efficient mpg than the {b}"
+        ),
+        items=_AUTO_ITEMS,
+    ),
+    "Country": ComparisonDomain(
+        name="Country",
+        question=(
+            "geography country compare area does {a} have larger total "
+            "land area than {b}"
+        ),
+        items=_COUNTRY_ITEMS,
+    ),
+}
+
+
+def _domain_tasks(
+    domain: ComparisonDomain,
+    count: int,
+    rng: np.random.Generator,
+) -> list[tuple[str, str, Label]]:
+    """Sample ``count`` distinct ordered item pairs with derived truth."""
+    n = len(domain.items)
+    pairs: list[tuple[int, int]] = [
+        (i, j) for i in range(n) for j in range(n) if i != j
+    ]
+    order = rng.permutation(len(pairs))
+    rows: list[tuple[str, str, Label]] = []
+    for idx in order:
+        i, j = pairs[int(idx)]
+        (name_a, value_a) = domain.items[i]
+        (name_b, value_b) = domain.items[j]
+        if value_a == value_b:
+            continue  # ambiguous comparisons have no clean ground truth
+        text = domain.question.format(a=name_a, b=name_b)
+        rows.append((text, domain.name, Label.from_bool(value_a > value_b)))
+        if len(rows) == count:
+            break
+    if len(rows) < count:
+        raise ValueError(
+            f"domain {domain.name} cannot supply {count} unambiguous pairs"
+        )
+    return rows
+
+
+def make_itemcompare(
+    seed: int = 0,
+    tasks_per_domain: int = TASKS_PER_DOMAIN,
+) -> TaskSet:
+    """Generate the ItemCompare-like task set (360 tasks by default).
+
+    Tasks are grouped by domain in the paper's order (Food, NBA, Auto,
+    Country); truth is balanced by the random pair orientation.
+    """
+    rng = spawn_rng(seed, "itemcompare")
+    rows: list[tuple[str, str, Label]] = []
+    for domain_name in ITEMCOMPARE_DOMAINS:
+        rows.extend(_domain_tasks(DOMAINS[domain_name], tasks_per_domain, rng))
+    return build_task_set(rows)
+
+
+def truth_of_pair(domain_name: str, item_a: str, item_b: str) -> Label:
+    """Ground truth for an explicit pair (exposed for examples/tests)."""
+    domain = DOMAINS.get(domain_name)
+    if domain is None:
+        raise ValueError(f"unknown ItemCompare domain {domain_name!r}")
+    values = dict(domain.items)
+    try:
+        value_a, value_b = values[item_a], values[item_b]
+    except KeyError as exc:
+        raise ValueError(f"unknown item {exc.args[0]!r}") from exc
+    if value_a == value_b:
+        raise ValueError(f"pair ({item_a}, {item_b}) is ambiguous")
+    return Label.from_bool(value_a > value_b)

@@ -1,0 +1,263 @@
+"""Synthetic YahooQA dataset (Section 6.1, dataset 1).
+
+The paper's YahooQA corpus asks workers whether a user-generated answer
+appropriately addresses its question; ground truth came from Yahoo
+Answers ratings.  110 tasks across six domains: 2006 FIFA World Cup
+(FF), Books & Authors (BA), Diet & Fitness (DF), Home Schooling (HS),
+Hunting (HT) and Philosophy (PH).
+
+This generator carries, per domain, a bank of question templates and a
+pool of *relevant* and *irrelevant* answers.  A YES task pairs a
+question with a relevant answer; a NO task pairs it with an irrelevant
+one (an answer drawn from the same domain but addressing a different
+question, which is what low-rated Yahoo answers look like).  Domain
+vocabulary keeps in-domain tasks similar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Label, TaskSet
+from repro.datasets.base import build_task_set
+from repro.utils.rng import spawn_rng
+
+YAHOOQA_DOMAINS: tuple[str, ...] = (
+    "FIFA",
+    "Books&Authors",
+    "Diet&Fitness",
+    "HomeSchooling",
+    "Hunting",
+    "Philosophy",
+)
+
+#: Paper total: 110 question-answer pairs over six domains.
+TOTAL_TASKS = 110
+
+
+@dataclass(frozen=True)
+class QADomain:
+    """Question/answer bank for one domain."""
+
+    name: str
+    #: (question, matching answer) pairs; mismatches are drawn across rows.
+    qa_pairs: tuple[tuple[str, str], ...]
+
+
+_FIFA = QADomain(
+    name="FIFA",
+    qa_pairs=(
+        ("who won the 2006 fifa world cup final in berlin",
+         "italy won the 2006 world cup beating france on penalties"),
+        ("which player won the golden ball award at the 2006 world cup",
+         "zinedine zidane received the golden ball award"),
+        ("who was the top scorer of the 2006 fifa world cup",
+         "miroslav klose scored five goals to win the golden boot"),
+        ("which stadium hosted the 2006 world cup final match",
+         "the olympiastadion in berlin hosted the final"),
+        ("who did germany beat in the 2006 world cup third place match",
+         "germany defeated portugal three one in stuttgart"),
+        ("why was zidane sent off in the 2006 world cup final",
+         "zidane headbutted materazzi and received a red card"),
+        ("how many teams played in the 2006 fifa world cup finals",
+         "thirty two national teams competed in germany"),
+        ("who scored for italy in the 2006 world cup final",
+         "marco materazzi scored the equaliser header for italy"),
+        ("which goalkeeper won the lev yashin award in 2006",
+         "gianluigi buffon was named best goalkeeper"),
+        ("who was the youngest player at the 2006 world cup tournament",
+         "theo walcott of england was the youngest squad member"),
+    ),
+)
+
+_BOOKS = QADomain(
+    name="Books&Authors",
+    qa_pairs=(
+        ("who wrote the novel pride and prejudice",
+         "jane austen wrote pride and prejudice in 1813"),
+        ("which author created the detective sherlock holmes",
+         "arthur conan doyle created sherlock holmes"),
+        ("who wrote the russian novel war and peace",
+         "leo tolstoy is the author of war and peace"),
+        ("which novel begins with the line call me ishmael",
+         "moby dick by herman melville opens with call me ishmael"),
+        ("who wrote one hundred years of solitude",
+         "gabriel garcia marquez wrote the novel about the buendia family"),
+        ("which author wrote the dystopian novel 1984",
+         "george orwell published nineteen eighty four in 1949"),
+        ("who is the author of the harry potter book series",
+         "j k rowling wrote the seven harry potter novels"),
+        ("which poet wrote the epic paradise lost",
+         "john milton composed paradise lost in blank verse"),
+        ("who wrote the great gatsby about the jazz age",
+         "f scott fitzgerald wrote the great gatsby"),
+        ("which playwright wrote hamlet and macbeth",
+         "william shakespeare wrote both tragedies"),
+    ),
+)
+
+_DIET = QADomain(
+    name="Diet&Fitness",
+    qa_pairs=(
+        ("how many calories should i eat daily to lose weight safely",
+         "a deficit of about five hundred calories per day is safe"),
+        ("what exercise burns the most calories per hour",
+         "running at a fast pace burns the most calories"),
+        ("is a high protein diet good for building muscle",
+         "protein supports muscle repair aim for lean meat and legumes"),
+        ("how much water should i drink every day for fitness",
+         "about two litres daily more when exercising heavily"),
+        ("what are good warm up stretches before a workout",
+         "dynamic stretches like leg swings and arm circles work well"),
+        ("how often should a beginner lift weights each week",
+         "two to three strength sessions weekly with rest days"),
+        ("are carbohydrates bad for losing belly fat",
+         "whole grain carbs are fine refined sugar is the problem"),
+        ("what is a healthy body mass index range for adults",
+         "a bmi between eighteen point five and twenty five"),
+        ("does yoga help with weight loss and flexibility",
+         "yoga improves flexibility and supports modest calorie burn"),
+        ("what should i eat before a morning run for energy",
+         "a banana or light toast provides quick digestible energy"),
+    ),
+)
+
+_HOME = QADomain(
+    name="HomeSchooling",
+    qa_pairs=(
+        ("how do i create a homeschool curriculum for elementary grades",
+         "start from state standards and pick a curriculum package"),
+        ("is homeschooling legal in every state of the usa",
+         "yes although notification and assessment rules vary by state"),
+        ("how many hours a day should homeschool lessons last",
+         "three to four focused hours is typical for young children"),
+        ("how can homeschooled kids get social interaction",
+         "co ops sports teams and community classes provide socialising"),
+        ("what records should homeschool parents keep for transcripts",
+         "keep attendance logs work samples and graded assessments"),
+        ("can homeschooled students apply to college and universities",
+         "yes colleges accept homeschool transcripts and test scores"),
+        ("what math curriculum works best for homeschooling",
+         "saxon and singapore math are popular structured options"),
+        ("how do i teach reading to my homeschooled kindergartner",
+         "daily phonics practice with levelled readers works well"),
+        ("do homeschool parents need a teaching certificate",
+         "most states do not require parents to hold certificates"),
+        ("how much does homeschooling cost per year on average",
+         "typical families spend three hundred to a thousand dollars"),
+    ),
+)
+
+_HUNT = QADomain(
+    name="Hunting",
+    qa_pairs=(
+        ("what caliber rifle is best for deer hunting",
+         "a 308 or 30 06 rifle is a reliable deer caliber"),
+        ("when does whitetail deer hunting season usually open",
+         "most states open rifle season in october or november"),
+        ("do i need a license to hunt wild turkey",
+         "yes a state hunting license and turkey tag are required"),
+        ("what is the best time of day to hunt deer",
+         "dawn and dusk when deer move to feed"),
+        ("how should i scent control before a bow hunt",
+         "wash gear in scent free soap and hunt downwind"),
+        ("what broadhead weight works for elk archery hunting",
+         "a fixed blade broadhead around one hundred grains"),
+        ("is it safe to hunt from a tree stand alone",
+         "wear a full body harness and tell someone your location"),
+        ("how do i field dress a deer after the harvest",
+         "cool the carcass quickly by removing entrails promptly"),
+        ("what shotgun choke is best for duck hunting",
+         "a modified choke patterns steel shot well for ducks"),
+        ("how far can a compound bow accurately shoot",
+         "most hunters keep ethical shots inside forty yards"),
+    ),
+)
+
+_PHIL = QADomain(
+    name="Philosophy",
+    qa_pairs=(
+        ("who first proposed heliocentrism in modern astronomy",
+         "nicolaus copernicus a renaissance mathematician and astronomer"),
+        ("what did descartes mean by i think therefore i am",
+         "thinking proves the existence of the thinking self"),
+        ("which philosopher wrote the republic about justice",
+         "plato wrote the republic describing the ideal state"),
+        ("what is kant categorical imperative in ethics",
+         "act only on maxims you could will as universal law"),
+        ("who developed the theory of forms in ancient greece",
+         "plato argued perfect forms exist beyond the physical world"),
+        ("what is utilitarianism according to john stuart mill",
+         "actions are right as they promote the greatest happiness"),
+        ("which philosopher said god is dead and what did he mean",
+         "nietzsche meant traditional values had lost their power"),
+        ("what is the allegory of the cave about",
+         "prisoners mistake shadows for reality until one is freed"),
+        ("who was socrates and why was he executed in athens",
+         "socrates was tried for impiety and corrupting the youth"),
+        ("what is existentialism according to jean paul sartre",
+         "existence precedes essence humans define their own meaning"),
+    ),
+)
+
+QA_DOMAINS: dict[str, QADomain] = {
+    d.name: d for d in (_FIFA, _BOOKS, _DIET, _HOME, _HUNT, _PHIL)
+}
+
+#: Per-domain task counts summing to 110 (the paper reports only the
+#: total; we spread it nearly evenly across the six domains).
+DOMAIN_SIZES: dict[str, int] = {
+    "FIFA": 19,
+    "Books&Authors": 19,
+    "Diet&Fitness": 18,
+    "HomeSchooling": 18,
+    "Hunting": 18,
+    "Philosophy": 18,
+}
+
+
+def _domain_tasks(
+    domain: QADomain, count: int, rng: np.random.Generator
+) -> list[tuple[str, str, Label]]:
+    """Emit ``count`` QA-judgement tasks, roughly half YES half NO."""
+    rows: list[tuple[str, str, Label]] = []
+    n = len(domain.qa_pairs)
+    questions = [q for q, _ in domain.qa_pairs]
+    answers = [a for _, a in domain.qa_pairs]
+    # alternate YES (matching answer) and NO (shuffled-in wrong answer)
+    q_order = [int(i) for i in rng.permutation(n)]
+    idx = 0
+    make_yes = True
+    while len(rows) < count:
+        qi = q_order[idx % n]
+        question = questions[qi]
+        if make_yes:
+            answer = answers[qi]
+            label = Label.YES
+        else:
+            # pick a different question's answer from the same domain
+            wrong = int(rng.integers(0, n - 1))
+            if wrong >= qi:
+                wrong += 1
+            answer = answers[wrong]
+            label = Label.NO
+        text = f"question {question} answer {answer}"
+        rows.append((text, domain.name, label))
+        make_yes = not make_yes
+        idx += 1
+    return rows
+
+
+def make_yahooqa(seed: int = 0) -> TaskSet:
+    """Generate the YahooQA-like task set (110 tasks, 6 domains)."""
+    rng = spawn_rng(seed, "yahooqa")
+    rows: list[tuple[str, str, Label]] = []
+    for domain_name in YAHOOQA_DOMAINS:
+        rows.extend(
+            _domain_tasks(
+                QA_DOMAINS[domain_name], DOMAIN_SIZES[domain_name], rng
+            )
+        )
+    return build_task_set(rows)

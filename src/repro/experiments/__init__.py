@@ -1,0 +1,67 @@
+"""Experiment harness: one entry point per table and figure.
+
+Every experiment of the paper's Section 6 / Appendix D has a function
+here that builds the workload, runs the relevant approaches on the
+simulated platform, and returns a structured result whose
+``format_table()`` prints the same rows/series the paper reports.
+
+Index (see DESIGN.md §4 for the full mapping):
+
+- :func:`table4_datasets` — dataset statistics,
+- :func:`fig6_diversity` — per-worker per-domain accuracy diversity,
+- :func:`fig7_qualification` — RandomQF vs InfQF,
+- :func:`fig8_adaptive` — QF-Only vs BestEffort vs Adapt,
+- :func:`fig9_comparison` — iCrowd vs RandomMV / RandomEM / AvgAccPV,
+- :func:`fig10_scalability` — assignment time vs |T| and neighbours,
+- :func:`fig12_similarity` — similarity measure × threshold,
+- :func:`fig13_alpha` — the α sweep,
+- :func:`fig14_assignment_size` — the k sweep,
+- :func:`table5_approximation` — greedy vs exact assignment error,
+- :func:`fig15_distribution` — assignment share of the top workers.
+"""
+
+from repro.experiments.metrics import (
+    ConfusionCounts,
+    CostReport,
+    confusion,
+    cost_report,
+)
+from repro.experiments.setups import ExperimentSetup, make_setup
+from repro.experiments.runner import RunResult, run_approach
+from repro.experiments.figures import (
+    fig6_diversity,
+    fig7_qualification,
+    fig8_adaptive,
+    fig9_comparison,
+    fig10_insertion,
+    fig10_scalability,
+    fig12_similarity,
+    fig13_alpha,
+    fig14_assignment_size,
+    fig15_distribution,
+    table4_datasets,
+    table5_approximation,
+)
+
+__all__ = [
+    "ConfusionCounts",
+    "CostReport",
+    "ExperimentSetup",
+    "RunResult",
+    "fig6_diversity",
+    "fig7_qualification",
+    "fig8_adaptive",
+    "fig9_comparison",
+    "fig10_insertion",
+    "fig10_scalability",
+    "fig12_similarity",
+    "fig13_alpha",
+    "fig14_assignment_size",
+    "fig15_distribution",
+    "confusion",
+    "cost_report",
+    "make_setup",
+    "run_approach",
+    "table4_datasets",
+    "table5_approximation",
+]

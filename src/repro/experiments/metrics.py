@@ -1,0 +1,130 @@
+"""Evaluation metrics beyond plain accuracy.
+
+The paper reports accuracy (ratio of correctly predicted microtasks)
+and assignment elapsed time.  Entity-resolution deployments usually
+also care about per-label precision/recall (a NO-biased crowd can have
+high accuracy but terrible YES recall) and about *cost efficiency* —
+quality bought per answer paid for.  These helpers compute all of them
+from a :class:`repro.platform.PlatformReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.types import Label, TaskId, TaskSet
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion counts with derived metrics."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions (0 on empty input)."""
+        if self.total == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def precision(self) -> float:
+        """YES precision (1 when no YES was predicted)."""
+        denominator = self.true_positive + self.false_positive
+        if denominator == 0:
+            return 1.0
+        return self.true_positive / denominator
+
+    @property
+    def recall(self) -> float:
+        """YES recall (1 when no YES exists in the gold labels)."""
+        denominator = self.true_positive + self.false_negative
+        if denominator == 0:
+            return 1.0
+        return self.true_positive / denominator
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+
+def confusion(
+    predictions: Mapping[TaskId, Label],
+    tasks: TaskSet,
+    exclude: Iterable[TaskId] = (),
+) -> ConfusionCounts:
+    """Confusion counts of predictions against ground truth."""
+    excluded = set(exclude)
+    tp = fp = tn = fn = 0
+    for task in tasks:
+        if task.task_id in excluded:
+            continue
+        predicted = predictions.get(task.task_id)
+        if predicted is None:
+            continue
+        if task.truth is Label.YES:
+            if predicted is Label.YES:
+                tp += 1
+            else:
+                fn += 1
+        else:
+            if predicted is Label.YES:
+                fp += 1
+            else:
+                tn += 1
+    return ConfusionCounts(tp, fp, tn, fn)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Quality-per-dollar summary of one run."""
+
+    accuracy: float
+    num_answers: int
+    total_cost: float
+
+    @property
+    def cost_per_task_point(self) -> float:
+        """Dollars spent per percentage point of accuracy (∞-safe)."""
+        if self.accuracy <= 0:
+            return float("inf")
+        return self.total_cost / (self.accuracy * 100.0)
+
+    @property
+    def answers_per_accuracy_point(self) -> float:
+        """Answers spent per percentage point of accuracy (∞-safe)."""
+        if self.accuracy <= 0:
+            return float("inf")
+        return self.num_answers / (self.accuracy * 100.0)
+
+
+def cost_report(
+    report,
+    tasks: TaskSet,
+    exclude: Iterable[TaskId] = (),
+) -> CostReport:
+    """Summarise a :class:`PlatformReport`'s cost efficiency."""
+    excluded = set(exclude)
+    return CostReport(
+        accuracy=report.accuracy(tasks, exclude=excluded),
+        num_answers=report.num_answers,
+        total_cost=report.total_cost,
+    )

@@ -1,0 +1,133 @@
+"""Run one approach on the simulated platform and collect metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    AvgAccPV,
+    BestEffort,
+    MatchingPolicy,
+    QFOnly,
+    RandomEM,
+    RandomMV,
+)
+from repro.core.framework import ICrowd
+from repro.experiments.setups import ExperimentSetup
+from repro.platform import PlatformReport, SimulatedPlatform
+
+#: Approach name → policy factory; every factory takes a setup and
+#: returns a fresh policy instance bound to the shared workload.
+APPROACHES = (
+    "RandomMV",
+    "RandomEM",
+    "AvgAccPV",
+    "QF-Only",
+    "BestEffort",
+    "Matching",
+    "iCrowd",
+)
+
+
+@dataclass
+class RunResult:
+    """Metrics of one (approach, workload) platform run."""
+
+    approach: str
+    dataset: str
+    overall_accuracy: float
+    domain_accuracy: dict[str, float]
+    steps: int
+    finished: bool
+    stalled: bool
+    num_rejected: int
+    report: PlatformReport
+
+    def accuracy_row(self, domains: list[str]) -> list[float]:
+        """Per-domain accuracies followed by the ALL column."""
+        return [self.domain_accuracy.get(d, 0.0) for d in domains] + [
+            self.overall_accuracy
+        ]
+
+
+def build_policy(name: str, setup: ExperimentSetup, k: int | None = None):
+    """Instantiate an approach against the shared workload.
+
+    All approaches share the task set, qualification ids, graph and
+    assignment size, so differences in outcome are attributable to the
+    assignment/estimation/aggregation strategy alone.
+    """
+    config = setup.config if k is None else setup.config.with_k(k)
+    k_value = config.assigner.k
+    qualification = list(setup.qualification_tasks)
+    seed = setup.seed
+    if name == "RandomMV":
+        return RandomMV(
+            setup.tasks, k=k_value, seed=seed, excluded_tasks=qualification
+        )
+    if name == "RandomEM":
+        return RandomEM(
+            setup.tasks, k=k_value, seed=seed, excluded_tasks=qualification
+        )
+    if name == "AvgAccPV":
+        return AvgAccPV(
+            setup.tasks,
+            qualification,
+            threshold=config.qualification.qualification_threshold,
+            k=k_value,
+            seed=seed,
+        )
+    # the precomputed basis is reusable whenever the estimator knobs are
+    # unchanged (it depends on alpha, not on k)
+    estimator = (
+        setup.estimator
+        if config.estimator == setup.config.estimator
+        else None
+    )
+    framework_cls = {
+        "QF-Only": QFOnly,
+        "BestEffort": BestEffort,
+        "Matching": MatchingPolicy,
+        "iCrowd": ICrowd,
+    }.get(name)
+    if framework_cls is not None:
+        return framework_cls(
+            setup.tasks,
+            config,
+            graph=setup.graph,
+            qualification_tasks=qualification,
+            estimator=estimator,
+        )
+    raise ValueError(f"unknown approach {name!r}")
+
+
+def run_approach(
+    name: str,
+    setup: ExperimentSetup,
+    k: int | None = None,
+    run_tag: str = "",
+    max_steps: int | None = None,
+) -> RunResult:
+    """Run one approach to completion and score it.
+
+    ``run_tag`` decorrelates the worker pool's answer noise between
+    repetitions while keeping the same worker profiles.
+    """
+    policy = build_policy(name, setup, k=k)
+    pool = setup.fresh_pool(run_tag=run_tag or name)
+    platform = SimulatedPlatform(setup.tasks, pool, policy)
+    report = platform.run(max_steps=max_steps)
+    exclude = set(setup.qualification_tasks)
+    return RunResult(
+        approach=name,
+        dataset=setup.dataset,
+        overall_accuracy=report.accuracy(setup.tasks, exclude=exclude),
+        domain_accuracy=report.accuracy_by_domain(
+            setup.tasks, exclude=exclude
+        ),
+        steps=report.steps,
+        finished=report.finished,
+        stalled=report.stalled,
+        num_rejected=len(report.rejected_workers),
+        report=report,
+    )

@@ -1,0 +1,49 @@
+"""Simulated crowdsourcing platform (substitute for Amazon Mechanical
+Turk; see Appendix A of the paper and DESIGN.md's substitution table).
+
+The paper's deployment wraps MTurk's ExternalQuestion mechanism: workers
+request tasks, iCrowd's web server decides the assignment, answers flow
+back, payments are processed.  This package reproduces that interaction
+loop against simulated workers:
+
+- :class:`SimulatedPlatform` — the request/assign/answer/pay driver,
+- :class:`PolicyProtocol` — what an assignment policy must implement
+  (both :class:`repro.core.ICrowd` and every baseline satisfy it),
+- :mod:`repro.platform.hits` — HIT batching (10 microtasks per HIT at
+  $0.10 per assignment, the paper's pricing),
+- :mod:`repro.platform.payments` — the payment ledger,
+- :mod:`repro.platform.events` — a structured event log.
+"""
+
+from repro.platform.events import (
+    AnswerEvent,
+    AssignEvent,
+    CompleteEvent,
+    EventLog,
+    RejectEvent,
+    RequestEvent,
+)
+from repro.platform.hits import HIT, build_hits
+from repro.platform.payments import PaymentLedger
+from repro.platform.platform import (
+    PlatformReport,
+    PolicyProtocol,
+    SimulatedPlatform,
+)
+from repro.platform.server import ICrowdHTTPServer
+
+__all__ = [
+    "AnswerEvent",
+    "AssignEvent",
+    "CompleteEvent",
+    "EventLog",
+    "HIT",
+    "ICrowdHTTPServer",
+    "PaymentLedger",
+    "PlatformReport",
+    "PolicyProtocol",
+    "RejectEvent",
+    "RequestEvent",
+    "SimulatedPlatform",
+    "build_hits",
+]

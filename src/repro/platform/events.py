@@ -1,0 +1,104 @@
+"""Structured event log of a platform run.
+
+Every interaction is recorded as a typed event so experiments can
+reconstruct the full dynamics (e.g. Figure 15's assignment distribution
+or per-domain answer traces) without instrumenting the policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.types import Label, TaskId, WorkerId
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """A worker asked the platform for work."""
+
+    step: int
+    worker_id: WorkerId
+
+
+@dataclass(frozen=True)
+class AssignEvent:
+    """The policy assigned a task to a worker."""
+
+    step: int
+    worker_id: WorkerId
+    task_id: TaskId
+    is_test: bool
+
+
+@dataclass(frozen=True)
+class AnswerEvent:
+    """A worker submitted an answer."""
+
+    step: int
+    worker_id: WorkerId
+    task_id: TaskId
+    label: Label
+    is_test: bool
+
+
+@dataclass(frozen=True)
+class CompleteEvent:
+    """A task became globally completed."""
+
+    step: int
+    task_id: TaskId
+    consensus: Label
+
+
+@dataclass(frozen=True)
+class RejectEvent:
+    """A worker was rejected (failed warm-up)."""
+
+    step: int
+    worker_id: WorkerId
+
+
+Event = RequestEvent | AssignEvent | AnswerEvent | CompleteEvent | RejectEvent
+
+
+@dataclass
+class EventLog:
+    """Append-only event trace with typed accessors."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        """Record one event."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def answers(self) -> list[AnswerEvent]:
+        """All answer events in order."""
+        return [e for e in self.events if isinstance(e, AnswerEvent)]
+
+    def assignments(self) -> list[AssignEvent]:
+        """All assignment events in order."""
+        return [e for e in self.events if isinstance(e, AssignEvent)]
+
+    def completions(self) -> list[CompleteEvent]:
+        """All task-completion events in order."""
+        return [e for e in self.events if isinstance(e, CompleteEvent)]
+
+    def rejections(self) -> list[RejectEvent]:
+        """All worker-rejection events in order."""
+        return [e for e in self.events if isinstance(e, RejectEvent)]
+
+    def assignment_counts(self, include_tests: bool = False) -> dict[WorkerId, int]:
+        """Answers submitted per worker (Figure 15's distribution)."""
+        counts: dict[WorkerId, int] = {}
+        for event in self.answers():
+            if event.is_test and not include_tests:
+                continue
+            counts[event.worker_id] = counts.get(event.worker_id, 0) + 1
+        return counts

@@ -1,0 +1,69 @@
+"""HIT batching (Section 6.1 / Appendix A).
+
+The paper publishes 10 microtasks per Human Intelligence Task at $0.10
+per assignment, using MTurk's ExternalQuestion mode so the actual
+microtask shown is chosen server-side at request time.  The HIT layer is
+therefore bookkeeping: it groups task ids into batches and carries the
+pricing used by the payment ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.types import TaskId
+
+#: Paper defaults (Section 6.1).
+DEFAULT_TASKS_PER_HIT = 10
+DEFAULT_PRICE_PER_ASSIGNMENT = 0.10
+
+
+@dataclass(frozen=True)
+class HIT:
+    """A published batch of microtasks."""
+
+    hit_id: str
+    task_ids: tuple[TaskId, ...]
+    price_per_assignment: float = DEFAULT_PRICE_PER_ASSIGNMENT
+    max_assignments: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.task_ids:
+            raise ValueError("a HIT must contain at least one microtask")
+        if self.price_per_assignment < 0:
+            raise ValueError("price must be non-negative")
+        if self.max_assignments <= 0:
+            raise ValueError("max_assignments must be positive")
+
+    @property
+    def size(self) -> int:
+        return len(self.task_ids)
+
+    @property
+    def price_per_microtask(self) -> float:
+        """Per-microtask share of the assignment price."""
+        return self.price_per_assignment / self.size
+
+
+def build_hits(
+    task_ids: Sequence[TaskId],
+    tasks_per_hit: int = DEFAULT_TASKS_PER_HIT,
+    price_per_assignment: float = DEFAULT_PRICE_PER_ASSIGNMENT,
+    max_assignments: int = 10,
+) -> list[HIT]:
+    """Partition tasks into consecutive HIT batches (last may be short)."""
+    if tasks_per_hit <= 0:
+        raise ValueError("tasks_per_hit must be positive")
+    hits: list[HIT] = []
+    for start in range(0, len(task_ids), tasks_per_hit):
+        chunk = tuple(task_ids[start : start + tasks_per_hit])
+        hits.append(
+            HIT(
+                hit_id=f"hit{len(hits):04d}",
+                task_ids=chunk,
+                price_per_assignment=price_per_assignment,
+                max_assignments=max_assignments,
+            )
+        )
+    return hits

@@ -1,0 +1,47 @@
+"""Payment ledger (Appendix A: the server "calls back some APIs of AMT
+to process payment" after each submission)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import WorkerId
+
+
+@dataclass
+class PaymentLedger:
+    """Accumulates per-worker earnings for a platform run."""
+
+    price_per_microtask: float = 0.01
+    _earnings: dict[WorkerId, float] = field(default_factory=dict)
+    _counts: dict[WorkerId, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.price_per_microtask < 0:
+            raise ValueError("price_per_microtask must be non-negative")
+
+    def pay(self, worker_id: WorkerId, amount: float | None = None) -> float:
+        """Credit a worker for one submitted microtask answer."""
+        amount = self.price_per_microtask if amount is None else amount
+        if amount < 0:
+            raise ValueError("payment amount must be non-negative")
+        self._earnings[worker_id] = self._earnings.get(worker_id, 0.0) + amount
+        self._counts[worker_id] = self._counts.get(worker_id, 0) + 1
+        return amount
+
+    def earnings(self, worker_id: WorkerId) -> float:
+        """Total amount credited to a worker so far."""
+        return self._earnings.get(worker_id, 0.0)
+
+    def payments_made(self, worker_id: WorkerId) -> int:
+        """Number of payments credited to a worker so far."""
+        return self._counts.get(worker_id, 0)
+
+    @property
+    def total_cost(self) -> float:
+        """Total amount the requester has spent."""
+        return sum(self._earnings.values())
+
+    def statement(self) -> dict[WorkerId, float]:
+        """Per-worker earnings snapshot."""
+        return dict(self._earnings)

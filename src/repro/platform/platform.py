@@ -1,0 +1,287 @@
+"""The simulated platform driver (Appendix A's interaction loop).
+
+``SimulatedPlatform.run`` iterates the paper's cycle: an active worker
+requests work → the policy assigns a microtask → the worker answers →
+the platform records the answer and processes payment → the policy
+updates its state.  The loop ends when the policy reports all tasks
+globally completed, when no progress is possible (every active worker
+drew a blank repeatedly), or at a step cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.types import Assignment, Label, TaskId, TaskSet, WorkerId
+from repro.platform.events import (
+    AnswerEvent,
+    AssignEvent,
+    CompleteEvent,
+    EventLog,
+    RejectEvent,
+    RequestEvent,
+)
+from repro.platform.hits import DEFAULT_PRICE_PER_ASSIGNMENT, DEFAULT_TASKS_PER_HIT
+from repro.platform.payments import PaymentLedger
+from repro.workers.pool import WorkerPool
+
+
+@runtime_checkable
+class PolicyProtocol(Protocol):
+    """What an assignment policy must provide to run on the platform.
+
+    :class:`repro.core.ICrowd` and every baseline in
+    :mod:`repro.baselines` implement this protocol.
+    """
+
+    def on_worker_request(
+        self, worker_id: WorkerId, active_workers=None
+    ) -> Assignment | None:
+        """Serve a task request; None when nothing is assignable."""
+        ...
+
+    def on_answer(
+        self,
+        worker_id: WorkerId,
+        task_id: TaskId,
+        label: Label,
+        is_test: bool = False,
+    ) -> None:
+        """Record a submitted answer."""
+        ...
+
+    def is_finished(self) -> bool:
+        """True once every task is globally completed."""
+        ...
+
+    def predictions(self) -> dict[TaskId, Label]:
+        """Current aggregated result per task."""
+        ...
+
+
+@dataclass
+class PlatformReport:
+    """Outcome of one platform run."""
+
+    steps: int
+    finished: bool
+    predictions: dict[TaskId, Label]
+    events: EventLog
+    payments: PaymentLedger
+    stalled: bool = False
+    rejected_workers: list[WorkerId] = field(default_factory=list)
+
+    @property
+    def num_answers(self) -> int:
+        return len(self.events.answers())
+
+    @property
+    def total_cost(self) -> float:
+        return self.payments.total_cost
+
+    def accuracy(
+        self, tasks: TaskSet, exclude: set[TaskId] | None = None
+    ) -> float:
+        """Fraction of tasks whose predicted result matches ground truth.
+
+        ``exclude`` typically holds the qualification task ids so the
+        gold-labelled freebies do not inflate the metric.
+        """
+        exclude = exclude or set()
+        considered = [t for t in tasks if t.task_id not in exclude]
+        if not considered:
+            return 0.0
+        correct = sum(
+            1
+            for t in considered
+            if self.predictions.get(t.task_id) == t.truth
+        )
+        return correct / len(considered)
+
+    def accuracy_by_domain(
+        self, tasks: TaskSet, exclude: set[TaskId] | None = None
+    ) -> dict[str, float]:
+        """Per-domain accuracy (the paper's per-domain bars)."""
+        exclude = exclude or set()
+        totals: dict[str, int] = {}
+        corrects: dict[str, int] = {}
+        for task in tasks:
+            if task.task_id in exclude:
+                continue
+            totals[task.domain] = totals.get(task.domain, 0) + 1
+            if self.predictions.get(task.task_id) == task.truth:
+                corrects[task.domain] = corrects.get(task.domain, 0) + 1
+        return {
+            domain: corrects.get(domain, 0) / total
+            for domain, total in totals.items()
+        }
+
+
+class SimulatedPlatform:
+    """Drives a policy against a simulated worker pool.
+
+    Parameters
+    ----------
+    tasks:
+        The microtask set being crowdsourced.
+    pool:
+        The dynamic worker pool.
+    policy:
+        The assignment policy under evaluation.
+    price_per_assignment / tasks_per_hit:
+        Pricing used by the payment ledger (paper defaults: $0.10 for a
+        10-microtask HIT, i.e. one cent per answered microtask).
+    """
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        pool: WorkerPool,
+        policy: PolicyProtocol,
+        price_per_assignment: float = DEFAULT_PRICE_PER_ASSIGNMENT,
+        tasks_per_hit: int = DEFAULT_TASKS_PER_HIT,
+        abandonment: float = 0.0,
+        assignment_timeout: int = 50,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= abandonment < 1.0:
+            raise ValueError(
+                f"abandonment must be in [0, 1), got {abandonment}"
+            )
+        if assignment_timeout <= 0:
+            raise ValueError("assignment_timeout must be positive")
+        self.tasks = tasks
+        self.pool = pool
+        self.policy = policy
+        #: probability a worker walks away from an issued assignment
+        #: without answering (the MTurk "returned HIT" case); the
+        #: policy's expiry hook reopens the slot after
+        #: ``assignment_timeout`` of its clock ticks.
+        self.abandonment = abandonment
+        self.assignment_timeout = assignment_timeout
+        self.events = EventLog()
+        self.payments = PaymentLedger(
+            price_per_microtask=price_per_assignment / tasks_per_hit
+        )
+        self._rejected: list[WorkerId] = []
+        from repro.utils.rng import spawn_rng
+
+        self._rng = spawn_rng(seed, "platform-abandonment")
+
+    def run(self, max_steps: int | None = None) -> PlatformReport:
+        """Run the interaction loop until completion, stall or cap.
+
+        ``max_steps`` defaults to a generous multiple of the total work
+        (k answers per task plus warm-up), so broken policies terminate.
+        """
+        if max_steps is None:
+            max_steps = 200 * max(1, len(self.tasks))
+        step = 0
+        consecutive_blanks = 0
+        stall_limit = 3 * max(1, len(self.pool))
+        stalled = False
+        while step < max_steps and not self.policy.is_finished():
+            step += 1
+            self.pool.tick()
+            if self.abandonment:
+                # reopen slots whose workers walked away long ago
+                self._expire_stale()
+            requester = self.pool.sample_requester()
+            if requester is None:
+                consecutive_blanks += 1
+                if consecutive_blanks > stall_limit:
+                    stalled = True
+                    break
+                continue
+            self.events.append(RequestEvent(step=step, worker_id=requester))
+            assignment = self.policy.on_worker_request(
+                requester, self.pool.active_workers()
+            )
+            if assignment is None:
+                # nothing for this worker: rejected, or no eligible task
+                if self._policy_rejected(requester):
+                    self.pool.remove(requester)
+                    self._rejected.append(requester)
+                    self.events.append(
+                        RejectEvent(step=step, worker_id=requester)
+                    )
+                consecutive_blanks += 1
+                if consecutive_blanks > stall_limit:
+                    stalled = True
+                    break
+                continue
+            consecutive_blanks = 0
+            self.events.append(
+                AssignEvent(
+                    step=step,
+                    worker_id=requester,
+                    task_id=assignment.task_id,
+                    is_test=assignment.is_test,
+                )
+            )
+            if (
+                self.abandonment
+                and not assignment.is_test
+                and self._rng.random() < self.abandonment
+            ):
+                # the worker walks away without answering; stale slots
+                # are reopened by the policy's expiry hook
+                self.pool.note_submission(requester)
+                self._expire_stale()
+                continue
+            worker = self.pool.worker(requester)
+            label = worker.answer(self.tasks[assignment.task_id])
+            completed_before = self._completed_tasks()
+            self.policy.on_answer(
+                requester, assignment.task_id, label, assignment.is_test
+            )
+            self.events.append(
+                AnswerEvent(
+                    step=step,
+                    worker_id=requester,
+                    task_id=assignment.task_id,
+                    label=label,
+                    is_test=assignment.is_test,
+                )
+            )
+            newly_completed = self._completed_tasks() - completed_before
+            for task_id in sorted(newly_completed):
+                self.events.append(
+                    CompleteEvent(
+                        step=step,
+                        task_id=task_id,
+                        consensus=self.policy.predictions()[task_id],
+                    )
+                )
+            self.payments.pay(requester)
+            self.pool.note_submission(requester)
+        return PlatformReport(
+            steps=step,
+            finished=self.policy.is_finished(),
+            predictions=self.policy.predictions(),
+            events=self.events,
+            payments=self.payments,
+            stalled=stalled,
+            rejected_workers=list(self._rejected),
+        )
+
+    # ------------------------------------------------------------------
+    def _expire_stale(self) -> None:
+        """Ask the policy to reopen assignments abandoned too long ago."""
+        expire = getattr(self.policy, "expire_stale_assignments", None)
+        if expire is not None:
+            expire(self.assignment_timeout)
+
+    def _policy_rejected(self, worker_id: WorkerId) -> bool:
+        """Whether the policy has permanently rejected a worker."""
+        checker = getattr(self.policy, "is_worker_rejected", None)
+        if checker is None:
+            return False
+        return bool(checker(worker_id))
+
+    def _completed_tasks(self) -> set[TaskId]:
+        getter = getattr(self.policy, "completed_tasks", None)
+        if getter is None:
+            return set()
+        return set(getter())

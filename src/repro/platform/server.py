@@ -1,0 +1,195 @@
+"""HTTP facade over an assignment policy (Appendix A).
+
+The paper deploys iCrowd behind MTurk's *ExternalQuestion* mechanism:
+each HIT embeds a URL of the iCrowd web server; when a worker accepts
+the HIT, AMT requests the actual microtask from that server, displays
+it in an iframe, and posts the answer back.  This module reproduces
+that integration surface as a small threaded HTTP server:
+
+- ``GET /request?worker=<id>`` — ask for the next microtask; returns
+  ``{"task_id", "text", "is_test"}`` or HTTP 204 when nothing is
+  assignable to the worker;
+- ``POST /submit`` with JSON ``{"worker", "task_id", "label",
+  "is_test"}`` — submit an answer; returns the task's completion state;
+- ``GET /status`` — job progress (answers collected, finished flag).
+
+The server serialises access to the policy with a lock (policies are
+deliberately single-threaded state machines), binds to an ephemeral
+localhost port by default, and is used by the integration tests to
+exercise the exact request/submit loop the paper's Figure 11 shows.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.types import Label, TaskSet
+
+
+class ICrowdHTTPServer:
+    """Threaded HTTP wrapper around a :class:`PolicyProtocol` policy.
+
+    Parameters
+    ----------
+    tasks:
+        Task set (supplies the text shown to workers).
+    policy:
+        Any assignment policy (ICrowd or a baseline).
+    host / port:
+        Bind address; port 0 picks an ephemeral port (see
+        :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        tasks: TaskSet,
+        policy,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.tasks = tasks
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer(
+            (host, port), self._make_handler()
+        )
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound."""
+        return self._httpd.server_address[:2]
+
+    def start(self) -> None:
+        """Serve requests on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ICrowdHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _handle_request(self, worker_id: str) -> tuple[int, dict | None]:
+        with self._lock:
+            assignment = self.policy.on_worker_request(worker_id)
+        if assignment is None:
+            return 204, None
+        task = self.tasks[assignment.task_id]
+        return 200, {
+            "task_id": assignment.task_id,
+            "text": task.text,
+            "is_test": assignment.is_test,
+        }
+
+    def _handle_submit(self, payload: dict) -> tuple[int, dict]:
+        try:
+            worker_id = str(payload["worker"])
+            task_id = int(payload["task_id"])
+            label = Label(int(payload["label"]))
+            is_test = bool(payload.get("is_test", False))
+        except (KeyError, ValueError, TypeError) as exc:
+            return 400, {"error": f"bad submit payload: {exc}"}
+        if not 0 <= task_id < len(self.tasks):
+            return 400, {"error": f"unknown task {task_id}"}
+        with self._lock:
+            try:
+                self.policy.on_answer(worker_id, task_id, label, is_test)
+            except ValueError as exc:
+                return 409, {"error": str(exc)}
+            completed = task_id in set(
+                getattr(self.policy, "completed_tasks", list)()
+            )
+        return 200, {"accepted": True, "task_completed": completed}
+
+    def _handle_status(self) -> tuple[int, dict]:
+        with self._lock:
+            finished = self.policy.is_finished()
+            completed = len(
+                getattr(self.policy, "completed_tasks", list)()
+            )
+        return 200, {
+            "finished": finished,
+            "completed_tasks": completed,
+            "total_tasks": len(self.tasks),
+        }
+
+    # ------------------------------------------------------------------
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            """Routes /request, /submit and /status to the policy."""
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+            def _reply(self, status: int, body: dict | None) -> None:
+                data = (
+                    json.dumps(body).encode("utf-8")
+                    if body is not None
+                    else b""
+                )
+                self.send_response(status)
+                if data:
+                    self.send_header(
+                        "Content-Type", "application/json"
+                    )
+                    self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                if data:
+                    self.wfile.write(data)
+
+            def do_GET(self) -> None:
+                parsed = urlparse(self.path)
+                if parsed.path == "/request":
+                    params = parse_qs(parsed.query)
+                    workers = params.get("worker")
+                    if not workers:
+                        self._reply(
+                            400, {"error": "missing worker parameter"}
+                        )
+                        return
+                    status, body = server._handle_request(workers[0])
+                    self._reply(status, body)
+                elif parsed.path == "/status":
+                    status, body = server._handle_status()
+                    self._reply(status, body)
+                else:
+                    self._reply(404, {"error": "not found"})
+
+            def do_POST(self) -> None:
+                parsed = urlparse(self.path)
+                if parsed.path != "/submit":
+                    self._reply(404, {"error": "not found"})
+                    return
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length) if length else b"{}"
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError:
+                    self._reply(400, {"error": "invalid JSON"})
+                    return
+                status, body = server._handle_submit(payload)
+                self._reply(status, body)
+
+        return Handler

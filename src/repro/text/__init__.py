@@ -1,0 +1,19 @@
+"""Text-processing substrate: tokenisation, TF-IDF, and LDA.
+
+Section 3.3 / Appendix D.1 of the paper derive microtask similarities
+from task text using Jaccard over token sets, cosine over TF-IDF
+vectors, and cosine over LDA topic distributions.  This package
+implements all three representations from scratch (no external NLP
+dependencies are available offline).
+"""
+
+from repro.text.tokenize import STOPWORDS, tokenize
+from repro.text.tfidf import TfIdfVectorizer
+from repro.text.lda import LatentDirichletAllocation
+
+__all__ = [
+    "LatentDirichletAllocation",
+    "STOPWORDS",
+    "TfIdfVectorizer",
+    "tokenize",
+]

@@ -1,0 +1,95 @@
+"""TF-IDF vectorisation for the cos(tf-idf) similarity (Appendix D.1).
+
+Implements the standard smooth-IDF weighting with L2 normalisation so
+that cosine similarity reduces to a dot product.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.text.tokenize import tokenize
+
+
+class TfIdfVectorizer:
+    """Fit a vocabulary on a corpus and transform documents to TF-IDF rows.
+
+    The vectorizer is deliberately minimal: lower-case word tokens,
+    smooth inverse document frequency ``log((1 + n) / (1 + df)) + 1``,
+    and L2-normalised rows.
+
+    Examples
+    --------
+    >>> vec = TfIdfVectorizer().fit(["iphone 4 wifi", "ipad 3 wifi"])
+    >>> matrix = vec.transform(["iphone 4 wifi"])
+    >>> matrix.shape[0]
+    1
+    """
+
+    def __init__(self) -> None:
+        self.vocabulary_: dict[str, int] = {}
+        self.idf_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.idf_ is not None
+
+    def fit(self, documents: Sequence[str]) -> "TfIdfVectorizer":
+        """Learn the vocabulary and IDF weights from ``documents``."""
+        if not documents:
+            raise ValueError("cannot fit TF-IDF on an empty corpus")
+        doc_freq: dict[str, int] = {}
+        for doc in documents:
+            for token in set(tokenize(doc)):
+                doc_freq[token] = doc_freq.get(token, 0) + 1
+        self.vocabulary_ = {
+            token: idx for idx, token in enumerate(sorted(doc_freq))
+        }
+        n_docs = len(documents)
+        idf = np.empty(len(self.vocabulary_), dtype=np.float64)
+        for token, idx in self.vocabulary_.items():
+            idf[idx] = math.log((1 + n_docs) / (1 + doc_freq[token])) + 1.0
+        self.idf_ = idf
+        return self
+
+    def transform(self, documents: Iterable[str]) -> sparse.csr_matrix:
+        """Map documents into the fitted TF-IDF space (rows L2-normalised).
+
+        Out-of-vocabulary tokens are ignored, matching standard practice.
+        """
+        if self.idf_ is None:
+            raise RuntimeError("TfIdfVectorizer.transform called before fit")
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        n_rows = 0
+        for row, doc in enumerate(documents):
+            n_rows = row + 1
+            counts: dict[int, int] = {}
+            for token in tokenize(doc):
+                idx = self.vocabulary_.get(token)
+                if idx is not None:
+                    counts[idx] = counts.get(idx, 0) + 1
+            if not counts:
+                continue
+            weights = {
+                idx: count * self.idf_[idx] for idx, count in counts.items()
+            }
+            norm = math.sqrt(sum(w * w for w in weights.values()))
+            for idx, weight in weights.items():
+                rows.append(row)
+                cols.append(idx)
+                data.append(weight / norm)
+        return sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(n_rows, len(self.vocabulary_)),
+            dtype=np.float64,
+        )
+
+    def fit_transform(self, documents: Sequence[str]) -> sparse.csr_matrix:
+        """Fit on ``documents`` and return their TF-IDF matrix."""
+        return self.fit(documents).transform(documents)

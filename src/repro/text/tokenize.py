@@ -1,0 +1,53 @@
+"""Tokenisation with stop-word removal (Appendix D.1).
+
+The paper tokenises microtask text and removes stop-words before
+computing any similarity.  We implement a simple, deterministic
+lower-case word tokenizer over alphanumeric runs.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: A compact English stop-word list.  Appendix D.1 only says stop-words
+#: are removed; the exact list is immaterial to the algorithms, so we use
+#: the usual high-frequency function words plus the comparison phrasing
+#: that appears in every ItemCompare-style microtask.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an the and or of to in on for with is are was were be been being
+    this that these those it its as at by from which who whom whose what
+    when where why how do does did done can could should would will
+    shall may might must have has had having not no nor so than then
+    there here very more most much many s t
+    """.split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str, remove_stopwords: bool = True) -> list[str]:
+    """Split ``text`` into lower-cased alphanumeric tokens.
+
+    Parameters
+    ----------
+    text:
+        Raw microtask text.
+    remove_stopwords:
+        Drop tokens appearing in :data:`STOPWORDS` (the paper's default).
+
+    Returns
+    -------
+    list of str
+        Tokens in order of appearance (duplicates preserved; callers
+        needing a set should wrap the result).
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    if remove_stopwords:
+        tokens = [tok for tok in tokens if tok not in STOPWORDS]
+    return tokens
+
+
+def token_set(text: str) -> frozenset[str]:
+    """Deduplicated token set used by Jaccard similarity."""
+    return frozenset(tokenize(text))

@@ -1,0 +1,5 @@
+"""Small shared utilities (RNG plumbing, validation helpers)."""
+
+from repro.utils.rng import spawn_rng, stable_hash
+
+__all__ = ["spawn_rng", "stable_hash"]

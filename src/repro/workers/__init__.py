@@ -1,0 +1,33 @@
+"""Worker substrate: simulated crowd workers with diverse accuracies.
+
+The paper's Figure 6 shows that real MTurk workers have strongly
+domain-dependent accuracies — excellent in one or two familiar domains,
+mediocre to worse-than-random elsewhere.  This package synthesises
+worker populations with that statistical structure:
+
+- :class:`WorkerProfile` — per-domain Bernoulli correctness rates,
+- :func:`generate_profiles` — archetype mixtures (experts, generalists,
+  spammers) matching the paper's observed diversity,
+- :class:`SimulatedWorker` — answers tasks by flipping the domain coin,
+- :class:`WorkerPool` — dynamic arrivals/departures (Section 2.1:
+  "worker set in crowdsourcing is dynamic").
+"""
+
+from repro.workers.behavior import BehaviorConfig, BehavioralWorker
+from repro.workers.profiles import (
+    Archetype,
+    WorkerProfile,
+    generate_profiles,
+)
+from repro.workers.pool import WorkerPool
+from repro.workers.simulator import SimulatedWorker
+
+__all__ = [
+    "Archetype",
+    "BehaviorConfig",
+    "BehavioralWorker",
+    "SimulatedWorker",
+    "WorkerPool",
+    "WorkerProfile",
+    "generate_profiles",
+]

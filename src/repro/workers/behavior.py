@@ -1,0 +1,119 @@
+"""Extended worker behaviour models (robustness substrate).
+
+The paper's Definition 1 models a worker as a per-task Bernoulli
+correctness probability.  Real crowds misbehave in structured ways that
+quality-control systems must survive; this module layers the common
+failure modes onto :class:`repro.workers.SimulatedWorker`:
+
+- **label bias** — a tendency to answer YES (or NO) regardless of the
+  task (the classic acquiescence/spam pattern);
+- **fatigue** — accuracy decays with the number of completed tasks
+  (attention drains over a long session);
+- **learning** — the opposite: accuracy improves with practice up to a
+  ceiling (workers acquire the domain as they go).
+
+These are *simulation-side* models: estimation code never sees them,
+it only sees answers — exactly how a deployed iCrowd would experience
+them.  The robustness ablation bench runs iCrowd against biased and
+fatigued crowds and checks quality degrades gracefully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import Label, Task
+from repro.workers.profiles import WorkerProfile
+from repro.workers.simulator import SimulatedWorker
+
+
+@dataclass(frozen=True)
+class BehaviorConfig:
+    """Knobs of the extended behaviour model.
+
+    Attributes
+    ----------
+    yes_bias:
+        Probability of ignoring the task entirely and answering YES
+        (the acquiescence/spam pattern; 0 = unbiased).  This skews the
+        worker's confusion matrix asymmetrically: accuracy on
+        truth=YES tasks rises while accuracy on truth=NO tasks falls.
+    fatigue_rate:
+        Per-answer multiplicative decay of the accuracy *margin above
+        0.5* (0 disables fatigue).  A rate of 0.01 halves the margin
+        after ~69 answers.
+    learning_rate:
+        Per-answer growth of the margin toward the ceiling (0 disables
+        learning).  Mutually exclusive with fatigue.
+    floor / ceiling:
+        Clamps on effective accuracy.
+    """
+
+    yes_bias: float = 0.0
+    fatigue_rate: float = 0.0
+    learning_rate: float = 0.0
+    floor: float = 0.05
+    ceiling: float = 0.98
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.yes_bias <= 1.0:
+            raise ValueError("yes_bias must be in [0, 1]")
+        if self.fatigue_rate < 0 or self.learning_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if self.fatigue_rate > 0 and self.learning_rate > 0:
+            raise ValueError("fatigue and learning are mutually exclusive")
+        if not 0.0 <= self.floor < self.ceiling <= 1.0:
+            raise ValueError("need 0 <= floor < ceiling <= 1")
+
+
+class BehavioralWorker(SimulatedWorker):
+    """A simulated worker with bias, fatigue or learning dynamics."""
+
+    def __init__(
+        self,
+        profile: WorkerProfile,
+        behavior: BehaviorConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(profile, seed=seed)
+        self.behavior = behavior or BehaviorConfig()
+        self._answered = 0
+
+    def effective_accuracy(self, task: Task) -> float:
+        """Accuracy after fatigue/learning at the current answer count."""
+        base = self.profile.accuracy(task.domain)
+        margin = base - 0.5
+        config = self.behavior
+        if config.fatigue_rate > 0:
+            margin *= (1.0 - config.fatigue_rate) ** self._answered
+        elif config.learning_rate > 0:
+            ceiling_margin = config.ceiling - 0.5
+            gap = ceiling_margin - margin
+            margin = ceiling_margin - gap * (
+                (1.0 - config.learning_rate) ** self._answered
+            )
+        accuracy = 0.5 + margin
+        return min(max(accuracy, config.floor), config.ceiling)
+
+    def answer(self, task: Task) -> Label:
+        """Answer with the effective accuracy after applying label bias.
+
+        With probability ``yes_bias`` the worker answers YES without
+        engaging with the task; otherwise she answers correctly with
+        her (fatigue/learning-adjusted) accuracy.
+        """
+        accuracy = self.effective_accuracy(task)
+        self._answered += 1
+        if (
+            self.behavior.yes_bias > 0
+            and self._rng.random() < self.behavior.yes_bias
+        ):
+            return Label.YES
+        if self._rng.random() < accuracy:
+            return task.truth
+        return task.truth.flipped()
+
+    @property
+    def answers_given(self) -> int:
+        """Number of answers produced so far (drives the dynamics)."""
+        return self._answered

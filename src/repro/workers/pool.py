@@ -1,0 +1,140 @@
+"""Dynamic worker pool (Section 2.1: workers come and go).
+
+The pool drives which workers are *active* at a given simulation step:
+workers arrive according to a staggered schedule, work for a stretch
+(a "session" of task requests), and may leave and later return.  The
+paper's Appendix D.5 observes that the worker set completing a job is
+"relatively stable" — a small core completes most assignments — so the
+default dynamics keep a stable core with light churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import WorkerId
+from repro.utils.rng import spawn_rng
+from repro.workers.profiles import WorkerProfile
+from repro.workers.simulator import SimulatedWorker
+
+
+@dataclass
+class _Membership:
+    worker: SimulatedWorker
+    arrives_at: int
+    active: bool = False
+    requests_made: int = 0
+
+
+class WorkerPool:
+    """Dynamic population of simulated workers.
+
+    Parameters
+    ----------
+    profiles:
+        Worker profiles to instantiate.
+    seed:
+        Root seed for arrival jitter, churn and requester sampling.
+    arrival_spread:
+        Workers arrive uniformly over the first ``arrival_spread``
+        steps (0 = everyone present from the start).
+    churn:
+        Per-request probability that a worker takes a break (becomes
+        inactive) after submitting; an inactive worker re-activates with
+        the same probability each step.  0 disables churn.
+    behavior:
+        Optional :class:`repro.workers.BehaviorConfig` applied to every
+        member (label bias / fatigue / learning); None instantiates the
+        plain Definition-1 workers.
+    """
+
+    def __init__(
+        self,
+        profiles: list[WorkerProfile],
+        seed: int = 0,
+        arrival_spread: int = 0,
+        churn: float = 0.0,
+        behavior=None,
+    ) -> None:
+        if not profiles:
+            raise ValueError("worker pool needs at least one profile")
+        if not 0.0 <= churn < 1.0:
+            raise ValueError(f"churn must be in [0, 1), got {churn}")
+        if arrival_spread < 0:
+            raise ValueError("arrival_spread must be >= 0")
+        self._rng = spawn_rng(seed, "worker-pool")
+        self._members: dict[WorkerId, _Membership] = {}
+        for profile in profiles:
+            arrives = (
+                int(self._rng.integers(0, arrival_spread + 1))
+                if arrival_spread
+                else 0
+            )
+            if behavior is not None:
+                from repro.workers.behavior import BehavioralWorker
+
+                worker = BehavioralWorker(
+                    profile, behavior=behavior, seed=seed
+                )
+            else:
+                worker = SimulatedWorker(profile, seed=seed)
+            self._members[profile.worker_id] = _Membership(
+                worker=worker,
+                arrives_at=arrives,
+            )
+        self._churn = churn
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def worker(self, worker_id: WorkerId) -> SimulatedWorker:
+        """The simulated worker behind an id."""
+        return self._members[worker_id].worker
+
+    def profiles(self) -> list[WorkerProfile]:
+        """Profiles of every pool member."""
+        return [m.worker.profile for m in self._members.values()]
+
+    def tick(self) -> None:
+        """Advance the clock: process arrivals and churn re-activation."""
+        self._clock += 1
+        for member in self._members.values():
+            if not member.active and member.arrives_at <= self._clock:
+                if member.requests_made == 0 or self._churn == 0.0:
+                    member.active = True
+                elif self._rng.random() < self._churn:
+                    member.active = True
+
+    def active_workers(self) -> list[WorkerId]:
+        """Currently active worker ids (stable order)."""
+        return sorted(
+            wid for wid, m in self._members.items() if m.active
+        )
+
+    def sample_requester(self) -> WorkerId | None:
+        """Pick an active worker to issue the next task request."""
+        active = self.active_workers()
+        if not active:
+            return None
+        return active[int(self._rng.integers(0, len(active)))]
+
+    def note_submission(self, worker_id: WorkerId) -> None:
+        """Record a submission; the worker may churn out afterwards."""
+        member = self._members[worker_id]
+        member.requests_made += 1
+        if self._churn and self._rng.random() < self._churn:
+            member.active = False
+
+    def deactivate(self, worker_id: WorkerId) -> None:
+        """Force a worker inactive (e.g. rejected in warm-up)."""
+        self._members[worker_id].active = False
+
+    def remove(self, worker_id: WorkerId) -> None:
+        """Permanently remove a worker (rejection by warm-up)."""
+        member = self._members[worker_id]
+        member.active = False
+        member.arrives_at = 2**62  # never re-arrives

@@ -1,0 +1,40 @@
+"""Simulated worker behaviour: answering tasks per the profile."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Label, Task
+from repro.utils.rng import spawn_rng
+from repro.workers.profiles import WorkerProfile
+
+
+class SimulatedWorker:
+    """A crowd worker that answers tasks with profile-driven noise.
+
+    Correctness of each answer is an independent Bernoulli draw with the
+    worker's accuracy in the task's domain — exactly the paper's
+    Definition 1 model of worker accuracy.
+    """
+
+    def __init__(self, profile: WorkerProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self._rng: np.random.Generator = spawn_rng(
+            seed, f"worker-answers:{profile.worker_id}"
+        )
+
+    @property
+    def worker_id(self) -> str:
+        return self.profile.worker_id
+
+    def answer(self, task: Task) -> Label:
+        """Answer a task: correct with probability ``p_domain``."""
+        accuracy = self.profile.accuracy(task.domain)
+        if self._rng.random() < accuracy:
+            return task.truth
+        return task.truth.flipped()
+
+    def true_accuracy(self, task: Task) -> float:
+        """Ground-truth accuracy on a task (evaluation only; never
+        exposed to estimation code)."""
+        return self.profile.accuracy(task.domain)

@@ -1,0 +1,103 @@
+"""Unit tests for the Dawid–Skene EM aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.em import DawidSkene, em_aggregate
+from repro.aggregation.majority import majority_vote
+from repro.core.types import Answer, Label
+
+
+def synthesize(rng, n_tasks, n_workers, k, accuracy_range=(0.55, 0.9)):
+    truth = [
+        Label.YES if rng.random() < 0.5 else Label.NO
+        for _ in range(n_tasks)
+    ]
+    acc = rng.uniform(*accuracy_range, n_workers)
+    answers = []
+    for t in range(n_tasks):
+        for w in rng.choice(n_workers, size=k, replace=False):
+            correct = rng.random() < acc[w]
+            label = truth[t] if correct else truth[t].flipped()
+            answers.append(Answer(t, f"w{w}", label))
+    return truth, acc, answers
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DawidSkene().run([])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DawidSkene(max_iter=0)
+        with pytest.raises(ValueError):
+            DawidSkene(tol=0.0)
+        with pytest.raises(ValueError):
+            DawidSkene(smoothing=-1.0)
+
+
+class TestConvergence:
+    def test_unanimous_answers_converge_fast(self):
+        answers = [
+            Answer(t, f"w{w}", Label.YES)
+            for t in range(5)
+            for w in range(3)
+        ]
+        result = DawidSkene().run(answers)
+        assert all(p > 0.9 for p in result.posterior_yes.values())
+
+    def test_recovers_worker_accuracy_with_rich_data(self, rng):
+        truth, acc, answers = synthesize(rng, 300, 15, k=9)
+        result = DawidSkene().run(answers)
+        estimated = np.array(
+            [result.worker_accuracy(f"w{w}") for w in range(15)]
+        )
+        assert np.corrcoef(estimated, acc)[0, 1] > 0.8
+
+    def test_beats_majority_with_enough_votes(self, rng):
+        truth, _, answers = synthesize(rng, 300, 15, k=9)
+        em = DawidSkene().run(answers).predictions()
+        mv = majority_vote(answers)
+        em_acc = np.mean([em[t] == truth[t] for t in range(300)])
+        mv_acc = np.mean([mv[t] == truth[t] for t in range(300)])
+        assert em_acc >= mv_acc - 0.02
+
+    def test_iterations_reported(self, rng):
+        _, _, answers = synthesize(rng, 50, 8, k=3)
+        result = DawidSkene(max_iter=5).run(answers)
+        assert 1 <= result.iterations <= 5
+
+
+class TestResult:
+    def test_predictions_map_threshold(self):
+        answers = [
+            Answer(0, "a", Label.YES),
+            Answer(0, "b", Label.YES),
+            Answer(1, "a", Label.NO),
+            Answer(1, "b", Label.NO),
+        ]
+        predictions = DawidSkene().run(answers).predictions()
+        assert predictions[0] is Label.YES
+        assert predictions[1] is Label.NO
+
+    def test_confusion_rows_are_distributions(self, rng):
+        _, _, answers = synthesize(rng, 80, 10, k=3)
+        result = DawidSkene().run(answers)
+        for matrix in result.confusion.values():
+            assert np.allclose(matrix.sum(axis=1), 1.0)
+            assert matrix.min() >= 0.0
+
+    def test_prior_in_unit_interval(self, rng):
+        _, _, answers = synthesize(rng, 60, 8, k=3)
+        result = DawidSkene().run(answers)
+        assert 0.0 < result.prior_yes < 1.0
+
+
+class TestEmAggregate:
+    def test_convenience_wrapper(self):
+        answers = [
+            Answer(0, "a", Label.YES),
+            Answer(0, "b", Label.YES),
+        ]
+        assert em_aggregate(answers)[0] is Label.YES

@@ -1,0 +1,78 @@
+"""Unit tests for (weighted) majority voting."""
+
+from repro.aggregation.majority import majority_vote, weighted_majority_vote
+from repro.core.types import Answer, Label
+
+
+def ans(task, worker, label):
+    return Answer(task_id=task, worker_id=worker, label=label)
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        answers = [
+            ans(0, "a", Label.YES),
+            ans(0, "b", Label.YES),
+            ans(0, "c", Label.NO),
+        ]
+        assert majority_vote(answers) == {0: Label.YES}
+
+    def test_multiple_tasks(self):
+        answers = [
+            ans(0, "a", Label.YES),
+            ans(1, "a", Label.NO),
+            ans(1, "b", Label.NO),
+        ]
+        result = majority_vote(answers)
+        assert result[0] is Label.YES
+        assert result[1] is Label.NO
+
+    def test_tie_breaks_to_default(self):
+        answers = [ans(0, "a", Label.YES), ans(0, "b", Label.NO)]
+        assert majority_vote(answers)[0] is Label.NO
+        assert majority_vote(answers, tie_break=Label.YES)[0] is Label.YES
+
+    def test_empty(self):
+        assert majority_vote([]) == {}
+
+
+class TestWeightedMajorityVote:
+    def test_weights_flip_raw_majority(self):
+        answers = [
+            ans(0, "expert", Label.YES),
+            ans(0, "spam1", Label.NO),
+            ans(0, "spam2", Label.NO),
+        ]
+        weights = {"expert": 0.95, "spam1": 0.2, "spam2": 0.2}
+        assert weighted_majority_vote(answers, weights)[0] is Label.YES
+
+    def test_default_weight_for_unknown_workers(self):
+        answers = [
+            ans(0, "known", Label.NO),
+            ans(0, "unknown", Label.YES),
+        ]
+        result = weighted_majority_vote(
+            answers, {"known": 0.9}, default_weight=0.1
+        )
+        assert result[0] is Label.NO
+
+    def test_exact_tie_uses_tie_break(self):
+        answers = [ans(0, "a", Label.YES), ans(0, "b", Label.NO)]
+        result = weighted_majority_vote(
+            answers, {"a": 0.5, "b": 0.5}, tie_break=Label.YES
+        )
+        assert result[0] is Label.YES
+
+    def test_matches_plain_majority_with_equal_weights(self):
+        answers = [
+            ans(0, "a", Label.YES),
+            ans(0, "b", Label.YES),
+            ans(0, "c", Label.NO),
+            ans(1, "a", Label.NO),
+            ans(1, "b", Label.NO),
+            ans(1, "c", Label.YES),
+        ]
+        weights = {"a": 0.7, "b": 0.7, "c": 0.7}
+        assert weighted_majority_vote(answers, weights) == majority_vote(
+            answers
+        )

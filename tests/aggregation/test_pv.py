@@ -1,0 +1,87 @@
+"""Unit tests for probabilistic verification (CDAS [22])."""
+
+import pytest
+
+from repro.aggregation.pv import (
+    probabilistic_verification,
+    verification_posterior,
+)
+from repro.core.types import Answer, Label
+
+
+class TestVerificationPosterior:
+    def test_single_confident_yes(self):
+        posterior = verification_posterior([(Label.YES, 0.9)])
+        assert posterior == pytest.approx(0.9)
+
+    def test_single_confident_no(self):
+        posterior = verification_posterior([(Label.NO, 0.9)])
+        assert posterior == pytest.approx(0.1)
+
+    def test_symmetric_votes_cancel(self):
+        votes = [(Label.YES, 0.8), (Label.NO, 0.8)]
+        assert verification_posterior(votes) == pytest.approx(0.5)
+
+    def test_expert_outweighs_spammers(self):
+        votes = [
+            (Label.YES, 0.99),
+            (Label.NO, 0.55),
+            (Label.NO, 0.55),
+        ]
+        assert verification_posterior(votes) > 0.5
+
+    def test_prior_shifts_posterior(self):
+        votes = [(Label.YES, 0.6)]
+        low = verification_posterior(votes, prior_yes=0.1)
+        high = verification_posterior(votes, prior_yes=0.9)
+        assert low < high
+
+    def test_extreme_accuracies_do_not_crash(self):
+        votes = [(Label.YES, 1.0), (Label.NO, 0.0)]
+        posterior = verification_posterior(votes)
+        assert 0.0 < posterior < 1.0
+
+    def test_no_votes_returns_prior(self):
+        assert verification_posterior([], prior_yes=0.7) == pytest.approx(0.7)
+
+
+class TestProbabilisticVerification:
+    def test_weighted_aggregation(self):
+        answers = [
+            Answer(0, "expert", Label.YES),
+            Answer(0, "spam", Label.NO),
+        ]
+        result = probabilistic_verification(
+            answers, {"expert": 0.95, "spam": 0.5}
+        )
+        assert result[0] is Label.YES
+
+    def test_default_accuracy_used(self):
+        answers = [
+            Answer(0, "known", Label.NO),
+            Answer(0, "unknown", Label.YES),
+        ]
+        result = probabilistic_verification(
+            answers, {"known": 0.9}, default_accuracy=0.5
+        )
+        assert result[0] is Label.NO
+
+    def test_multiple_tasks_independent(self):
+        answers = [
+            Answer(0, "a", Label.YES),
+            Answer(1, "a", Label.NO),
+        ]
+        result = probabilistic_verification(answers, {"a": 0.8})
+        assert result[0] is Label.YES
+        assert result[1] is Label.NO
+
+    def test_empty(self):
+        assert probabilistic_verification([], {}) == {}
+
+    def test_tie_defaults_to_no(self):
+        answers = [
+            Answer(0, "a", Label.YES),
+            Answer(0, "b", Label.NO),
+        ]
+        result = probabilistic_verification(answers, {"a": 0.7, "b": 0.7})
+        assert result[0] is Label.NO

@@ -1,0 +1,57 @@
+"""Unit tests for the Hungarian-matching assignment policy."""
+
+import pytest
+
+from repro.baselines import MatchingPolicy
+from repro.core.types import Label
+
+
+@pytest.fixture
+def policy(paper_tasks, paper_graph, tiny_config):
+    return MatchingPolicy(
+        paper_tasks,
+        tiny_config,
+        graph=paper_graph,
+        qualification_tasks=[0, 1],
+    )
+
+
+def warmup(policy, tasks, worker, correct=True):
+    for _ in range(len(policy.qualification_tasks)):
+        assignment = policy.on_worker_request(worker)
+        truth = tasks[assignment.task_id].truth
+        policy.on_answer(
+            worker,
+            assignment.task_id,
+            truth if correct else truth.flipped(),
+        )
+
+
+class TestMatchingPolicy:
+    def test_serves_tasks_after_warmup(self, policy, paper_tasks):
+        warmup(policy, paper_tasks, "w1")
+        assignment = policy.on_worker_request("w1")
+        assert assignment is not None
+        assert assignment.task_id not in policy.qualification_tasks
+
+    def test_distinct_tasks_for_concurrent_workers(self, policy, paper_tasks):
+        for worker in ("w1", "w2", "w3", "w4"):
+            warmup(policy, paper_tasks, worker)
+        # in one matching round each worker gets her own slot; since a
+        # task has k=3 slots, overlaps are allowed but each worker gets
+        # exactly one task
+        seen = {}
+        actives = ["w1", "w2", "w3", "w4"]
+        for worker in actives:
+            assignment = policy.on_worker_request(worker, actives)
+            assert assignment is not None
+            seen[worker] = assignment.task_id
+        assert len(seen) == 4
+
+    def test_completion_flow(self, policy, paper_tasks):
+        for worker in ("w1", "w2", "w3"):
+            warmup(policy, paper_tasks, worker)
+        for worker in ("w1", "w2", "w3"):
+            policy.on_answer(worker, 5, Label.YES)
+        assert 5 in policy.completed_tasks()
+        assert policy.predictions()[5] is Label.YES

@@ -1,0 +1,104 @@
+"""Unit tests for RandomMV / RandomEM baselines."""
+
+import pytest
+
+from repro.baselines import RandomEM, RandomMV
+from repro.core.types import Label, Task, TaskSet
+
+
+def make_tasks(n=5):
+    return TaskSet(
+        [
+            Task(i, f"t{i}", "d", Label.YES if i % 2 == 0 else Label.NO)
+            for i in range(n)
+        ]
+    )
+
+
+class TestRandomMV:
+    def test_serves_unseen_tasks_only(self):
+        tasks = make_tasks(3)
+        policy = RandomMV(tasks, k=3, seed=0)
+        seen = set()
+        for _ in range(3):
+            assignment = policy.on_worker_request("w1")
+            assert assignment.task_id not in seen
+            seen.add(assignment.task_id)
+            policy.on_answer("w1", assignment.task_id, Label.YES)
+        # all tasks answered once by w1 → nothing left for w1
+        assert policy.on_worker_request("w1") is None
+
+    def test_holding_blocks_oversubscription(self):
+        """A task holding k outstanding assignments must not be served
+        again before answers come back."""
+        tasks = make_tasks(1)
+        policy = RandomMV(tasks, k=2, seed=0)
+        a1 = policy.on_worker_request("w1")
+        a2 = policy.on_worker_request("w2")
+        assert a1.task_id == a2.task_id == 0
+        assert policy.on_worker_request("w3") is None
+
+    def test_completion_and_predictions(self):
+        tasks = make_tasks(1)
+        policy = RandomMV(tasks, k=3, seed=0)
+        for worker, label in [
+            ("w1", Label.YES),
+            ("w2", Label.YES),
+            ("w3", Label.NO),
+        ]:
+            policy.on_worker_request(worker)
+            policy.on_answer(worker, 0, label)
+        assert policy.is_finished()
+        assert policy.predictions()[0] is Label.YES
+
+    def test_excluded_tasks_not_served(self):
+        tasks = make_tasks(3)
+        policy = RandomMV(tasks, k=1, seed=0, excluded_tasks=[0, 2])
+        assignment = policy.on_worker_request("w1")
+        assert assignment.task_id == 1
+
+    def test_excluded_predictions_are_truth(self):
+        tasks = make_tasks(3)
+        policy = RandomMV(tasks, k=1, seed=0, excluded_tasks=[0])
+        assert policy.predictions()[0] == tasks[0].truth
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            RandomMV(make_tasks(), k=0)
+
+    def test_answers_to_excluded_tasks_ignored(self):
+        tasks = make_tasks(3)
+        policy = RandomMV(tasks, k=1, seed=0, excluded_tasks=[0])
+        policy.on_answer("w1", 0, Label.NO)  # silently ignored
+        assert policy.all_answers() == []
+
+    def test_completed_tasks_listing(self):
+        tasks = make_tasks(2)
+        policy = RandomMV(tasks, k=1, seed=0)
+        policy.on_answer("w1", 0, Label.YES)
+        assert policy.completed_tasks() == [0]
+
+
+class TestRandomEM:
+    def test_em_aggregation_on_unanimous_data(self):
+        tasks = make_tasks(2)
+        policy = RandomEM(tasks, k=3, seed=0)
+        for task_id in (0, 1):
+            for worker in ("w1", "w2", "w3"):
+                policy.on_answer(worker, task_id, tasks[task_id].truth)
+        predictions = policy.predictions()
+        assert predictions[0] == tasks[0].truth
+        assert predictions[1] == tasks[1].truth
+
+    def test_empty_predictions_fall_back_to_majority(self):
+        tasks = make_tasks(2)
+        policy = RandomEM(tasks, k=3, seed=0)
+        predictions = policy.predictions()
+        assert set(predictions) == {0, 1}
+
+    def test_excluded_tasks_remain_truth(self):
+        tasks = make_tasks(3)
+        policy = RandomEM(tasks, k=3, seed=0, excluded_tasks=[1])
+        for worker in ("w1", "w2", "w3"):
+            policy.on_answer(worker, 0, Label.NO)
+        assert policy.predictions()[1] == tasks[1].truth

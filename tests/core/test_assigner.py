@@ -1,0 +1,248 @@
+"""Unit tests for adaptive assignment (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assigner import (
+    AdaptiveAssigner,
+    TaskState,
+    TopWorkerSet,
+    compute_top_worker_set,
+    compute_top_worker_sets,
+    compute_top_worker_sets_fast,
+    greedy_assign,
+    scheme_value,
+)
+from repro.core.config import AssignerConfig
+
+
+def accuracies_from(matrix: dict[str, list[float]]):
+    return {w: np.array(v) for w, v in matrix.items()}
+
+
+def make_candidate(task_id, workers):
+    return TopWorkerSet(task_id=task_id, workers=tuple(workers))
+
+
+class TestTopWorkerSet:
+    def test_scores(self):
+        cand = make_candidate(0, [("a", 0.8), ("b", 0.6)])
+        assert cand.sum_accuracy == pytest.approx(1.4)
+        assert cand.avg_accuracy == pytest.approx(0.7)
+        assert cand.worker_ids == {"a", "b"}
+
+    def test_empty_avg_is_zero(self):
+        assert make_candidate(0, []).avg_accuracy == 0.0
+
+
+class TestTaskState:
+    def test_remaining(self):
+        state = TaskState(task_id=0, k=3, assigned_workers={"a"})
+        assert state.remaining == 2
+
+    def test_remaining_never_negative(self):
+        state = TaskState(task_id=0, k=1, assigned_workers={"a", "b"})
+        assert state.remaining == 0
+
+    def test_has_seen_includes_tests(self):
+        state = TaskState(task_id=0, k=3, tested_workers={"t"})
+        assert state.has_seen("t")
+        assert not state.has_seen("x")
+
+    def test_eligible_excludes_seen(self):
+        state = TaskState(
+            task_id=0, k=3, assigned_workers={"a"}, tested_workers={"b"}
+        )
+        assert state.eligible(["a", "b", "c"]) == ["c"]
+
+
+class TestComputeTopWorkerSet:
+    def test_paper_table3_t4(self):
+        """Table 3: t4 has no assigned workers; top-3 by accuracy."""
+        acc = accuracies_from(
+            {
+                "w1": [0.6],
+                "w2": [0.5],
+                "w3": [0.3],
+                "w4": [0.7],
+                "w5": [0.75],
+            }
+        )
+        state = TaskState(task_id=0, k=3)
+        top = compute_top_worker_set(
+            state, ["w1", "w2", "w3", "w4", "w5"], acc
+        )
+        assert [w for w, _ in top.workers] == ["w5", "w4", "w1"]
+
+    def test_partial_assignment_shrinks_set(self):
+        """Table 3: t11 already assigned to w2 → only k'=2 slots."""
+        acc = accuracies_from(
+            {"w1": [0.6], "w3": [0.8], "w5": [0.85]}
+        )
+        state = TaskState(task_id=0, k=3, assigned_workers={"w2"})
+        top = compute_top_worker_set(state, ["w1", "w3", "w5"], acc)
+        assert [w for w, _ in top.workers] == ["w5", "w3"]
+
+    def test_completed_task_gives_none(self):
+        acc = accuracies_from({"w1": [0.6]})
+        state = TaskState(task_id=0, k=3, completed=True)
+        assert compute_top_worker_set(state, ["w1"], acc) is None
+
+    def test_no_eligible_workers_gives_none(self):
+        acc = accuracies_from({"w1": [0.6]})
+        state = TaskState(task_id=0, k=3, assigned_workers={"w1"})
+        assert compute_top_worker_set(state, ["w1"], acc) is None
+
+    def test_tie_breaks_by_worker_id(self):
+        acc = accuracies_from({"b": [0.7], "a": [0.7], "c": [0.7]})
+        state = TaskState(task_id=0, k=2)
+        top = compute_top_worker_set(state, ["b", "a", "c"], acc)
+        assert [w for w, _ in top.workers] == ["a", "b"]
+
+
+class TestFastTopWorkerSets:
+    def test_agrees_with_reference(self, rng):
+        num_tasks, num_workers = 12, 7
+        workers = [f"w{i}" for i in range(num_workers)]
+        acc = {
+            w: rng.uniform(0.2, 0.95, size=num_tasks) for w in workers
+        }
+        states = []
+        for t in range(num_tasks):
+            assigned = set(
+                rng.choice(workers, size=rng.integers(0, 3), replace=False)
+            )
+            states.append(
+                TaskState(
+                    task_id=t,
+                    k=3,
+                    assigned_workers=assigned,
+                    completed=bool(rng.random() < 0.2),
+                )
+            )
+        slow = compute_top_worker_sets(states, workers, acc)
+        fast = compute_top_worker_sets_fast(states, workers, acc)
+        assert len(slow) == len(fast)
+        for s, f in zip(slow, fast):
+            assert s.task_id == f.task_id
+            assert [w for w, _ in s.workers] == [w for w, _ in f.workers]
+            for (_, ps), (_, pf) in zip(s.workers, f.workers):
+                assert ps == pytest.approx(pf)
+
+    def test_empty_workers(self):
+        assert compute_top_worker_sets_fast([], [], {}) == []
+
+
+class TestGreedyAssign:
+    def test_paper_table3_walkthrough(self):
+        """Section 4.2's example: greedy picks t11 then t9."""
+        candidates = [
+            make_candidate(4, [("w5", 0.75), ("w4", 0.7), ("w1", 0.6)]),
+            make_candidate(11, [("w5", 0.85), ("w3", 0.8)]),
+            make_candidate(9, [("w4", 0.85), ("w2", 0.75), ("w1", 0.7)]),
+            make_candidate(10, [("w3", 0.7), ("w1", 0.6)]),
+        ]
+        scheme = greedy_assign(candidates)
+        assert [c.task_id for c in scheme] == [11, 9]
+
+    def test_disjointness_invariant(self, rng):
+        workers = [f"w{i}" for i in range(10)]
+        candidates = []
+        for t in range(30):
+            chosen = rng.choice(workers, size=3, replace=False)
+            candidates.append(
+                make_candidate(
+                    t, [(w, float(rng.uniform(0.3, 0.9))) for w in chosen]
+                )
+            )
+        scheme = greedy_assign(candidates)
+        used = set()
+        for selected in scheme:
+            assert not (selected.worker_ids & used)
+            used |= selected.worker_ids
+
+    def test_maximality(self, rng):
+        """No rejected candidate remains addable (greedy is maximal)."""
+        workers = [f"w{i}" for i in range(8)]
+        candidates = []
+        for t in range(20):
+            chosen = rng.choice(workers, size=2, replace=False)
+            candidates.append(
+                make_candidate(
+                    t, [(w, float(rng.uniform(0.3, 0.9))) for w in chosen]
+                )
+            )
+        scheme = greedy_assign(candidates)
+        used = set().union(*(c.worker_ids for c in scheme))
+        chosen_tasks = {c.task_id for c in scheme}
+        for candidate in candidates:
+            if candidate.task_id in chosen_tasks:
+                continue
+            assert candidate.worker_ids & used
+
+    def test_empty_input(self):
+        assert greedy_assign([]) == []
+
+    def test_scheme_value(self):
+        scheme = [
+            make_candidate(0, [("a", 0.5), ("b", 0.5)]),
+            make_candidate(1, [("c", 0.9)]),
+        ]
+        assert scheme_value(scheme) == pytest.approx(1.9)
+
+
+class TestAdaptiveAssigner:
+    def make_states(self):
+        return [TaskState(task_id=t, k=3) for t in range(4)]
+
+    def test_assign_respects_one_task_per_worker(self):
+        acc = accuracies_from(
+            {
+                "w1": [0.9, 0.1, 0.1, 0.1],
+                "w2": [0.8, 0.2, 0.1, 0.1],
+                "w3": [0.7, 0.3, 0.1, 0.1],
+            }
+        )
+        assigner = AdaptiveAssigner(AssignerConfig(k=3))
+        assignments = assigner.assign(
+            self.make_states(), ["w1", "w2", "w3"], acc
+        )
+        workers = [a.worker_id for a in assignments]
+        assert len(workers) == len(set(workers))
+
+    def test_assign_for_worker_returns_own_assignment(self):
+        acc = accuracies_from(
+            {
+                "w1": [0.9, 0.1, 0.1, 0.1],
+                "w2": [0.8, 0.2, 0.1, 0.1],
+                "w3": [0.7, 0.3, 0.1, 0.1],
+            }
+        )
+        assigner = AdaptiveAssigner(AssignerConfig(k=3))
+        assignment = assigner.assign_for_worker(
+            "w2", self.make_states(), ["w1", "w2", "w3"], acc
+        )
+        assert assignment is not None
+        assert assignment.worker_id == "w2"
+        assert assignment.task_id == 0  # everyone's best task
+
+    def test_assign_for_worker_requires_active(self):
+        assigner = AdaptiveAssigner()
+        with pytest.raises(ValueError, match="not active"):
+            assigner.assign_for_worker("ghost", [], ["w1"], {})
+
+    def test_idle_worker_without_tester_gets_none(self):
+        acc = accuracies_from(
+            {
+                "w1": [0.9],
+                "w2": [0.8],
+                "w3": [0.7],
+                "w4": [0.1],
+            }
+        )
+        states = [TaskState(task_id=0, k=3)]
+        assigner = AdaptiveAssigner(AssignerConfig(k=3))
+        assignment = assigner.assign_for_worker(
+            "w4", states, ["w1", "w2", "w3", "w4"], acc
+        )
+        assert assignment is None

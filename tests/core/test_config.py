@@ -1,0 +1,116 @@
+"""Unit tests for configuration validation and derived quantities."""
+
+import pytest
+
+from repro.core.config import (
+    AssignerConfig,
+    EstimatorConfig,
+    GraphConfig,
+    ICrowdConfig,
+    QualificationConfig,
+)
+
+
+class TestEstimatorConfig:
+    def test_defaults_match_paper(self):
+        config = EstimatorConfig()
+        assert config.alpha == 1.0  # Appendix D.2
+
+    def test_damping_and_restart_sum_to_one(self):
+        config = EstimatorConfig(alpha=2.0)
+        assert config.damping + config.restart == pytest.approx(1.0)
+        assert config.damping == pytest.approx(1.0 / 3.0)
+
+    def test_damping_clamped_below_one_at_alpha_zero(self):
+        config = EstimatorConfig(alpha=0.0)
+        assert config.damping < 1.0
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            EstimatorConfig(alpha=-0.1)
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValueError, match="prior"):
+            EstimatorConfig(prior_accuracy=1.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ppr_max_iter": 0},
+            {"ppr_tol": 0.0},
+            {"basis_epsilon": -1e-9},
+        ],
+    )
+    def test_rejects_bad_numerics(self, kwargs):
+        with pytest.raises(ValueError):
+            EstimatorConfig(**kwargs)
+
+
+class TestAssignerConfig:
+    def test_default_k_is_three(self):
+        assert AssignerConfig().k == 3  # Section 6.1
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError, match="k"):
+            AssignerConfig(k=0)
+
+    def test_rejects_bad_uncertainty_weight(self):
+        with pytest.raises(ValueError):
+            AssignerConfig(uncertainty_weight=1.2)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            AssignerConfig(active_window=0)
+
+
+class TestQualificationConfig:
+    def test_default_budget_is_ten(self):
+        assert QualificationConfig().num_qualification == 10
+
+    def test_rejects_unknown_selection(self):
+        with pytest.raises(ValueError, match="selection"):
+            QualificationConfig(selection="best")
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            QualificationConfig(qualification_threshold=-0.1)
+
+
+class TestGraphConfig:
+    def test_rejects_unknown_measure(self):
+        with pytest.raises(ValueError, match="measure"):
+            GraphConfig(measure="hamming")
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            GraphConfig(threshold=1.5)
+
+    def test_rejects_single_topic(self):
+        with pytest.raises(ValueError):
+            GraphConfig(num_topics=1)
+
+    def test_rejects_negative_neighbors(self):
+        with pytest.raises(ValueError):
+            GraphConfig(max_neighbors=-1)
+
+
+class TestICrowdConfig:
+    def test_with_k_only_changes_k(self):
+        base = ICrowdConfig.paper_defaults()
+        changed = base.with_k(5)
+        assert changed.assigner.k == 5
+        assert changed.estimator == base.estimator
+        assert changed.qualification == base.qualification
+        assert changed.graph == base.graph
+
+    def test_with_alpha_only_changes_alpha(self):
+        base = ICrowdConfig.paper_defaults()
+        changed = base.with_alpha(5.0)
+        assert changed.estimator.alpha == 5.0
+        assert changed.assigner == base.assigner
+        assert changed.estimator.prior_accuracy == base.estimator.prior_accuracy
+
+    def test_paper_defaults_are_frozen(self):
+        config = ICrowdConfig.paper_defaults()
+        with pytest.raises(AttributeError):
+            config.seed = 1

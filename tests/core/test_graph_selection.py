@@ -1,0 +1,84 @@
+"""Unit tests for unsupervised similarity selection."""
+
+import pytest
+
+from repro.core.config import GraphConfig
+from repro.core.graph import SimilarityGraph
+from repro.datasets import make_itemcompare, make_yahooqa
+from repro.core.graph_selection import (
+    GraphScore,
+    score_graph,
+    select_similarity,
+)
+
+
+class TestScoreGraph:
+    def test_shattered_graph_scores_low(self):
+        graph = SimilarityGraph.from_edges(20, [(0, 1, 1.0)])
+        score = score_graph(graph, "jaccard", 0.5)
+        assert score.score < 0.2
+        assert score.giant_fraction == pytest.approx(0.1)
+
+    def test_connected_moderate_degree_scores_high(self):
+        # a ring plus chords: connected, degree ≈ 4
+        edges = [(i, (i + 1) % 20, 1.0) for i in range(20)]
+        edges += [(i, (i + 2) % 20, 1.0) for i in range(20)]
+        graph = SimilarityGraph.from_edges(20, edges)
+        score = score_graph(graph, "jaccard", 0.3, target_degree=4.0)
+        assert score.giant_fraction == 1.0
+        assert score.score > 0.8
+
+    def test_near_complete_graph_penalised(self):
+        n = 20
+        edges = [
+            (i, j, 1.0) for i in range(n) for j in range(i + 1, n)
+        ]
+        graph = SimilarityGraph.from_edges(n, edges)
+        complete = score_graph(graph, "jaccard", 0.0, target_degree=6.0)
+        ring = SimilarityGraph.from_edges(
+            n,
+            [(i, (i + 1) % n, 1.0) for i in range(n)]
+            + [(i, (i + 2) % n, 1.0) for i in range(n)]
+            + [(i, (i + 3) % n, 1.0) for i in range(n)],
+        )
+        moderate = score_graph(ring, "jaccard", 0.3, target_degree=6.0)
+        assert moderate.score > complete.score
+
+    def test_empty_graph(self):
+        graph = SimilarityGraph.from_edges(5, [])
+        score = score_graph(graph, "jaccard", 0.9)
+        assert score.score == 0.0
+
+
+class TestSelectSimilarity:
+    def test_returns_config_from_grid(self):
+        tasks = list(make_itemcompare(seed=1, tasks_per_domain=8))
+        config, grid = select_similarity(
+            tasks,
+            measures=("jaccard",),
+            thresholds=(0.2, 0.5, 0.9),
+        )
+        assert isinstance(config, GraphConfig)
+        assert config.measure == "jaccard"
+        assert config.threshold in (0.2, 0.5, 0.9)
+        assert len(grid) == 3
+        assert all(isinstance(s, GraphScore) for s in grid)
+        # grid sorted descending
+        scores = [s.score for s in grid]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_yahooqa_selection_yields_connected_graph(self):
+        """On the fragmented-QA corpus the selector must avoid the
+        thresholds that shatter the graph (DESIGN.md §5)."""
+        tasks = list(make_yahooqa(seed=1))
+        config, grid = select_similarity(tasks)
+        graph = SimilarityGraph.from_tasks(tasks, config)
+        giant = max(len(c) for c in graph.connected_components())
+        assert giant / len(tasks) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_similarity([])
+        tasks = list(make_itemcompare(seed=1, tasks_per_domain=5))
+        with pytest.raises(ValueError):
+            select_similarity(tasks, measures=())

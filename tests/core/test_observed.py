@@ -1,0 +1,136 @@
+"""Unit tests for observed-accuracy estimation (Eq. 5, Section 3.2)."""
+
+import pytest
+
+from repro.core.observed import (
+    ObservedAccuracyComputer,
+    consensus_observed_accuracy,
+)
+from repro.core.types import Answer, Label
+
+
+class TestConsensusObservedAccuracy:
+    def test_paper_worked_example(self):
+        """Section 3.2's q_6^{w1}: workers {w1, w2, w5}, w1 and w5 agree
+        with consensus, w2 disagrees."""
+        p1, p2, p5 = 0.8, 0.6, 0.7
+        votes = [
+            (Label.YES, p1),  # w1, agrees
+            (Label.NO, p2),  # w2, disagrees
+            (Label.YES, p5),  # w5, agrees
+        ]
+        expected = (p1 * p5 * (1 - p2)) / (
+            p1 * p5 * (1 - p2) + (1 - p1) * (1 - p5) * p2
+        )
+        value = consensus_observed_accuracy(Label.YES, Label.YES, votes)
+        assert value == pytest.approx(expected)
+
+    def test_agree_and_disagree_sum_to_one(self):
+        votes = [
+            (Label.YES, 0.9),
+            (Label.YES, 0.7),
+            (Label.NO, 0.6),
+        ]
+        agree = consensus_observed_accuracy(Label.YES, Label.YES, votes)
+        disagree = consensus_observed_accuracy(Label.NO, Label.YES, votes)
+        assert agree + disagree == pytest.approx(1.0)
+
+    def test_unanimous_high_accuracy_workers(self):
+        votes = [(Label.YES, 0.9)] * 3
+        value = consensus_observed_accuracy(Label.YES, Label.YES, votes)
+        assert value > 0.99
+
+    def test_agreeing_with_strong_majority_scores_high(self):
+        votes = [
+            (Label.YES, 0.9),
+            (Label.YES, 0.9),
+            (Label.NO, 0.5),
+        ]
+        agree = consensus_observed_accuracy(Label.YES, Label.YES, votes)
+        disagree = consensus_observed_accuracy(Label.NO, Label.YES, votes)
+        assert agree > 0.9
+        assert disagree < 0.1
+
+    def test_output_strictly_inside_unit_interval(self):
+        votes = [(Label.YES, 1.0), (Label.NO, 0.0)]
+        value = consensus_observed_accuracy(Label.YES, Label.YES, votes)
+        assert 0.0 < value < 1.0
+
+    def test_coin_flip_workers_give_half(self):
+        votes = [(Label.YES, 0.5), (Label.NO, 0.5)]
+        value = consensus_observed_accuracy(Label.YES, Label.YES, votes)
+        assert value == pytest.approx(0.5)
+
+
+class TestObservedAccuracyComputer:
+    def make_computer(self):
+        return ObservedAccuracyComputer(
+            {0: Label.YES, 1: Label.NO}
+        )
+
+    def test_qualification_graded_exactly(self):
+        computer = self.make_computer()
+        answers = [
+            Answer(0, "w1", Label.YES),  # correct
+            Answer(1, "w1", Label.YES),  # incorrect
+        ]
+        observed = computer.compute(answers, {}, {}, lambda w, t: 0.5)
+        assert observed == {0: 1.0, 1: 0.0}
+
+    def test_incomplete_tasks_skipped(self):
+        computer = self.make_computer()
+        answers = [Answer(5, "w1", Label.YES)]
+        observed = computer.compute(answers, {5: answers}, {}, lambda w, t: 0.5)
+        assert observed == {}
+
+    def test_consensus_task_uses_eq5(self):
+        computer = self.make_computer()
+        votes = [
+            Answer(7, "w1", Label.YES),
+            Answer(7, "w2", Label.YES),
+            Answer(7, "w3", Label.NO),
+        ]
+        observed = computer.compute(
+            [votes[0]],
+            {7: votes},
+            {7: Label.YES},
+            lambda w, t: 0.8,
+        )
+        # P1 = .64, P̄1 = .04, P2 = .8, P̄2 = .2 → q = .128/.16 = 0.8
+        assert observed[7] == pytest.approx(0.8)
+
+    def test_minority_answer_scores_low(self):
+        computer = self.make_computer()
+        votes = [
+            Answer(7, "w1", Label.NO),
+            Answer(7, "w2", Label.YES),
+            Answer(7, "w3", Label.YES),
+        ]
+        observed = computer.compute(
+            [votes[0]],
+            {7: votes},
+            {7: Label.YES},
+            lambda w, t: 0.8,
+        )
+        # complement of the agreeing case above
+        assert observed[7] == pytest.approx(0.2)
+
+    def test_accuracy_lookup_receives_covoters(self):
+        computer = self.make_computer()
+        votes = [
+            Answer(3, "w1", Label.YES),
+            Answer(3, "w2", Label.NO),
+        ]
+        seen = []
+
+        def lookup(worker_id, task_id):
+            seen.append((worker_id, task_id))
+            return 0.7
+
+        computer.compute([votes[0]], {3: votes}, {3: Label.YES}, lookup)
+        assert ("w1", 3) in seen
+        assert ("w2", 3) in seen
+
+    def test_qualification_tasks_property(self):
+        computer = self.make_computer()
+        assert computer.qualification_tasks == {0, 1}

@@ -1,0 +1,161 @@
+"""Unit tests for the PPR solvers and the linearity basis (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ppr import (
+    PPRBasis,
+    forward_push,
+    power_iteration,
+    solve_exact,
+)
+
+
+def dense_unit(n, i):
+    q = np.zeros(n)
+    q[i] = 1.0
+    return q
+
+
+class TestPowerIteration:
+    def test_matches_closed_form(self, line_graph):
+        """Eq. (4) must converge to Lemma 1's closed-form solution."""
+        normalized = line_graph.normalized
+        q = np.array([1.0, 0.0, 0.0, 0.5, 0.0])
+        for damping in (0.3, 0.5, 0.8):
+            iterated = power_iteration(normalized, q, damping, tol=1e-12)
+            exact = solve_exact(normalized, q, damping)
+            assert np.allclose(iterated, exact, atol=1e-8)
+
+    def test_zero_restart_gives_zero(self, two_cliques):
+        result = power_iteration(
+            two_cliques.normalized, np.zeros(6), damping=0.5
+        )
+        assert np.allclose(result, 0.0)
+
+    def test_mass_stays_in_source_component(self, two_cliques):
+        result = power_iteration(
+            two_cliques.normalized, dense_unit(6, 0), damping=0.5, tol=1e-12
+        )
+        assert result[:3].sum() > 0
+        assert np.allclose(result[3:], 0.0)
+
+    def test_rejects_bad_damping(self, line_graph):
+        with pytest.raises(ValueError, match="damping"):
+            power_iteration(line_graph.normalized, np.zeros(5), 1.0)
+
+    def test_rejects_shape_mismatch(self, line_graph):
+        with pytest.raises(ValueError, match="shape"):
+            power_iteration(line_graph.normalized, np.zeros(3), 0.5)
+
+    def test_restart_dominates_at_small_damping(self, line_graph):
+        """damping → 0 means p ≈ q (alpha → ∞ in Eq. (2))."""
+        q = np.array([0.9, 0.0, 0.4, 0.0, 0.0])
+        result = power_iteration(line_graph.normalized, q, damping=1e-4)
+        assert np.allclose(result, q, atol=1e-3)
+
+
+class TestForwardPush:
+    def test_agrees_with_power_iteration(self, paper_graph):
+        normalized = paper_graph.normalized
+        for source in range(paper_graph.num_tasks):
+            pushed = forward_push(
+                normalized, source, damping=0.5, epsilon=1e-10
+            )
+            dense = power_iteration(
+                normalized,
+                dense_unit(paper_graph.num_tasks, source),
+                damping=0.5,
+                tol=1e-12,
+            )
+            for j in range(paper_graph.num_tasks):
+                assert pushed.get(j, 0.0) == pytest.approx(
+                    dense[j], abs=1e-6
+                )
+
+    def test_locality(self, two_cliques):
+        """Push from one clique never touches the other."""
+        result = forward_push(
+            two_cliques.normalized, 0, damping=0.5, epsilon=1e-10
+        )
+        assert set(result) <= {0, 1, 2}
+
+    def test_rejects_bad_source(self, line_graph):
+        with pytest.raises(ValueError, match="source"):
+            forward_push(line_graph.normalized, 7, 0.5)
+
+    def test_rejects_bad_epsilon(self, line_graph):
+        with pytest.raises(ValueError, match="epsilon"):
+            forward_push(line_graph.normalized, 0, 0.5, epsilon=0.0)
+
+    def test_isolated_node(self):
+        from repro.core.graph import SimilarityGraph
+
+        graph = SimilarityGraph.from_edges(3, [(0, 1, 1.0)])
+        result = forward_push(graph.normalized, 2, damping=0.5)
+        # all mass stays on the isolated node: p = (1-c) * 1
+        assert result == pytest.approx({2: 0.5})
+
+
+class TestPPRBasis:
+    @pytest.mark.parametrize("method", ["push", "power", "batch"])
+    def test_methods_agree(self, paper_graph, method):
+        reference = PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=0.0, method="power",
+            tol=1e-12,
+        )
+        other = PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=1e-9, method=method,
+            tol=1e-12,
+        )
+        for i in range(paper_graph.num_tasks):
+            assert np.allclose(reference.row(i), other.row(i), atol=1e-5)
+
+    def test_linearity_property(self, paper_graph):
+        """Lemma 3: combine(q) == power_iteration on q."""
+        basis = PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=0.0, method="batch",
+            tol=1e-12,
+        )
+        q = {0: 1.0, 3: 0.5, 7: 0.25}
+        combined = basis.combine(q)
+        dense_q = np.zeros(paper_graph.num_tasks)
+        for task_id, value in q.items():
+            dense_q[task_id] = value
+        direct = power_iteration(
+            paper_graph.normalized, dense_q, damping=0.5, tol=1e-12
+        )
+        assert np.allclose(combined, direct, atol=1e-8)
+
+    def test_combine_dense_and_sparse_agree(self, line_graph):
+        basis = PPRBasis.compute(line_graph.normalized, damping=0.5)
+        sparse_q = {1: 0.7, 4: 0.2}
+        dense_q = np.zeros(5)
+        dense_q[1], dense_q[4] = 0.7, 0.2
+        assert np.allclose(
+            basis.combine(sparse_q), basis.combine(dense_q), atol=1e-12
+        )
+
+    def test_truncation_reduces_nnz(self, paper_graph):
+        fine = PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=1e-12
+        )
+        coarse = PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=1e-2
+        )
+        assert coarse.nnz <= fine.nnz
+
+    def test_unknown_method(self, line_graph):
+        with pytest.raises(ValueError, match="method"):
+            PPRBasis.compute(line_graph.normalized, 0.5, method="magic")
+
+    def test_combine_validates_shape(self, line_graph):
+        basis = PPRBasis.compute(line_graph.normalized, damping=0.5)
+        with pytest.raises(ValueError, match="shape"):
+            basis.combine(np.zeros(3))
+
+    def test_auto_uses_batch_for_small_graphs(self, line_graph):
+        basis = PPRBasis.compute(
+            line_graph.normalized, damping=0.5, method="auto"
+        )
+        assert basis.num_tasks == 5

@@ -1,0 +1,147 @@
+"""Unit tests for the similarity measures (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (
+    classifier_similarity,
+    compute_similarity,
+    euclidean_similarity,
+    jaccard_similarity,
+    tfidf_cosine_similarity,
+    topic_cosine_similarity,
+)
+from repro.core.types import Label, Task
+
+
+def make_task(i, text, domain="d", features=None):
+    return Task(
+        task_id=i, text=text, domain=domain, truth=Label.NO,
+        features=features,
+    )
+
+
+class TestJaccard:
+    def test_paper_example_t2_t7(self):
+        """Table 1 / Figure 3: sim(t2, t7) = 4/7."""
+        t2 = make_task(0, "ipod touch 32gb wifi headphone")
+        t7 = make_task(1, "ipod touch 32gb wifi case black")
+        sim = jaccard_similarity([t2, t7])
+        assert sim[0, 1] == pytest.approx(4 / 7)
+
+    def test_symmetric_zero_diagonal(self):
+        tasks = [make_task(i, t) for i, t in enumerate(["a b", "b c", "c d"])]
+        sim = jaccard_similarity(tasks)
+        assert np.allclose(sim, sim.T)
+        assert np.all(np.diag(sim) == 0)
+
+    def test_disjoint_tokens_zero(self):
+        tasks = [make_task(0, "a b"), make_task(1, "c d")]
+        assert jaccard_similarity(tasks)[0, 1] == 0.0
+
+    def test_identical_text_is_one(self):
+        tasks = [make_task(0, "x y z"), make_task(1, "x y z")]
+        assert jaccard_similarity(tasks)[0, 1] == pytest.approx(1.0)
+
+
+class TestTfIdfCosine:
+    def test_range_and_symmetry(self):
+        tasks = [
+            make_task(0, "iphone wifi iphone"),
+            make_task(1, "iphone case"),
+            make_task(2, "ipad retina display"),
+        ]
+        sim = tfidf_cosine_similarity(tasks)
+        assert np.allclose(sim, sim.T)
+        assert sim.min() >= 0.0 and sim.max() <= 1.0
+        assert np.all(np.diag(sim) == 0)
+
+    def test_shared_vocabulary_scores_higher(self):
+        tasks = [
+            make_task(0, "iphone wifi 32gb"),
+            make_task(1, "iphone wifi 16gb"),
+            make_task(2, "country area brazil"),
+        ]
+        sim = tfidf_cosine_similarity(tasks)
+        assert sim[0, 1] > sim[0, 2]
+
+
+class TestTopicCosine:
+    def test_in_domain_pairs_more_similar(self):
+        phone = [f"iphone wifi model {i} screen battery" for i in range(6)]
+        food = [f"chocolate calories sugar snack {i} sweet" for i in range(6)]
+        tasks = [
+            make_task(i, text)
+            for i, text in enumerate(phone + food)
+        ]
+        sim = topic_cosine_similarity(tasks, num_topics=4, seed=1,
+                                      num_iterations=80)
+        in_domain = np.mean([sim[i, j] for i in range(6) for j in range(6)
+                             if i != j])
+        cross = np.mean([sim[i, j] for i in range(6) for j in range(6, 12)])
+        assert in_domain > cross
+
+    def test_deterministic_given_seed(self):
+        tasks = [make_task(i, f"word{i} shared common") for i in range(5)]
+        a = topic_cosine_similarity(tasks, num_topics=3, seed=9,
+                                    num_iterations=30)
+        b = topic_cosine_similarity(tasks, num_topics=3, seed=9,
+                                    num_iterations=30)
+        assert np.array_equal(a, b)
+
+
+class TestEuclidean:
+    def test_requires_features(self):
+        tasks = [make_task(0, "a"), make_task(1, "b")]
+        with pytest.raises(ValueError, match="features"):
+            euclidean_similarity(tasks)
+
+    def test_max_distance_pair_gets_zero(self):
+        tasks = [
+            make_task(0, "a", features=(0.0, 0.0)),
+            make_task(1, "b", features=(3.0, 4.0)),
+            make_task(2, "c", features=(0.0, 1.0)),
+        ]
+        sim = euclidean_similarity(tasks)
+        assert sim[0, 1] == pytest.approx(0.0)  # the diameter pair
+        assert sim[0, 2] == pytest.approx(1.0 - 1.0 / 5.0)
+
+    def test_coincident_points(self):
+        tasks = [
+            make_task(0, "a", features=(1.0, 1.0)),
+            make_task(1, "b", features=(1.0, 1.0)),
+        ]
+        sim = euclidean_similarity(tasks)
+        assert sim[0, 1] == pytest.approx(1.0)
+
+
+class TestClassifier:
+    def test_binary_output(self):
+        tasks = [make_task(i, "t", domain=d)
+                 for i, d in enumerate(["x", "x", "y"])]
+        sim = classifier_similarity(
+            tasks, classifier=lambda a, b: a.domain == b.domain
+        )
+        assert sim[0, 1] == 1.0
+        assert sim[0, 2] == 0.0
+        assert np.allclose(sim, sim.T)
+
+
+class TestDispatch:
+    def test_dispatches_each_measure(self):
+        tasks = [
+            make_task(0, "a b", features=(0.0,)),
+            make_task(1, "b c", features=(1.0,)),
+        ]
+        for measure in ("jaccard", "tfidf", "euclidean"):
+            sim = compute_similarity(tasks, measure)
+            assert sim.shape == (2, 2)
+
+    def test_classifier_requires_callable(self):
+        tasks = [make_task(0, "a"), make_task(1, "b")]
+        with pytest.raises(ValueError, match="classifier"):
+            compute_similarity(tasks, "classifier")
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValueError, match="unknown"):
+            compute_similarity([], "nope")

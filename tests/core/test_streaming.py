@@ -1,0 +1,155 @@
+"""Unit tests for incremental task insertion (Section 6.5 protocol)."""
+
+import pytest
+
+from repro.core.streaming import GrowableGraph, StreamingAssigner
+from repro.utils.rng import spawn_rng
+
+
+class TestGrowableGraph:
+    def test_add_tasks(self):
+        graph = GrowableGraph()
+        first = graph.add_tasks(3)
+        assert list(first) == [0, 1, 2]
+        second = graph.add_tasks(2)
+        assert list(second) == [3, 4]
+        assert graph.num_tasks == 5
+        assert graph.num_edges == 0
+
+    def test_add_edge_updates_degrees(self):
+        graph = GrowableGraph()
+        graph.add_tasks(3)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(1, 2, 1.0)
+        assert graph.degree(1) == pytest.approx(1.5)
+        assert graph.num_edges == 2
+
+    def test_edge_overwrite_adjusts_degree(self):
+        graph = GrowableGraph()
+        graph.add_tasks(2)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(0, 1, 0.8)
+        assert graph.degree(0) == pytest.approx(0.8)
+        assert graph.num_edges == 1
+
+    def test_normalized_row_formula(self):
+        graph = GrowableGraph()
+        graph.add_tasks(3)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        row = graph.normalized_row(1)
+        # d_1 = 2, d_0 = d_2 = 1 → entries 1/sqrt(2)
+        assert row[0] == pytest.approx(2 ** -0.5)
+        assert row[2] == pytest.approx(2 ** -0.5)
+
+    def test_normalization_tracks_growth(self):
+        """Inserting an edge later must change earlier rows' values."""
+        graph = GrowableGraph()
+        graph.add_tasks(3)
+        graph.add_edge(0, 1, 1.0)
+        before = graph.normalized_row(0)[1]
+        graph.add_edge(1, 2, 1.0)  # raises d_1
+        after = graph.normalized_row(0)[1]
+        assert after < before
+
+    def test_isolated_row_empty(self):
+        graph = GrowableGraph()
+        graph.add_tasks(1)
+        assert graph.normalized_row(0) == {}
+
+    def test_validation(self):
+        graph = GrowableGraph()
+        graph.add_tasks(2)
+        with pytest.raises(ValueError):
+            graph.add_tasks(0)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 5, 1.0)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0, 1.0)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, 0.0)
+
+
+def build_assigner(num_tasks=30, k=2, seed=0):
+    rng = spawn_rng(seed, "streaming-test")
+    graph = GrowableGraph()
+    graph.add_tasks(num_tasks)
+    for i in range(num_tasks):
+        for _ in range(3):
+            j = int(rng.integers(0, num_tasks))
+            if j != i:
+                graph.add_edge(i, j, float(rng.uniform(0.5, 1.0)))
+    return StreamingAssigner(graph, damping=0.5, k=k)
+
+
+class TestStreamingAssigner:
+    def test_completes_initial_batch(self):
+        assigner = build_assigner(num_tasks=20, k=2)
+        for r in range(200):
+            worker = f"w{r % 4}"
+            task = assigner.request(worker)
+            if task is None:
+                break
+            assigner.answer(worker, task, 0.8)
+            if assigner.num_completed == 20:
+                break
+        assert assigner.num_completed == 20
+
+    def test_inserted_tasks_get_served(self):
+        assigner = build_assigner(num_tasks=10, k=1)
+        # drain the initial batch
+        for r in range(10):
+            task = assigner.request(f"w{r}")
+            assigner.answer(f"w{r}", task, 0.9)
+        assert assigner.num_completed == 10
+        new_ids = assigner.insert_tasks(
+            5, edges=[(10, 11, 0.8), (12, 3, 0.6)]
+        )
+        assert list(new_ids) == [10, 11, 12, 13, 14]
+        served = set()
+        for r in range(5):
+            task = assigner.request(f"v{r}")
+            assert task in set(new_ids)
+            served.add(task)
+            assigner.answer(f"v{r}", task, 0.9)
+        assert served == set(new_ids)
+
+    def test_no_worker_sees_task_twice_across_insertions(self):
+        assigner = build_assigner(num_tasks=8, k=3)
+        seen: dict[str, set[int]] = {}
+        for round_index in range(3):
+            if round_index:
+                assigner.insert_tasks(4)
+            for r in range(12):
+                worker = f"w{r % 3}"
+                task = assigner.request(worker)
+                if task is None:
+                    break
+                assert task not in seen.setdefault(worker, set())
+                seen[worker].add(task)
+                assigner.answer(worker, task, 0.7)
+
+    def test_insert_edges_to_existing_tasks(self):
+        assigner = build_assigner(num_tasks=5, k=1)
+        new_ids = assigner.insert_tasks(1, edges=[(5, 0, 0.9)])
+        assert assigner.graph.degree(5) == pytest.approx(0.9)
+        assert 0 in assigner.graph.neighbors(5)
+
+    def test_observation_spreads_to_neighbors(self):
+        graph = GrowableGraph()
+        graph.add_tasks(3)
+        graph.add_edge(0, 1, 1.0)
+        assigner = StreamingAssigner(graph, damping=0.5, k=3)
+        assigner.observe("w", 0, 1.0)
+        index = assigner._indexes["w"]
+        assert index.value(0) > 0.5
+        assert index.value(1) > 0.5
+        assert index.value(2) == 0.5  # disconnected
+
+    def test_validation(self):
+        graph = GrowableGraph()
+        graph.add_tasks(1)
+        with pytest.raises(ValueError):
+            StreamingAssigner(graph, damping=1.5)
+        with pytest.raises(ValueError):
+            StreamingAssigner(graph, damping=0.5, k=0)

@@ -1,0 +1,108 @@
+"""Unit tests for worker performance testing (Section 4.1, Step 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.assigner import TaskState
+from repro.core.testing import PerformanceTester, beta_variance
+
+
+class TestBetaVariance:
+    def test_uninformed_maximum(self):
+        """Beta(1,1) has the maximal variance 1/12."""
+        assert beta_variance(0, 0) == pytest.approx(1 / 12)
+
+    def test_decreases_with_evidence(self):
+        assert beta_variance(5, 5) < beta_variance(1, 1) < beta_variance(0, 0)
+
+    def test_paper_formula(self):
+        """(N1+1)(N0+1) / ((N1+N0+2)^2 (N1+N0+3)) for N1=3, N0=1."""
+        expected = (4 * 2) / ((6**2) * 7)
+        assert beta_variance(3, 1) == pytest.approx(expected)
+
+    def test_fractional_counts_allowed(self):
+        assert 0 < beta_variance(0.5, 0.4) <= 1 / 12
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            beta_variance(-1, 0)
+
+
+class TestPerformanceTester:
+    def make_tester(self, graph, observed=None, weight=0.5):
+        observed = observed or {}
+        return PerformanceTester(
+            graph,
+            observed_of=lambda w: observed.get(w, {}),
+            uncertainty_weight=weight,
+        )
+
+    def test_uncertainty_max_without_observations(self, two_cliques):
+        tester = self.make_tester(two_cliques)
+        assert tester.uncertainty("w", 0) == pytest.approx(1.0)
+
+    def test_uncertainty_drops_with_neighborhood_evidence(self, two_cliques):
+        tester = self.make_tester(
+            two_cliques, observed={"w": {0: 1.0, 1: 1.0, 2: 0.0}}
+        )
+        # node 0's neighbourhood {0,1,2} has three observations
+        assert tester.uncertainty("w", 0) < 1.0
+        # the other clique is untouched
+        assert tester.uncertainty("w", 3) == pytest.approx(1.0)
+
+    def test_coworker_quality_mean(self, two_cliques):
+        tester = self.make_tester(two_cliques)
+        state = TaskState(task_id=0, k=3, assigned_workers={"a", "b"})
+        acc = {"a": np.full(6, 0.9), "b": np.full(6, 0.5)}
+        assert tester.coworker_quality(state, acc) == pytest.approx(0.7)
+
+    def test_coworker_quality_uses_prior_for_unknown(self, two_cliques):
+        tester = self.make_tester(two_cliques)
+        state = TaskState(task_id=0, k=3, assigned_workers={"mystery"})
+        assert tester.coworker_quality(state, {}) == pytest.approx(0.5)
+
+    def test_choose_skips_seen_tasks(self, two_cliques):
+        tester = self.make_tester(two_cliques)
+        states = [
+            TaskState(task_id=0, k=3, assigned_workers={"w", "x"}),
+            TaskState(task_id=1, k=3, assigned_workers={"x"}),
+        ]
+        acc = {"x": np.full(6, 0.8)}
+        chosen = tester.choose_test_task("w", states, acc)
+        assert chosen == 1
+
+    def test_choose_requires_coworkers(self, two_cliques):
+        tester = self.make_tester(two_cliques)
+        states = [TaskState(task_id=0, k=3)]  # nobody assigned
+        assert tester.choose_test_task("w", states, {}) is None
+
+    def test_prefers_uncertain_region(self, two_cliques):
+        """Worker with evidence around clique 1 should be tested in
+        clique 2 (higher estimation variance there)."""
+        tester = self.make_tester(
+            two_cliques,
+            observed={"w": {0: 1.0, 1: 1.0, 2: 1.0}},
+            weight=1.0,  # uncertainty only
+        )
+        states = [
+            TaskState(task_id=1, k=3, assigned_workers={"x"}),
+            TaskState(task_id=4, k=3, assigned_workers={"x"}),
+        ]
+        acc = {"x": np.full(6, 0.8)}
+        assert tester.choose_test_task("w", states, acc) == 4
+
+    def test_prefers_reliable_coworkers(self, two_cliques):
+        """With weight 0, the co-worker quality factor decides."""
+        tester = self.make_tester(two_cliques, weight=0.0)
+        states = [
+            TaskState(task_id=0, k=3, assigned_workers={"good"}),
+            TaskState(task_id=3, k=3, assigned_workers={"bad"}),
+        ]
+        acc = {"good": np.full(6, 0.95), "bad": np.full(6, 0.3)}
+        assert tester.choose_test_task("w", states, acc) == 0
+
+    def test_rejects_bad_weight(self, two_cliques):
+        with pytest.raises(ValueError):
+            PerformanceTester(
+                two_cliques, observed_of=lambda w: {}, uncertainty_weight=2.0
+            )

@@ -1,0 +1,37 @@
+"""Unit tests for shared dataset plumbing."""
+
+import pytest
+
+from repro.core.types import Label
+from repro.datasets import make_yahooqa
+from repro.datasets.base import DatasetSpec, build_task_set
+
+
+class TestBuildTaskSet:
+    def test_assigns_dense_ids(self):
+        rows = [
+            ("text one", "a", Label.YES),
+            ("text two", "b", Label.NO),
+        ]
+        tasks = build_task_set(rows)
+        assert [t.task_id for t in tasks] == [0, 1]
+        assert tasks[1].domain == "b"
+        assert tasks[0].truth is Label.YES
+
+    def test_empty(self):
+        assert len(build_task_set([])) == 0
+
+
+class TestDatasetSpec:
+    def test_of_computes_statistics(self):
+        tasks = make_yahooqa(seed=0)
+        spec = DatasetSpec.of("YahooQA", tasks)
+        assert spec.num_tasks == 110
+        assert spec.num_domains == 6
+        assert spec.domains[0] == "FIFA"
+
+    def test_frozen(self):
+        tasks = make_yahooqa(seed=0)
+        spec = DatasetSpec.of("x", tasks)
+        with pytest.raises(AttributeError):
+            spec.name = "y"

@@ -1,0 +1,89 @@
+"""Unit tests for the ItemCompare dataset generator."""
+
+import pytest
+
+from repro.core.types import Label
+from repro.datasets.itemcompare import (
+    DOMAINS,
+    ITEMCOMPARE_DOMAINS,
+    make_itemcompare,
+    truth_of_pair,
+)
+
+
+class TestGeneration:
+    def test_table4_statistics(self):
+        tasks = make_itemcompare(seed=0)
+        assert len(tasks) == 360
+        assert tasks.domains() == list(ITEMCOMPARE_DOMAINS)
+        for domain in ITEMCOMPARE_DOMAINS:
+            assert len(tasks.by_domain(domain)) == 90
+
+    def test_scaling(self):
+        tasks = make_itemcompare(seed=0, tasks_per_domain=10)
+        assert len(tasks) == 40
+
+    def test_deterministic(self):
+        a = make_itemcompare(seed=3)
+        b = make_itemcompare(seed=3)
+        assert [t.text for t in a] == [t.text for t in b]
+
+    def test_seeds_differ(self):
+        a = make_itemcompare(seed=1)
+        b = make_itemcompare(seed=2)
+        assert [t.text for t in a] != [t.text for t in b]
+
+    def test_truth_consistent_with_knowledge_base(self):
+        """Every generated task's label must follow from the items'
+        attribute values."""
+        tasks = make_itemcompare(seed=5, tasks_per_domain=30)
+        for task in tasks:
+            domain = DOMAINS[task.domain]
+            values = dict(domain.items)
+            present = [
+                name for name in values if name in task.text
+            ]
+            # both item names appear in the text
+            assert len(present) >= 2
+
+    def test_labels_roughly_balanced(self):
+        tasks = make_itemcompare(seed=0)
+        yes = sum(1 for t in tasks if t.truth is Label.YES)
+        assert 0.3 < yes / len(tasks) < 0.7
+
+    def test_no_duplicate_pairs_within_domain(self):
+        tasks = make_itemcompare(seed=0)
+        texts = [t.text for t in tasks]
+        assert len(set(texts)) == len(texts)
+
+    def test_domain_vocabulary_present(self):
+        tasks = make_itemcompare(seed=0, tasks_per_domain=5)
+        for task in tasks.by_domain("NBA"):
+            assert "nba" in task.text
+        for task in tasks.by_domain("Food"):
+            assert "calories" in task.text
+
+    def test_too_many_tasks_requested(self):
+        with pytest.raises(ValueError, match="cannot supply"):
+            make_itemcompare(seed=0, tasks_per_domain=1000)
+
+
+class TestTruthOfPair:
+    def test_known_comparison(self):
+        # paper example: 2014 Toyota Camry vs 2014 Lexus ES (mpg)
+        assert truth_of_pair(
+            "Auto", "toyota camry sedan", "lexus es sedan"
+        ) is Label.YES
+
+    def test_reverse_order_flips(self):
+        assert truth_of_pair(
+            "Auto", "lexus es sedan", "toyota camry sedan"
+        ) is Label.NO
+
+    def test_unknown_domain(self):
+        with pytest.raises(ValueError, match="domain"):
+            truth_of_pair("Movies", "a", "b")
+
+    def test_unknown_item(self):
+        with pytest.raises(ValueError, match="unknown item"):
+            truth_of_pair("Food", "pizza slice", "honey")

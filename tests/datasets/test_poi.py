@@ -1,0 +1,86 @@
+"""Unit tests for the POI dataset and the Euclidean similarity path."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GraphConfig
+from repro.core.graph import SimilarityGraph
+from repro.datasets.poi import NEIGHBORHOODS, make_poi
+
+
+class TestGeneration:
+    def test_sizes(self):
+        tasks = make_poi(seed=0, tasks_per_neighborhood=10)
+        assert len(tasks) == 10 * len(NEIGHBORHOODS)
+        assert set(tasks.domains()) == set(NEIGHBORHOODS)
+
+    def test_every_task_has_features(self):
+        tasks = make_poi(seed=0)
+        assert all(t.features is not None for t in tasks)
+        assert all(len(t.features) == 2 for t in tasks)
+
+    def test_labels_balanced(self):
+        tasks = make_poi(seed=0, tasks_per_neighborhood=20)
+        yes = sum(1 for t in tasks if int(t.truth) == 1)
+        assert yes == len(tasks) // 2
+
+    def test_deterministic(self):
+        a = make_poi(seed=5)
+        b = make_poi(seed=5)
+        assert [t.features for t in a] == [t.features for t in b]
+
+    def test_clusters_are_spatially_separated(self):
+        tasks = make_poi(seed=0, cluster_std=0.5)
+        for domain, (cx, cy) in NEIGHBORHOODS.items():
+            points = np.array(
+                [t.features for t in tasks.by_domain(domain)]
+            )
+            centre = points.mean(axis=0)
+            assert abs(centre[0] - cx) < 1.0
+            assert abs(centre[1] - cy) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_poi(tasks_per_neighborhood=0)
+        with pytest.raises(ValueError):
+            make_poi(cluster_std=0.0)
+
+
+class TestEuclideanGraph:
+    def test_graph_clusters_by_neighborhood(self):
+        """The Euclidean similarity graph at a high threshold must keep
+        neighbourhood clusters mostly pure (the Section 3.3 case 2
+        behaviour the estimator relies on)."""
+        tasks = make_poi(seed=0, tasks_per_neighborhood=15,
+                         cluster_std=0.5)
+        graph = SimilarityGraph.from_tasks(
+            list(tasks), GraphConfig(measure="euclidean", threshold=0.9)
+        )
+        matrix = graph.matrix.tocoo()
+        intra = inter = 0
+        for i, j in zip(matrix.row, matrix.col):
+            if i < j:
+                if tasks[int(i)].domain == tasks[int(j)].domain:
+                    intra += 1
+                else:
+                    inter += 1
+        assert intra > 0
+        assert intra / max(intra + inter, 1) > 0.9
+
+    def test_estimation_over_euclidean_graph(self):
+        """End-to-end: evidence in one neighbourhood propagates there
+        and not to distant neighbourhoods."""
+        from repro.core.estimator import AccuracyEstimator
+
+        tasks = make_poi(seed=0, tasks_per_neighborhood=10,
+                         cluster_std=0.5)
+        graph = SimilarityGraph.from_tasks(
+            list(tasks), GraphConfig(measure="euclidean", threshold=0.9)
+        )
+        estimator = AccuracyEstimator(graph)
+        downtown = [t.task_id for t in tasks.by_domain("Downtown")]
+        airport = [t.task_id for t in tasks.by_domain("Airport")]
+        estimate = estimator.estimate({downtown[0]: 1.0, downtown[1]: 1.0})
+        mean_downtown = np.mean([estimate[t] for t in downtown])
+        mean_airport = np.mean([estimate[t] for t in airport])
+        assert mean_downtown > mean_airport

@@ -1,0 +1,67 @@
+"""Unit tests for the YahooQA dataset generator."""
+
+from repro.core.types import Label
+from repro.datasets.yahooqa import (
+    DOMAIN_SIZES,
+    QA_DOMAINS,
+    YAHOOQA_DOMAINS,
+    make_yahooqa,
+)
+
+
+class TestGeneration:
+    def test_table4_statistics(self):
+        tasks = make_yahooqa(seed=0)
+        assert len(tasks) == 110
+        assert tasks.domains() == list(YAHOOQA_DOMAINS)
+        assert len(tasks.domains()) == 6
+
+    def test_domain_sizes_sum_to_110(self):
+        assert sum(DOMAIN_SIZES.values()) == 110
+        tasks = make_yahooqa(seed=1)
+        for domain, size in DOMAIN_SIZES.items():
+            assert len(tasks.by_domain(domain)) == size
+
+    def test_deterministic(self):
+        a = make_yahooqa(seed=4)
+        b = make_yahooqa(seed=4)
+        assert [t.text for t in a] == [t.text for t in b]
+
+    def test_labels_roughly_balanced(self):
+        tasks = make_yahooqa(seed=0)
+        yes = sum(1 for t in tasks if t.truth is Label.YES)
+        assert 0.35 < yes / len(tasks) < 0.65
+
+    def test_yes_tasks_pair_question_with_its_answer(self):
+        tasks = make_yahooqa(seed=0)
+        matched = dict(
+            pair for d in QA_DOMAINS.values() for pair in d.qa_pairs
+        )
+        for task in tasks:
+            if task.truth is not Label.YES:
+                continue
+            question = task.text.split(" answer ")[0].removeprefix(
+                "question "
+            )
+            answer = task.text.split(" answer ", 1)[1]
+            assert matched[question] == answer
+
+    def test_no_tasks_pair_question_with_wrong_answer(self):
+        tasks = make_yahooqa(seed=0)
+        matched = dict(
+            pair for d in QA_DOMAINS.values() for pair in d.qa_pairs
+        )
+        for task in tasks:
+            if task.truth is not Label.NO:
+                continue
+            question = task.text.split(" answer ")[0].removeprefix(
+                "question "
+            )
+            answer = task.text.split(" answer ", 1)[1]
+            assert matched[question] != answer
+
+    def test_task_text_format(self):
+        tasks = make_yahooqa(seed=0)
+        for task in tasks:
+            assert task.text.startswith("question ")
+            assert " answer " in task.text

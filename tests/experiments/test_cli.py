@@ -1,0 +1,76 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "table5" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "--dataset", "imagenet"])
+
+    def test_standard_defaults(self):
+        args = build_parser().parse_args(["fig9"])
+        assert args.dataset == "itemcompare"
+        assert args.seed == 7
+        assert args.scale == pytest.approx(0.33)
+
+    def test_fig10_arguments(self):
+        args = build_parser().parse_args(
+            ["fig10", "--sizes", "1000", "2000", "--neighbors", "5"]
+        )
+        assert args.sizes == [1000, 2000]
+        assert args.neighbors == [5]
+
+
+class TestExecution:
+    def test_table4_prints_statistics(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "110" in out
+        assert "360" in out
+
+    def test_fig10_tiny_run(self, capsys):
+        assert main(
+            [
+                "fig10",
+                "--sizes", "500", "1000",
+                "--neighbors", "5",
+                "--requests", "50",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+
+    def test_table5_small(self, capsys):
+        assert main(["table5", "--workers", "3", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "approximation error" in out
+
+
+class TestInsertionFlag:
+    def test_fig10_insertion_protocol(self, capsys):
+        assert main(
+            [
+                "fig10",
+                "--sizes", "800", "800",
+                "--neighbors", "4",
+                "--requests", "40",
+                "--insertion",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "insertion protocol" in out
+        # two rounds of 800 tasks each
+        assert "1,600" in out

@@ -1,0 +1,111 @@
+"""Fast unit coverage of the figure functions at tiny scales.
+
+The benchmarks run these at meaningful scale and assert the paper's
+shapes; here we only exercise the plumbing (structure of results,
+table rendering, parameter handling) with the smallest usable
+workloads.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig6_diversity,
+    fig10_scalability,
+    fig13_alpha,
+    fig15_distribution,
+    table4_datasets,
+    table5_approximation,
+)
+
+SCALE = 0.08  # 7 tasks per domain
+WORKERS_KW = {}
+
+
+class TestTable4:
+    def test_structure_and_rendering(self):
+        result = table4_datasets(seed=1)
+        text = result.format_table()
+        assert "YahooQA" in text and "ItemCompare" in text
+        assert len(result.specs) == 2
+
+
+class TestFig6:
+    def test_small_run(self):
+        result = fig6_diversity(
+            "itemcompare", seed=3, scale=SCALE, min_completed=3
+        )
+        text = result.format_table()
+        assert "Figure 6" in text
+        for worker, accs in result.per_worker.items():
+            for domain, (count, accuracy) in accs.items():
+                assert count > 0
+                assert 0.0 <= accuracy <= 1.0
+
+
+class TestFig10:
+    def test_tiny_sizes(self):
+        result = fig10_scalability(
+            sizes=[500, 1000],
+            neighbor_bounds=[4],
+            num_workers=5,
+            requests_per_size=50,
+            seed=1,
+        )
+        assert set(result.elapsed) == {(500, 4), (1000, 4)}
+        assert all(v >= 0 for v in result.elapsed.values())
+        assert len(result.series(4)) == 2
+        assert "Figure 10" in result.format_table()
+
+
+class TestFig13:
+    def test_alpha_keys_preserved(self):
+        result = fig13_alpha(
+            "itemcompare", seed=3, scale=SCALE, alphas=[1.0]
+        )
+        assert list(result.accuracy) == [1.0]
+        assert result.best_alpha() == 1.0
+        assert "alpha" in result.format_table()
+
+
+class TestTable5:
+    def test_small_instance(self):
+        result = table5_approximation(
+            "itemcompare",
+            seed=3,
+            scale=SCALE,
+            worker_counts=[3, 4],
+            max_tasks=10,
+            num_snapshots=2,
+        )
+        assert set(result.error_percent) == {3, 4}
+        for error in result.error_percent.values():
+            assert error >= 0.0
+        assert "approximation" in result.format_table()
+
+
+class TestFig15:
+    def test_share_monotone_in_n(self):
+        result = fig15_distribution("itemcompare", seed=3, scale=SCALE)
+        assert result.top_share(1) <= result.top_share(5) <= result.top_share(
+            50
+        )
+        assert result.top_share(10**6) == pytest.approx(1.0)
+
+
+class TestFig10Insertion:
+    def test_tiny_insertion_run(self):
+        from repro.experiments import fig10_insertion
+
+        result = fig10_insertion(
+            batch_size=400,
+            rounds=3,
+            max_neighbors=4,
+            num_workers=4,
+            requests_per_round=30,
+            seed=2,
+        )
+        assert len(result.elapsed_per_round) == 3
+        assert all(v >= 0 for v in result.elapsed_per_round)
+        table = result.format_table()
+        assert "insertion protocol" in table
+        assert "1,200" in table  # cumulative total after round 3

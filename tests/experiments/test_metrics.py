@@ -1,0 +1,103 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.core.types import Label, Task, TaskSet
+from repro.experiments.metrics import (
+    ConfusionCounts,
+    confusion,
+    cost_report,
+)
+
+
+def make_tasks(truths):
+    return TaskSet(
+        [
+            Task(i, f"t{i}", "d", truth)
+            for i, truth in enumerate(truths)
+        ]
+    )
+
+
+class TestConfusionCounts:
+    def test_perfect(self):
+        counts = ConfusionCounts(5, 0, 5, 0)
+        assert counts.accuracy == 1.0
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 1.0
+
+    def test_all_wrong(self):
+        counts = ConfusionCounts(0, 5, 0, 5)
+        assert counts.accuracy == 0.0
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.f1 == 0.0
+
+    def test_known_values(self):
+        counts = ConfusionCounts(3, 1, 4, 2)
+        assert counts.accuracy == pytest.approx(0.7)
+        assert counts.precision == pytest.approx(0.75)
+        assert counts.recall == pytest.approx(0.6)
+        assert counts.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+
+    def test_degenerate_denominators(self):
+        counts = ConfusionCounts(0, 0, 10, 0)
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert ConfusionCounts(0, 0, 0, 0).accuracy == 0.0
+
+
+class TestConfusion:
+    def test_counts_match_labels(self):
+        tasks = make_tasks(
+            [Label.YES, Label.YES, Label.NO, Label.NO]
+        )
+        predictions = {
+            0: Label.YES,  # TP
+            1: Label.NO,  # FN
+            2: Label.YES,  # FP
+            3: Label.NO,  # TN
+        }
+        counts = confusion(predictions, tasks)
+        assert (counts.true_positive, counts.false_negative,
+                counts.false_positive, counts.true_negative) == (1, 1, 1, 1)
+
+    def test_exclusion(self):
+        tasks = make_tasks([Label.YES, Label.NO])
+        predictions = {0: Label.YES, 1: Label.YES}
+        counts = confusion(predictions, tasks, exclude=[1])
+        assert counts.total == 1
+        assert counts.false_positive == 0
+
+    def test_missing_predictions_skipped(self):
+        tasks = make_tasks([Label.YES, Label.NO])
+        counts = confusion({0: Label.YES}, tasks)
+        assert counts.total == 1
+
+
+class TestCostReport:
+    class FakeReport:
+        num_answers = 300
+        total_cost = 3.0
+
+        def accuracy(self, tasks, exclude=None):
+            return 0.9
+
+    def test_cost_metrics(self):
+        tasks = make_tasks([Label.YES])
+        report = cost_report(self.FakeReport(), tasks)
+        assert report.accuracy == 0.9
+        assert report.cost_per_task_point == pytest.approx(3.0 / 90.0)
+        assert report.answers_per_accuracy_point == pytest.approx(
+            300 / 90.0
+        )
+
+    def test_zero_accuracy_safe(self):
+        class ZeroReport(self.FakeReport):
+            def accuracy(self, tasks, exclude=None):
+                return 0.0
+
+        tasks = make_tasks([Label.YES])
+        report = cost_report(ZeroReport(), tasks)
+        assert report.cost_per_task_point == float("inf")

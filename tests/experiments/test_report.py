@@ -1,0 +1,42 @@
+"""Unit tests for the EXPERIMENTS.md report builder."""
+
+import pathlib
+
+from repro.experiments.report import EXPERIMENTS, ReportBuilder, main
+
+
+class TestReportBuilder:
+    def test_includes_recorded_tables(self, tmp_path):
+        (tmp_path / "table4_datasets.txt").write_text(
+            "Table 4: Dataset statistics\nYahooQA 110\n"
+        )
+        builder = ReportBuilder(tmp_path)
+        report = builder.build()
+        assert "YahooQA 110" in report
+        assert "## Table 4" in report
+
+    def test_missing_results_flagged(self, tmp_path):
+        builder = ReportBuilder(tmp_path)
+        report = builder.build()
+        assert "no recorded result" in report
+
+    def test_every_experiment_sectioned(self, tmp_path):
+        report = ReportBuilder(tmp_path).build()
+        for title in EXPERIMENTS:
+            assert f"## {title}" in report
+
+    def test_main_writes_file(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig9_itemcompare.txt").write_text("iCrowd wins\n")
+        out = main(
+            results_dir=str(results),
+            output=str(tmp_path / "EXPERIMENTS.md"),
+        )
+        assert pathlib.Path(out).exists()
+        assert "iCrowd wins" in pathlib.Path(out).read_text()
+
+    def test_paper_claims_present(self, tmp_path):
+        report = ReportBuilder(tmp_path).build()
+        assert "10-20%" in report  # the headline claim
+        assert "sub-linear" in report.lower()

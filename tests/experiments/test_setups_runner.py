@@ -1,0 +1,66 @@
+"""Unit tests for the experiment setup and runner plumbing."""
+
+import pytest
+
+from repro.experiments.runner import build_policy
+from repro.experiments.setups import make_setup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("itemcompare", seed=3, scale=0.1, num_workers=12)
+
+
+class TestMakeSetup:
+    def test_cached_identity(self):
+        a = make_setup("itemcompare", seed=3, scale=0.1, num_workers=12)
+        b = make_setup("itemcompare", seed=3, scale=0.1, num_workers=12)
+        assert a is b
+
+    def test_yahooqa_setup(self):
+        setup = make_setup("yahooqa", seed=5)
+        assert setup.tasks.domains()[0] == "FIFA"
+        assert len(setup.profiles) == 25
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="dataset"):
+            make_setup("imagenet")
+
+    def test_qualification_within_budget(self, setup):
+        budget = setup.config.qualification.num_qualification
+        assert 0 < len(setup.qualification_tasks) <= budget
+
+    def test_fresh_pools_are_independent(self, setup):
+        pool_a = setup.fresh_pool("a")
+        pool_b = setup.fresh_pool("b")
+        assert pool_a is not pool_b
+        assert len(pool_a) == len(pool_b) == len(setup.profiles)
+
+    def test_yahooqa_ignores_scaling(self):
+        scaled = make_setup("yahooqa", seed=1, scale=0.5)
+        assert len(scaled.tasks) == 110
+
+
+class TestBuildPolicy:
+    @pytest.mark.parametrize(
+        "name",
+        ["RandomMV", "RandomEM", "AvgAccPV", "QF-Only", "BestEffort",
+         "iCrowd"],
+    )
+    def test_builds_each_approach(self, setup, name):
+        policy = build_policy(name, setup)
+        assert hasattr(policy, "on_worker_request")
+        assert hasattr(policy, "predictions")
+
+    def test_k_override(self, setup):
+        policy = build_policy("iCrowd", setup, k=5)
+        assert policy.config.assigner.k == 5
+
+    def test_shared_estimator_reused(self, setup):
+        policy = build_policy("iCrowd", setup)
+        assert policy.estimator is setup.estimator
+
+    def test_alpha_change_rebuilds_estimator(self, setup):
+        variant = setup.with_config(setup.config.with_alpha(9.0))
+        policy = build_policy("iCrowd", variant)
+        assert policy.estimator is not setup.estimator

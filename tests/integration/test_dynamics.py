@@ -1,0 +1,84 @@
+"""Integration tests for dynamic worker behaviour and config variants.
+
+Section 2.1 stresses that the worker set is *dynamic* — workers arrive,
+leave, and return.  These tests run the full pipeline under churn and
+staggered arrivals, and exercise the weighted-consensus configuration
+end-to-end.
+"""
+
+import pytest
+
+from repro.core import ICrowd
+from repro.experiments.runner import build_policy
+from repro.experiments.setups import make_setup
+from repro.platform import SimulatedPlatform
+from repro.workers import WorkerPool
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("itemcompare", seed=21, scale=0.12, num_workers=14)
+
+
+def run_with_pool(setup, pool, approach="iCrowd"):
+    policy = build_policy(approach, setup)
+    return SimulatedPlatform(setup.tasks, pool, policy).run(), policy
+
+
+class TestChurn:
+    def test_completes_under_churn(self, setup):
+        pool = WorkerPool(
+            list(setup.profiles), seed=5, churn=0.2
+        )
+        report, _ = run_with_pool(setup, pool)
+        assert report.finished
+        assert not report.stalled
+
+    def test_completes_with_staggered_arrivals(self, setup):
+        pool = WorkerPool(
+            list(setup.profiles), seed=5, arrival_spread=100
+        )
+        report, _ = run_with_pool(setup, pool)
+        assert report.finished
+
+    def test_churn_and_arrivals_combined(self, setup):
+        pool = WorkerPool(
+            list(setup.profiles), seed=5, arrival_spread=50, churn=0.15
+        )
+        report, _ = run_with_pool(setup, pool)
+        assert report.finished
+        # quality must not collapse under dynamics
+        exclude = set(setup.qualification_tasks)
+        assert report.accuracy(setup.tasks, exclude=exclude) > 0.5
+
+
+class TestWeightedConsensusEndToEnd:
+    def test_weighted_run_completes(self, setup):
+        variant = setup.with_config(
+            setup.config.with_consensus("weighted")
+        )
+        policy = build_policy("iCrowd", variant)
+        assert isinstance(policy, ICrowd)
+        pool = variant.fresh_pool("weighted-e2e")
+        report = SimulatedPlatform(variant.tasks, pool, policy).run()
+        assert report.finished
+        exclude = set(variant.qualification_tasks)
+        assert report.accuracy(variant.tasks, exclude=exclude) > 0.5
+
+
+class TestRejectionFlow:
+    def test_rejected_workers_leave_platform(self, setup):
+        """Spammers failing warm-up must be removed and never served
+        again; the run still completes with the remaining workers."""
+        policy = build_policy("iCrowd", setup)
+        pool = setup.fresh_pool("rejection-e2e")
+        platform = SimulatedPlatform(setup.tasks, pool, policy)
+        report = platform.run()
+        assert report.finished
+        for worker_id in report.rejected_workers:
+            # a rejected worker submitted only qualification answers
+            for event in report.events.answers():
+                if event.worker_id == worker_id:
+                    assert event.task_id in set(
+                        setup.qualification_tasks
+                    )

@@ -1,0 +1,59 @@
+"""Unit tests for the platform event log."""
+
+from repro.core.types import Label
+from repro.platform.events import (
+    AnswerEvent,
+    AssignEvent,
+    CompleteEvent,
+    EventLog,
+    RejectEvent,
+    RequestEvent,
+)
+
+
+def sample_log():
+    log = EventLog()
+    log.append(RequestEvent(step=1, worker_id="w1"))
+    log.append(AssignEvent(step=1, worker_id="w1", task_id=0, is_test=False))
+    log.append(
+        AnswerEvent(
+            step=1, worker_id="w1", task_id=0, label=Label.YES, is_test=False
+        )
+    )
+    log.append(
+        AnswerEvent(
+            step=2, worker_id="w2", task_id=0, label=Label.NO, is_test=True
+        )
+    )
+    log.append(CompleteEvent(step=3, task_id=0, consensus=Label.YES))
+    log.append(RejectEvent(step=4, worker_id="w3"))
+    return log
+
+
+class TestEventLog:
+    def test_len_and_iter(self):
+        log = sample_log()
+        assert len(log) == 6
+        assert len(list(log)) == 6
+
+    def test_typed_accessors(self):
+        log = sample_log()
+        assert len(log.answers()) == 2
+        assert len(log.assignments()) == 1
+        assert len(log.completions()) == 1
+        assert len(log.rejections()) == 1
+
+    def test_assignment_counts_excludes_tests_by_default(self):
+        log = sample_log()
+        counts = log.assignment_counts()
+        assert counts == {"w1": 1}
+
+    def test_assignment_counts_with_tests(self):
+        log = sample_log()
+        counts = log.assignment_counts(include_tests=True)
+        assert counts == {"w1": 1, "w2": 1}
+
+    def test_empty_log(self):
+        log = EventLog()
+        assert len(log) == 0
+        assert log.assignment_counts() == {}

@@ -1,0 +1,82 @@
+"""Unit tests for HIT batching and the payment ledger."""
+
+import pytest
+
+from repro.platform.hits import HIT, build_hits
+from repro.platform.payments import PaymentLedger
+
+
+class TestHIT:
+    def test_price_per_microtask(self):
+        hit = HIT("h0", tuple(range(10)), price_per_assignment=0.10)
+        assert hit.price_per_microtask == pytest.approx(0.01)
+        assert hit.size == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HIT("h0", ())
+        with pytest.raises(ValueError):
+            HIT("h0", (1,), price_per_assignment=-0.1)
+        with pytest.raises(ValueError):
+            HIT("h0", (1,), max_assignments=0)
+
+
+class TestBuildHits:
+    def test_paper_batching(self):
+        """Section 6.1: 10 microtasks per HIT at $0.10."""
+        hits = build_hits(list(range(110)))
+        assert len(hits) == 11
+        assert all(h.size == 10 for h in hits)
+        assert all(h.price_per_assignment == 0.10 for h in hits)
+
+    def test_last_hit_may_be_short(self):
+        hits = build_hits(list(range(25)), tasks_per_hit=10)
+        assert [h.size for h in hits] == [10, 10, 5]
+
+    def test_all_tasks_covered_once(self):
+        hits = build_hits(list(range(37)), tasks_per_hit=7)
+        covered = [t for h in hits for t in h.task_ids]
+        assert covered == list(range(37))
+
+    def test_unique_hit_ids(self):
+        hits = build_hits(list(range(50)))
+        assert len({h.hit_id for h in hits}) == len(hits)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            build_hits([1, 2], tasks_per_hit=0)
+
+
+class TestPaymentLedger:
+    def test_pay_accumulates(self):
+        ledger = PaymentLedger(price_per_microtask=0.01)
+        ledger.pay("w1")
+        ledger.pay("w1")
+        ledger.pay("w2")
+        assert ledger.earnings("w1") == pytest.approx(0.02)
+        assert ledger.payments_made("w1") == 2
+        assert ledger.total_cost == pytest.approx(0.03)
+
+    def test_explicit_amount(self):
+        ledger = PaymentLedger()
+        ledger.pay("w1", amount=0.5)
+        assert ledger.earnings("w1") == pytest.approx(0.5)
+
+    def test_unknown_worker_zero(self):
+        ledger = PaymentLedger()
+        assert ledger.earnings("ghost") == 0.0
+        assert ledger.payments_made("ghost") == 0
+
+    def test_statement_snapshot(self):
+        ledger = PaymentLedger(price_per_microtask=0.02)
+        ledger.pay("a")
+        statement = ledger.statement()
+        statement["a"] = 99.0  # mutating the snapshot is safe
+        assert ledger.earnings("a") == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PaymentLedger(price_per_microtask=-0.01)
+        ledger = PaymentLedger()
+        with pytest.raises(ValueError):
+            ledger.pay("w", amount=-1.0)

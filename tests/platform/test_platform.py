@@ -1,0 +1,124 @@
+"""Unit tests for the simulated platform driver (Appendix A loop)."""
+
+import pytest
+
+from repro.baselines import RandomMV
+from repro.core.types import Label, Task, TaskSet
+from repro.platform import SimulatedPlatform
+from repro.workers import WorkerPool, generate_profiles
+
+
+def make_tasks(n=6, domain="d"):
+    return TaskSet(
+        [
+            Task(i, f"task {i} tokens shared", domain,
+                 Label.YES if i % 2 == 0 else Label.NO)
+            for i in range(n)
+        ]
+    )
+
+
+def make_pool(n=5, seed=0, domains=("d",)):
+    return WorkerPool(generate_profiles(list(domains), n, seed=seed),
+                      seed=seed)
+
+
+class TestRun:
+    def test_runs_to_completion(self):
+        tasks = make_tasks(6)
+        pool = make_pool(5)
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run()
+        assert report.finished
+        assert not report.stalled
+        # every task collected exactly k answers
+        assert report.num_answers == 6 * 3
+
+    def test_step_cap_respected(self):
+        tasks = make_tasks(6)
+        pool = make_pool(5)
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run(max_steps=4)
+        assert report.steps <= 4
+        assert not report.finished
+
+    def test_stall_detected_with_too_few_workers(self):
+        """k=3 but only 2 workers: tasks can never complete."""
+        tasks = make_tasks(3)
+        pool = make_pool(2)
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run()
+        assert not report.finished
+        assert report.stalled
+
+    def test_payments_match_answers(self):
+        tasks = make_tasks(4)
+        pool = make_pool(4)
+        policy = RandomMV(tasks, k=3, seed=0)
+        platform = SimulatedPlatform(
+            tasks, pool, policy,
+            price_per_assignment=0.10, tasks_per_hit=10,
+        )
+        report = platform.run()
+        assert report.total_cost == pytest.approx(
+            report.num_answers * 0.01
+        )
+
+    def test_events_recorded_in_order(self):
+        tasks = make_tasks(4)
+        pool = make_pool(4)
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run()
+        steps = [e.step for e in report.events]
+        assert steps == sorted(steps)
+
+    def test_completion_events_once_per_task(self):
+        tasks = make_tasks(5)
+        pool = make_pool(5)
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run()
+        completed = [e.task_id for e in report.events.completions()]
+        assert sorted(completed) == sorted(set(completed))
+        assert len(completed) == 5
+
+
+class TestAccuracyMetrics:
+    def test_accuracy_against_truth(self):
+        tasks = make_tasks(4)
+        pool = make_pool(6)
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run()
+        accuracy = report.accuracy(tasks)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_exclusion_removes_tasks_from_metric(self):
+        tasks = make_tasks(4)
+        pool = make_pool(6)
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run()
+        all_tasks = report.accuracy(tasks)
+        excluded = report.accuracy(tasks, exclude={0, 1, 2})
+        # the restricted metric considers only one task → it is 0 or 1
+        assert excluded in (0.0, 1.0)
+        assert 0.0 <= all_tasks <= 1.0
+
+    def test_accuracy_by_domain_partitions(self):
+        tasks = TaskSet(
+            [
+                Task(0, "a", "x", Label.YES),
+                Task(1, "b", "y", Label.NO),
+                Task(2, "c", "x", Label.YES),
+            ]
+        )
+        pool = make_pool(5, domains=("x", "y"))
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run()
+        by_domain = report.accuracy_by_domain(tasks)
+        assert set(by_domain) == {"x", "y"}
+
+    def test_empty_task_metric(self):
+        tasks = make_tasks(2)
+        pool = make_pool(4)
+        policy = RandomMV(tasks, k=3, seed=0)
+        report = SimulatedPlatform(tasks, pool, policy).run()
+        assert report.accuracy(tasks, exclude={0, 1}) == 0.0

@@ -1,0 +1,232 @@
+"""Integration tests for the Appendix A HTTP facade."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.baselines import RandomMV
+from repro.core.types import Label, Task, TaskSet
+from repro.platform.server import ICrowdHTTPServer
+
+
+@pytest.fixture
+def tasks():
+    return TaskSet(
+        [
+            Task(i, f"microtask {i} shared tokens", "d",
+                 Label.YES if i % 2 == 0 else Label.NO)
+            for i in range(4)
+        ]
+    )
+
+
+@pytest.fixture
+def server(tasks):
+    policy = RandomMV(tasks, k=2, seed=0)
+    with ICrowdHTTPServer(tasks, policy) as srv:
+        yield srv
+
+
+def call(server, method, path, payload=None):
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=5)
+    body = json.dumps(payload) if payload is not None else None
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    data = json.loads(raw) if raw else None
+    return response.status, data
+
+
+class TestRequestEndpoint:
+    def test_serves_a_task(self, server):
+        status, body = call(server, "GET", "/request?worker=w1")
+        assert status == 200
+        assert 0 <= body["task_id"] < 4
+        assert "microtask" in body["text"]
+        assert body["is_test"] is False
+
+    def test_missing_worker_param(self, server):
+        status, body = call(server, "GET", "/request")
+        assert status == 400
+        assert "worker" in body["error"]
+
+    def test_204_when_nothing_assignable(self, tasks):
+        policy = RandomMV(tasks, k=1, seed=0)
+        with ICrowdHTTPServer(tasks, policy) as srv:
+            served = set()
+            for _ in range(4):
+                status, body = call(srv, "GET", "/request?worker=w1")
+                assert status == 200
+                served.add(body["task_id"])
+                call(
+                    srv,
+                    "POST",
+                    "/submit",
+                    {
+                        "worker": "w1",
+                        "task_id": body["task_id"],
+                        "label": 1,
+                    },
+                )
+            status, _ = call(srv, "GET", "/request?worker=w1")
+            assert status == 204
+
+
+class TestSubmitEndpoint:
+    def test_accepts_answer(self, server):
+        status, body = call(server, "GET", "/request?worker=w1")
+        task_id = body["task_id"]
+        status, body = call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w1", "task_id": task_id, "label": 1},
+        )
+        assert status == 200
+        assert body["accepted"] is True
+
+    def test_completion_reported(self, server):
+        for worker in ("w1", "w2"):
+            call(
+                server,
+                "POST",
+                "/submit",
+                {"worker": worker, "task_id": 0, "label": 1},
+            )
+        status, body = call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w3", "task_id": 1, "label": 0},
+        )
+        assert status == 200
+        # task 0 already had k=2 answers → completed
+        status, body = call(server, "GET", "/status")
+        assert body["completed_tasks"] >= 1
+
+    def test_double_vote_conflict(self, server):
+        call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w1", "task_id": 0, "label": 1},
+        )
+        status, body = call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w1", "task_id": 0, "label": 0},
+        )
+        assert status == 409
+        assert "already" in body["error"]
+
+    def test_bad_payloads(self, server):
+        status, _ = call(server, "POST", "/submit", {"worker": "w"})
+        assert status == 400
+        status, _ = call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w", "task_id": 99, "label": 1},
+        )
+        assert status == 400
+        status, _ = call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w", "task_id": 0, "label": 7},
+        )
+        assert status == 400
+
+
+class TestStatusAndLifecycle:
+    def test_status_progression(self, tasks):
+        policy = RandomMV(tasks, k=1, seed=0)
+        with ICrowdHTTPServer(tasks, policy) as srv:
+            status, body = call(srv, "GET", "/status")
+            assert body == {
+                "finished": False,
+                "completed_tasks": 0,
+                "total_tasks": 4,
+            }
+            for task_id in range(4):
+                call(
+                    srv,
+                    "POST",
+                    "/submit",
+                    {"worker": f"w{task_id}", "task_id": task_id,
+                     "label": 1},
+                )
+            status, body = call(srv, "GET", "/status")
+            assert body["finished"] is True
+            assert body["completed_tasks"] == 4
+
+    def test_unknown_route(self, server):
+        status, _ = call(server, "GET", "/nope")
+        assert status == 404
+
+    def test_double_start_rejected(self, tasks):
+        policy = RandomMV(tasks, k=1, seed=0)
+        server = ICrowdHTTPServer(tasks, policy)
+        server.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+        finally:
+            server.stop()
+
+
+class TestServerWithICrowd:
+    def test_full_icrowd_job_over_http(self):
+        """The complete Appendix A loop with the real framework."""
+        from repro.core import ICrowd, ICrowdConfig
+        from repro.core.config import GraphConfig, QualificationConfig
+        from repro.datasets import make_itemcompare
+        from repro.workers import WorkerPool, generate_profiles
+
+        tasks = make_itemcompare(seed=5, tasks_per_domain=6)
+        config = ICrowdConfig(
+            qualification=QualificationConfig(
+                num_qualification=4, qualification_threshold=0.0
+            ),
+            graph=GraphConfig(measure="jaccard", threshold=0.3),
+            seed=5,
+        )
+        icrowd = ICrowd(tasks, config)
+        pool = WorkerPool(
+            generate_profiles(tasks.domains(), 8, seed=5), seed=5
+        )
+        with ICrowdHTTPServer(tasks, icrowd) as server:
+            for step in range(2000):
+                pool.tick()
+                worker = pool.sample_requester()
+                if worker is None:
+                    continue
+                status, body = call(
+                    server, "GET", f"/request?worker={worker}"
+                )
+                if status != 200:
+                    continue
+                label = pool.worker(worker).answer(
+                    tasks[body["task_id"]]
+                )
+                status, _ = call(
+                    server,
+                    "POST",
+                    "/submit",
+                    {
+                        "worker": worker,
+                        "task_id": body["task_id"],
+                        "label": int(label),
+                        "is_test": body["is_test"],
+                    },
+                )
+                assert status == 200
+                pool.note_submission(worker)
+                if icrowd.is_finished():
+                    break
+            status, body = call(server, "GET", "/status")
+            assert body["finished"] is True

@@ -1,0 +1,102 @@
+"""Property-based tests for the calibrated estimator (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EstimatorConfig
+from repro.core.estimator import AccuracyEstimator
+from repro.core.graph import SimilarityGraph
+
+
+@st.composite
+def graph_and_observed(draw, max_nodes=8):
+    n = draw(st.integers(min_value=3, max_value=max_nodes))
+    edges = []
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    for i, j in possible:
+        if draw(st.booleans()):
+            edges.append(
+                (i, j, draw(st.floats(min_value=0.2, max_value=1.0)))
+            )
+    graph = SimilarityGraph.from_edges(n, edges)
+    num_obs = draw(st.integers(min_value=0, max_value=n))
+    observed_tasks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=num_obs,
+            max_size=num_obs,
+            unique=True,
+        )
+    )
+    observed = {
+        t: draw(st.floats(min_value=0.0, max_value=1.0))
+        for t in observed_tasks
+    }
+    return graph, observed
+
+
+class TestCalibratedEstimateProperties:
+    @given(data=graph_and_observed())
+    @settings(max_examples=80, deadline=None)
+    def test_output_in_unit_interval(self, data):
+        graph, observed = data
+        estimator = AccuracyEstimator(graph, EstimatorConfig())
+        estimate = estimator.estimate(observed)
+        assert estimate.shape == (graph.num_tasks,)
+        assert estimate.min() >= 0.0
+        assert estimate.max() <= 1.0
+
+    @given(data=graph_and_observed())
+    @settings(max_examples=80, deadline=None)
+    def test_perfect_evidence_never_below_prior(self, data):
+        """All-1 observations can only raise estimates above the prior."""
+        graph, observed = data
+        all_ones = {t: 1.0 for t in observed}
+        estimator = AccuracyEstimator(
+            graph, EstimatorConfig(prior_accuracy=0.5)
+        )
+        estimate = estimator.estimate(all_ones)
+        assert estimate.min() >= 0.5 - 1e-9
+
+    @given(data=graph_and_observed())
+    @settings(max_examples=80, deadline=None)
+    def test_zero_evidence_never_above_prior(self, data):
+        graph, observed = data
+        all_zero = {t: 0.0 for t in observed}
+        estimator = AccuracyEstimator(
+            graph, EstimatorConfig(prior_accuracy=0.5)
+        )
+        estimate = estimator.estimate(all_zero)
+        assert estimate.max() <= 0.5 + 1e-9
+
+    @given(data=graph_and_observed())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_observations(self, data):
+        """Raising any single observation never lowers any estimate."""
+        graph, observed = data
+        if not observed:
+            return
+        estimator = AccuracyEstimator(graph, EstimatorConfig())
+        base = estimator.estimate(observed)
+        task = next(iter(observed))
+        raised = dict(observed)
+        raised[task] = min(1.0, observed[task] + 0.3)
+        bumped = estimator.estimate(raised)
+        assert (bumped - base).min() >= -1e-9
+
+    @given(data=graph_and_observed())
+    @settings(max_examples=60, deadline=None)
+    def test_observed_support_respected(self, data):
+        """On observed tasks the estimate moves toward the observation
+        relative to the prior (evidence counts)."""
+        graph, observed = data
+        estimator = AccuracyEstimator(
+            graph, EstimatorConfig(prior_accuracy=0.5)
+        )
+        estimate = estimator.estimate(observed)
+        for task, value in observed.items():
+            if value > 0.9:
+                assert estimate[task] >= 0.5 - 1e-9
+            if value < 0.1:
+                assert estimate[task] <= 0.5 + 1e-9

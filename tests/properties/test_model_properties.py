@@ -1,0 +1,115 @@
+"""Property-based tests for voting, Eq. (5) and aggregation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.majority import majority_vote
+from repro.aggregation.pv import verification_posterior
+from repro.core.observed import consensus_observed_accuracy
+from repro.core.testing import beta_variance
+from repro.core.types import Answer, Label, VoteState
+
+labels = st.sampled_from([Label.YES, Label.NO])
+accuracies = st.floats(min_value=0.0, max_value=1.0)
+votes_strategy = st.lists(
+    st.tuples(labels, accuracies), min_size=1, max_size=9
+)
+
+
+class TestObservedAccuracyProperties:
+    @given(votes=votes_strategy, consensus=labels)
+    @settings(max_examples=100)
+    def test_in_unit_interval(self, votes, consensus):
+        for worker_label in (Label.YES, Label.NO):
+            value = consensus_observed_accuracy(
+                worker_label, consensus, votes
+            )
+            assert 0.0 <= value <= 1.0
+
+    @given(votes=votes_strategy, consensus=labels)
+    @settings(max_examples=100)
+    def test_agree_disagree_complement(self, votes, consensus):
+        agree = consensus_observed_accuracy(consensus, consensus, votes)
+        disagree = consensus_observed_accuracy(
+            consensus.flipped(), consensus, votes
+        )
+        assert abs(agree + disagree - 1.0) < 1e-9
+
+    @given(votes=votes_strategy)
+    @settings(max_examples=100)
+    def test_label_symmetry(self, votes):
+        """Globally flipping every label and the consensus leaves the
+        observed accuracy unchanged."""
+        original = consensus_observed_accuracy(Label.YES, Label.YES, votes)
+        flipped_votes = [(lbl.flipped(), acc) for lbl, acc in votes]
+        flipped = consensus_observed_accuracy(
+            Label.NO, Label.NO, flipped_votes
+        )
+        assert abs(original - flipped) < 1e-9
+
+
+class TestVerificationPosteriorProperties:
+    @given(votes=votes_strategy, prior=st.floats(0.01, 0.99))
+    @settings(max_examples=100)
+    def test_posterior_in_unit_interval(self, votes, prior):
+        posterior = verification_posterior(votes, prior_yes=prior)
+        assert 0.0 <= posterior <= 1.0
+
+    @given(votes=votes_strategy)
+    @settings(max_examples=100)
+    def test_flip_symmetry(self, votes):
+        """Flipping all votes flips the posterior around 0.5."""
+        p = verification_posterior(votes)
+        flipped = verification_posterior(
+            [(lbl.flipped(), acc) for lbl, acc in votes]
+        )
+        assert abs(p - (1.0 - flipped)) < 1e-9
+
+
+class TestBetaVarianceProperties:
+    @given(
+        n1=st.floats(min_value=0, max_value=100),
+        n0=st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100)
+    def test_bounded_by_uninformed(self, n1, n0):
+        assert 0.0 < beta_variance(n1, n0) <= 1.0 / 12.0 + 1e-12
+
+    @given(n=st.floats(min_value=0, max_value=50))
+    @settings(max_examples=50)
+    def test_monotone_decreasing_in_balanced_evidence(self, n):
+        assert beta_variance(n + 1, n + 1) < beta_variance(n, n)
+
+
+@st.composite
+def task_answers(draw):
+    n_votes = draw(st.integers(1, 9))
+    return [
+        Answer(task_id=0, worker_id=f"w{i}", label=draw(labels))
+        for i in range(n_votes)
+    ]
+
+
+class TestVotingProperties:
+    @given(answers=task_answers())
+    @settings(max_examples=100)
+    def test_majority_matches_vote_state(self, answers):
+        state = VoteState(task_id=0, k=len(answers))
+        for answer in answers:
+            state.add(answer)
+        assert majority_vote(answers)[0] == state.consensus()
+
+    @given(answers=task_answers())
+    @settings(max_examples=100)
+    def test_flipping_all_labels_flips_strict_majorities(self, answers):
+        yes = sum(1 for a in answers if a.label is Label.YES)
+        no = len(answers) - yes
+        if yes == no:
+            return  # ties handled by tie_break, not symmetry
+        original = majority_vote(answers)[0]
+        flipped_answers = [
+            Answer(a.task_id, a.worker_id, a.label.flipped())
+            for a in answers
+        ]
+        flipped = majority_vote(flipped_answers)[0]
+        assert flipped == original.flipped()

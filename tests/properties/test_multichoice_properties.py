@@ -1,0 +1,102 @@
+"""Property-based tests for the multi-choice voting layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multichoice import (
+    MultiVoteState,
+    multichoice_observed_accuracy,
+    plurality_vote,
+)
+
+CHOICES = ("a", "b", "c", "d")
+
+choice = st.sampled_from(CHOICES)
+accuracy = st.floats(min_value=0.0, max_value=1.0)
+votes_strategy = st.lists(
+    st.tuples(choice, accuracy), min_size=1, max_size=8
+)
+
+
+class TestObservedAccuracyProperties:
+    @given(
+        votes=votes_strategy,
+        worker=choice,
+        consensus=choice,
+        m=st.integers(2, 10),
+    )
+    @settings(max_examples=150)
+    def test_in_unit_interval(self, votes, worker, consensus, m):
+        value = multichoice_observed_accuracy(
+            worker, consensus, votes, num_choices=m
+        )
+        assert 0.0 <= value <= 1.0
+
+    @given(votes=votes_strategy, consensus=choice, m=st.integers(2, 10))
+    @settings(max_examples=150)
+    def test_candidate_posteriors_sum_to_at_most_one(
+        self, votes, consensus, m
+    ):
+        """The per-label posteriors over any label set are a
+        sub-distribution: summing the observed accuracy over all
+        distinct worker labels (holding the consensus fixed) never
+        exceeds 1 plus the agreeing worker's share counted once."""
+        labels = {c for c, _ in votes} | {consensus}
+        total = 0.0
+        for label in labels:
+            value = multichoice_observed_accuracy(
+                label, consensus, votes, num_choices=m
+            )
+            if label == consensus:
+                total += value
+            else:
+                total += value
+        # each summand is the posterior of a distinct candidate label
+        # being true, so the sum over all candidates is exactly 1
+        assert total <= 1.0 + 1e-6
+
+    @given(votes=votes_strategy, m=st.integers(2, 10))
+    @settings(max_examples=100)
+    def test_relabeling_symmetry(self, votes, m):
+        """Permuting label names leaves observed accuracies unchanged."""
+        mapping = {"a": "b", "b": "c", "c": "d", "d": "a"}
+        permuted = [(mapping[c], p) for c, p in votes]
+        original = multichoice_observed_accuracy(
+            votes[0][0], votes[0][0], votes, num_choices=m
+        )
+        renamed = multichoice_observed_accuracy(
+            mapping[votes[0][0]],
+            mapping[votes[0][0]],
+            permuted,
+            num_choices=m,
+        )
+        assert abs(original - renamed) < 1e-9
+
+
+@st.composite
+def vote_script(draw):
+    n_votes = draw(st.integers(1, 7))
+    return [
+        (f"w{i}", draw(choice)) for i in range(n_votes)
+    ]
+
+
+class TestPluralityProperties:
+    @given(script=vote_script())
+    @settings(max_examples=150)
+    def test_state_and_batch_agree(self, script):
+        state = MultiVoteState(task_id=0, k=len(script), choices=CHOICES)
+        flat = []
+        for worker, picked in script:
+            state.add(worker, picked)
+            flat.append((0, worker, picked))
+        assert plurality_vote(flat, CHOICES)[0] == state.consensus()
+
+    @given(script=vote_script())
+    @settings(max_examples=150)
+    def test_consensus_has_max_tally(self, script):
+        state = MultiVoteState(task_id=0, k=len(script), choices=CHOICES)
+        for worker, picked in script:
+            state.add(worker, picked)
+        tallies = state.tallies()
+        assert tallies[state.consensus()] == max(tallies.values())

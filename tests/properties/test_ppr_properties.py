@@ -1,0 +1,112 @@
+"""Property-based tests for the PPR machinery (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import SimilarityGraph
+from repro.core.ppr import PPRBasis, power_iteration, solve_exact
+
+
+@st.composite
+def random_graph(draw, max_nodes=10):
+    """A random undirected weighted graph as a SimilarityGraph."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = []
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    flags = draw(
+        st.lists(
+            st.booleans(), min_size=len(possible), max_size=len(possible)
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1.0),
+            min_size=len(possible),
+            max_size=len(possible),
+        )
+    )
+    for (i, j), keep, weight in zip(possible, flags, weights):
+        if keep:
+            edges.append((i, j, weight))
+    return SimilarityGraph.from_edges(n, edges)
+
+
+@st.composite
+def graph_and_restart(draw):
+    graph = draw(random_graph())
+    q = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=graph.num_tasks,
+            max_size=graph.num_tasks,
+        )
+    )
+    return graph, np.array(q)
+
+
+class TestPowerIterationProperties:
+    @given(data=graph_and_restart())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_exact_solver(self, data):
+        graph, q = data
+        iterated = power_iteration(
+            graph.normalized, q, damping=0.5, tol=1e-12, max_iter=500
+        )
+        exact = solve_exact(graph.normalized, q, damping=0.5)
+        assert np.allclose(iterated, exact, atol=1e-7)
+
+    @given(data=graph_and_restart())
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative_for_nonnegative_restart(self, data):
+        graph, q = data
+        result = power_iteration(graph.normalized, q, damping=0.5)
+        assert result.min() >= -1e-12
+
+    @given(data=graph_and_restart(), scale=st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_homogeneous_in_restart(self, data, scale):
+        """p(c·q) = c·p(q): the solve is linear."""
+        graph, q = data
+        base = power_iteration(graph.normalized, q, damping=0.5, tol=1e-12)
+        scaled = power_iteration(
+            graph.normalized, scale * q, damping=0.5, tol=1e-12
+        )
+        assert np.allclose(scaled, scale * base, atol=1e-6)
+
+
+class TestBasisProperties:
+    @given(data=graph_and_restart())
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_lemma3(self, data):
+        """Lemma 3 on arbitrary graphs and restarts."""
+        graph, q = data
+        basis = PPRBasis.compute(
+            graph.normalized, damping=0.5, epsilon=0.0, method="batch",
+            tol=1e-12, max_iter=500,
+        )
+        combined = basis.combine(q)
+        direct = power_iteration(
+            graph.normalized, q, damping=0.5, tol=1e-12, max_iter=500
+        )
+        assert np.allclose(combined, direct, atol=1e-6)
+
+    @given(graph=random_graph())
+    @settings(max_examples=25, deadline=None)
+    def test_push_and_batch_agree(self, graph):
+        batch = PPRBasis.compute(
+            graph.normalized, damping=0.5, epsilon=1e-10, method="batch",
+            tol=1e-12,
+        )
+        push = PPRBasis.compute(
+            graph.normalized, damping=0.5, epsilon=1e-10, method="push"
+        )
+        for i in range(graph.num_tasks):
+            assert np.allclose(batch.row(i), push.row(i), atol=1e-5)
+
+    @given(graph=random_graph())
+    @settings(max_examples=25, deadline=None)
+    def test_basis_rows_nonnegative(self, graph):
+        basis = PPRBasis.compute(graph.normalized, damping=0.5)
+        for i in range(graph.num_tasks):
+            assert basis.row(i).min() >= -1e-12

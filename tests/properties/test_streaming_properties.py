@@ -1,0 +1,80 @@
+"""Property-based tests for the growable graph (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.streaming import GrowableGraph
+
+
+@st.composite
+def growth_script(draw):
+    """A random interleaving of task and edge insertions."""
+    operations = []
+    num_tasks = draw(st.integers(1, 6))
+    operations.append(("tasks", num_tasks))
+    total = num_tasks
+    for _ in range(draw(st.integers(0, 15))):
+        if total >= 2 and draw(st.booleans()):
+            i = draw(st.integers(0, total - 1))
+            j = draw(st.integers(0, total - 1))
+            if i != j:
+                weight = draw(st.floats(min_value=0.1, max_value=1.0))
+                operations.append(("edge", (i, j, weight)))
+        else:
+            count = draw(st.integers(1, 3))
+            operations.append(("tasks", count))
+            total += count
+    return operations
+
+
+def apply_script(operations):
+    graph = GrowableGraph()
+    for kind, arg in operations:
+        if kind == "tasks":
+            graph.add_tasks(arg)
+        else:
+            graph.add_edge(*arg)
+    return graph
+
+
+class TestGrowableGraphProperties:
+    @given(operations=growth_script())
+    @settings(max_examples=100)
+    def test_degree_equals_adjacency_sum(self, operations):
+        graph = apply_script(operations)
+        for task_id in range(graph.num_tasks):
+            expected = sum(graph.neighbors(task_id).values())
+            assert graph.degree(task_id) == pytest_approx(expected)
+
+    @given(operations=growth_script())
+    @settings(max_examples=100)
+    def test_adjacency_symmetric(self, operations):
+        graph = apply_script(operations)
+        for i in range(graph.num_tasks):
+            for j, weight in graph.neighbors(i).items():
+                assert graph.neighbors(j)[i] == weight
+
+    @given(operations=growth_script())
+    @settings(max_examples=100)
+    def test_normalized_row_bounded(self, operations):
+        """Entries of S' are s_ij / sqrt(d_i d_j) ≤ 1 because
+        s_ij ≤ min(d_i, d_j)."""
+        graph = apply_script(operations)
+        for i in range(graph.num_tasks):
+            for value in graph.normalized_row(i).values():
+                assert 0.0 < value <= 1.0 + 1e-12
+
+    @given(operations=growth_script())
+    @settings(max_examples=100)
+    def test_normalized_symmetric(self, operations):
+        graph = apply_script(operations)
+        for i in range(graph.num_tasks):
+            row_i = graph.normalized_row(i)
+            for j, value in row_i.items():
+                assert graph.normalized_row(j)[i] == pytest_approx(value)
+
+
+def pytest_approx(value, rel=1e-9):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=1e-12)

@@ -1,0 +1,68 @@
+"""Property-based tests for warm-up grading and qualification logic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qualification import WarmUp
+from repro.core.types import Label
+
+labels = st.sampled_from([Label.YES, Label.NO])
+
+
+@st.composite
+def warmup_scenario(draw):
+    num_tasks = draw(st.integers(1, 8))
+    truth = {
+        t: draw(labels) for t in range(num_tasks)
+    }
+    answers = {t: draw(labels) for t in range(num_tasks)}
+    threshold = draw(st.floats(min_value=0.0, max_value=1.0))
+    return truth, answers, threshold
+
+
+class TestWarmUpProperties:
+    @given(scenario=warmup_scenario())
+    @settings(max_examples=100)
+    def test_rejection_iff_below_threshold(self, scenario):
+        truth, answers, threshold = scenario
+        warmup = WarmUp(truth, threshold=threshold)
+        for task, answer in answers.items():
+            warmup.grade("w", task, answer)
+        correct = sum(
+            1 for t in truth if answers[t] == truth[t]
+        )
+        average = correct / len(truth)
+        assert warmup.has_finished("w")
+        assert warmup.is_qualified("w") == (average >= threshold)
+        assert warmup.average_accuracy("w") == average
+
+    @given(scenario=warmup_scenario())
+    @settings(max_examples=100)
+    def test_next_task_never_repeats(self, scenario):
+        truth, answers, threshold = scenario
+        warmup = WarmUp(truth, threshold=threshold)
+        served = []
+        while True:
+            task = warmup.next_task("w")
+            if task is None:
+                break
+            assert task not in served
+            served.append(task)
+            warmup.grade("w", task, answers[task])
+        # every qualification task served exactly once (unless the
+        # worker got rejected mid-way, which only happens at the end)
+        if warmup.is_qualified("w"):
+            assert sorted(served) == sorted(truth)
+
+    @given(scenario=warmup_scenario(), extra=st.integers(0, 5))
+    @settings(max_examples=60)
+    def test_workers_independent(self, scenario, extra):
+        truth, answers, threshold = scenario
+        warmup = WarmUp(truth, threshold=threshold)
+        for task, answer in answers.items():
+            warmup.grade("w1", task, answer)
+        # a second worker's state is untouched
+        state = warmup.state_of("w2")
+        assert state.num_answered == 0
+        assert not state.rejected
+        assert warmup.next_task("w2") is not None

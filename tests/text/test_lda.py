@@ -1,0 +1,94 @@
+"""Unit tests for the collapsed-Gibbs LDA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.text.lda import LatentDirichletAllocation
+
+
+def make_corpus():
+    phones = [f"iphone wifi screen battery model{i}" for i in range(8)]
+    foods = [f"chocolate calories sugar sweet snack{i}" for i in range(8)]
+    return phones + foods
+
+
+class TestValidation:
+    def test_rejects_single_topic(self):
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(num_topics=1)
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(num_topics=2, num_iterations=0)
+
+    def test_rejects_bad_priors(self):
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(num_topics=2, beta=0.0)
+        with pytest.raises(ValueError):
+            LatentDirichletAllocation(num_topics=2, alpha=-1.0)
+
+    def test_rejects_empty_corpus(self):
+        lda = LatentDirichletAllocation(num_topics=2)
+        with pytest.raises(ValueError, match="empty"):
+            lda.fit_transform([])
+
+    def test_rejects_stopword_only_corpus(self):
+        lda = LatentDirichletAllocation(num_topics=2)
+        with pytest.raises(ValueError, match="tokens"):
+            lda.fit_transform(["the a of", "and or"])
+
+
+class TestFitTransform:
+    def test_rows_are_distributions(self):
+        lda = LatentDirichletAllocation(
+            num_topics=3, num_iterations=40, seed=0
+        )
+        theta = lda.fit_transform(make_corpus())
+        assert theta.shape == (16, 3)
+        assert np.allclose(theta.sum(axis=1), 1.0)
+        assert theta.min() > 0.0
+
+    def test_deterministic_given_seed(self):
+        corpus = make_corpus()
+        a = LatentDirichletAllocation(
+            num_topics=3, num_iterations=30, seed=5
+        ).fit_transform(corpus)
+        b = LatentDirichletAllocation(
+            num_topics=3, num_iterations=30, seed=5
+        ).fit_transform(corpus)
+        assert np.array_equal(a, b)
+
+    def test_separates_two_clear_topics(self):
+        lda = LatentDirichletAllocation(
+            num_topics=2, num_iterations=150, seed=3
+        )
+        theta = lda.fit_transform(make_corpus())
+        phone_topic = int(np.argmax(theta[:8].mean(axis=0)))
+        food_topic = int(np.argmax(theta[8:].mean(axis=0)))
+        assert phone_topic != food_topic
+        assert theta[:8, phone_topic].mean() > 0.7
+        assert theta[8:, food_topic].mean() > 0.7
+
+
+class TestTopWords:
+    def test_requires_fit(self):
+        lda = LatentDirichletAllocation(num_topics=2)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            lda.top_words(0)
+
+    def test_returns_vocabulary_words(self):
+        lda = LatentDirichletAllocation(
+            num_topics=2, num_iterations=30, seed=1
+        )
+        lda.fit_transform(make_corpus())
+        words = lda.top_words(0, n=5)
+        assert len(words) == 5
+        assert all(w in lda.vocabulary_ for w in words)
+
+    def test_validates_topic_index(self):
+        lda = LatentDirichletAllocation(
+            num_topics=2, num_iterations=10, seed=1
+        )
+        lda.fit_transform(make_corpus())
+        with pytest.raises(ValueError):
+            lda.top_words(5)

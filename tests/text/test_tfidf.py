@@ -1,0 +1,57 @@
+"""Unit tests for the TF-IDF vectorizer."""
+
+import numpy as np
+import pytest
+
+from repro.text.tfidf import TfIdfVectorizer
+
+
+class TestFit:
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValueError, match="empty"):
+            TfIdfVectorizer().fit([])
+
+    def test_vocabulary_sorted_and_complete(self):
+        vec = TfIdfVectorizer().fit(["beta alpha", "gamma alpha"])
+        assert list(vec.vocabulary_) == ["alpha", "beta", "gamma"]
+
+    def test_is_fitted_flag(self):
+        vec = TfIdfVectorizer()
+        assert not vec.is_fitted
+        vec.fit(["x"])
+        assert vec.is_fitted
+
+
+class TestTransform:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            TfIdfVectorizer().transform(["x"])
+
+    def test_rows_l2_normalized(self):
+        matrix = TfIdfVectorizer().fit_transform(
+            ["iphone wifi case", "ipad wifi cover", "ipod nano"]
+        )
+        norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1)))
+        assert np.allclose(norms.ravel(), 1.0)
+
+    def test_oov_tokens_ignored(self):
+        vec = TfIdfVectorizer().fit(["alpha beta"])
+        row = vec.transform(["gamma delta"])
+        assert row.nnz == 0
+
+    def test_rare_term_weighted_higher(self):
+        corpus = ["common rare", "common other", "common thing"]
+        vec = TfIdfVectorizer().fit(corpus)
+        matrix = vec.transform(["common rare"]).toarray().ravel()
+        common_idx = vec.vocabulary_["common"]
+        rare_idx = vec.vocabulary_["rare"]
+        assert matrix[rare_idx] > matrix[common_idx]
+
+    def test_identical_docs_have_cosine_one(self):
+        matrix = TfIdfVectorizer().fit_transform(["x y z", "x y z"])
+        sim = (matrix @ matrix.T).toarray()
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_shape(self):
+        matrix = TfIdfVectorizer().fit_transform(["a b", "c d", "e f"])
+        assert matrix.shape[0] == 3

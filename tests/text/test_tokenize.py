@@ -1,0 +1,49 @@
+"""Unit tests for tokenisation (Appendix D.1 preprocessing)."""
+
+from repro.text.tokenize import STOPWORDS, token_set, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("iPhone WiFi") == ["iphone", "wifi"]
+
+    def test_splits_on_punctuation(self):
+        assert tokenize("note4, s4!") == ["note4", "s4"]
+
+    def test_removes_stopwords_by_default(self):
+        assert tokenize("the iphone is a phone") == ["iphone", "phone"]
+
+    def test_keeps_stopwords_when_asked(self):
+        tokens = tokenize("the iphone", remove_stopwords=False)
+        assert tokens == ["the", "iphone"]
+
+    def test_preserves_duplicates_and_order(self):
+        assert tokenize("beta alpha beta") == ["beta", "alpha", "beta"]
+
+    def test_numbers_survive(self):
+        assert tokenize("ipad 3 32gb") == ["ipad", "3", "32gb"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_all_stopwords(self):
+        assert tokenize("the a of and") == []
+
+
+class TestTokenSet:
+    def test_deduplicates_and_drops_stopwords(self):
+        # "a" is a stopword; "b" and "iphone" survive, deduplicated
+        assert token_set("a b a b iphone") == frozenset({"b", "iphone"})
+
+    def test_is_frozenset(self):
+        assert isinstance(token_set("x"), frozenset)
+
+
+class TestStopwords:
+    def test_common_words_present(self):
+        for word in ("the", "and", "of", "is"):
+            assert word in STOPWORDS
+
+    def test_content_words_absent(self):
+        for word in ("iphone", "calories", "nba"):
+            assert word not in STOPWORDS

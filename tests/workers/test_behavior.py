@@ -1,0 +1,107 @@
+"""Unit tests for extended worker behaviour models."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Label, Task
+from repro.workers.behavior import BehaviorConfig, BehavioralWorker
+from repro.workers.profiles import Archetype, WorkerProfile
+
+
+def make_worker(accuracy=0.8, behavior=None, seed=0):
+    profile = WorkerProfile("w", Archetype.GENERALIST, {"d": accuracy})
+    return BehavioralWorker(profile, behavior=behavior, seed=seed)
+
+
+def make_task(truth=Label.YES):
+    return Task(task_id=0, text="t", domain="d", truth=truth)
+
+
+class TestBehaviorConfig:
+    def test_defaults_are_plain_worker(self):
+        config = BehaviorConfig()
+        assert config.yes_bias == 0.0
+        assert config.fatigue_rate == 0.0
+        assert config.learning_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BehaviorConfig(yes_bias=1.5)
+        with pytest.raises(ValueError):
+            BehaviorConfig(fatigue_rate=-0.1)
+        with pytest.raises(ValueError):
+            BehaviorConfig(fatigue_rate=0.1, learning_rate=0.1)
+        with pytest.raises(ValueError):
+            BehaviorConfig(floor=0.9, ceiling=0.8)
+
+
+class TestYesBias:
+    def test_asymmetric_confusion(self):
+        """Bias raises accuracy on YES tasks, lowers it on NO tasks."""
+        behavior = BehaviorConfig(yes_bias=0.4)
+        n = 4000
+        worker_yes = make_worker(0.7, behavior, seed=1)
+        yes_correct = sum(
+            worker_yes.answer(make_task(Label.YES)) is Label.YES
+            for _ in range(n)
+        )
+        worker_no = make_worker(0.7, behavior, seed=2)
+        no_correct = sum(
+            worker_no.answer(make_task(Label.NO)) is Label.NO
+            for _ in range(n)
+        )
+        # P(correct|YES) = .4 + .6·.7 = .82 ; P(correct|NO) = .6·.7 = .42
+        assert abs(yes_correct / n - 0.82) < 0.03
+        assert abs(no_correct / n - 0.42) < 0.03
+
+    def test_zero_bias_matches_base_model(self):
+        worker = make_worker(0.7, BehaviorConfig(), seed=5)
+        n = 4000
+        correct = sum(
+            worker.answer(make_task(Label.NO)) is Label.NO
+            for _ in range(n)
+        )
+        assert abs(correct / n - 0.7) < 0.03
+
+
+class TestFatigue:
+    def test_accuracy_decays(self):
+        behavior = BehaviorConfig(fatigue_rate=0.05)
+        worker = make_worker(0.9, behavior)
+        task = make_task()
+        fresh = worker.effective_accuracy(task)
+        for _ in range(50):
+            worker.answer(task)
+        tired = worker.effective_accuracy(task)
+        assert fresh == pytest.approx(0.9)
+        assert tired < fresh
+        assert tired >= behavior.floor
+
+    def test_decay_approaches_coin_flip(self):
+        behavior = BehaviorConfig(fatigue_rate=0.2)
+        worker = make_worker(0.9, behavior)
+        task = make_task()
+        for _ in range(100):
+            worker.answer(task)
+        assert worker.effective_accuracy(task) == pytest.approx(0.5, abs=0.01)
+
+
+class TestLearning:
+    def test_accuracy_improves_toward_ceiling(self):
+        behavior = BehaviorConfig(learning_rate=0.05, ceiling=0.95)
+        worker = make_worker(0.6, behavior)
+        task = make_task()
+        initial = worker.effective_accuracy(task)
+        for _ in range(100):
+            worker.answer(task)
+        final = worker.effective_accuracy(task)
+        assert initial == pytest.approx(0.6)
+        assert final > initial
+        assert final <= 0.95 + 1e-9
+
+    def test_answers_given_counts(self):
+        worker = make_worker()
+        task = make_task()
+        for _ in range(7):
+            worker.answer(task)
+        assert worker.answers_given == 7

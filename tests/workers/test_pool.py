@@ -1,0 +1,97 @@
+"""Unit tests for the dynamic worker pool (Section 2.1 dynamics)."""
+
+import pytest
+
+from repro.workers.pool import WorkerPool
+from repro.workers.profiles import generate_profiles
+
+DOMAINS = ["a", "b"]
+
+
+def make_pool(n=5, **kwargs):
+    profiles = generate_profiles(DOMAINS, n, seed=0)
+    return WorkerPool(profiles, seed=0, **kwargs)
+
+
+class TestLifecycle:
+    def test_all_active_after_first_tick_without_spread(self):
+        pool = make_pool(4)
+        assert pool.active_workers() == []
+        pool.tick()
+        assert len(pool.active_workers()) == 4
+
+    def test_arrival_spread_staggers(self):
+        pool = make_pool(10, arrival_spread=50)
+        pool.tick()
+        early = len(pool.active_workers())
+        for _ in range(60):
+            pool.tick()
+        late = len(pool.active_workers())
+        assert early < late == 10
+
+    def test_sample_requester_none_when_empty(self):
+        pool = make_pool(3)
+        assert pool.sample_requester() is None
+
+    def test_sample_requester_returns_active(self):
+        pool = make_pool(3)
+        pool.tick()
+        assert pool.sample_requester() in pool.active_workers()
+
+    def test_remove_is_permanent(self):
+        pool = make_pool(3)
+        pool.tick()
+        victim = pool.active_workers()[0]
+        pool.remove(victim)
+        for _ in range(10):
+            pool.tick()
+        assert victim not in pool.active_workers()
+
+    def test_deactivate_then_rearrive(self):
+        pool = make_pool(3, churn=0.0)
+        pool.tick()
+        worker = pool.active_workers()[0]
+        pool.deactivate(worker)
+        assert worker not in pool.active_workers()
+        pool.tick()  # churn=0 → immediate reactivation on arrival check
+        assert worker in pool.active_workers()
+
+    def test_churn_eventually_deactivates(self):
+        pool = make_pool(5, churn=0.5)
+        pool.tick()
+        observed_inactive = False
+        for _ in range(100):
+            worker = pool.sample_requester()
+            if worker is None:
+                observed_inactive = True
+                pool.tick()
+                continue
+            pool.note_submission(worker)
+            if len(pool.active_workers()) < 5:
+                observed_inactive = True
+            pool.tick()
+        assert observed_inactive
+
+    def test_worker_accessor(self):
+        pool = make_pool(2)
+        profile = pool.profiles()[0]
+        assert pool.worker(profile.worker_id).worker_id == profile.worker_id
+
+    def test_len(self):
+        assert len(make_pool(7)) == 7
+
+
+class TestValidation:
+    def test_requires_profiles(self):
+        with pytest.raises(ValueError):
+            WorkerPool([])
+
+    def test_rejects_bad_churn(self):
+        profiles = generate_profiles(DOMAINS, 2, seed=0)
+        with pytest.raises(ValueError):
+            WorkerPool(profiles, churn=1.0)
+
+    def test_rejects_negative_spread(self):
+        profiles = generate_profiles(DOMAINS, 2, seed=0)
+        with pytest.raises(ValueError):
+            WorkerPool(profiles, arrival_spread=-1)

@@ -1,0 +1,123 @@
+"""Unit tests for worker profile generation (the Figure 6 population)."""
+
+import pytest
+
+from repro.workers.profiles import (
+    Archetype,
+    WorkerProfile,
+    generate_profiles,
+)
+
+DOMAINS = ["Food", "NBA", "Auto", "Country"]
+
+
+class TestWorkerProfile:
+    def test_accuracy_lookup(self):
+        profile = WorkerProfile(
+            "w1", Archetype.EXPERT, {"Food": 0.9, "NBA": 0.3}
+        )
+        assert profile.accuracy("Food") == 0.9
+        assert profile.accuracy("Unknown") == 0.5
+
+    def test_mean_accuracy(self):
+        profile = WorkerProfile(
+            "w1", Archetype.GENERALIST, {"a": 0.6, "b": 0.8}
+        )
+        assert profile.mean_accuracy == pytest.approx(0.7)
+
+    def test_best_domains(self):
+        profile = WorkerProfile(
+            "w1", Archetype.EXPERT, {"a": 0.6, "b": 0.9, "c": 0.3}
+        )
+        assert profile.best_domains(2) == ["b", "a"]
+
+    def test_rejects_invalid_accuracy(self):
+        with pytest.raises(ValueError):
+            WorkerProfile("w1", Archetype.SPAMMER, {"a": 1.2})
+
+
+class TestGenerateProfiles:
+    def test_population_size(self):
+        profiles = generate_profiles(DOMAINS, 53, seed=1)
+        assert len(profiles) == 53
+
+    def test_unique_worker_ids(self):
+        profiles = generate_profiles(DOMAINS, 25, seed=2)
+        ids = [p.worker_id for p in profiles]
+        assert len(set(ids)) == 25
+
+    def test_every_domain_covered(self):
+        profiles = generate_profiles(DOMAINS, 53, seed=1)
+
+    def test_deterministic(self):
+        a = generate_profiles(DOMAINS, 20, seed=9)
+        b = generate_profiles(DOMAINS, 20, seed=9)
+        assert [p.accuracy_by_domain for p in a] == [
+            p.accuracy_by_domain for p in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_profiles(DOMAINS, 20, seed=1)
+        b = generate_profiles(DOMAINS, 20, seed=2)
+        assert [p.accuracy_by_domain for p in a] != [
+            p.accuracy_by_domain for p in b
+        ]
+
+    def test_mixture_counts_exact(self):
+        mix = {
+            Archetype.EXPERT: 0.5,
+            Archetype.GENERALIST: 0.25,
+            Archetype.SPAMMER: 0.25,
+        }
+        profiles = generate_profiles(DOMAINS, 20, seed=3, mix=mix)
+        counts = {}
+        for profile in profiles:
+            counts[profile.archetype] = counts.get(profile.archetype, 0) + 1
+        assert counts[Archetype.EXPERT] == 10
+        assert counts[Archetype.GENERALIST] == 5
+        assert counts[Archetype.SPAMMER] == 5
+
+    def test_experts_have_a_strong_domain(self):
+        profiles = generate_profiles(DOMAINS, 30, seed=4)
+        for profile in profiles:
+            if profile.archetype is Archetype.EXPERT:
+                assert max(profile.accuracy_by_domain.values()) >= 0.85
+
+    def test_expert_strong_domains_cover_all(self):
+        """Round-robin forcing guarantees each domain has an expert in a
+        large enough population (the Figure 6 structure)."""
+        profiles = generate_profiles(DOMAINS, 40, seed=5)
+        strong = set()
+        for profile in profiles:
+            if profile.archetype is Archetype.EXPERT:
+                strong.update(
+                    d
+                    for d, acc in profile.accuracy_by_domain.items()
+                    if acc >= 0.85
+                )
+        assert strong == set(DOMAINS)
+
+    def test_spammers_near_random(self):
+        profiles = generate_profiles(DOMAINS, 40, seed=6)
+        for profile in profiles:
+            if profile.archetype is Archetype.SPAMMER:
+                assert max(profile.accuracy_by_domain.values()) <= 0.55
+
+    def test_diversity_matches_figure6(self):
+        """Experts show a wide accuracy span across domains."""
+        profiles = generate_profiles(DOMAINS, 40, seed=7)
+        spans = [
+            max(p.accuracy_by_domain.values())
+            - min(p.accuracy_by_domain.values())
+            for p in profiles
+            if p.archetype is Archetype.EXPERT
+        ]
+        assert min(spans) > 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_profiles(DOMAINS, 0)
+        with pytest.raises(ValueError):
+            generate_profiles([], 10)
+        with pytest.raises(ValueError):
+            generate_profiles(DOMAINS, 5, mix={Archetype.EXPERT: 0.0})

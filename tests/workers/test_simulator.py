@@ -1,0 +1,63 @@
+"""Unit tests for the simulated worker answer model (Definition 1)."""
+
+import numpy as np
+
+from repro.core.types import Label, Task
+from repro.workers.profiles import Archetype, WorkerProfile
+from repro.workers.simulator import SimulatedWorker
+
+
+def make_worker(accuracy_by_domain, seed=0):
+    profile = WorkerProfile("w1", Archetype.EXPERT, accuracy_by_domain)
+    return SimulatedWorker(profile, seed=seed)
+
+
+def make_task(domain, truth=Label.YES):
+    return Task(task_id=0, text="t", domain=domain, truth=truth)
+
+
+class TestAnswer:
+    def test_perfect_worker_always_correct(self):
+        worker = make_worker({"d": 1.0})
+        task = make_task("d", Label.NO)
+        assert all(worker.answer(task) is Label.NO for _ in range(50))
+
+    def test_always_wrong_worker(self):
+        worker = make_worker({"d": 0.0})
+        task = make_task("d", Label.YES)
+        assert all(worker.answer(task) is Label.NO for _ in range(50))
+
+    def test_empirical_rate_matches_accuracy(self):
+        worker = make_worker({"d": 0.7}, seed=1)
+        task = make_task("d", Label.YES)
+        n = 5000
+        correct = sum(worker.answer(task) is Label.YES for _ in range(n))
+        assert abs(correct / n - 0.7) < 0.03
+
+    def test_domain_specific_behaviour(self):
+        worker = make_worker({"strong": 1.0, "weak": 0.0}, seed=2)
+        assert worker.answer(make_task("strong")) is Label.YES
+        assert worker.answer(make_task("weak")) is Label.NO
+
+    def test_unknown_domain_is_coin_flip(self):
+        worker = make_worker({"d": 1.0}, seed=3)
+        task = make_task("other")
+        n = 3000
+        yes = sum(worker.answer(task) is Label.YES for _ in range(n))
+        assert abs(yes / n - 0.5) < 0.05
+
+    def test_deterministic_stream(self):
+        a = make_worker({"d": 0.6}, seed=9)
+        b = make_worker({"d": 0.6}, seed=9)
+        task = make_task("d")
+        assert [a.answer(task) for _ in range(30)] == [
+            b.answer(task) for _ in range(30)
+        ]
+
+    def test_true_accuracy_exposed_for_evaluation(self):
+        worker = make_worker({"d": 0.8})
+        assert worker.true_accuracy(make_task("d")) == 0.8
+
+    def test_worker_id_passthrough(self):
+        worker = make_worker({"d": 0.5})
+        assert worker.worker_id == "w1"
