@@ -54,6 +54,7 @@ _DESCRIPTIONS = {
     "fig14": "assignment size (k) sweep",
     "table5": "greedy assignment approximation error",
     "fig15": "assignment distribution over workers",
+    "perf": "offline-phase timings: kernel, parallel basis, cache",
 }
 
 
@@ -102,6 +103,34 @@ def build_parser() -> argparse.ArgumentParser:
     table5.add_argument(
         "--workers", type=int, nargs="+", default=[3, 4, 5, 6, 7]
     )
+    perf = sub.add_parser("perf", help=_DESCRIPTIONS["perf"])
+    perf.add_argument(
+        "--kernel-tasks", type=int, default=50_000,
+        help="graph size for the push-kernel comparison",
+    )
+    perf.add_argument("--kernel-sources", type=int, default=3)
+    perf.add_argument(
+        "--basis-tasks", type=int, default=6_000,
+        help="graph size for the serial vs parallel basis build",
+    )
+    perf.add_argument(
+        "--cache-tasks", type=int, default=5_000,
+        help="graph size for the cold vs warm estimator start",
+    )
+    perf.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel-push pool size (default: one per core, min 2)",
+    )
+    perf.add_argument(
+        "--cache-dir", default=None,
+        help="basis cache directory (default: a throwaway temp dir; "
+        "set REPRO_BASIS_CACHE to warm-start other commands too)",
+    )
+    perf.add_argument("--seed", type=int, default=7)
+    perf.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write machine-readable results to PATH",
+    )
     return parser
 
 
@@ -140,6 +169,22 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed, worker_counts=args.workers
         )
         print(result.format_table())
+        return 0
+    if args.command == "perf":
+        from repro.experiments import perf_offline
+
+        result = perf_offline(
+            kernel_tasks=args.kernel_tasks,
+            kernel_sources=args.kernel_sources,
+            basis_tasks=args.basis_tasks,
+            cache_tasks=args.cache_tasks,
+            num_workers=args.workers,
+            cache_dir=args.cache_dir,
+            seed=args.seed,
+        )
+        print(result.format_table())
+        if args.json:
+            print(f"wrote {result.write_json(args.json)}")
         return 0
     runner = _STANDARD[args.command]
     result = runner(args.dataset, seed=args.seed, scale=args.scale)

@@ -40,8 +40,11 @@ from repro.core.observed import (
     consensus_observed_accuracy,
 )
 from repro.core.persistence import (
+    basis_cache_key,
+    load_basis,
     load_checkpoint,
     restore_state,
+    save_basis,
     save_checkpoint,
 )
 from repro.core.optimal import (
@@ -49,7 +52,16 @@ from repro.core.optimal import (
     bitmask_optimal,
     enumerate_optimal,
 )
-from repro.core.ppr import PPRBasis, forward_push, power_iteration, solve_exact
+from repro.core.ppr import (
+    ConvergenceWarning,
+    PPRBasis,
+    PushKernel,
+    PushStats,
+    forward_push,
+    forward_push_reference,
+    power_iteration,
+    solve_exact,
+)
 from repro.core.qualification import (
     WarmUp,
     influence,
@@ -75,6 +87,9 @@ __all__ = [
     "Answer",
     "Assignment",
     "AssignerConfig",
+    "ConvergenceWarning",
+    "PushKernel",
+    "PushStats",
     "EarlyStopICrowd",
     "EstimatorConfig",
     "GraphConfig",
@@ -105,6 +120,7 @@ __all__ = [
     "WarmUp",
     "WorkerId",
     "approximation_error",
+    "basis_cache_key",
     "beta_variance",
     "bitmask_optimal",
     "compute_top_worker_set",
@@ -112,15 +128,18 @@ __all__ = [
     "consensus_observed_accuracy",
     "enumerate_optimal",
     "forward_push",
+    "forward_push_reference",
     "greedy_assign",
     "hungarian",
     "influence",
+    "load_basis",
     "load_checkpoint",
     "max_accuracy_matching",
     "multichoice_observed_accuracy",
     "plurality_vote",
     "power_iteration",
     "restore_state",
+    "save_basis",
     "save_checkpoint",
     "scheme_value",
     "score_graph",

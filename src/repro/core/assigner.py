@@ -202,6 +202,25 @@ def scheme_value(scheme: Sequence[TopWorkerSet]) -> float:
     return sum(c.sum_accuracy for c in scheme)
 
 
+@dataclass
+class _RoundCache:
+    """One computed greedy scheme, reused across the requests of a round.
+
+    ``key`` is ``(epoch, frozenset(actives))`` — the scheme stays valid
+    while no answer has arrived (the framework bumps the epoch on every
+    state mutation) and the active worker set is unchanged.  ``served``
+    tracks workers whose scheme slot was already issued: issuing a slot
+    mutates task state exactly as the scheme prescribed, so the rest of
+    the scheme remains consistent, but re-serving the same slot would
+    hand the worker a duplicate task.
+    """
+
+    key: tuple[int, frozenset[WorkerId]]
+    scheme: list[TopWorkerSet]
+    by_worker: dict[WorkerId, TopWorkerSet]
+    served: set[WorkerId] = field(default_factory=set)
+
+
 class AdaptiveAssigner:
     """Algorithm 2: the full adaptive assignment framework.
 
@@ -209,6 +228,14 @@ class AdaptiveAssigner:
     worker performance testing (delegated to a
     :class:`repro.core.testing.PerformanceTester` supplied by the
     framework).
+
+    The greedy scheme is worker-disjoint, so one scheme answers a whole
+    *round* of per-worker requests: when the framework supplies its
+    invalidation ``epoch``, the scheme is cached and every request of
+    the round is served by a dictionary lookup instead of a fresh
+    O(|T| log |T|) computation.  The cache is dropped when the epoch
+    advances (an answer arrived), the active set changes, or a worker
+    re-requests an already-issued slot.
     """
 
     def __init__(
@@ -218,6 +245,50 @@ class AdaptiveAssigner:
     ) -> None:
         self.config = config or AssignerConfig()
         self.tester = tester
+        self._round_cache: _RoundCache | None = None
+        #: Number of greedy scheme computations performed (tests assert
+        #: amortisation: one per invalidation epoch, not one per request).
+        self.scheme_computations = 0
+
+    def _compute_scheme(
+        self,
+        states: Sequence[TaskState],
+        active_workers: Sequence[WorkerId],
+        accuracies: Mapping[WorkerId, np.ndarray],
+    ) -> list[TopWorkerSet]:
+        """Shared scheme walk: top worker sets, then greedy selection."""
+        self.scheme_computations += 1
+        candidates = compute_top_worker_sets_fast(
+            states, active_workers, accuracies
+        )
+        return greedy_assign(candidates)
+
+    def invalidate(self) -> None:
+        """Drop the cached round scheme (state changed out of band)."""
+        self._round_cache = None
+
+    def _scheme_for_round(
+        self,
+        states: Sequence[TaskState],
+        active_workers: Sequence[WorkerId],
+        accuracies: Mapping[WorkerId, np.ndarray],
+        epoch: int | None,
+    ) -> _RoundCache:
+        key = (epoch, frozenset(active_workers))
+        if (
+            epoch is not None
+            and self._round_cache is not None
+            and self._round_cache.key == key
+        ):
+            return self._round_cache
+        scheme = self._compute_scheme(states, active_workers, accuracies)
+        by_worker: dict[WorkerId, TopWorkerSet] = {}
+        for selected in scheme:
+            for scheme_worker, _ in selected.workers:
+                by_worker[scheme_worker] = selected
+        cache = _RoundCache(key=key, scheme=scheme, by_worker=by_worker)
+        self._round_cache = cache if epoch is not None else None
+        return cache
 
     def assign(
         self,
@@ -231,10 +302,7 @@ class AdaptiveAssigner:
         greedy scheme, plus test assignments (``is_test=True``) for
         workers left idle when a tester is configured.
         """
-        candidates = compute_top_worker_sets_fast(
-            states, active_workers, accuracies
-        )
-        scheme = greedy_assign(candidates)
+        scheme = self._compute_scheme(states, active_workers, accuracies)
         assignments: list[Assignment] = []
         assigned_workers: set[WorkerId] = set()
         for selected in scheme:
@@ -266,26 +334,37 @@ class AdaptiveAssigner:
         states: Sequence[TaskState],
         active_workers: Sequence[WorkerId],
         accuracies: Mapping[WorkerId, np.ndarray],
+        epoch: int | None = None,
     ) -> Assignment | None:
         """Assignment for one requesting worker (the platform's unit of
         interaction — each iteration is triggered by a worker request).
 
         Runs the full scheme over all active workers so the requesting
         worker is only given a task for which she is part of the best
-        scheme; falls back to a performance test otherwise.
+        scheme; falls back to a performance test otherwise.  When the
+        caller supplies its invalidation ``epoch``, the scheme is
+        computed once per (epoch, active set) round and each request is
+        served from the cached scheme.
         """
         if worker_id not in active_workers:
             raise ValueError(f"worker {worker_id!r} is not active")
-        candidates = compute_top_worker_sets_fast(
-            states, active_workers, accuracies
+        cache = self._scheme_for_round(
+            states, active_workers, accuracies, epoch
         )
-        scheme = greedy_assign(candidates)
-        for selected in scheme:
-            for scheme_worker, _ in selected.workers:
-                if scheme_worker == worker_id:
-                    return Assignment(
-                        task_id=selected.task_id, worker_id=worker_id
-                    )
+        if worker_id in cache.served:
+            # the worker re-requests while still holding her scheme slot:
+            # recompute against current state (she is excluded from the
+            # held task, so a fresh scheme may place her elsewhere).
+            self._round_cache = None
+            cache = self._scheme_for_round(
+                states, active_workers, accuracies, epoch
+            )
+        selected = cache.by_worker.get(worker_id)
+        if selected is not None:
+            cache.served.add(worker_id)
+            return Assignment(
+                task_id=selected.task_id, worker_id=worker_id
+            )
         # the requester is in no selected top worker set: test her
         # performance instead (Algorithm 2, step 3) — but only her; the
         # other idle workers get their tests when they request.

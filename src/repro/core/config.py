@@ -15,7 +15,7 @@ All tunables named in the paper live here with the paper's defaults:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 @dataclass(frozen=True)
@@ -34,6 +34,14 @@ class EstimatorConfig:
     #: Default accuracy for workers with no observations at all; the paper
     #: uses the warm-up average before the first estimate exists.
     prior_accuracy: float = 0.5
+    #: Process count for the parallel offline basis (``parallel-push``);
+    #: 0 = one worker per CPU core.  The parallel path is only auto-
+    #: selected when more than one worker resolves.
+    num_workers: int = 0
+    #: Directory for the on-disk offline-basis cache; None disables it
+    #: (the ``REPRO_BASIS_CACHE`` environment variable then acts as the
+    #: fallback default, see :class:`repro.core.AccuracyEstimator`).
+    basis_cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -48,6 +56,8 @@ class EstimatorConfig:
             raise ValueError("ppr_tol must be positive")
         if self.basis_epsilon < 0:
             raise ValueError("basis_epsilon must be >= 0")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
 
     @property
     def damping(self) -> float:
@@ -175,43 +185,12 @@ class ICrowdConfig:
 
     def with_k(self, k: int) -> "ICrowdConfig":
         """Copy of this config with a different assignment size."""
-        return ICrowdConfig(
-            estimator=self.estimator,
-            assigner=AssignerConfig(
-                k=k,
-                uncertainty_weight=self.assigner.uncertainty_weight,
-                active_window=self.assigner.active_window,
-            ),
-            qualification=self.qualification,
-            graph=self.graph,
-            consensus=self.consensus,
-            seed=self.seed,
-        )
+        return replace(self, assigner=replace(self.assigner, k=k))
 
     def with_alpha(self, alpha: float) -> "ICrowdConfig":
         """Copy of this config with a different estimation alpha."""
-        return ICrowdConfig(
-            estimator=EstimatorConfig(
-                alpha=alpha,
-                ppr_tol=self.estimator.ppr_tol,
-                ppr_max_iter=self.estimator.ppr_max_iter,
-                basis_epsilon=self.estimator.basis_epsilon,
-                prior_accuracy=self.estimator.prior_accuracy,
-            ),
-            assigner=self.assigner,
-            qualification=self.qualification,
-            graph=self.graph,
-            consensus=self.consensus,
-            seed=self.seed,
-        )
+        return replace(self, estimator=replace(self.estimator, alpha=alpha))
 
     def with_consensus(self, consensus: str) -> "ICrowdConfig":
         """Copy of this config with a different consensus rule."""
-        return ICrowdConfig(
-            estimator=self.estimator,
-            assigner=self.assigner,
-            qualification=self.qualification,
-            graph=self.graph,
-            consensus=consensus,
-            seed=self.seed,
-        )
+        return replace(self, consensus=consensus)

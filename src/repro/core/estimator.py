@@ -8,17 +8,30 @@ and the observed accuracies:
 - **online** — given a worker's sparse observed accuracies ``q^w``,
   return the estimated vector ``p^w = Σ_i q_i^w · p_{t_i}``.
 
+The offline phase is the dominant cost of a run, so it is both
+parallelisable (``EstimatorConfig.num_workers`` shards the push rows
+over a process pool) and cacheable: when a cache directory is
+configured — explicitly, via ``EstimatorConfig.basis_cache_dir``, or
+via the ``REPRO_BASIS_CACHE`` environment variable — the computed basis
+is persisted keyed by a content hash of ``(S', damping, epsilon)`` and
+later runs load it bit-identically instead of recomputing.
+
 A subtlety the paper leaves implicit: the raw combination scales with
 the number of observations (a worker with many completed tasks would get
 arbitrarily large "accuracies").  The estimator therefore exposes both
 the raw linear combination (used for *ranking* workers, which is all the
 assigner needs) and a calibrated variant that renormalises by the
 combination of an all-ones restart restricted to the observed support,
-blending with the prior where the graph carries no signal.
+blending with the prior where the graph carries no signal.  The
+all-ones "mass" vector depends only on the observed *support*, which
+for a live worker is stable across many estimate refreshes — it is
+memoised per support set.
 """
 
 from __future__ import annotations
 
+import os
+import pathlib
 from typing import Mapping
 
 import numpy as np
@@ -27,6 +40,16 @@ from repro.core.config import EstimatorConfig
 from repro.core.graph import SimilarityGraph
 from repro.core.ppr import PPRBasis, power_iteration
 from repro.core.types import TaskId
+
+#: Environment variable naming a default basis-cache directory; used
+#: when neither the constructor nor the config names one (lets CLI and
+#: experiment runs opt into warm starts without threading a parameter
+#: through every call site).
+BASIS_CACHE_ENV = "REPRO_BASIS_CACHE"
+
+#: Memoised all-ones restart masses kept per estimator before the cache
+#: is dropped (support sets churn slowly, so this is rarely hit).
+_MASS_CACHE_LIMIT = 4096
 
 
 class AccuracyEstimator:
@@ -37,10 +60,15 @@ class AccuracyEstimator:
     graph:
         The microtask similarity graph.
     config:
-        Estimation knobs (``alpha``, tolerances, truncation).
+        Estimation knobs (``alpha``, tolerances, truncation,
+        parallelism, caching).
     basis_method:
-        ``"push"`` (localized, default) or ``"power"`` for the offline
-        basis computation.
+        ``"auto"`` (default), ``"push"``, ``"parallel-push"``,
+        ``"batch"`` or ``"power"`` for the offline basis computation.
+    cache_dir:
+        Overrides the basis-cache directory (takes precedence over
+        ``config.basis_cache_dir`` and the ``REPRO_BASIS_CACHE``
+        environment variable); None falls back to those.
     """
 
     def __init__(
@@ -48,28 +76,70 @@ class AccuracyEstimator:
         graph: SimilarityGraph,
         config: EstimatorConfig | None = None,
         basis_method: str = "auto",
+        cache_dir: str | pathlib.Path | None = None,
     ) -> None:
         self.graph = graph
         self.config = config or EstimatorConfig()
         self._basis_method = basis_method
         self._basis: PPRBasis | None = None
+        self._cache_dir = self._resolve_cache_dir(cache_dir)
+        #: True when the current basis was served from the on-disk
+        #: cache rather than computed (diagnostics / benches).
+        self.basis_from_cache = False
+        self._mass_cache: dict[frozenset[TaskId], np.ndarray] = {}
+
+    def _resolve_cache_dir(
+        self, explicit: str | pathlib.Path | None
+    ) -> pathlib.Path | None:
+        candidate = (
+            explicit
+            or self.config.basis_cache_dir
+            or os.environ.get(BASIS_CACHE_ENV)
+        )
+        return pathlib.Path(candidate) if candidate else None
 
     # ------------------------------------------------------------------
     # offline phase
     # ------------------------------------------------------------------
     @property
     def basis(self) -> PPRBasis:
-        """The offline PPR basis; computed lazily on first access."""
+        """The offline PPR basis; loaded from cache or computed lazily
+        on first access."""
         if self._basis is None:
-            self._basis = PPRBasis.compute(
-                self.graph.normalized,
-                damping=self.config.damping,
-                epsilon=self.config.basis_epsilon,
-                method=self._basis_method,
-                tol=self.config.ppr_tol,
-                max_iter=self.config.ppr_max_iter,
-            )
+            self._basis = self._load_or_compute_basis()
         return self._basis
+
+    def _load_or_compute_basis(self) -> PPRBasis:
+        key = None
+        if self._cache_dir is not None:
+            from repro.core.persistence import (
+                basis_cache_key,
+                load_basis,
+                save_basis,
+            )
+
+            key = basis_cache_key(
+                self.graph.normalized,
+                self.config.damping,
+                self.config.basis_epsilon,
+            )
+            cached = load_basis(self._cache_dir, key)
+            if cached is not None:
+                self.basis_from_cache = True
+                return cached
+        basis = PPRBasis.compute(
+            self.graph.normalized,
+            damping=self.config.damping,
+            epsilon=self.config.basis_epsilon,
+            method=self._basis_method,
+            tol=self.config.ppr_tol,
+            max_iter=self.config.ppr_max_iter,
+            num_workers=self.config.num_workers or None,
+        )
+        self.basis_from_cache = False
+        if key is not None:
+            save_basis(basis, self._cache_dir, key)
+        return basis
 
     def precompute(self) -> None:
         """Force the offline basis computation (Algorithm 1 lines 2-4)."""
@@ -85,6 +155,22 @@ class AccuracyEstimator:
         but not calibrated as a probability.
         """
         return self.basis.combine(dict(observed))
+
+    def _support_mass(self, support: frozenset[TaskId]) -> np.ndarray:
+        """All-ones restart mass over ``support`` (memoised).
+
+        The mass depends only on *which* tasks were observed, not on
+        the observed values, so successive estimates for a worker whose
+        support has not changed reuse it.  Callers must not mutate the
+        returned array.
+        """
+        mass = self._mass_cache.get(support)
+        if mass is None:
+            mass = self.basis.combine({t: 1.0 for t in support})
+            if len(self._mass_cache) >= _MASS_CACHE_LIMIT:
+                self._mass_cache.clear()
+            self._mass_cache[support] = mass
+        return mass
 
     def estimate(self, observed: Mapping[TaskId, float]) -> np.ndarray:
         """Calibrated accuracy vector ``p^w`` over all tasks.
@@ -103,7 +189,7 @@ class AccuracyEstimator:
                 self.graph.num_tasks, self.config.prior_accuracy
             )
         raw = self.basis.combine(observed)
-        mass = self.basis.combine({t: 1.0 for t in observed})
+        mass = self._support_mass(frozenset(observed))
         prior = self.config.prior_accuracy
         out = np.full(self.graph.num_tasks, prior, dtype=np.float64)
         reached = mass > 1e-9

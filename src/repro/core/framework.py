@@ -121,6 +121,11 @@ class ICrowd:
         self._pending: dict[tuple[WorkerId, TaskId], int] = {}
         self._clock = 0
         self._seq = 0
+        #: Assignment invalidation epoch: bumped on every state change
+        #: that can alter the greedy scheme (answers, releases), so the
+        #: assigner can serve a whole round of worker requests from one
+        #: cached scheme computation.
+        self._assign_epoch = 0
 
         tester = PerformanceTester(
             self.graph,
@@ -192,6 +197,7 @@ class ICrowd:
         self._clock += 1
         self._last_seen[worker_id] = self._clock
         self._seq += 1
+        self._assign_epoch += 1
         answer = Answer(
             task_id=task_id, worker_id=worker_id, label=label, seq=self._seq
         )
@@ -233,6 +239,7 @@ class ICrowd:
             list(self._states.values()),
             actives,
             self._estimates,
+            epoch=self._assign_epoch,
         )
 
     def _consensus_label(self, vote_state: VoteState) -> Label:
@@ -323,7 +330,13 @@ class ICrowd:
         state = self._states.get(task_id)
         if state is not None:
             state.assigned_workers.discard(worker_id)
+        self._assign_epoch += 1
         return True
+
+    @property
+    def assignment_epoch(self) -> int:
+        """Current assignment invalidation epoch (see ``_assign_epoch``)."""
+        return self._assign_epoch
 
     def expire_stale_assignments(self, max_age: int) -> list[tuple[WorkerId, TaskId]]:
         """Release every outstanding assignment older than ``max_age``

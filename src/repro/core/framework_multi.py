@@ -117,6 +117,7 @@ class MultiICrowd:
         self._answers: dict[WorkerId, list[tuple[TaskId, Choice]]] = {}
         self._estimates: dict[WorkerId, np.ndarray] = {}
         self._dirty: set[WorkerId] = set()
+        self._assign_epoch = 0
         tester = PerformanceTester(
             self.graph,
             observed_of=self._observed_of,
@@ -150,7 +151,7 @@ class MultiICrowd:
         self._refresh_estimates(actives)
         assignment = self.assigner.assign_for_worker(
             worker_id, list(self._states.values()), actives,
-            self._estimates,
+            self._estimates, epoch=self._assign_epoch,
         )
         if assignment is not None:
             state = self._states[assignment.task_id]
@@ -168,6 +169,7 @@ class MultiICrowd:
         is_test: bool = False,
     ) -> None:
         """Record a multi-choice answer."""
+        self._assign_epoch += 1
         if task_id in self.warmup.qualification_truth:
             self.warmup.grade(worker_id, task_id, choice)
             self._answers.setdefault(worker_id, []).append(

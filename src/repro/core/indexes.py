@@ -27,7 +27,7 @@ from typing import Mapping
 
 from scipy import sparse
 
-from repro.core.ppr import forward_push
+from repro.core.ppr import PushKernel
 from repro.core.types import TaskId, WorkerId
 
 
@@ -124,6 +124,9 @@ class ScalableAssigner:
         # frontier of prior-valued tasks, served LIFO
         self._frontier: list[TaskId] = list(range(self.num_tasks - 1, -1, -1))
         self._basis_cache: dict[TaskId, dict[TaskId, float]] = {}
+        # shared flat-array push workspace: localized pushes for
+        # different observed tasks reuse one set of dense buffers
+        self._push_kernel: PushKernel | None = None
 
     # ------------------------------------------------------------------
     def _index_of(self, worker_id: WorkerId) -> SparseEstimateIndex:
@@ -147,12 +150,15 @@ class ScalableAssigner:
             if self.neighborhood_only:
                 basis_row = self._one_hop_row(task_id)
             else:
-                basis_row = forward_push(
-                    self.normalized,
-                    task_id,
-                    self.damping,
-                    epsilon=self.push_epsilon,
+                if self._push_kernel is None:
+                    self._push_kernel = PushKernel(self.normalized)
+                nodes, values, _ = self._push_kernel.push(
+                    task_id, self.damping, epsilon=self.push_epsilon
                 )
+                basis_row = {
+                    int(node): float(value)
+                    for node, value in zip(nodes.tolist(), values.tolist())
+                }
             self._basis_cache[task_id] = basis_row
         index = self._index_of(worker_id)
         mass = self._mass_cache(task_id)

@@ -8,27 +8,58 @@ which Equation (4) computes iteratively:
 
     p ← c · S' p + (1 - c) · q,      c = 1 / (1 + alpha).
 
-Two solvers are provided:
+Solvers provided:
 
 - :func:`power_iteration` — the paper's iteration, vectorised over the
   sparse normalised matrix; exact up to a tolerance.
 - :func:`forward_push` — a localized push solver (Andersen–Chung–Lang
-  style) that only touches the neighbourhood of the non-zero entries of
-  ``q``; this is what makes per-task basis vectors affordable on the
-  Figure 10 scalability workload.
+  style) on flat numpy buffers (see :class:`PushKernel`); this is what
+  makes per-task basis vectors affordable on the Figure 10 scalability
+  workload.
+- :func:`forward_push_reference` — the original dict-and-deque push,
+  kept as the differential-test oracle for the vectorised kernel.
 
 Lemma 3's linearity property is realised by :class:`PPRBasis`: the
 converged vector for every unit restart ``q = e_i`` is precomputed
 offline (Algorithm 1's offline phase) and the online estimate is the
-``q``-weighted sum of basis rows, an O(|T|) combination.
+``q``-weighted sum of basis rows, an O(|T|) combination.  The offline
+phase can run serially (``method="push"``) or sharded over a process
+pool (``method="parallel-push"``); both produce identical bases.
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
+
+
+class ConvergenceWarning(UserWarning):
+    """A solver hit its work limit before driving residuals below
+    tolerance; the returned estimate is truncated."""
+
+
+@dataclass
+class PushStats:
+    """Work/quality counters of one forward-push solve.
+
+    Pass a fresh instance via the ``stats`` parameter of
+    :func:`forward_push` / :func:`forward_push_reference` (or read the
+    one returned by :meth:`PushKernel.push`) to observe how much work
+    the solve did and how much residual mass was left behind.
+    """
+
+    #: Node relaxations performed (one per pushed node per round).
+    pushes: int = 0
+    #: Total |residual| mass remaining at termination.
+    residual_norm: float = 0.0
+    #: True when the ``max_pushes`` limit cut the solve short.
+    truncated: bool = False
 
 
 def power_iteration(
@@ -87,14 +118,202 @@ def solve_exact(
     return sparse.linalg.spsolve(system, (1.0 - damping) * np.asarray(q))
 
 
+def _default_push_limit(n: int) -> int:
+    return 200 * n + 1000
+
+
+class PushKernel:
+    """Reusable flat-array workspace for localized forward push.
+
+    Holds dense float64 residual/estimate buffers and the CSR arrays of
+    ``S'`` so that consecutive pushes (the offline basis loop) allocate
+    nothing per source.  The inner loop is fully vectorised: each round
+    relaxes the whole frontier at once with gather/scatter numpy ops,
+    and switches to scipy's C sparse matvec once the frontier covers a
+    sizeable fraction of the graph (the dense regime of small epsilon
+    on connected graphs), which is where the per-node queue of the
+    reference implementation degenerates.
+
+    Buffers are reset after every push by touching only the coordinates
+    the push reached, so the amortised cost stays neighbourhood-local.
+    """
+
+    #: Frontier size (as a fraction denominator of n) above which the
+    #: push switches from gather/scatter to full sparse matvec rounds.
+    DENSE_SWITCH_DIVISOR = 16
+
+    def __init__(self, normalized: sparse.csr_matrix) -> None:
+        matrix = normalized.tocsr()
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("normalized matrix must be square")
+        self._matrix = matrix
+        self.n = matrix.shape[0]
+        self._indptr = matrix.indptr
+        self._indices = matrix.indices
+        self._data = matrix.data
+        self._residual = np.zeros(self.n, dtype=np.float64)
+        self._estimate = np.zeros(self.n, dtype=np.float64)
+        self._dense_cut = max(64, self.n // self.DENSE_SWITCH_DIVISOR)
+
+    def push(
+        self,
+        source: int,
+        damping: float,
+        epsilon: float = 1e-7,
+        max_pushes: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, PushStats]:
+        """Localized solve of Eq. (4) for the unit restart ``q = e_source``.
+
+        Returns ``(nodes, values, stats)`` where ``nodes`` is the sorted
+        array of coordinates holding estimate mass and ``values`` their
+        estimates.  Warns :class:`ConvergenceWarning` when ``max_pushes``
+        truncates the solve.
+        """
+        if not 0 < damping < 1:
+            raise ValueError(f"damping must be in (0, 1), got {damping}")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        n = self.n
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} out of range")
+        limit = max_pushes if max_pushes is not None else _default_push_limit(n)
+        c = damping
+        residual = self._residual
+        estimate = self._estimate
+        indptr = self._indptr
+        indices = self._indices
+        data = self._data
+
+        residual[source] = 1.0
+        frontier = np.array([source], dtype=np.int64)
+        touched = [frontier]
+        pushes = 0
+        dense = False
+        truncated = False
+        while True:
+            if not dense and frontier.size > self._dense_cut:
+                dense = True
+            if dense:
+                mask = np.abs(residual) >= epsilon
+                count = int(mask.sum())
+                if not count:
+                    break
+                r_push = np.where(mask, residual, 0.0)
+                estimate += (1.0 - c) * r_push
+                residual -= r_push
+                residual += c * (self._matrix @ r_push)
+                pushes += count
+                if pushes >= limit and bool(
+                    (np.abs(residual) >= epsilon).any()
+                ):
+                    truncated = True
+                    break
+                continue
+            if not frontier.size:
+                break
+            r_front = residual[frontier]
+            estimate[frontier] += (1.0 - c) * r_front
+            residual[frontier] = 0.0
+            pushes += frontier.size
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total:
+                # vectorised multi-range gather: the concatenation of
+                # range(starts[k], starts[k] + counts[k]) over the frontier
+                cum = np.cumsum(counts)
+                offsets = np.arange(total) - np.repeat(cum - counts, counts)
+                idx = np.repeat(starts, counts) + offsets
+                neighbors = indices[idx]
+                contrib = c * data[idx] * np.repeat(r_front, counts)
+                np.add.at(residual, neighbors, contrib)
+                candidates = np.unique(neighbors)
+                touched.append(candidates)
+                frontier = candidates[
+                    np.abs(residual[candidates]) >= epsilon
+                ]
+            else:
+                frontier = frontier[:0]
+            if pushes >= limit and frontier.size:
+                truncated = True
+                break
+
+        if dense:
+            residual_norm = float(np.abs(residual).sum())
+            nodes = np.flatnonzero(estimate)
+            values = estimate[nodes].copy()
+            residual[:] = 0.0
+            estimate[:] = 0.0
+        else:
+            reached = np.unique(np.concatenate(touched))
+            residual_norm = float(np.abs(residual[reached]).sum())
+            nodes = reached[estimate[reached] != 0.0]
+            values = estimate[nodes].copy()
+            residual[reached] = 0.0
+            estimate[reached] = 0.0
+        stats = PushStats(
+            pushes=pushes, residual_norm=residual_norm, truncated=truncated
+        )
+        if truncated:
+            warnings.warn(
+                f"forward push from source {source} truncated after "
+                f"{pushes} pushes with residual mass "
+                f"{residual_norm:.3g} >= epsilon={epsilon:g}; the "
+                f"estimate is partial (raise max_pushes or epsilon)",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        return nodes, values, stats
+
+
 def forward_push(
     normalized: sparse.csr_matrix,
     source: int,
     damping: float,
     epsilon: float = 1e-7,
     max_pushes: int | None = None,
+    kernel: PushKernel | None = None,
+    stats: PushStats | None = None,
 ) -> dict[int, float]:
     """Localized solve of Eq. (4) for a unit restart ``q = e_source``.
+
+    Vectorised implementation (see :class:`PushKernel`); pass a shared
+    ``kernel`` built on the same matrix to reuse its buffers across
+    calls, and a :class:`PushStats` instance via ``stats`` to observe
+    push counts and leftover residual mass.  Warns
+    :class:`ConvergenceWarning` when ``max_pushes`` truncates the solve.
+
+    Returns
+    -------
+    dict
+        Sparse estimate mapping node → value (entries ≥ epsilon scale).
+    """
+    if kernel is None:
+        kernel = PushKernel(normalized)
+    elif kernel.n != normalized.shape[0]:
+        raise ValueError("kernel was built on a different matrix size")
+    nodes, values, push_stats = kernel.push(
+        source, damping, epsilon=epsilon, max_pushes=max_pushes
+    )
+    if stats is not None:
+        stats.pushes = push_stats.pushes
+        stats.residual_norm = push_stats.residual_norm
+        stats.truncated = push_stats.truncated
+    return {
+        int(node): float(value)
+        for node, value in zip(nodes.tolist(), values.tolist())
+    }
+
+
+def forward_push_reference(
+    normalized: sparse.csr_matrix,
+    source: int,
+    damping: float,
+    epsilon: float = 1e-7,
+    max_pushes: int | None = None,
+    stats: PushStats | None = None,
+) -> dict[int, float]:
+    """Original dict-and-deque forward push (differential-test oracle).
 
     Maintains the push invariant ``p* = p + (1-c) Σ_k (cS')^k r``; a node
     is pushed when its residual exceeds ``epsilon``, so only the
@@ -123,7 +342,8 @@ def forward_push(
     queue: deque[int] = deque([source])
     queued: set[int] = {source}
     pushes = 0
-    limit = max_pushes if max_pushes is not None else 200 * n + 1000
+    truncated = False
+    limit = max_pushes if max_pushes is not None else _default_push_limit(n)
 
     while queue:
         u = queue.popleft()
@@ -144,8 +364,102 @@ def forward_push(
                 queued.add(v)
         pushes += 1
         if pushes >= limit:
+            truncated = bool(queue)
             break
+    residual_norm = sum(abs(r) for r in residual.values())
+    if stats is not None:
+        stats.pushes = pushes
+        stats.residual_norm = residual_norm
+        stats.truncated = truncated
+    if truncated:
+        warnings.warn(
+            f"forward push from source {source} truncated after {pushes} "
+            f"pushes with residual mass {residual_norm:.3g} >= "
+            f"epsilon={epsilon:g}; the estimate is partial (raise "
+            f"max_pushes or epsilon)",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
     return estimate
+
+
+# ----------------------------------------------------------------------
+# parallel basis construction (process-pool sharding by source range)
+# ----------------------------------------------------------------------
+#: Per-process state installed by :func:`_pool_initializer`; rebuilt once
+#: per worker so source chunks ship only their (start, stop) bounds.
+_POOL_STATE: dict[str, object] = {}
+
+
+def _pool_initializer(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    shape: tuple[int, int],
+    damping: float,
+    push_epsilon: float,
+    epsilon: float,
+) -> None:
+    matrix = sparse.csr_matrix((data, indices, indptr), shape=shape)
+    _POOL_STATE["kernel"] = PushKernel(matrix)
+    _POOL_STATE["params"] = (damping, push_epsilon, epsilon)
+
+
+def _pool_push_chunk(
+    bounds: tuple[int, int],
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    kernel = _POOL_STATE["kernel"]
+    damping, push_epsilon, epsilon = _POOL_STATE["params"]
+    start, stop = bounds
+    counts, cols, vals = _push_row_range(
+        kernel, range(start, stop), damping, push_epsilon, epsilon
+    )
+    return start, counts, cols, vals
+
+
+def _push_row_range(
+    kernel: PushKernel,
+    sources: range,
+    damping: float,
+    push_epsilon: float,
+    epsilon: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Push every source in ``sources`` and pack the surviving entries.
+
+    Returns per-row entry counts plus the concatenated column/value
+    arrays — the raw CSR building blocks — without ever materialising
+    per-entry Python objects.
+    """
+    counts = np.zeros(len(sources), dtype=np.int64)
+    col_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    for offset, source in enumerate(sources):
+        nodes, values, _ = kernel.push(
+            source, damping, epsilon=push_epsilon
+        )
+        if epsilon > 0:
+            keep = np.abs(values) >= epsilon
+            nodes, values = nodes[keep], values[keep]
+        counts[offset] = len(nodes)
+        col_parts.append(nodes)
+        val_parts.append(values)
+    cols = (
+        np.concatenate(col_parts)
+        if col_parts
+        else np.zeros(0, dtype=np.int64)
+    )
+    vals = (
+        np.concatenate(val_parts)
+        if val_parts
+        else np.zeros(0, dtype=np.float64)
+    )
+    return counts, cols, vals
+
+
+def _resolve_workers(num_workers: int | None) -> int:
+    if num_workers is None or num_workers <= 0:
+        return os.cpu_count() or 1
+    return num_workers
 
 
 class PPRBasis:
@@ -168,7 +482,8 @@ class PPRBasis:
         self._matrix = matrix.tocsr()
 
     #: Graphs up to this many nodes use the batched dense iteration
-    #: under ``method="auto"``; larger graphs use localized push.
+    #: under ``method="auto"``; larger graphs use localized push
+    #: (sharded over a process pool when more than one worker resolves).
     AUTO_BATCH_LIMIT = 4096
 
     @classmethod
@@ -180,6 +495,8 @@ class PPRBasis:
         method: str = "auto",
         tol: float = 1e-8,
         max_iter: int = 200,
+        num_workers: int | None = None,
+        chunk_size: int | None = None,
     ) -> "PPRBasis":
         """Precompute all basis rows.
 
@@ -193,15 +510,27 @@ class PPRBasis:
             Truncation threshold for stored entries (0 keeps all).
         method:
             ``"auto"`` (default) picks ``"batch"`` for graphs up to
-            :data:`AUTO_BATCH_LIMIT` nodes and ``"push"`` beyond;
-            ``"batch"`` iterates Eq. (4) on all unit restarts at once
-            (one dense n×n iteration); ``"push"`` runs the localized
-            solver per row; ``"power"`` runs the dense iteration per
-            row (slow; kept as the test reference).
+            :data:`AUTO_BATCH_LIMIT` nodes and ``"push"`` /
+            ``"parallel-push"`` beyond (parallel when more than one
+            worker resolves); ``"batch"`` iterates Eq. (4) on all unit
+            restarts at once (one dense n×n iteration); ``"push"`` runs
+            the vectorised localized solver per row;
+            ``"parallel-push"`` shards the push rows over a process
+            pool (identical output to ``"push"``); ``"power"`` runs the
+            dense iteration per row (slow; kept as the test reference).
+        num_workers:
+            Process count for ``"parallel-push"`` (None/0 = cpu count).
+        chunk_size:
+            Sources per pool task (default: balanced across workers).
         """
         n = normalized.shape[0]
         if method == "auto":
-            method = "batch" if n <= cls.AUTO_BATCH_LIMIT else "push"
+            if n <= cls.AUTO_BATCH_LIMIT:
+                method = "batch"
+            elif _resolve_workers(num_workers) > 1:
+                method = "parallel-push"
+            else:
+                method = "push"
         if method == "batch":
             basis = np.eye(n)
             restart = (1.0 - damping) * np.eye(n)
@@ -217,21 +546,27 @@ class PPRBasis:
             # columns (restart e_i per column), and S' is symmetric so
             # the matrix is symmetric too — transpose for clarity.
             return cls(sparse.csr_matrix(basis.T))
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
         if method == "push":
             push_eps = max(epsilon * 0.1, 1e-12)
-            for i in range(n):
-                entries = forward_push(
-                    normalized, i, damping, epsilon=push_eps
+            kernel = PushKernel(normalized)
+            counts, cols, vals = _push_row_range(
+                kernel, range(n), damping, push_eps, epsilon
+            )
+            return cls(cls._assemble(n, counts, cols, vals))
+        if method == "parallel-push":
+            return cls(
+                cls._compute_parallel(
+                    normalized,
+                    damping,
+                    epsilon,
+                    num_workers=num_workers,
+                    chunk_size=chunk_size,
                 )
-                for j, value in entries.items():
-                    if epsilon == 0 or abs(value) >= epsilon:
-                        rows.append(i)
-                        cols.append(j)
-                        vals.append(value)
-        elif method == "power":
+            )
+        if method == "power":
+            rows: list[int] = []
+            cols_l: list[int] = []
+            vals_l: list[float] = []
             for i in range(n):
                 unit = np.zeros(n)
                 unit[i] = 1.0
@@ -244,12 +579,86 @@ class PPRBasis:
                     else np.flatnonzero(vec)
                 )
                 rows.extend([i] * len(keep))
-                cols.extend(int(j) for j in keep)
-                vals.extend(float(vec[j]) for j in keep)
-        else:
-            raise ValueError(f"unknown basis method {method!r}")
-        matrix = sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))
-        return cls(matrix)
+                cols_l.extend(int(j) for j in keep)
+                vals_l.extend(float(vec[j]) for j in keep)
+            matrix = sparse.csr_matrix(
+                (vals_l, (rows, cols_l)), shape=(n, n)
+            )
+            return cls(matrix)
+        raise ValueError(f"unknown basis method {method!r}")
+
+    @staticmethod
+    def _assemble(
+        n: int, counts: np.ndarray, cols: np.ndarray, vals: np.ndarray
+    ) -> sparse.csr_matrix:
+        """CSR from per-row counts + packed columns/values (no COO pass).
+
+        The kernel emits each row's columns already sorted, so the
+        (data, indices, indptr) constructor is valid directly.
+        """
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return sparse.csr_matrix(
+            (
+                np.asarray(vals, dtype=np.float64),
+                np.asarray(cols, dtype=np.int64),
+                indptr,
+            ),
+            shape=(n, n),
+        )
+
+    @classmethod
+    def _compute_parallel(
+        cls,
+        normalized: sparse.csr_matrix,
+        damping: float,
+        epsilon: float,
+        num_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> sparse.csr_matrix:
+        """Shard push rows over a process pool; output is identical to
+        serial ``"push"`` (same kernel, sources merely partitioned)."""
+        n = normalized.shape[0]
+        workers = min(_resolve_workers(num_workers), max(1, n))
+        push_eps = max(epsilon * 0.1, 1e-12)
+        if workers <= 1:
+            kernel = PushKernel(normalized)
+            counts, cols, vals = _push_row_range(
+                kernel, range(n), damping, push_eps, epsilon
+            )
+            return cls._assemble(n, counts, cols, vals)
+        matrix = normalized.tocsr()
+        if chunk_size is None:
+            # a few chunks per worker so stragglers balance out
+            chunk_size = max(1, n // (workers * 4))
+        bounds = [
+            (start, min(start + chunk_size, n))
+            for start in range(0, n, chunk_size)
+        ]
+        all_counts = np.zeros(n, dtype=np.int64)
+        chunk_results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_initializer,
+            initargs=(
+                matrix.indptr,
+                matrix.indices,
+                matrix.data,
+                matrix.shape,
+                damping,
+                push_eps,
+                epsilon,
+            ),
+        ) as pool:
+            for start, counts, cols, vals in pool.map(
+                _pool_push_chunk, bounds
+            ):
+                all_counts[start : start + len(counts)] = counts
+                chunk_results[start] = (cols, vals)
+        ordered = sorted(chunk_results.items())
+        cols = np.concatenate([c for _, (c, _) in ordered])
+        vals = np.concatenate([v for _, (_, v) in ordered])
+        return cls._assemble(n, all_counts, cols, vals)
 
     @property
     def num_tasks(self) -> int:
@@ -259,6 +668,12 @@ class PPRBasis:
     def nnz(self) -> int:
         """Stored non-zeros (memory proxy for the truncation ablation)."""
         return self._matrix.nnz
+
+    @property
+    def matrix(self) -> sparse.csr_matrix:
+        """The raw CSR basis matrix (row i = ``p_{t_i}``); used by the
+        on-disk basis cache for exact serialisation."""
+        return self._matrix
 
     def _row_slice(self, task_id: int) -> tuple[np.ndarray, np.ndarray]:
         """(column indices, values) of one basis row without copying

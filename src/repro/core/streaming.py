@@ -92,6 +92,37 @@ class GrowableGraph:
                 out[j] = weight / (d_i * d_j) ** 0.5
         return out
 
+    def normalized_csr(self):
+        """Freeze the current normalisation ``S'`` into a CSR snapshot.
+
+        Bridges the streaming regime to the offline machinery: a frozen
+        snapshot can feed :class:`repro.core.ppr.PPRBasis` (vectorised,
+        parallel, cached) or :class:`repro.core.indexes.ScalableAssigner`
+        once an insertion phase settles.  Later insertions do not touch
+        the returned matrix.
+        """
+        import numpy as np
+        from scipy import sparse
+
+        n = self.num_tasks
+        degree = np.asarray(self._degree, dtype=np.float64)
+        with np.errstate(divide="ignore"):
+            inv_sqrt = 1.0 / np.sqrt(degree)
+        inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+        counts = np.fromiter(
+            (len(adj) for adj in self._adjacency), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(indptr[-1], dtype=np.int64)
+        data = np.empty(indptr[-1], dtype=np.float64)
+        for i, adj in enumerate(self._adjacency):
+            start = indptr[i]
+            for offset, (j, weight) in enumerate(sorted(adj.items())):
+                indices[start + offset] = j
+                data[start + offset] = weight * inv_sqrt[i] * inv_sqrt[j]
+        return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+
 
 class StreamingAssigner:
     """Indexed assignment over a growing task set (Section 6.5).

@@ -17,7 +17,9 @@ Index (see DESIGN.md §4 for the full mapping):
 - :func:`fig13_alpha` — the α sweep,
 - :func:`fig14_assignment_size` — the k sweep,
 - :func:`table5_approximation` — greedy vs exact assignment error,
-- :func:`fig15_distribution` — assignment share of the top workers.
+- :func:`fig15_distribution` — assignment share of the top workers,
+- :func:`perf_offline` — offline-phase timings (kernel, parallel
+  basis, cache) on the current machine.
 """
 
 from repro.experiments.metrics import (
@@ -42,11 +44,13 @@ from repro.experiments.figures import (
     table4_datasets,
     table5_approximation,
 )
+from repro.experiments.perf import PerfOfflineResult, perf_offline
 
 __all__ = [
     "ConfusionCounts",
     "CostReport",
     "ExperimentSetup",
+    "PerfOfflineResult",
     "RunResult",
     "fig6_diversity",
     "fig7_qualification",
@@ -61,6 +65,7 @@ __all__ = [
     "confusion",
     "cost_report",
     "make_setup",
+    "perf_offline",
     "run_approach",
     "table4_datasets",
     "table5_approximation",

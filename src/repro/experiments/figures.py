@@ -371,7 +371,7 @@ class Fig10Result:
         return "\n".join(lines)
 
 
-def _random_normalized_graph(
+def random_normalized_graph(
     num_tasks: int, max_neighbors: int, seed: int
 ) -> sparse.csr_matrix:
     """Random bounded-degree similarity graph, symmetric-normalised.
@@ -396,6 +396,10 @@ def _random_normalized_graph(
     inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
     d_inv = sparse.diags(inv_sqrt)
     return (d_inv @ matrix @ d_inv).tocsr()
+
+
+#: Backwards-compatible alias (tests/benches imported the private name).
+_random_normalized_graph = random_normalized_graph
 
 
 def fig10_scalability(

@@ -1,0 +1,226 @@
+"""Offline-phase performance measurement (the Figure 10 speed story).
+
+Times the three layers of the fast offline phase on *this* machine:
+
+1. **Kernel** — the vectorised :class:`repro.core.ppr.PushKernel`
+   against the dict-and-deque :func:`repro.core.ppr.forward_push_reference`
+   on a large bounded-degree graph (per-source wall clock).
+2. **Basis** — full offline basis construction, serial ``push`` vs
+   process-pool ``parallel-push`` (identical outputs, different wall
+   clock; parallel only wins with real cores).
+3. **Cache** — cold estimator start (compute + save) vs warm start
+   (load from the on-disk basis cache), bit-identity verified.
+
+``benchmarks/test_perf_offline.py`` runs this and records the table to
+``benchmarks/results/perf_offline.txt`` plus machine-readable numbers
+to ``BENCH_offline.json`` at the repo root; ``python -m repro.cli perf``
+reproduces it from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.config import EstimatorConfig
+from repro.core.estimator import AccuracyEstimator
+from repro.core.graph import SimilarityGraph
+from repro.core.ppr import PPRBasis, PushKernel, forward_push_reference
+from repro.experiments.figures import random_normalized_graph
+from repro.utils.rng import spawn_rng
+
+
+def random_similarity_graph(
+    num_tasks: int, max_neighbors: int, seed: int
+) -> SimilarityGraph:
+    """Section 6.5's random bounded-degree workload as a raw
+    :class:`SimilarityGraph` (so the estimator computes ``S'`` itself)."""
+    rng = spawn_rng(seed, f"perf-graph-{num_tasks}-{max_neighbors}")
+    rows = np.repeat(np.arange(num_tasks), max_neighbors)
+    cols = rng.integers(0, num_tasks, size=num_tasks * max_neighbors)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    data = rng.uniform(0.5, 1.0, size=len(rows))
+    matrix = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(num_tasks, num_tasks)
+    )
+    return SimilarityGraph(matrix.maximum(matrix.T))
+
+
+@dataclass
+class PerfOfflineResult:
+    """Measured offline-phase timings (see :func:`perf_offline`)."""
+
+    cpu_count: int
+    kernel: dict = field(default_factory=dict)
+    basis: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        """Render the three timing sections as an aligned text table."""
+        k, b, c = self.kernel, self.basis, self.cache
+        lines = [
+            f"Offline-phase performance ({self.cpu_count} CPU core(s))",
+            "",
+            f"[kernel] forward push, {k['num_tasks']:,} tasks, "
+            f"<= {k['max_neighbors']} neighbours, "
+            f"epsilon={k['epsilon']:g}, {k['sample_sources']} sources",
+            f"{'variant':<22}{'per-source (s)':<18}",
+            f"{'reference (dict)':<22}{k['reference_per_source']:<18.4f}",
+            f"{'vectorised':<22}{k['vectorized_per_source']:<18.4f}",
+            f"kernel speedup: {k['speedup']:.1f}x",
+            "",
+            f"[basis] full offline basis, {b['num_tasks']:,} tasks, "
+            f"epsilon={b['epsilon']:g}, nnz={b['nnz']:,}",
+            f"{'variant':<22}{'wall clock (s)':<18}",
+            f"{'serial push':<22}{b['serial_seconds']:<18.3f}",
+            f"{'parallel-push (' + str(b['parallel_workers']) + 'w)':<22}"
+            f"{b['parallel_seconds']:<18.3f}",
+            f"parallel identical to serial: {b['identical']}; "
+            f"speedup {b['speedup']:.2f}x "
+            f"(expect > 1 only with >= 4 real cores)",
+            "",
+            f"[cache] estimator start, {c['num_tasks']:,} tasks "
+            f"(Fig. 10 workload)",
+            f"{'start':<22}{'wall clock (s)':<18}",
+            f"{'cold (compute+save)':<22}{c['cold_seconds']:<18.3f}",
+            f"{'warm (cache load)':<22}{c['warm_seconds']:<18.3f}",
+            f"warm speedup: {c['speedup']:.1f}x; "
+            f"bit-identical basis: {c['bit_identical']}",
+        ]
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable payload (the ``BENCH_offline.json`` schema)."""
+        return {
+            "bench": "perf_offline",
+            "cpu_count": self.cpu_count,
+            "kernel": self.kernel,
+            "basis": self.basis,
+            "cache": self.cache,
+        }
+
+    def write_json(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write :meth:`to_json_dict` to ``path``; returns the path."""
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_json_dict(), indent=2) + "\n")
+        return path
+
+
+def _bases_identical(a: PPRBasis, b: PPRBasis) -> bool:
+    am, bm = a.matrix, b.matrix
+    return (
+        am.shape == bm.shape
+        and np.array_equal(am.indptr, bm.indptr)
+        and np.array_equal(am.indices, bm.indices)
+        and np.array_equal(am.data, bm.data)
+    )
+
+
+def perf_offline(
+    kernel_tasks: int = 50_000,
+    kernel_neighbors: int = 20,
+    kernel_sources: int = 3,
+    kernel_epsilon: float = 1e-6,
+    basis_tasks: int = 6_000,
+    basis_neighbors: int = 12,
+    basis_epsilon: float = 1e-4,
+    cache_tasks: int = 5_000,
+    cache_neighbors: int = 20,
+    num_workers: int | None = None,
+    cache_dir: str | pathlib.Path | None = None,
+    seed: int = 7,
+) -> PerfOfflineResult:
+    """Measure kernel / parallel-basis / cache timings on this machine.
+
+    ``num_workers`` sets the ``parallel-push`` pool size (default: cpu
+    count, but at least 2 so the parallel path is always exercised).
+    ``cache_dir`` defaults to a throwaway temp directory.
+    """
+    cpu_count = os.cpu_count() or 1
+    result = PerfOfflineResult(cpu_count=cpu_count)
+
+    # ---- layer 1: kernel vs reference ---------------------------------
+    normalized = random_normalized_graph(
+        kernel_tasks, kernel_neighbors, seed
+    )
+    sources = list(range(kernel_sources))
+    start = time.perf_counter()
+    for source in sources:
+        forward_push_reference(
+            normalized, source, damping=0.5, epsilon=kernel_epsilon
+        )
+    reference_per_source = (time.perf_counter() - start) / len(sources)
+    kernel = PushKernel(normalized)
+    start = time.perf_counter()
+    for source in sources:
+        kernel.push(source, damping=0.5, epsilon=kernel_epsilon)
+    vectorized_per_source = (time.perf_counter() - start) / len(sources)
+    result.kernel = {
+        "num_tasks": kernel_tasks,
+        "max_neighbors": kernel_neighbors,
+        "epsilon": kernel_epsilon,
+        "sample_sources": len(sources),
+        "reference_per_source": reference_per_source,
+        "vectorized_per_source": vectorized_per_source,
+        "speedup": reference_per_source / max(vectorized_per_source, 1e-12),
+    }
+
+    # ---- layer 2: serial vs parallel basis ----------------------------
+    normalized = random_normalized_graph(basis_tasks, basis_neighbors, seed)
+    start = time.perf_counter()
+    serial = PPRBasis.compute(
+        normalized, damping=0.5, epsilon=basis_epsilon, method="push"
+    )
+    serial_seconds = time.perf_counter() - start
+    workers = num_workers or max(2, min(cpu_count, 8))
+    start = time.perf_counter()
+    parallel = PPRBasis.compute(
+        normalized,
+        damping=0.5,
+        epsilon=basis_epsilon,
+        method="parallel-push",
+        num_workers=workers,
+    )
+    parallel_seconds = time.perf_counter() - start
+    result.basis = {
+        "num_tasks": basis_tasks,
+        "epsilon": basis_epsilon,
+        "nnz": int(serial.nnz),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_workers": workers,
+        "speedup": serial_seconds / max(parallel_seconds, 1e-12),
+        "identical": _bases_identical(serial, parallel),
+    }
+
+    # ---- layer 3: cold vs warm (cached) estimator start ---------------
+    graph = random_similarity_graph(cache_tasks, cache_neighbors, seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = pathlib.Path(cache_dir) if cache_dir else pathlib.Path(tmp)
+        config = EstimatorConfig(basis_cache_dir=str(directory))
+        cold = AccuracyEstimator(graph, config, basis_method="push")
+        start = time.perf_counter()
+        cold.precompute()
+        cold_seconds = time.perf_counter() - start
+        warm = AccuracyEstimator(graph, config, basis_method="push")
+        start = time.perf_counter()
+        warm.precompute()
+        warm_seconds = time.perf_counter() - start
+        result.cache = {
+            "num_tasks": cache_tasks,
+            "max_neighbors": cache_neighbors,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": cold_seconds / max(warm_seconds, 1e-12),
+            "warm_from_cache": warm.basis_from_cache,
+            "bit_identical": _bases_identical(cold.basis, warm.basis),
+        }
+    return result

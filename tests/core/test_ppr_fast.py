@@ -1,0 +1,191 @@
+"""Differential tests for the vectorised push kernel and parallel basis.
+
+The fast offline phase rewrites forward push on flat numpy buffers
+(:class:`PushKernel`), shards basis rows over a process pool
+(``method="parallel-push"``) and keeps the original dict-and-deque
+implementation as :func:`forward_push_reference`.  These tests pin the
+fast paths to the reference and to the exact solver.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.ppr import (
+    ConvergenceWarning,
+    PPRBasis,
+    PushKernel,
+    PushStats,
+    forward_push,
+    forward_push_reference,
+    solve_exact,
+)
+from repro.experiments.figures import random_normalized_graph
+
+
+def unit(n, i):
+    q = np.zeros(n)
+    q[i] = 1.0
+    return q
+
+
+class TestVectorisedVsReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference_on_random_graphs(self, seed):
+        normalized = random_normalized_graph(300, 6, seed)
+        for source in (0, 57, 299):
+            fast = forward_push(
+                normalized, source, damping=0.5, epsilon=1e-9
+            )
+            slow = forward_push_reference(
+                normalized, source, damping=0.5, epsilon=1e-9
+            )
+            exact = solve_exact(normalized, unit(300, source), 0.5)
+            # both approximations sit within the push tolerance of the
+            # exact solution (they need not be identical to each other:
+            # the kernel relaxes whole frontiers, the reference one node
+            # at a time)
+            for approx in (fast, slow):
+                dense = np.zeros(300)
+                for node, value in approx.items():
+                    dense[node] = value
+                assert np.max(np.abs(dense - exact)) < 1e-6
+
+    def test_matches_reference_on_paper_graph(self, paper_graph):
+        normalized = paper_graph.normalized
+        for source in range(paper_graph.num_tasks):
+            fast = forward_push(
+                normalized, source, damping=0.5, epsilon=1e-10
+            )
+            slow = forward_push_reference(
+                normalized, source, damping=0.5, epsilon=1e-10
+            )
+            assert set(fast) == set(slow)
+            for node, value in fast.items():
+                assert value == pytest.approx(slow[node], abs=1e-8)
+
+    def test_locality_preserved(self, two_cliques):
+        kernel = PushKernel(two_cliques.normalized)
+        nodes, values, _ = kernel.push(0, damping=0.5, epsilon=1e-10)
+        assert set(nodes.tolist()) <= {0, 1, 2}
+        assert np.all(values > 0)
+
+    def test_kernel_buffer_reuse_is_clean(self):
+        """Consecutive pushes on one kernel equal fresh-kernel pushes."""
+        normalized = random_normalized_graph(200, 5, 3)
+        shared = PushKernel(normalized)
+        for source in (0, 7, 7, 199, 42):
+            n1, v1, _ = shared.push(source, damping=0.5, epsilon=1e-8)
+            n2, v2, _ = PushKernel(normalized).push(
+                source, damping=0.5, epsilon=1e-8
+            )
+            assert np.array_equal(n1, n2)
+            assert np.array_equal(v1, v2)
+
+    def test_kernel_rejects_mismatched_matrix(self, line_graph, two_cliques):
+        kernel = PushKernel(two_cliques.normalized)
+        with pytest.raises(ValueError, match="different matrix"):
+            forward_push(line_graph.normalized, 0, 0.5, kernel=kernel)
+
+    def test_validation_matches_reference(self, line_graph):
+        for push in (forward_push, forward_push_reference):
+            with pytest.raises(ValueError, match="damping"):
+                push(line_graph.normalized, 0, 1.5)
+            with pytest.raises(ValueError, match="epsilon"):
+                push(line_graph.normalized, 0, 0.5, epsilon=0.0)
+            with pytest.raises(ValueError, match="source"):
+                push(line_graph.normalized, 9, 0.5)
+
+
+class TestPushStats:
+    def test_stats_filled(self, paper_graph):
+        stats = PushStats()
+        forward_push(
+            paper_graph.normalized, 0, damping=0.5, epsilon=1e-8,
+            stats=stats,
+        )
+        assert stats.pushes > 0
+        assert not stats.truncated
+        assert stats.residual_norm < 1e-5
+
+    @pytest.mark.parametrize(
+        "push", [forward_push, forward_push_reference]
+    )
+    def test_truncation_warns(self, paper_graph, push):
+        stats = PushStats()
+        with pytest.warns(ConvergenceWarning, match="truncated"):
+            push(
+                paper_graph.normalized, 0, damping=0.9, epsilon=1e-12,
+                max_pushes=2, stats=stats,
+            )
+        assert stats.truncated
+        assert stats.residual_norm > 0
+
+    def test_no_warning_when_converged(self, paper_graph):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            forward_push(paper_graph.normalized, 0, damping=0.5)
+
+
+class TestParallelBasis:
+    def test_parallel_identical_to_serial(self):
+        normalized = random_normalized_graph(200, 5, 11)
+        serial = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6, method="push"
+        )
+        parallel = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6,
+            method="parallel-push", num_workers=2, chunk_size=37,
+        )
+        assert np.array_equal(serial.matrix.indptr, parallel.matrix.indptr)
+        assert np.array_equal(
+            serial.matrix.indices, parallel.matrix.indices
+        )
+        assert np.array_equal(serial.matrix.data, parallel.matrix.data)
+
+    def test_parallel_one_worker_falls_back_to_serial(self, paper_graph):
+        basis = PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=1e-8,
+            method="parallel-push", num_workers=1,
+        )
+        reference = PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=1e-8,
+            method="push",
+        )
+        assert np.array_equal(basis.matrix.data, reference.matrix.data)
+
+    def test_push_matches_exact_solver(self, paper_graph):
+        basis = PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=1e-9,
+            method="push",
+        )
+        n = paper_graph.num_tasks
+        for i in range(n):
+            exact = solve_exact(paper_graph.normalized, unit(n, i), 0.5)
+            assert np.allclose(basis.row(i), exact, atol=1e-6)
+
+    def test_auto_selects_parallel_above_limit(self, monkeypatch):
+        """auto → parallel-push for big graphs when workers resolve > 1."""
+        monkeypatch.setattr(PPRBasis, "AUTO_BATCH_LIMIT", 64)
+        normalized = random_normalized_graph(128, 4, 5)
+        auto = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6, method="auto",
+            num_workers=2,
+        )
+        serial = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6, method="push"
+        )
+        assert np.array_equal(auto.matrix.data, serial.matrix.data)
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 2, reason="needs multiple cores"
+    )
+    def test_worker_default_resolves_to_cpu_count(self):
+        from repro.core.ppr import _resolve_workers
+
+        assert _resolve_workers(None) == os.cpu_count()
+        assert _resolve_workers(0) == os.cpu_count()
+        assert _resolve_workers(3) == 3

@@ -1,0 +1,207 @@
+"""Tests for the amortised per-round assignment scheme cache.
+
+The greedy scheme of Algorithm 3 is worker-disjoint, so one scheme can
+serve a whole round of per-worker requests.  :class:`AdaptiveAssigner`
+caches it keyed on ``(epoch, active set)``; the framework bumps the
+epoch whenever an answer arrives or an assignment is released.  These
+tests assert both the amortisation (call counts) and that caching never
+changes what a worker is handed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.assigner import AdaptiveAssigner, TaskState
+from repro.core.framework import ICrowd
+from repro.core.types import Label
+
+
+def make_states(num_tasks=4, k=1):
+    return [TaskState(task_id=i, k=k) for i in range(num_tasks)]
+
+
+def make_accuracies(workers, num_tasks=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return {w: rng.uniform(0.3, 0.95, size=num_tasks) for w in workers}
+
+
+WORKERS = ["w1", "w2", "w3"]
+
+
+def diagonal_accuracies(num_tasks=4):
+    """Each worker is clearly best at 'her' task (w_i → task i-1)."""
+    out = {}
+    for i, worker in enumerate(WORKERS):
+        vec = np.full(num_tasks, 0.4)
+        vec[i] = 0.9
+        out[worker] = vec
+    return out
+
+
+class TestAssignerRoundCache:
+    def test_one_computation_per_round(self):
+        assigner = AdaptiveAssigner()
+        states = make_states()
+        accuracies = make_accuracies(WORKERS)
+        for worker in WORKERS:
+            assigner.assign_for_worker(
+                worker, states, WORKERS, accuracies, epoch=1
+            )
+        assert assigner.scheme_computations == 1
+
+    def test_caching_does_not_change_assignments(self):
+        states = make_states()
+        accuracies = make_accuracies(WORKERS)
+        cached_assigner = AdaptiveAssigner()
+        uncached_assigner = AdaptiveAssigner()
+        cached = [
+            cached_assigner.assign_for_worker(
+                w, states, WORKERS, accuracies, epoch=1
+            )
+            for w in WORKERS
+        ]
+        uncached = [
+            uncached_assigner.assign_for_worker(
+                w, make_states(), WORKERS, accuracies, epoch=None
+            )
+            for w in WORKERS
+        ]
+        assert cached == uncached
+        assert cached_assigner.scheme_computations == 1
+        assert uncached_assigner.scheme_computations == len(WORKERS)
+
+    def test_epoch_change_recomputes(self):
+        assigner = AdaptiveAssigner()
+        states = make_states()
+        accuracies = make_accuracies(WORKERS)
+        assigner.assign_for_worker("w1", states, WORKERS, accuracies, epoch=1)
+        assigner.assign_for_worker("w2", states, WORKERS, accuracies, epoch=2)
+        assert assigner.scheme_computations == 2
+
+    def test_active_set_change_recomputes(self):
+        assigner = AdaptiveAssigner()
+        states = make_states()
+        accuracies = make_accuracies(WORKERS + ["w4"])
+        assigner.assign_for_worker("w1", states, WORKERS, accuracies, epoch=1)
+        assigner.assign_for_worker(
+            "w1", states, WORKERS + ["w4"], accuracies, epoch=1
+        )
+        assert assigner.scheme_computations == 2
+
+    def test_no_epoch_no_caching(self):
+        assigner = AdaptiveAssigner()
+        states = make_states()
+        accuracies = make_accuracies(WORKERS)
+        for _ in range(3):
+            assigner.assign_for_worker("w1", states, WORKERS, accuracies)
+        assert assigner.scheme_computations == 3
+
+    def test_served_rerequest_recomputes(self):
+        """A worker re-requesting her issued slot gets a fresh scheme."""
+        assigner = AdaptiveAssigner()
+        states = make_states()
+        accuracies = diagonal_accuracies()
+        first = assigner.assign_for_worker(
+            "w1", states, WORKERS, accuracies, epoch=1
+        )
+        assert first is not None
+        # the framework would have recorded the issued slot
+        states[first.task_id].assigned_workers.add("w1")
+        second = assigner.assign_for_worker(
+            "w1", states, WORKERS, accuracies, epoch=1
+        )
+        assert assigner.scheme_computations == 2
+        assert second is None or second.task_id != first.task_id
+
+    def test_invalidate_drops_cache(self):
+        assigner = AdaptiveAssigner()
+        states = make_states()
+        accuracies = make_accuracies(WORKERS)
+        assigner.assign_for_worker("w1", states, WORKERS, accuracies, epoch=1)
+        assigner.invalidate()
+        assigner.assign_for_worker("w2", states, WORKERS, accuracies, epoch=1)
+        assert assigner.scheme_computations == 2
+
+    def test_batch_assign_counts_once(self):
+        assigner = AdaptiveAssigner()
+        states = make_states()
+        accuracies = make_accuracies(WORKERS)
+        assigner.assign(states, WORKERS, accuracies)
+        assert assigner.scheme_computations == 1
+
+
+def finish_warmup(framework, tasks, worker, correct=True):
+    while True:
+        assignment = framework.on_worker_request(worker)
+        if assignment is None or not assignment.is_test:
+            return assignment
+        if assignment.task_id not in framework.qualification_tasks:
+            return assignment
+        truth = tasks[assignment.task_id].truth
+        framework.on_answer(
+            worker,
+            assignment.task_id,
+            truth if correct else truth.flipped(),
+        )
+
+
+class TestFrameworkRoundCache:
+    @pytest.fixture
+    def framework(self, paper_tasks, paper_graph, tiny_config):
+        return ICrowd(
+            paper_tasks,
+            tiny_config,
+            graph=paper_graph,
+            qualification_tasks=[0, 1],
+        )
+
+    @pytest.fixture
+    def settled(self, framework, paper_tasks):
+        """Framework with three qualified workers holding no tasks."""
+        for worker in WORKERS:
+            assignment = finish_warmup(framework, paper_tasks, worker)
+            framework.on_answer(
+                worker,
+                assignment.task_id,
+                paper_tasks[assignment.task_id].truth,
+            )
+        return framework
+
+    def test_round_costs_one_scheme(self, settled):
+        base = settled.assigner.scheme_computations
+        issued = [settled.on_worker_request(w) for w in WORKERS]
+        assert all(a is not None for a in issued)
+        assert settled.assigner.scheme_computations == base + 1
+
+    def test_answer_starts_new_round(self, settled, paper_tasks):
+        epoch = settled.assignment_epoch
+        issued = {w: settled.on_worker_request(w) for w in WORKERS}
+        assert settled.assignment_epoch == epoch  # requests don't bump
+        base = settled.assigner.scheme_computations
+        settled.on_answer(
+            "w1",
+            issued["w1"].task_id,
+            paper_tasks[issued["w1"].task_id].truth,
+        )
+        assert settled.assignment_epoch == epoch + 1
+        settled.on_worker_request("w2")
+        assert settled.assigner.scheme_computations == base + 1
+
+    def test_release_starts_new_round(self, settled):
+        issued = settled.on_worker_request("w1")
+        epoch = settled.assignment_epoch
+        assert settled.release_assignment("w1", issued.task_id)
+        assert settled.assignment_epoch == epoch + 1
+
+    def test_cached_round_is_consistent(self, settled):
+        """No two workers of one round are issued the same vote slot
+        beyond the task's k, and nobody gets a task twice."""
+        issued = {w: settled.on_worker_request(w) for w in WORKERS}
+        per_task = {}
+        for worker, assignment in issued.items():
+            if assignment is None or assignment.is_test:
+                continue
+            per_task.setdefault(assignment.task_id, []).append(worker)
+        k = settled.config.assigner.k
+        for task_id, holders in per_task.items():
+            assert len(holders) <= k
