@@ -14,7 +14,14 @@ from typing import Iterable, Sequence
 from repro.aggregation.pv import probabilistic_verification
 from repro.baselines.random_mv import RandomMV
 from repro.core.qualification import WarmUp
-from repro.core.types import Assignment, Label, TaskId, TaskSet, WorkerId
+from repro.core.types import (
+    AnswerOutcome,
+    Assignment,
+    Label,
+    TaskId,
+    TaskSet,
+    WorkerId,
+)
 
 
 class AvgAccPV(RandomMV):
@@ -68,12 +75,18 @@ class AvgAccPV(RandomMV):
         task_id: TaskId,
         label: Label,
         is_test: bool = False,
-    ) -> None:
-        """Grade qualification answers; record the rest as votes."""
+    ) -> AnswerOutcome:
+        """Grade qualification answers; record the rest as votes.
+
+        Idempotent like the base policy: a re-delivered qualification
+        answer is reported ``DUPLICATE`` instead of re-graded.
+        """
         if task_id in self.warmup.qualification_truth:
+            if task_id in self.warmup.state_of(worker_id).graded:
+                return AnswerOutcome.DUPLICATE
             self.warmup.grade(worker_id, task_id, label)
-            return
-        super().on_answer(worker_id, task_id, label, is_test)
+            return AnswerOutcome.ACCEPTED
+        return super().on_answer(worker_id, task_id, label, is_test)
 
     def is_worker_rejected(self, worker_id: WorkerId) -> bool:
         """Whether warm-up eliminated this worker (platform hook)."""

@@ -11,6 +11,7 @@ from typing import Iterable, Sequence
 
 from repro.core.types import (
     Answer,
+    AnswerOutcome,
     Assignment,
     Label,
     TaskId,
@@ -56,9 +57,11 @@ class RandomMV:
             for t in tasks.ids()
             if t not in self.excluded
         }
-        self._pending: dict[tuple[WorkerId, TaskId], bool] = {}
+        #: outstanding (worker, task) slots → policy-clock tick issued
+        self._pending: dict[tuple[WorkerId, TaskId], int] = {}
         self._holding: dict[TaskId, int] = {t: 0 for t in self._votes}
         self._seq = 0
+        self._clock = 0
 
     # ------------------------------------------------------------------
     def _eligible_tasks(self, worker_id: WorkerId) -> list[TaskId]:
@@ -83,11 +86,12 @@ class RandomMV:
         active_workers: Iterable[WorkerId] | None = None,
     ) -> Assignment | None:
         """Serve a uniformly random eligible task."""
+        self._clock += 1
         eligible = self._eligible_tasks(worker_id)
         if not eligible:
             return None
         task_id = eligible[int(self._rng.integers(0, len(eligible)))]
-        self._pending[(worker_id, task_id)] = True
+        self._pending[(worker_id, task_id)] = self._clock
         self._holding[task_id] += 1
         return Assignment(task_id=task_id, worker_id=worker_id)
 
@@ -97,14 +101,26 @@ class RandomMV:
         task_id: TaskId,
         label: Label,
         is_test: bool = False,
-    ) -> None:
-        """Record a vote."""
+    ) -> AnswerOutcome:
+        """Record a vote, idempotently.
+
+        A repeated ``(worker, task)`` delivery reports ``DUPLICATE``
+        and changes nothing; a vote for a task that completed after the
+        slot was requeued is ``IGNORED`` instead of stacking past ``k``.
+        """
         if task_id in self.excluded:
-            return
-        self._seq += 1
-        if self._pending.pop((worker_id, task_id), None) is not None:
+            return AnswerOutcome.IGNORED
+        self._clock += 1
+        votes = self._votes[task_id]
+        if worker_id in votes.workers():
+            return AnswerOutcome.DUPLICATE
+        held = self._pending.pop((worker_id, task_id), None)
+        if held is not None:
             self._holding[task_id] -= 1
-        self._votes[task_id].add(
+        if votes.is_complete():
+            return AnswerOutcome.IGNORED
+        self._seq += 1
+        votes.add(
             Answer(
                 task_id=task_id,
                 worker_id=worker_id,
@@ -112,6 +128,33 @@ class RandomMV:
                 seq=self._seq,
             )
         )
+        return AnswerOutcome.ACCEPTED
+
+    def release_assignment(self, worker_id: WorkerId, task_id: TaskId) -> bool:
+        """Reopen an outstanding (unanswered) slot after lease expiry."""
+        if self._pending.pop((worker_id, task_id), None) is None:
+            return False
+        self._holding[task_id] -= 1
+        return True
+
+    def expire_stale_assignments(
+        self, max_age: int
+    ) -> list[tuple[WorkerId, TaskId]]:
+        """Release every slot held longer than ``max_age`` clock ticks."""
+        if max_age < 0:
+            raise ValueError("max_age must be >= 0")
+        stale = [
+            pair
+            for pair, issued in self._pending.items()
+            if self._clock - issued > max_age
+        ]
+        for worker_id, task_id in stale:
+            self.release_assignment(worker_id, task_id)
+        return stale
+
+    def pending_assignments(self) -> dict[tuple[WorkerId, TaskId], int]:
+        """Outstanding slots with their issue ticks (platform hook)."""
+        return dict(self._pending)
 
     # ------------------------------------------------------------------
     def is_finished(self) -> bool:

@@ -55,6 +55,7 @@ _DESCRIPTIONS = {
     "table5": "greedy assignment approximation error",
     "fig15": "assignment distribution over workers",
     "perf": "offline-phase timings: kernel, parallel basis, cache",
+    "chaos": "interaction-loop resilience under injected faults",
 }
 
 
@@ -131,6 +132,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="also write machine-readable results to PATH",
     )
+    chaos = sub.add_parser("chaos", help=_DESCRIPTIONS["chaos"])
+    chaos.add_argument(
+        "--dataset",
+        choices=["itemcompare", "yahooqa"],
+        default="itemcompare",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--scale",
+        type=float,
+        default=0.33,
+        help="fraction of the paper's task count (1.0 = full size)",
+    )
+    chaos.add_argument(
+        "--rates", type=float, nargs="+",
+        default=[0.0, 0.05, 0.10, 0.20],
+        help="fault rates to sweep (0 is the fault-free control)",
+    )
+    chaos.add_argument(
+        "--approaches", nargs="+", default=["iCrowd", "RandomMV"],
+        help="assignment policies to stress",
+    )
+    chaos.add_argument(
+        "--abandonment", type=float, default=0.0,
+        help="probability a worker walks away from an assignment",
+    )
+    chaos.add_argument(
+        "--timeout", type=int, default=50,
+        help="assignment lease lifetime in platform steps",
+    )
     return parser
 
 
@@ -185,6 +216,20 @@ def main(argv: list[str] | None = None) -> int:
         print(result.format_table())
         if args.json:
             print(f"wrote {result.write_json(args.json)}")
+        return 0
+    if args.command == "chaos":
+        from repro.experiments import chaos_resilience
+
+        result = chaos_resilience(
+            dataset=args.dataset,
+            seed=args.seed,
+            scale=args.scale,
+            rates=tuple(args.rates),
+            approaches=tuple(args.approaches),
+            abandonment=args.abandonment,
+            assignment_timeout=args.timeout,
+        )
+        print(result.format_table())
         return 0
     runner = _STANDARD[args.command]
     result = runner(args.dataset, seed=args.seed, scale=args.scale)

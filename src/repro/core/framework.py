@@ -36,6 +36,7 @@ from repro.core.qualification import (
 from repro.core.testing import PerformanceTester
 from repro.core.types import (
     Answer,
+    AnswerOutcome,
     Assignment,
     Label,
     TaskId,
@@ -192,8 +193,18 @@ class ICrowd:
     def on_answer(
         self, worker_id: WorkerId, task_id: TaskId, label: Label,
         is_test: bool = False,
-    ) -> None:
-        """Record a submitted answer and update framework state."""
+    ) -> AnswerOutcome:
+        """Record a submitted answer and update framework state.
+
+        Idempotent: re-delivered submissions (client retries, duplicate
+        POSTs) leave every piece of state — votes, clocks, estimates —
+        untouched and report :attr:`AnswerOutcome.DUPLICATE`; votes for
+        tasks that completed in the meantime are ``IGNORED`` rather
+        than appended past ``k``.
+        """
+        outcome = self._classify_answer(worker_id, task_id, is_test)
+        if not outcome.accepted:
+            return outcome
         self._clock += 1
         self._last_seen[worker_id] = self._clock
         self._seq += 1
@@ -205,12 +216,12 @@ class ICrowd:
             self.warmup.grade(worker_id, task_id, label)
             self._answers.setdefault(worker_id, []).append(answer)
             self._dirty.add(worker_id)
-            return
+            return outcome
         if is_test:
             self._test_answers.setdefault(worker_id, []).append(answer)
             self._states[task_id].tested_workers.add(worker_id)
             self._dirty.add(worker_id)
-            return
+            return outcome
         vote_state = self._votes[task_id]
         vote_state.add(answer)
         self._answers.setdefault(worker_id, []).append(answer)
@@ -225,6 +236,31 @@ class ICrowd:
                 self._dirty.add(vote.worker_id)
         else:
             self._dirty.add(worker_id)
+        return outcome
+
+    def _classify_answer(
+        self, worker_id: WorkerId, task_id: TaskId, is_test: bool
+    ) -> AnswerOutcome:
+        """Decide whether an incoming answer may mutate state."""
+        if task_id in self.warmup.qualification_truth:
+            if task_id in self.warmup.state_of(worker_id).graded:
+                return AnswerOutcome.DUPLICATE
+            return AnswerOutcome.ACCEPTED
+        if is_test:
+            already = any(
+                a.task_id == task_id
+                for a in self._test_answers.get(worker_id, ())
+            )
+            return (
+                AnswerOutcome.DUPLICATE if already else AnswerOutcome.ACCEPTED
+            )
+        vote_state = self._votes[task_id]
+        if worker_id in vote_state.workers():
+            return AnswerOutcome.DUPLICATE
+        if self._states[task_id].completed:
+            # the slot was requeued and filled by someone else first
+            return AnswerOutcome.IGNORED
+        return AnswerOutcome.ACCEPTED
 
     def _choose_assignment(
         self, worker_id: WorkerId, actives: list[WorkerId]

@@ -28,7 +28,7 @@ from repro.core.multichoice import (
 )
 from repro.core.qualification import WarmUp, select_qualification_tasks
 from repro.core.testing import PerformanceTester
-from repro.core.types import Assignment, TaskId, WorkerId
+from repro.core.types import AnswerOutcome, Assignment, TaskId, WorkerId
 
 
 @dataclass(frozen=True)
@@ -167,22 +167,40 @@ class MultiICrowd:
         task_id: TaskId,
         choice: Choice,
         is_test: bool = False,
-    ) -> None:
-        """Record a multi-choice answer."""
-        self._assign_epoch += 1
+    ) -> AnswerOutcome:
+        """Record a multi-choice answer.
+
+        Idempotent like :meth:`repro.core.ICrowd.on_answer`: duplicate
+        ``(worker, task)`` deliveries and votes for already-completed
+        tasks leave all state untouched.
+        """
         if task_id in self.warmup.qualification_truth:
+            if task_id in self.warmup.state_of(worker_id).graded:
+                return AnswerOutcome.DUPLICATE
+            self._assign_epoch += 1
             self.warmup.grade(worker_id, task_id, choice)
             self._answers.setdefault(worker_id, []).append(
                 (task_id, choice)
             )
             self._dirty.add(worker_id)
-            return
+            return AnswerOutcome.ACCEPTED
         vote_state = self._votes[task_id]
+        state = self._states[task_id]
         if is_test:
-            self._states[task_id].tested_workers.add(worker_id)
+            if worker_id in state.tested_workers and any(
+                t == task_id for t, _ in self._answers.get(worker_id, ())
+            ):
+                return AnswerOutcome.DUPLICATE
+            self._assign_epoch += 1
+            state.tested_workers.add(worker_id)
         else:
+            if any(w == worker_id for w, _ in vote_state.answers):
+                return AnswerOutcome.DUPLICATE
+            if state.completed:
+                # the slot was requeued and filled by someone else first
+                return AnswerOutcome.IGNORED
+            self._assign_epoch += 1
             vote_state.add(worker_id, choice)
-            state = self._states[task_id]
             state.assigned_workers.add(worker_id)
             if vote_state.is_complete() and not state.completed:
                 state.completed = True
@@ -191,6 +209,7 @@ class MultiICrowd:
                     self._dirty.add(voter)
         self._answers.setdefault(worker_id, []).append((task_id, choice))
         self._dirty.add(worker_id)
+        return AnswerOutcome.ACCEPTED
 
     # ------------------------------------------------------------------
     def _observed_of(self, worker_id: WorkerId) -> dict[TaskId, float]:
@@ -237,6 +256,36 @@ class MultiICrowd:
         return self._estimates[worker_id]
 
     # ------------------------------------------------------------------
+    def release_assignment(self, worker_id: WorkerId, task_id: TaskId) -> bool:
+        """Reopen a slot whose assignment lease expired unanswered.
+
+        Returns False when there is nothing to release — the vote
+        already landed, or the worker never held the slot.
+        """
+        state = self._states.get(task_id)
+        if state is None:
+            return False
+        if any(w == worker_id for w, _ in self._votes[task_id].answers):
+            return False
+        if worker_id not in state.assigned_workers:
+            return False
+        state.assigned_workers.discard(worker_id)
+        self._assign_epoch += 1
+        return True
+
+    def expire_stale_assignments(
+        self, max_age: int
+    ) -> list[tuple[WorkerId, TaskId]]:
+        """Policy-clock expiry hook (documented protocol default).
+
+        ``MultiICrowd`` keeps no per-assignment issue clock; slot
+        reclamation is driven by the platform's lease ledger calling
+        :meth:`release_assignment`, so this is a no-op returning ``[]``.
+        """
+        if max_age < 0:
+            raise ValueError("max_age must be >= 0")
+        return []
+
     def is_finished(self) -> bool:
         """True once every non-qualification task reached k votes."""
         return all(s.completed for s in self._states.values())

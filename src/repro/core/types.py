@@ -21,6 +21,26 @@ TaskId = int
 WorkerId = str
 
 
+class AnswerOutcome(enum.Enum):
+    """What a policy did with a submitted answer.
+
+    Real platforms re-deliver submissions (client retries, duplicated
+    POSTs), so ``on_answer`` must be idempotent: the first delivery of a
+    ``(worker, task)`` vote is ``ACCEPTED``; any repeat is reported as
+    ``DUPLICATE`` and leaves the policy's state untouched; answers that
+    can no longer count (e.g. the task already reached consensus after
+    the slot was requeued) are ``IGNORED``.
+    """
+
+    ACCEPTED = "accepted"
+    DUPLICATE = "duplicate"
+    IGNORED = "ignored"
+
+    @property
+    def accepted(self) -> bool:
+        return self is AnswerOutcome.ACCEPTED
+
+
 class Label(enum.IntEnum):
     """Binary answer to a microtask (paper restricts to YES/NO choices)."""
 

@@ -19,7 +19,9 @@ Index (see DESIGN.md §4 for the full mapping):
 - :func:`table5_approximation` — greedy vs exact assignment error,
 - :func:`fig15_distribution` — assignment share of the top workers,
 - :func:`perf_offline` — offline-phase timings (kernel, parallel
-  basis, cache) on the current machine.
+  basis, cache) on the current machine,
+- :func:`chaos_resilience` — the interaction loop under injected
+  faults (duplicates, late answers, blackouts, malformed submits).
 """
 
 from repro.experiments.metrics import (
@@ -45,13 +47,17 @@ from repro.experiments.figures import (
     table5_approximation,
 )
 from repro.experiments.perf import PerfOfflineResult, perf_offline
+from repro.experiments.chaos import ChaosResult, ChaosRow, chaos_resilience
 
 __all__ = [
+    "ChaosResult",
+    "ChaosRow",
     "ConfusionCounts",
     "CostReport",
     "ExperimentSetup",
     "PerfOfflineResult",
     "RunResult",
+    "chaos_resilience",
     "fig6_diversity",
     "fig7_qualification",
     "fig8_adaptive",

@@ -1,0 +1,139 @@
+"""Chaos experiment: the interaction loop under injected faults.
+
+The paper's evaluation assumes a well-behaved crowd market: every
+issued assignment comes back exactly once, in time, well-formed.  Real
+deployments (and our :class:`repro.platform.faults.FaultInjector`)
+break all four assumptions.  This experiment sweeps a fault rate over
+the Figure 9 workload and verifies the resilient interaction layer's
+contract:
+
+- the job still reaches ``is_finished()`` (leases requeue lost slots),
+- no worker is ever paid twice for the same microtask,
+- accuracy stays close to the fault-free run (duplicates and late
+  answers are dropped before they can distort consensus),
+- the lease/fault counters account for every injected event.
+
+``python -m repro.cli chaos`` reproduces it from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import build_policy
+from repro.experiments.setups import make_setup
+from repro.platform import FaultConfig, SimulatedPlatform
+
+
+@dataclass
+class ChaosRow:
+    """One (approach, fault-rate) run of the resilience sweep."""
+
+    approach: str
+    rate: float
+    accuracy: float
+    finished: bool
+    stalled: bool
+    steps: int
+    total_cost: float
+    double_payments: int
+    leases: dict = field(default_factory=dict)
+    faults: dict = field(default_factory=dict)
+
+
+@dataclass
+class ChaosResult:
+    """Fault-rate sweep results (see :func:`chaos_resilience`)."""
+
+    dataset: str
+    seed: int
+    rows: list[ChaosRow] = field(default_factory=list)
+
+    def baseline_accuracy(self, approach: str) -> float:
+        """The approach's fault-free (rate 0) accuracy."""
+        for row in self.rows:
+            if row.approach == approach and row.rate == 0.0:
+                return row.accuracy
+        raise ValueError(f"no fault-free run recorded for {approach!r}")
+
+    def format_table(self) -> str:
+        """Render the sweep as an aligned text table."""
+        lines = [
+            f"Chaos resilience on {self.dataset} (seed {self.seed})",
+            "",
+            f"{'approach':<12}{'rate':<7}{'acc':<7}{'Δacc':<8}"
+            f"{'done':<6}{'steps':<7}{'cost':<8}{'dup-pay':<8}"
+            f"{'expired':<9}{'late-drop':<10}{'dup-drop':<9}",
+        ]
+        for row in self.rows:
+            delta = row.accuracy - self.baseline_accuracy(row.approach)
+            lines.append(
+                f"{row.approach:<12}{row.rate:<7.2f}{row.accuracy:<7.3f}"
+                f"{delta:<+8.3f}{str(row.finished):<6}{row.steps:<7}"
+                f"{row.total_cost:<8.2f}{row.double_payments:<8}"
+                f"{row.leases.get('expired', 0):<9}"
+                f"{row.faults.get('late_dropped', 0):<10}"
+                f"{row.faults.get('duplicates_dropped', 0):<9}"
+            )
+        lines += [
+            "",
+            "Δacc is relative to the fault-free run; dup-pay counts "
+            "payment attempts the ledger refused (must stay 0 on the "
+            "resilient loop).",
+        ]
+        return "\n".join(lines)
+
+
+def chaos_resilience(
+    dataset: str = "itemcompare",
+    seed: int = 7,
+    scale: float = 0.33,
+    rates: tuple[float, ...] = (0.0, 0.05, 0.10, 0.20),
+    approaches: tuple[str, ...] = ("iCrowd", "RandomMV"),
+    abandonment: float = 0.0,
+    assignment_timeout: int = 50,
+) -> ChaosResult:
+    """Sweep fault rates over the shared workload.
+
+    Each ``rate`` configures :meth:`FaultConfig.chaos`: duplicate and
+    late submissions at ``rate``, malformed submits at ``rate/2``,
+    blackout bursts at ``rate/5``.  Rate 0 is the fault-free control
+    every other row is compared against.
+    """
+    setup = make_setup(dataset, seed=seed, scale=scale)
+    exclude = set(setup.qualification_tasks)
+    result = ChaosResult(dataset=dataset, seed=seed)
+    for approach in approaches:
+        for rate in rates:
+            policy = build_policy(approach, setup)
+            pool = setup.fresh_pool(run_tag=f"chaos-{approach}-{rate}")
+            faults = (
+                FaultConfig.disabled()
+                if rate == 0.0
+                else FaultConfig.chaos(rate, seed=seed)
+            )
+            platform = SimulatedPlatform(
+                setup.tasks,
+                pool,
+                policy,
+                abandonment=abandonment,
+                assignment_timeout=assignment_timeout,
+                faults=faults,
+                seed=seed,
+            )
+            report = platform.run()
+            result.rows.append(
+                ChaosRow(
+                    approach=approach,
+                    rate=rate,
+                    accuracy=report.accuracy(setup.tasks, exclude=exclude),
+                    finished=report.finished,
+                    stalled=report.stalled,
+                    steps=report.steps,
+                    total_cost=report.total_cost,
+                    double_payments=report.payments.duplicate_attempts,
+                    leases=report.leases.as_dict(),
+                    faults=report.faults.as_dict(),
+                )
+            )
+    return result

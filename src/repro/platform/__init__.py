@@ -9,21 +9,36 @@ loop against simulated workers:
 - :class:`SimulatedPlatform` — the request/assign/answer/pay driver,
 - :class:`PolicyProtocol` — what an assignment policy must implement
   (both :class:`repro.core.ICrowd` and every baseline satisfy it),
+- :mod:`repro.platform.leases` — the assignment-lease ledger (issue →
+  answer / expire → requeue) shared by the driver and the HTTP facade,
+- :mod:`repro.platform.faults` — fault injection (duplicate and late
+  submissions, blackout bursts, malformed submits),
 - :mod:`repro.platform.hits` — HIT batching (10 microtasks per HIT at
   $0.10 per assignment, the paper's pricing),
-- :mod:`repro.platform.payments` — the payment ledger,
-- :mod:`repro.platform.events` — a structured event log.
+- :mod:`repro.platform.payments` — the idempotent payment ledger,
+- :mod:`repro.platform.events` — a structured event log,
+- :mod:`repro.platform.client` — bounded-retry client for the server.
 """
 
+from repro.platform.client import ICrowdClient, SubmitResult, TransportError
 from repro.platform.events import (
     AnswerEvent,
     AssignEvent,
     CompleteEvent,
     EventLog,
+    ExpireEvent,
     RejectEvent,
     RequestEvent,
 )
+from repro.platform.faults import FaultConfig, FaultInjector, FaultStats
 from repro.platform.hits import HIT, build_hits
+from repro.platform.leases import (
+    Lease,
+    LeaseLedger,
+    LeaseStats,
+    LeaseStatus,
+    SettleResult,
+)
 from repro.platform.payments import PaymentLedger
 from repro.platform.platform import (
     PlatformReport,
@@ -37,13 +52,25 @@ __all__ = [
     "AssignEvent",
     "CompleteEvent",
     "EventLog",
+    "ExpireEvent",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
     "HIT",
+    "ICrowdClient",
     "ICrowdHTTPServer",
+    "Lease",
+    "LeaseLedger",
+    "LeaseStats",
+    "LeaseStatus",
     "PaymentLedger",
     "PlatformReport",
     "PolicyProtocol",
     "RejectEvent",
     "RequestEvent",
+    "SettleResult",
     "SimulatedPlatform",
+    "SubmitResult",
+    "TransportError",
     "build_hits",
 ]

@@ -1,0 +1,175 @@
+"""Bounded-retry HTTP client for :class:`ICrowdHTTPServer`.
+
+Worker-side integrations talk to the iCrowd server over a network that
+drops connections and loses responses.  The client implements the
+at-least-once delivery discipline the hardened server is built for:
+
+- transport errors and 5xx responses are retried up to ``max_retries``
+  times with exponential backoff;
+- 4xx responses are **never** retried — they are protocol verdicts, not
+  transient failures;
+- a 409 on ``/submit`` after a retry means the first POST landed and
+  only its response was lost; the server's idempotent answer handling
+  makes that a success (``SubmitResult.ok``), not an error.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+
+from repro.core.types import Label, TaskId, WorkerId
+
+
+class TransportError(RuntimeError):
+    """All retries were exhausted without reaching the server."""
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Outcome of one (possibly retried) answer submission."""
+
+    status: int
+    body: dict | None
+    #: attempts actually made (1 = first try succeeded)
+    attempts: int
+
+    @property
+    def accepted(self) -> bool:
+        """The answer was recorded by this submission."""
+        return self.status == 200 and bool(
+            (self.body or {}).get("accepted", False)
+        )
+
+    @property
+    def deduplicated(self) -> bool:
+        """The answer was already on record (idempotent replay)."""
+        return self.status == 409
+
+    @property
+    def expired(self) -> bool:
+        """The assignment lease expired before the answer arrived."""
+        return self.status == 410
+
+    @property
+    def ok(self) -> bool:
+        """The answer is durably recorded — directly or via replay."""
+        return self.accepted or self.deduplicated
+
+
+class ICrowdClient:
+    """Thin bounded-retry wrapper over the server's three endpoints.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` of a running :class:`ICrowdHTTPServer`.
+    max_retries:
+        Additional attempts after the first (3 → up to 4 requests).
+    backoff:
+        Initial sleep between attempts, doubled each retry.
+    timeout:
+        Per-connection socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        max_retries: int = 3,
+        backoff: float = 0.05,
+        timeout: float = 5.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        self.address = address
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict | None, int]:
+        """One endpoint call with bounded retries on transport/5xx."""
+        body = json.dumps(payload) if payload is not None else None
+        delay = self.backoff
+        last_error: Exception | None = None
+        for attempt in range(1, self.max_retries + 2):
+            try:
+                conn = http.client.HTTPConnection(
+                    *self.address, timeout=self.timeout
+                )
+                try:
+                    conn.request(method, path, body=body)
+                    response = conn.getresponse()
+                    raw = response.read()
+                    status = response.status
+                finally:
+                    conn.close()
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                if attempt <= self.max_retries:
+                    if delay:
+                        time.sleep(delay)
+                        delay *= 2
+                    continue
+                raise TransportError(
+                    f"{method} {path} failed after {attempt} attempts: "
+                    f"{exc}"
+                ) from exc
+            if status >= 500 and attempt <= self.max_retries:
+                if delay:
+                    time.sleep(delay)
+                    delay *= 2
+                continue
+            data = json.loads(raw) if raw else None
+            return status, data, attempt
+        raise TransportError(
+            f"{method} {path} failed after {self.max_retries + 1} "
+            f"attempts: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    def request_task(self, worker_id: WorkerId) -> dict | None:
+        """Ask for the next microtask; None when nothing is assignable."""
+        status, data, _ = self._call(
+            "GET", f"/request?worker={worker_id}"
+        )
+        if status == 204:
+            return None
+        if status != 200:
+            raise RuntimeError(
+                f"/request returned {status}: {data}"
+            )
+        return data
+
+    def submit(
+        self,
+        worker_id: WorkerId,
+        task_id: TaskId,
+        label: Label | int,
+        is_test: bool = False,
+    ) -> SubmitResult:
+        """Submit one answer; retried deliveries dedupe server-side."""
+        status, data, attempts = self._call(
+            "POST",
+            "/submit",
+            {
+                "worker": worker_id,
+                "task_id": int(task_id),
+                "label": int(label),
+                "is_test": is_test,
+            },
+        )
+        return SubmitResult(status=status, body=data, attempts=attempts)
+
+    def status(self) -> dict:
+        """Job progress (finished flag, completion and lease counters)."""
+        status, data, _ = self._call("GET", "/status")
+        if status != 200 or data is None:
+            raise RuntimeError(f"/status returned {status}: {data}")
+        return data

@@ -59,7 +59,23 @@ class RejectEvent:
     worker_id: WorkerId
 
 
-Event = RequestEvent | AssignEvent | AnswerEvent | CompleteEvent | RejectEvent
+@dataclass(frozen=True)
+class ExpireEvent:
+    """An assignment lease expired and its slot was requeued."""
+
+    step: int
+    worker_id: WorkerId
+    task_id: TaskId
+
+
+Event = (
+    RequestEvent
+    | AssignEvent
+    | AnswerEvent
+    | CompleteEvent
+    | RejectEvent
+    | ExpireEvent
+)
 
 
 @dataclass
@@ -93,6 +109,10 @@ class EventLog:
     def rejections(self) -> list[RejectEvent]:
         """All worker-rejection events in order."""
         return [e for e in self.events if isinstance(e, RejectEvent)]
+
+    def expirations(self) -> list[ExpireEvent]:
+        """All lease-expiry events in order."""
+        return [e for e in self.events if isinstance(e, ExpireEvent)]
 
     def assignment_counts(self, include_tests: bool = False) -> dict[WorkerId, int]:
         """Answers submitted per worker (Figure 15's distribution)."""

@@ -1,0 +1,180 @@
+"""Fault injection for the interaction loop (chaos testing).
+
+Reputation-tracking crowdsourcing systems degrade sharply when the
+answer stream is unreliable (Tarable et al.; Karger, Oh & Shah), so the
+platform can inject the failure modes real microtask markets exhibit:
+
+- **duplicate submissions** — a recorded answer is delivered to the
+  policy a second time (client retry / double POST); idempotent
+  policies report :attr:`repro.core.types.AnswerOutcome.DUPLICATE`
+  and nothing changes;
+- **late answers** — the worker holds the answer until after the
+  assignment lease expired; the platform drops it instead of letting
+  it corrupt the vote state of a requeued slot;
+- **blackout bursts** — a fraction of the active workers goes dark for
+  a stretch of steps (connectivity loss, mass HIT return);
+- **malformed submissions** — the submission is garbage and discarded
+  before it reaches the policy; the lease stays open and is reclaimed
+  by expiry.
+
+All randomness comes from one dedicated generator, so enabling a fault
+never perturbs worker answers or arrival order: a run with
+``FaultConfig.disabled()`` is byte-identical to one without a fault
+config at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.core.types import WorkerId
+from repro.utils.rng import spawn_rng
+
+_RATE_FIELDS = (
+    "duplicate_submission",
+    "late_answer",
+    "malformed_submission",
+    "blackout_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-fault activation rates and blackout shape.
+
+    Rates are per-opportunity probabilities: ``duplicate_submission``,
+    ``late_answer`` and ``malformed_submission`` apply to each
+    submitted answer, ``blackout_rate`` to each platform step.
+    """
+
+    duplicate_submission: float = 0.0
+    late_answer: float = 0.0
+    malformed_submission: float = 0.0
+    blackout_rate: float = 0.0
+    #: fraction of the currently active workers a burst takes down
+    blackout_fraction: float = 0.3
+    #: steps a blacked-out worker stays dark
+    blackout_duration: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 < self.blackout_fraction <= 1.0:
+            raise ValueError("blackout_fraction must be in (0, 1]")
+        if self.blackout_duration <= 0:
+            raise ValueError("blackout_duration must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can actually fire."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    @classmethod
+    def disabled(cls) -> "FaultConfig":
+        """A config that injects nothing (the regression baseline)."""
+        return cls()
+
+    @classmethod
+    def chaos(cls, rate: float, seed: int = 0) -> "FaultConfig":
+        """Convenience: every submission fault at ``rate``, plus rare
+        blackout bursts."""
+        return cls(
+            duplicate_submission=rate,
+            late_answer=rate,
+            malformed_submission=rate / 2,
+            blackout_rate=min(1.0, rate / 5),
+            seed=seed,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary of the active faults."""
+        active = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if f.name in _RATE_FIELDS and getattr(self, f.name) > 0.0
+        ]
+        return ", ".join(active) if active else "none"
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did, surfaced in the report."""
+
+    duplicates_injected: int = 0
+    duplicates_dropped: int = 0
+    late_injected: int = 0
+    late_dropped: int = 0
+    malformed_injected: int = 0
+    blackout_bursts: int = 0
+    blackout_workers: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reports and experiment tables."""
+        return {
+            "duplicates_injected": self.duplicates_injected,
+            "duplicates_dropped": self.duplicates_dropped,
+            "late_injected": self.late_injected,
+            "late_dropped": self.late_dropped,
+            "malformed_injected": self.malformed_injected,
+            "blackout_bursts": self.blackout_bursts,
+            "blackout_workers": self.blackout_workers,
+        }
+
+
+class FaultInjector:
+    """Draws fault decisions from a dedicated RNG stream.
+
+    The injector only *decides*; the platform applies the consequences
+    (re-delivery, held answers, pool suspension) so every side effect
+    stays in one place.
+    """
+
+    def __init__(self, config: FaultConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = spawn_rng(seed + config.seed, "platform-faults")
+        self.stats = FaultStats()
+
+    # -- per-submission decisions --------------------------------------
+    def duplicate_submission(self) -> bool:
+        """Whether this accepted answer gets delivered a second time."""
+        rate = self.config.duplicate_submission
+        if rate and self._rng.random() < rate:
+            self.stats.duplicates_injected += 1
+            return True
+        return False
+
+    def late_answer(self) -> bool:
+        """Whether the worker holds this answer past lease expiry."""
+        rate = self.config.late_answer
+        if rate and self._rng.random() < rate:
+            self.stats.late_injected += 1
+            return True
+        return False
+
+    def malformed_submission(self) -> bool:
+        """Whether this submission arrives as undecodable garbage."""
+        rate = self.config.malformed_submission
+        if rate and self._rng.random() < rate:
+            self.stats.malformed_injected += 1
+            return True
+        return False
+
+    # -- per-step decisions --------------------------------------------
+    def blackout_victims(
+        self, active: list[WorkerId]
+    ) -> list[WorkerId]:
+        """Workers a blackout burst takes down this step (often none)."""
+        rate = self.config.blackout_rate
+        if not rate or not active:
+            return []
+        if self._rng.random() >= rate:
+            return []
+        count = max(1, round(len(active) * self.config.blackout_fraction))
+        picks = self._rng.choice(len(active), size=count, replace=False)
+        victims = [active[int(i)] for i in sorted(picks)]
+        self.stats.blackout_bursts += 1
+        self.stats.blackout_workers += len(victims)
+        return victims

@@ -1,0 +1,196 @@
+"""Assignment leases: the platform-side contract behind every slot.
+
+The paper's Appendix A loop assumes a cooperative AMT — every issued
+assignment comes back as exactly one answer.  Real microtask platforms
+do not behave that way: HITs are returned, submissions are duplicated
+by client retries, and answers arrive after the HIT expired.  The lease
+ledger makes the platform's side of the contract explicit:
+
+- ``issue``   — an assignment handed to a worker opens a *lease* that
+  expires ``timeout`` clock ticks later;
+- ``settle``  — the matching answer closes the lease (``ANSWERED``);
+- ``expire_due`` — leases past their deadline flip to ``EXPIRED`` and
+  the slot is requeued with the policy; an answer arriving afterwards
+  is classified ``LATE`` and must be dropped by the caller.
+
+The ledger is pure bookkeeping — it never touches the policy — so both
+:class:`repro.platform.SimulatedPlatform` and the HTTP facade share it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.types import TaskId, WorkerId
+
+#: A lease is keyed by the (worker, task) pair it covers.
+LeaseKey = tuple[WorkerId, TaskId]
+
+
+class LeaseStatus(enum.Enum):
+    """Lifecycle of one assignment lease."""
+
+    PENDING = "pending"
+    ANSWERED = "answered"
+    EXPIRED = "expired"
+
+
+class SettleResult(enum.Enum):
+    """Classification of an incoming answer against the ledger."""
+
+    #: A pending lease matched: the answer is good.
+    ANSWERED = "answered"
+    #: The lease expired before the answer arrived: drop it.
+    LATE = "late"
+    #: The lease was already settled: a duplicate submission.
+    DUPLICATE = "duplicate"
+    #: No lease was ever issued for this (worker, task) pair.
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Lease:
+    """One issued assignment awaiting its answer."""
+
+    worker_id: WorkerId
+    task_id: TaskId
+    issued_at: int
+    expires_at: int
+    is_test: bool = False
+    status: LeaseStatus = LeaseStatus.PENDING
+
+    @property
+    def key(self) -> LeaseKey:
+        return (self.worker_id, self.task_id)
+
+
+@dataclass
+class LeaseStats:
+    """Counters surfaced in :class:`repro.platform.PlatformReport`."""
+
+    issued: int = 0
+    answered: int = 0
+    expired: int = 0
+    late_answers: int = 0
+    duplicate_answers: int = 0
+    reissued: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for reports and the HTTP status endpoint."""
+        return {
+            "issued": self.issued,
+            "answered": self.answered,
+            "expired": self.expired,
+            "late_answers": self.late_answers,
+            "duplicate_answers": self.duplicate_answers,
+            "reissued": self.reissued,
+        }
+
+
+class LeaseLedger:
+    """Tracks every outstanding assignment lease.
+
+    Parameters
+    ----------
+    timeout:
+        Lease lifetime in caller clock ticks; a lease issued at tick
+        ``s`` may be settled up to tick ``s + timeout`` inclusive and
+        expires on the first sweep after that.
+    """
+
+    def __init__(self, timeout: int) -> None:
+        if timeout <= 0:
+            raise ValueError(f"lease timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._pending: dict[LeaseKey, Lease] = {}
+        #: pairs whose lease expired and was never answered; an answer
+        #: arriving for one of these is late exactly once.
+        self._expired: set[LeaseKey] = set()
+        #: pairs answered at least once (for duplicate classification).
+        self._answered: set[LeaseKey] = set()
+        self.stats = LeaseStats()
+
+    # ------------------------------------------------------------------
+    def issue(
+        self,
+        worker_id: WorkerId,
+        task_id: TaskId,
+        now: int,
+        is_test: bool = False,
+    ) -> Lease:
+        """Open a lease for an assignment handed out at tick ``now``."""
+        key = (worker_id, task_id)
+        lease = Lease(
+            worker_id=worker_id,
+            task_id=task_id,
+            issued_at=now,
+            expires_at=now + self.timeout,
+            is_test=is_test,
+        )
+        if key in self._expired:
+            # the same worker took the same slot again after expiry
+            self._expired.discard(key)
+            self.stats.reissued += 1
+        self._pending[key] = lease
+        self.stats.issued += 1
+        return lease
+
+    def settle(
+        self, worker_id: WorkerId, task_id: TaskId, now: int
+    ) -> SettleResult:
+        """Classify an incoming answer and close its lease if pending."""
+        key = (worker_id, task_id)
+        lease = self._pending.get(key)
+        if lease is not None:
+            if now > lease.expires_at:
+                # expired but not yet swept: treat exactly like a sweep
+                del self._pending[key]
+                lease.status = LeaseStatus.EXPIRED
+                self.stats.expired += 1
+                self.stats.late_answers += 1
+                return SettleResult.LATE
+            del self._pending[key]
+            lease.status = LeaseStatus.ANSWERED
+            self._answered.add(key)
+            self.stats.answered += 1
+            return SettleResult.ANSWERED
+        if key in self._expired:
+            self._expired.discard(key)
+            self.stats.late_answers += 1
+            return SettleResult.LATE
+        if key in self._answered:
+            self.stats.duplicate_answers += 1
+            return SettleResult.DUPLICATE
+        return SettleResult.UNKNOWN
+
+    def expire_due(self, now: int) -> list[Lease]:
+        """Expire every pending lease whose deadline has passed."""
+        due = [
+            lease
+            for lease in self._pending.values()
+            if now > lease.expires_at
+        ]
+        for lease in due:
+            del self._pending[lease.key]
+            lease.status = LeaseStatus.EXPIRED
+            self._expired.add(lease.key)
+            self.stats.expired += 1
+        return due
+
+    # ------------------------------------------------------------------
+    def outstanding(self) -> dict[LeaseKey, Lease]:
+        """Currently pending leases (copy)."""
+        return dict(self._pending)
+
+    def has_pending(self, worker_id: WorkerId, task_id: TaskId) -> bool:
+        """Whether a lease for the pair is currently open."""
+        return (worker_id, task_id) in self._pending
+
+    def has_seen(self, worker_id: WorkerId) -> bool:
+        """Whether any lease (in any state) was ever issued to a worker."""
+        if any(w == worker_id for w, _ in self._pending):
+            return True
+        if any(w == worker_id for w, _ in self._answered):
+            return True
+        return any(w == worker_id for w, _ in self._expired)

@@ -1,11 +1,18 @@
 """Payment ledger (Appendix A: the server "calls back some APIs of AMT
-to process payment" after each submission)."""
+to process payment" after each submission).
+
+Payments are idempotent per ``(worker, task)``: a worker sees a given
+microtask at most once per job (as a vote or a performance test), so
+that pair is a natural payment key.  Duplicate submissions — client
+retries, re-delivered POSTs — therefore can never double-pay; the
+attempt is counted instead (:attr:`PaymentLedger.duplicate_attempts`).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.types import WorkerId
+from repro.core.types import TaskId, WorkerId
 
 
 @dataclass
@@ -15,6 +22,9 @@ class PaymentLedger:
     price_per_microtask: float = 0.01
     _earnings: dict[WorkerId, float] = field(default_factory=dict)
     _counts: dict[WorkerId, int] = field(default_factory=dict)
+    _paid_keys: set[tuple[WorkerId, TaskId]] = field(default_factory=set)
+    #: blocked double-payment attempts (should stay 0 without faults)
+    duplicate_attempts: int = 0
 
     def __post_init__(self) -> None:
         if self.price_per_microtask < 0:
@@ -28,6 +38,24 @@ class PaymentLedger:
         self._earnings[worker_id] = self._earnings.get(worker_id, 0.0) + amount
         self._counts[worker_id] = self._counts.get(worker_id, 0) + 1
         return amount
+
+    def pay_once(
+        self,
+        worker_id: WorkerId,
+        task_id: TaskId,
+        amount: float | None = None,
+    ) -> float:
+        """Credit a worker for a microtask at most once.
+
+        Returns the amount credited, or 0.0 when the ``(worker, task)``
+        pair was already paid (the attempt is counted, not honoured).
+        """
+        key = (worker_id, task_id)
+        if key in self._paid_keys:
+            self.duplicate_attempts += 1
+            return 0.0
+        self._paid_keys.add(key)
+        return self.pay(worker_id, amount)
 
     def earnings(self, worker_id: WorkerId) -> float:
         """Total amount credited to a worker so far."""

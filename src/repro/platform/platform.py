@@ -6,23 +6,44 @@ the platform records the answer and processes payment → the policy
 updates its state.  The loop ends when the policy reports all tasks
 globally completed, when no progress is possible (every active worker
 drew a blank repeatedly), or at a step cap.
+
+Unlike the paper's idealised loop, every issued assignment is covered
+by a *lease* (:mod:`repro.platform.leases`): if the answer does not
+arrive within ``assignment_timeout`` steps — the worker walked away,
+blacked out, or submitted garbage — the lease expires, the slot is
+requeued with the policy, and a later answer for it is dropped instead
+of corrupting the vote state.  A :class:`repro.platform.faults
+.FaultConfig` additionally injects the failure modes real microtask
+markets exhibit (duplicate submissions, late answers, blackout bursts,
+malformed submits) to exercise exactly those paths.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
-from repro.core.types import Assignment, Label, TaskId, TaskSet, WorkerId
+from repro.core.types import (
+    AnswerOutcome,
+    Assignment,
+    Label,
+    TaskId,
+    TaskSet,
+    WorkerId,
+)
 from repro.platform.events import (
     AnswerEvent,
     AssignEvent,
     CompleteEvent,
     EventLog,
+    ExpireEvent,
     RejectEvent,
     RequestEvent,
 )
+from repro.platform.faults import FaultConfig, FaultInjector, FaultStats
 from repro.platform.hits import DEFAULT_PRICE_PER_ASSIGNMENT, DEFAULT_TASKS_PER_HIT
+from repro.platform.leases import LeaseLedger, LeaseStats, SettleResult
 from repro.platform.payments import PaymentLedger
 from repro.workers.pool import WorkerPool
 
@@ -32,7 +53,8 @@ class PolicyProtocol(Protocol):
     """What an assignment policy must provide to run on the platform.
 
     :class:`repro.core.ICrowd` and every baseline in
-    :mod:`repro.baselines` implement this protocol.
+    :mod:`repro.baselines` implement this protocol, including the
+    optional lease hooks below.
     """
 
     def on_worker_request(
@@ -47,8 +69,14 @@ class PolicyProtocol(Protocol):
         task_id: TaskId,
         label: Label,
         is_test: bool = False,
-    ) -> None:
-        """Record a submitted answer."""
+    ) -> AnswerOutcome | None:
+        """Record a submitted answer, idempotently.
+
+        Must tolerate re-delivery: a repeated ``(worker, task)`` vote
+        leaves the policy unchanged and reports
+        :attr:`repro.core.types.AnswerOutcome.DUPLICATE`.  A ``None``
+        return is treated as ``ACCEPTED`` for backward compatibility.
+        """
         ...
 
     def is_finished(self) -> bool:
@@ -57,6 +85,30 @@ class PolicyProtocol(Protocol):
 
     def predictions(self) -> dict[TaskId, Label]:
         """Current aggregated result per task."""
+        ...
+
+    # -- optional lease hooks ------------------------------------------
+    # The platform probes these with ``getattr``; a policy that omits
+    # them still runs, with the documented default behaviour.
+
+    def release_assignment(self, worker_id: WorkerId, task_id: TaskId) -> bool:
+        """Reopen one outstanding (unanswered) slot after lease expiry.
+
+        Optional; default when absent: the platform falls back to
+        :meth:`expire_stale_assignments`, or does nothing if that is
+        missing too (the slot is then permanently consumed).
+        """
+        ...
+
+    def expire_stale_assignments(
+        self, max_age: int
+    ) -> list[tuple[WorkerId, TaskId]]:
+        """Release every outstanding assignment older than ``max_age``
+        policy-clock ticks.
+
+        Optional; default when absent: a no-op returning ``[]`` — the
+        platform-side lease ledger then provides the only reclamation.
+        """
         ...
 
 
@@ -71,6 +123,8 @@ class PlatformReport:
     payments: PaymentLedger
     stalled: bool = False
     rejected_workers: list[WorkerId] = field(default_factory=list)
+    leases: LeaseStats = field(default_factory=LeaseStats)
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def num_answers(self) -> int:
@@ -86,12 +140,14 @@ class PlatformReport:
         """Fraction of tasks whose predicted result matches ground truth.
 
         ``exclude`` typically holds the qualification task ids so the
-        gold-labelled freebies do not inflate the metric.
+        gold-labelled freebies do not inflate the metric.  An empty
+        denominator (every task excluded) is *not* "all wrong": it
+        returns NaN so experiment reports cannot mistake it for 0%.
         """
         exclude = exclude or set()
         considered = [t for t in tasks if t.task_id not in exclude]
         if not considered:
-            return 0.0
+            return float("nan")
         correct = sum(
             1
             for t in considered
@@ -102,18 +158,27 @@ class PlatformReport:
     def accuracy_by_domain(
         self, tasks: TaskSet, exclude: set[TaskId] | None = None
     ) -> dict[str, float]:
-        """Per-domain accuracy (the paper's per-domain bars)."""
+        """Per-domain accuracy (the paper's per-domain bars).
+
+        Domains whose every task is excluded map to NaN, mirroring
+        :meth:`accuracy`'s empty-denominator convention.
+        """
         exclude = exclude or set()
         totals: dict[str, int] = {}
         corrects: dict[str, int] = {}
         for task in tasks:
+            totals.setdefault(task.domain, 0)
             if task.task_id in exclude:
                 continue
-            totals[task.domain] = totals.get(task.domain, 0) + 1
+            totals[task.domain] += 1
             if self.predictions.get(task.task_id) == task.truth:
                 corrects[task.domain] = corrects.get(task.domain, 0) + 1
         return {
-            domain: corrects.get(domain, 0) / total
+            domain: (
+                corrects.get(domain, 0) / total
+                if total
+                else float("nan")
+            )
             for domain, total in totals.items()
         }
 
@@ -132,6 +197,15 @@ class SimulatedPlatform:
     price_per_assignment / tasks_per_hit:
         Pricing used by the payment ledger (paper defaults: $0.10 for a
         10-microtask HIT, i.e. one cent per answered microtask).
+    abandonment:
+        Probability a worker walks away from an issued assignment
+        without answering (the MTurk "returned HIT" case); the lease
+        ledger reclaims the slot after ``assignment_timeout`` steps.
+    assignment_timeout:
+        Lease lifetime in platform steps; expiry runs every step.
+    faults:
+        Optional :class:`FaultConfig`; ``None`` and
+        ``FaultConfig.disabled()`` behave identically.
     """
 
     def __init__(
@@ -143,6 +217,7 @@ class SimulatedPlatform:
         tasks_per_hit: int = DEFAULT_TASKS_PER_HIT,
         abandonment: float = 0.0,
         assignment_timeout: int = 50,
+        faults: FaultConfig | None = None,
         seed: int = 0,
     ) -> None:
         if not 0.0 <= abandonment < 1.0:
@@ -154,17 +229,20 @@ class SimulatedPlatform:
         self.tasks = tasks
         self.pool = pool
         self.policy = policy
-        #: probability a worker walks away from an issued assignment
-        #: without answering (the MTurk "returned HIT" case); the
-        #: policy's expiry hook reopens the slot after
-        #: ``assignment_timeout`` of its clock ticks.
         self.abandonment = abandonment
         self.assignment_timeout = assignment_timeout
         self.events = EventLog()
         self.payments = PaymentLedger(
             price_per_microtask=price_per_assignment / tasks_per_hit
         )
+        self.leases = LeaseLedger(assignment_timeout)
+        self.injector = FaultInjector(
+            faults or FaultConfig.disabled(), seed=seed
+        )
         self._rejected: list[WorkerId] = []
+        #: late-fault answers held until after their lease expired:
+        #: (deliver_at_step, worker, task, label, is_test)
+        self._held: list[tuple[int, WorkerId, TaskId, Label, bool]] = []
         from repro.utils.rng import spawn_rng
 
         self._rng = spawn_rng(seed, "platform-abandonment")
@@ -180,13 +258,16 @@ class SimulatedPlatform:
         step = 0
         consecutive_blanks = 0
         stall_limit = 3 * max(1, len(self.pool))
+        if self.injector.config.blackout_rate > 0.0:
+            # blanks during a blackout burst are downtime, not a stall
+            stall_limit += 2 * self.injector.config.blackout_duration
         stalled = False
         while step < max_steps and not self.policy.is_finished():
             step += 1
             self.pool.tick()
-            if self.abandonment:
-                # reopen slots whose workers walked away long ago
-                self._expire_stale()
+            self._apply_blackouts()
+            self._deliver_held(step)
+            self._expire_due(step)
             requester = self.pool.sample_requester()
             if requester is None:
                 consecutive_blanks += 1
@@ -220,41 +301,49 @@ class SimulatedPlatform:
                     is_test=assignment.is_test,
                 )
             )
+            lease = self.leases.issue(
+                requester, assignment.task_id, step, assignment.is_test
+            )
             if (
                 self.abandonment
                 and not assignment.is_test
                 and self._rng.random() < self.abandonment
             ):
-                # the worker walks away without answering; stale slots
-                # are reopened by the policy's expiry hook
-                self.pool.note_submission(requester)
-                self._expire_stale()
+                # the worker walks away without answering: no submission
+                # is credited, and the open lease is reclaimed by expiry
+                self.pool.note_abandonment(requester)
                 continue
             worker = self.pool.worker(requester)
             label = worker.answer(self.tasks[assignment.task_id])
-            completed_before = self._completed_tasks()
-            self.policy.on_answer(
-                requester, assignment.task_id, label, assignment.is_test
-            )
-            self.events.append(
-                AnswerEvent(
-                    step=step,
-                    worker_id=requester,
-                    task_id=assignment.task_id,
-                    label=label,
-                    is_test=assignment.is_test,
-                )
-            )
-            newly_completed = self._completed_tasks() - completed_before
-            for task_id in sorted(newly_completed):
-                self.events.append(
-                    CompleteEvent(
-                        step=step,
-                        task_id=task_id,
-                        consensus=self.policy.predictions()[task_id],
+            if self.injector.malformed_submission():
+                # garbage submit: dropped before it reaches the policy;
+                # the lease stays open and expiry requeues the slot
+                self.pool.note_submission(requester)
+                continue
+            if not assignment.is_test and self.injector.late_answer():
+                # the worker sits on the answer until after expiry
+                self._held.append(
+                    (
+                        lease.expires_at + 2,
+                        requester,
+                        assignment.task_id,
+                        label,
+                        assignment.is_test,
                     )
                 )
-            self.payments.pay(requester)
+                self.pool.note_submission(requester)
+                continue
+            self._deliver(
+                step, requester, assignment.task_id, label,
+                assignment.is_test,
+            )
+            if self.injector.duplicate_submission():
+                # the same submission arrives again (client retry): the
+                # ledger flags it and the policy must shrug it off
+                self._deliver(
+                    step, requester, assignment.task_id, label,
+                    assignment.is_test,
+                )
             self.pool.note_submission(requester)
         return PlatformReport(
             steps=step,
@@ -264,14 +353,115 @@ class SimulatedPlatform:
             payments=self.payments,
             stalled=stalled,
             rejected_workers=list(self._rejected),
+            leases=self.leases.stats,
+            faults=self.injector.stats,
         )
 
     # ------------------------------------------------------------------
-    def _expire_stale(self) -> None:
-        """Ask the policy to reopen assignments abandoned too long ago."""
+    def _deliver(
+        self,
+        step: int,
+        worker_id: WorkerId,
+        task_id: TaskId,
+        label: Label,
+        is_test: bool,
+    ) -> bool:
+        """Deliver one submission through the lease ledger to the policy.
+
+        Returns True when the answer was accepted (event recorded and
+        the worker paid); late, duplicate and policy-ignored answers
+        are dropped and counted.
+        """
+        settle = self.leases.settle(worker_id, task_id, step)
+        if settle is SettleResult.LATE:
+            # the lease expired and the slot was requeued: the answer
+            # can no longer count (it may not even be a valid vote)
+            return False
+        if settle in (SettleResult.DUPLICATE, SettleResult.UNKNOWN):
+            # deliver anyway: idempotent policies must leave their
+            # state untouched and report the duplicate
+            outcome = _coerce_outcome(
+                self.policy.on_answer(worker_id, task_id, label, is_test)
+            )
+            if outcome.accepted:
+                raise RuntimeError(
+                    f"policy accepted a duplicate submission for "
+                    f"({worker_id!r}, {task_id}); on_answer must be "
+                    f"idempotent"
+                )
+            self.injector.stats.duplicates_dropped += 1
+            return False
+        completed_before = self._completed_tasks()
+        outcome = _coerce_outcome(
+            self.policy.on_answer(worker_id, task_id, label, is_test)
+        )
+        if not outcome.accepted:
+            return False
+        self.events.append(
+            AnswerEvent(
+                step=step,
+                worker_id=worker_id,
+                task_id=task_id,
+                label=label,
+                is_test=is_test,
+            )
+        )
+        newly_completed = self._completed_tasks() - completed_before
+        for completed_id in sorted(newly_completed):
+            self.events.append(
+                CompleteEvent(
+                    step=step,
+                    task_id=completed_id,
+                    consensus=self.policy.predictions()[completed_id],
+                )
+            )
+        self.payments.pay_once(worker_id, task_id)
+        return True
+
+    def _deliver_held(self, step: int) -> None:
+        """Deliver answers the late-fault held past their lease expiry."""
+        if not self._held:
+            return
+        due = [item for item in self._held if item[0] <= step]
+        if not due:
+            return
+        self._held = [item for item in self._held if item[0] > step]
+        for _, worker_id, task_id, label, is_test in due:
+            if not self._deliver(step, worker_id, task_id, label, is_test):
+                self.injector.stats.late_dropped += 1
+
+    def _expire_due(self, step: int) -> None:
+        """Reclaim every lease past its deadline — runs every step,
+        independent of the abandonment setting."""
+        for lease in self.leases.expire_due(step):
+            self._release_with_policy(lease.worker_id, lease.task_id)
+            self.events.append(
+                ExpireEvent(
+                    step=step,
+                    worker_id=lease.worker_id,
+                    task_id=lease.task_id,
+                )
+            )
+
+    def _release_with_policy(
+        self, worker_id: WorkerId, task_id: TaskId
+    ) -> None:
+        """Tell the policy an expired slot is open again."""
+        release = getattr(self.policy, "release_assignment", None)
+        if release is not None:
+            release(worker_id, task_id)
+            return
         expire = getattr(self.policy, "expire_stale_assignments", None)
         if expire is not None:
             expire(self.assignment_timeout)
+
+    def _apply_blackouts(self) -> None:
+        """Suspend blackout-burst victims for the configured duration."""
+        victims = self.injector.blackout_victims(self.pool.active_workers())
+        for worker_id in victims:
+            self.pool.suspend(
+                worker_id, self.injector.config.blackout_duration
+            )
 
     def _policy_rejected(self, worker_id: WorkerId) -> bool:
         """Whether the policy has permanently rejected a worker."""
@@ -285,3 +475,13 @@ class SimulatedPlatform:
         if getter is None:
             return set()
         return set(getter())
+
+
+def _coerce_outcome(value: AnswerOutcome | None) -> AnswerOutcome:
+    """Back-compat: policies returning None are treated as accepting."""
+    return AnswerOutcome.ACCEPTED if value is None else value
+
+
+def is_empty_accuracy(value: float) -> bool:
+    """Whether an accuracy value is the empty-denominator NaN marker."""
+    return isinstance(value, float) and math.isnan(value)

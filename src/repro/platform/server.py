@@ -11,12 +11,29 @@ that integration surface as a small threaded HTTP server:
   assignable to the worker;
 - ``POST /submit`` with JSON ``{"worker", "task_id", "label",
   "is_test"}`` — submit an answer; returns the task's completion state;
-- ``GET /status`` — job progress (answers collected, finished flag).
+- ``GET /status`` — job progress (answers collected, finished flag,
+  lease counters).
+
+Because request and submit are separate HTTP calls, a worker may
+simply never post back.  Every served assignment therefore opens a
+lease (:mod:`repro.platform.leases`); leases are swept on every
+interaction, expired slots are requeued with the policy, and submits
+are classified against the ledger:
+
+====== ==============================================================
+status meaning
+====== ==============================================================
+200    answer accepted (or idempotently ignored; see ``accepted``)
+400    malformed JSON / missing or invalid fields
+404    unknown route, unknown task id, or never-seen worker
+409    duplicate submit, or no outstanding assignment for the pair
+410    the assignment lease expired before the answer arrived
+====== ==============================================================
 
 The server serialises access to the policy with a lock (policies are
-deliberately single-threaded state machines), binds to an ephemeral
-localhost port by default, and is used by the integration tests to
-exercise the exact request/submit loop the paper's Figure 11 shows.
+deliberately single-threaded state machines) and binds to an ephemeral
+localhost port by default.  :class:`repro.platform.client.ICrowdClient`
+is the matching bounded-retry client.
 """
 
 from __future__ import annotations
@@ -26,7 +43,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.core.types import Label, TaskSet
+from repro.core.types import AnswerOutcome, Label, TaskSet, WorkerId
+from repro.platform.leases import LeaseLedger, SettleResult
 
 
 class ICrowdHTTPServer:
@@ -41,6 +59,10 @@ class ICrowdHTTPServer:
     host / port:
         Bind address; port 0 picks an ephemeral port (see
         :attr:`address` after :meth:`start`).
+    lease_timeout:
+        Assignment lease lifetime, measured in server interactions
+        (each handled /request or /submit advances the clock by one).
+        Defaults to ``max(50, 4 * len(tasks))``.
     """
 
     def __init__(
@@ -49,9 +71,15 @@ class ICrowdHTTPServer:
         policy,
         host: str = "127.0.0.1",
         port: int = 0,
+        lease_timeout: int | None = None,
     ) -> None:
         self.tasks = tasks
         self.policy = policy
+        if lease_timeout is None:
+            lease_timeout = max(50, 4 * len(tasks))
+        self.leases = LeaseLedger(lease_timeout)
+        self._tick = 0
+        self._known_workers: set[WorkerId] = set()
         self._lock = threading.Lock()
         self._httpd = ThreadingHTTPServer(
             (host, port), self._make_handler()
@@ -89,9 +117,31 @@ class ICrowdHTTPServer:
         self.stop()
 
     # ------------------------------------------------------------------
+    def _advance_and_sweep(self) -> None:
+        """Advance the interaction clock and reclaim expired leases.
+
+        Caller must hold the lock.  Expired slots are handed back to
+        the policy so another worker can take them — the HTTP analogue
+        of an MTurk HIT expiring unanswered.
+        """
+        self._tick += 1
+        for lease in self.leases.expire_due(self._tick):
+            release = getattr(self.policy, "release_assignment", None)
+            if release is not None:
+                release(lease.worker_id, lease.task_id)
+
     def _handle_request(self, worker_id: str) -> tuple[int, dict | None]:
         with self._lock:
+            self._advance_and_sweep()
+            self._known_workers.add(worker_id)
             assignment = self.policy.on_worker_request(worker_id)
+            if assignment is not None:
+                self.leases.issue(
+                    worker_id,
+                    assignment.task_id,
+                    self._tick,
+                    assignment.is_test,
+                )
         if assignment is None:
             return 204, None
         task = self.tasks[assignment.task_id]
@@ -102,6 +152,8 @@ class ICrowdHTTPServer:
         }
 
     def _handle_submit(self, payload: dict) -> tuple[int, dict]:
+        if not isinstance(payload, dict):
+            return 400, {"error": "submit payload must be a JSON object"}
         try:
             worker_id = str(payload["worker"])
             task_id = int(payload["task_id"])
@@ -110,16 +162,53 @@ class ICrowdHTTPServer:
         except (KeyError, ValueError, TypeError) as exc:
             return 400, {"error": f"bad submit payload: {exc}"}
         if not 0 <= task_id < len(self.tasks):
-            return 400, {"error": f"unknown task {task_id}"}
+            return 404, {"error": f"unknown task {task_id}"}
         with self._lock:
-            try:
-                self.policy.on_answer(worker_id, task_id, label, is_test)
-            except ValueError as exc:
-                return 409, {"error": str(exc)}
+            if worker_id not in self._known_workers:
+                return 404, {"error": f"unknown worker {worker_id!r}"}
+            self._advance_and_sweep()
+            settle = self.leases.settle(worker_id, task_id, self._tick)
+            if settle is SettleResult.LATE:
+                return 410, {
+                    "error": (
+                        f"assignment lease for task {task_id} expired; "
+                        f"the slot was requeued"
+                    )
+                }
+            if settle is SettleResult.DUPLICATE:
+                return 409, {
+                    "error": (
+                        f"worker {worker_id!r} already submitted task "
+                        f"{task_id}"
+                    )
+                }
+            if settle is SettleResult.UNKNOWN:
+                return 409, {
+                    "error": (
+                        f"no outstanding assignment of task {task_id} "
+                        f"for worker {worker_id!r}"
+                    )
+                }
+            outcome = self.policy.on_answer(
+                worker_id, task_id, label, is_test
+            )
+            if outcome is None:
+                outcome = AnswerOutcome.ACCEPTED
+            if outcome is AnswerOutcome.DUPLICATE:
+                return 409, {
+                    "error": (
+                        f"worker {worker_id!r} already answered task "
+                        f"{task_id}"
+                    )
+                }
             completed = task_id in set(
                 getattr(self.policy, "completed_tasks", list)()
             )
-        return 200, {"accepted": True, "task_completed": completed}
+        return 200, {
+            "accepted": outcome is AnswerOutcome.ACCEPTED,
+            "outcome": outcome.value,
+            "task_completed": completed,
+        }
 
     def _handle_status(self) -> tuple[int, dict]:
         with self._lock:
@@ -127,10 +216,13 @@ class ICrowdHTTPServer:
             completed = len(
                 getattr(self.policy, "completed_tasks", list)()
             )
+            lease_stats = self.leases.stats.as_dict()
+            outstanding = len(self.leases.outstanding())
         return 200, {
             "finished": finished,
             "completed_tasks": completed,
             "total_tasks": len(self.tasks),
+            "leases": {**lease_stats, "outstanding": outstanding},
         }
 
     # ------------------------------------------------------------------

@@ -26,6 +26,9 @@ class _Membership:
     arrives_at: int
     active: bool = False
     requests_made: int = 0
+    abandonments: int = 0
+    #: clock tick until which the worker is forcibly dark (blackout)
+    suspended_until: int = 0
 
 
 class WorkerPool:
@@ -103,6 +106,8 @@ class WorkerPool:
         """Advance the clock: process arrivals and churn re-activation."""
         self._clock += 1
         for member in self._members.values():
+            if member.suspended_until > self._clock:
+                continue
             if not member.active and member.arrives_at <= self._clock:
                 if member.requests_made == 0 or self._churn == 0.0:
                     member.active = True
@@ -128,6 +133,44 @@ class WorkerPool:
         member.requests_made += 1
         if self._churn and self._rng.random() < self._churn:
             member.active = False
+
+    def note_abandonment(self, worker_id: WorkerId) -> None:
+        """Record a walked-away assignment (returned HIT).
+
+        Unlike :meth:`note_submission` this credits *no* submission —
+        the worker answered nothing — but the worker may still churn
+        out, since returning a HIT often precedes leaving the job.
+        """
+        member = self._members[worker_id]
+        member.abandonments += 1
+        if self._churn and self._rng.random() < self._churn:
+            member.active = False
+
+    def abandonment_counts(self) -> dict[WorkerId, int]:
+        """Abandoned assignments per worker (non-zero entries only)."""
+        return {
+            wid: m.abandonments
+            for wid, m in self._members.items()
+            if m.abandonments
+        }
+
+    def submission_counts(self) -> dict[WorkerId, int]:
+        """Recorded submissions per worker (non-zero entries only)."""
+        return {
+            wid: m.requests_made
+            for wid, m in self._members.items()
+            if m.requests_made
+        }
+
+    def suspend(self, worker_id: WorkerId, duration: int) -> None:
+        """Force a worker dark for ``duration`` ticks (blackout burst)."""
+        if duration <= 0:
+            raise ValueError("suspension duration must be positive")
+        member = self._members[worker_id]
+        member.active = False
+        member.suspended_until = max(
+            member.suspended_until, self._clock + duration
+        )
 
     def deactivate(self, worker_id: WorkerId) -> None:
         """Force a worker inactive (e.g. rejected in warm-up)."""

@@ -131,11 +131,16 @@ class TestAssignmentFlow:
         assert 5 in framework.completed_tasks()
         assert framework.predictions()[5] is Label.YES
 
-    def test_double_vote_rejected(self, framework, paper_tasks):
+    def test_double_vote_deduplicated(self, framework, paper_tasks):
+        from repro.core.types import AnswerOutcome
+
         finish_warmup(framework, paper_tasks, "w1")
-        framework.on_answer("w1", 5, Label.YES)
-        with pytest.raises(ValueError, match="already answered"):
-            framework.on_answer("w1", 5, Label.NO)
+        assert framework.on_answer("w1", 5, Label.YES).accepted
+        votes_before = list(framework.votes()[5].answers)
+        outcome = framework.on_answer("w1", 5, Label.NO)
+        assert outcome is AnswerOutcome.DUPLICATE
+        # the duplicate left the vote state untouched
+        assert framework.votes()[5].answers == votes_before
 
     def test_predictions_cover_all_tasks(self, framework, paper_tasks):
         predictions = framework.predictions()

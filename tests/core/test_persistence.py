@@ -103,16 +103,20 @@ class TestRoundTrip:
         assignment = restored.on_worker_request("w3")
         assert assignment.task_id in restored.qualification_tasks
 
-    def test_double_vote_still_rejected_after_restore(
+    def test_double_vote_still_deduplicated_after_restore(
         self, live_framework, paper_tasks, paper_graph, tiny_config,
         tmp_path,
     ):
+        from repro.core.types import AnswerOutcome
+
         restored = rebuild(
             live_framework, paper_tasks, paper_graph, tiny_config,
             tmp_path,
         )
-        with pytest.raises(ValueError, match="already answered"):
-            restored.on_answer("w1", 7, Label.YES)
+        votes_before = list(restored.votes()[7].answers)
+        outcome = restored.on_answer("w1", 7, Label.YES)
+        assert outcome is AnswerOutcome.DUPLICATE
+        assert restored.votes()[7].answers == votes_before
 
     def test_run_continues_after_restore(
         self, live_framework, paper_tasks, paper_graph, tiny_config,

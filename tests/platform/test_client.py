@@ -1,0 +1,91 @@
+"""Tests for the bounded-retry HTTP client."""
+
+import pytest
+
+from repro.baselines import RandomMV
+from repro.core.types import Label, Task, TaskSet
+from repro.platform import ICrowdClient, SubmitResult, TransportError
+from repro.platform.server import ICrowdHTTPServer
+
+
+@pytest.fixture
+def tasks():
+    return TaskSet(
+        [
+            Task(i, f"microtask {i} shared tokens", "d",
+                 Label.YES if i % 2 == 0 else Label.NO)
+            for i in range(4)
+        ]
+    )
+
+
+@pytest.fixture
+def server(tasks):
+    policy = RandomMV(tasks, k=1, seed=0)
+    with ICrowdHTTPServer(tasks, policy) as srv:
+        yield srv
+
+
+class TestAgainstLiveServer:
+    def test_full_job_through_the_client(self, server):
+        client = ICrowdClient(server.address)
+        while True:
+            task = client.request_task("w1")
+            if task is None:
+                break
+            result = client.submit("w1", task["task_id"], 1)
+            assert result.accepted
+            assert result.ok
+            assert result.attempts == 1
+        status = client.status()
+        assert status["finished"] is True
+        assert status["leases"]["answered"] == 4
+
+    def test_replayed_submit_is_ok_not_error(self, server):
+        client = ICrowdClient(server.address)
+        task = client.request_task("w1")
+        first = client.submit("w1", task["task_id"], 1)
+        assert first.accepted
+        # the at-least-once case: the POST landed but its response was
+        # lost and the client sent it again
+        replay = client.submit("w1", task["task_id"], 1)
+        assert replay.deduplicated
+        assert replay.ok
+        assert not replay.accepted
+
+    def test_4xx_not_retried(self, server):
+        client = ICrowdClient(server.address, max_retries=3)
+        result = client.submit("ghost", 0, 1)
+        assert result.status == 404
+        assert result.attempts == 1
+        assert not result.ok
+
+
+class TestTransportFailures:
+    def test_retries_then_raises_transport_error(self, tasks):
+        # bind-then-close to get a port nothing listens on
+        policy = RandomMV(tasks, k=1, seed=0)
+        probe = ICrowdHTTPServer(tasks, policy)
+        dead_address = probe.address
+        probe._httpd.server_close()
+        client = ICrowdClient(dead_address, max_retries=2, backoff=0.0)
+        with pytest.raises(TransportError, match="3 attempts"):
+            client.request_task("w1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ICrowdClient(("127.0.0.1", 1), max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            ICrowdClient(("127.0.0.1", 1), backoff=-0.1)
+
+
+class TestSubmitResult:
+    def test_flags(self):
+        accepted = SubmitResult(200, {"accepted": True}, attempts=1)
+        ignored = SubmitResult(200, {"accepted": False}, attempts=1)
+        dup = SubmitResult(409, {"error": "already"}, attempts=2)
+        late = SubmitResult(410, {"error": "expired"}, attempts=1)
+        assert accepted.ok and accepted.accepted
+        assert not ignored.ok and not ignored.accepted
+        assert dup.ok and dup.deduplicated and not dup.accepted
+        assert late.expired and not late.ok

@@ -1,0 +1,100 @@
+"""Unit tests for the assignment-lease ledger."""
+
+import pytest
+
+from repro.platform.leases import (
+    LeaseLedger,
+    LeaseStatus,
+    SettleResult,
+)
+
+
+class TestIssueAndSettle:
+    def test_issue_opens_pending_lease(self):
+        ledger = LeaseLedger(timeout=5)
+        lease = ledger.issue("w1", 3, now=10)
+        assert lease.status is LeaseStatus.PENDING
+        assert lease.expires_at == 15
+        assert ledger.has_pending("w1", 3)
+        assert ledger.stats.issued == 1
+
+    def test_in_time_answer_settles(self):
+        ledger = LeaseLedger(timeout=5)
+        ledger.issue("w1", 3, now=10)
+        assert ledger.settle("w1", 3, now=15) is SettleResult.ANSWERED
+        assert not ledger.has_pending("w1", 3)
+        assert ledger.stats.answered == 1
+
+    def test_repeat_answer_is_duplicate(self):
+        ledger = LeaseLedger(timeout=5)
+        ledger.issue("w1", 3, now=10)
+        ledger.settle("w1", 3, now=11)
+        assert ledger.settle("w1", 3, now=12) is SettleResult.DUPLICATE
+        assert ledger.stats.duplicate_answers == 1
+
+    def test_never_issued_is_unknown(self):
+        ledger = LeaseLedger(timeout=5)
+        assert ledger.settle("w1", 3, now=1) is SettleResult.UNKNOWN
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            LeaseLedger(timeout=0)
+
+
+class TestExpiry:
+    def test_sweep_expires_overdue_leases_only(self):
+        ledger = LeaseLedger(timeout=5)
+        ledger.issue("w1", 1, now=0)
+        ledger.issue("w2", 2, now=3)
+        # w1 expires after tick 5, w2 after tick 8
+        assert ledger.expire_due(now=5) == []
+        due = ledger.expire_due(now=6)
+        assert [lease.key for lease in due] == [("w1", 1)]
+        assert due[0].status is LeaseStatus.EXPIRED
+        assert ledger.has_pending("w2", 2)
+        assert ledger.stats.expired == 1
+
+    def test_answer_after_sweep_is_late_once(self):
+        ledger = LeaseLedger(timeout=5)
+        ledger.issue("w1", 1, now=0)
+        ledger.expire_due(now=6)
+        assert ledger.settle("w1", 1, now=7) is SettleResult.LATE
+        # the late classification is consumed; a second submit for a
+        # pair with no history is UNKNOWN, not LATE again
+        assert ledger.settle("w1", 1, now=8) is SettleResult.UNKNOWN
+        assert ledger.stats.late_answers == 1
+
+    def test_answer_past_deadline_before_sweep_is_late(self):
+        ledger = LeaseLedger(timeout=5)
+        ledger.issue("w1", 1, now=0)
+        assert ledger.settle("w1", 1, now=6) is SettleResult.LATE
+        assert ledger.stats.expired == 1
+        assert ledger.stats.late_answers == 1
+
+    def test_reissue_after_expiry_counts_and_settles(self):
+        ledger = LeaseLedger(timeout=5)
+        ledger.issue("w1", 1, now=0)
+        ledger.expire_due(now=6)
+        ledger.issue("w1", 1, now=7)
+        assert ledger.stats.reissued == 1
+        assert ledger.settle("w1", 1, now=9) is SettleResult.ANSWERED
+
+
+class TestViews:
+    def test_outstanding_is_a_copy(self):
+        ledger = LeaseLedger(timeout=5)
+        ledger.issue("w1", 1, now=0)
+        view = ledger.outstanding()
+        view.clear()
+        assert ledger.has_pending("w1", 1)
+
+    def test_has_seen_covers_all_states(self):
+        ledger = LeaseLedger(timeout=5)
+        assert not ledger.has_seen("w1")
+        ledger.issue("w1", 1, now=0)
+        assert ledger.has_seen("w1")  # pending
+        ledger.settle("w1", 1, now=1)
+        assert ledger.has_seen("w1")  # answered
+        ledger.issue("w2", 2, now=0)
+        ledger.expire_due(now=6)
+        assert ledger.has_seen("w2")  # expired

@@ -116,9 +116,14 @@ class TestAccuracyMetrics:
         by_domain = report.accuracy_by_domain(tasks)
         assert set(by_domain) == {"x", "y"}
 
-    def test_empty_task_metric(self):
+    def test_empty_task_metric_is_nan_not_zero(self):
+        """Excluding every task must not read as "all wrong"."""
+        import math
+
         tasks = make_tasks(2)
         pool = make_pool(4)
         policy = RandomMV(tasks, k=3, seed=0)
         report = SimulatedPlatform(tasks, pool, policy).run()
-        assert report.accuracy(tasks, exclude={0, 1}) == 0.0
+        assert math.isnan(report.accuracy(tasks, exclude={0, 1}))
+        by_domain = report.accuracy_by_domain(tasks, exclude={0, 1})
+        assert all(math.isnan(v) for v in by_domain.values())

@@ -89,50 +89,82 @@ class TestSubmitEndpoint:
         assert body["accepted"] is True
 
     def test_completion_reported(self, server):
+        """With k=2, the second answer on a task reports completion."""
+        completions = 0
         for worker in ("w1", "w2"):
-            call(
-                server,
-                "POST",
-                "/submit",
-                {"worker": worker, "task_id": 0, "label": 1},
-            )
-        status, body = call(
-            server,
-            "POST",
-            "/submit",
-            {"worker": "w3", "task_id": 1, "label": 0},
-        )
-        assert status == 200
-        # task 0 already had k=2 answers → completed
+            for _ in range(4):
+                status, body = call(
+                    server, "GET", f"/request?worker={worker}"
+                )
+                if status != 200:
+                    break
+                status, body = call(
+                    server,
+                    "POST",
+                    "/submit",
+                    {"worker": worker, "task_id": body["task_id"],
+                     "label": 1},
+                )
+                assert status == 200
+                completions += int(body["task_completed"])
+        assert completions >= 1
         status, body = call(server, "GET", "/status")
         assert body["completed_tasks"] >= 1
 
-    def test_double_vote_conflict(self, server):
-        call(
+    def test_duplicate_submit_conflict(self, server):
+        status, body = call(server, "GET", "/request?worker=w1")
+        task_id = body["task_id"]
+        status, _ = call(
             server,
             "POST",
             "/submit",
-            {"worker": "w1", "task_id": 0, "label": 1},
+            {"worker": "w1", "task_id": task_id, "label": 1},
         )
+        assert status == 200
+        # a re-delivered POST (client retry) must not double-record
         status, body = call(
             server,
             "POST",
             "/submit",
-            {"worker": "w1", "task_id": 0, "label": 0},
+            {"worker": "w1", "task_id": task_id, "label": 0},
         )
         assert status == 409
         assert "already" in body["error"]
 
+    def test_submit_without_assignment_conflict(self, server):
+        """A known worker posting a task it was never assigned: 409."""
+        status, body = call(server, "GET", "/request?worker=w1")
+        other = (body["task_id"] + 1) % 4
+        status, body = call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w1", "task_id": other, "label": 1},
+        )
+        assert status == 409
+        assert "no outstanding assignment" in body["error"]
+
+    def test_unknown_worker_404(self, server):
+        status, body = call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "ghost", "task_id": 0, "label": 1},
+        )
+        assert status == 404
+        assert "worker" in body["error"]
+
     def test_bad_payloads(self, server):
         status, _ = call(server, "POST", "/submit", {"worker": "w"})
         assert status == 400
+        # unknown task id is 404 (resource), not 400 (syntax)
         status, _ = call(
             server,
             "POST",
             "/submit",
             {"worker": "w", "task_id": 99, "label": 1},
         )
-        assert status == 400
+        assert status == 404
         status, _ = call(
             server,
             "POST",
@@ -140,6 +172,45 @@ class TestSubmitEndpoint:
             {"worker": "w", "task_id": 0, "label": 7},
         )
         assert status == 400
+        status, _ = call(server, "POST", "/submit", [1, 2, 3])
+        assert status == 400
+
+    def test_expired_lease_410_and_requeue(self, tasks):
+        """An answer arriving after lease expiry is refused and the
+        slot is reassignable to another worker."""
+        policy = RandomMV(tasks, k=1, seed=0)
+        with ICrowdHTTPServer(tasks, policy, lease_timeout=2) as srv:
+            status, body = call(srv, "GET", "/request?worker=w1")
+            task_id = body["task_id"]
+            # burn the lease: each interaction advances the clock
+            for _ in range(4):
+                call(srv, "GET", "/status")  # status does not tick
+                call(srv, "GET", "/request?worker=w2")
+            status, body = call(
+                srv,
+                "POST",
+                "/submit",
+                {"worker": "w1", "task_id": task_id, "label": 1},
+            )
+            assert status == 410
+            assert "expired" in body["error"]
+            # w1's slot reopened: some worker can still complete task_id
+            done = False
+            for _ in range(20):
+                status, body = call(srv, "GET", "/request?worker=w3")
+                if status != 200:
+                    break
+                status, body = call(
+                    srv,
+                    "POST",
+                    "/submit",
+                    {"worker": "w3", "task_id": body["task_id"],
+                     "label": 1},
+                )
+                if body.get("task_completed"):
+                    done = True
+            status, body = call(srv, "GET", "/status")
+            assert body["finished"] or done
 
 
 class TestStatusAndLifecycle:
@@ -147,22 +218,26 @@ class TestStatusAndLifecycle:
         policy = RandomMV(tasks, k=1, seed=0)
         with ICrowdHTTPServer(tasks, policy) as srv:
             status, body = call(srv, "GET", "/status")
-            assert body == {
-                "finished": False,
-                "completed_tasks": 0,
-                "total_tasks": 4,
-            }
-            for task_id in range(4):
+            assert body["finished"] is False
+            assert body["completed_tasks"] == 0
+            assert body["total_tasks"] == 4
+            assert body["leases"]["issued"] == 0
+            for _ in range(4):
+                status, body = call(srv, "GET", "/request?worker=w1")
+                assert status == 200
                 call(
                     srv,
                     "POST",
                     "/submit",
-                    {"worker": f"w{task_id}", "task_id": task_id,
+                    {"worker": "w1", "task_id": body["task_id"],
                      "label": 1},
                 )
             status, body = call(srv, "GET", "/status")
             assert body["finished"] is True
             assert body["completed_tasks"] == 4
+            assert body["leases"]["issued"] == 4
+            assert body["leases"]["answered"] == 4
+            assert body["leases"]["outstanding"] == 0
 
     def test_unknown_route(self, server):
         status, _ = call(server, "GET", "/nope")

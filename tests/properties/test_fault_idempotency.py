@@ -1,0 +1,147 @@
+"""Property tests: replaying answers with injected duplicates is a
+no-op (the idempotency contract behind the resilient interaction loop).
+
+A platform run is recorded once; its answer stream is then replayed
+into fresh policies with duplicate ``AnswerEvent``s injected at
+arbitrary positions.  Whatever the duplication pattern, the final
+``predictions()``, the total cost and the per-worker assignment counts
+must match the duplicate-free replay exactly.
+"""
+
+import functools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import RandomMV
+from repro.core.types import AnswerOutcome, Label, Task, TaskSet
+from repro.platform import (
+    AnswerEvent,
+    EventLog,
+    PaymentLedger,
+    SimulatedPlatform,
+)
+from repro.workers import WorkerPool, generate_profiles
+
+pytestmark = pytest.mark.faults
+
+
+@functools.lru_cache(maxsize=1)
+def recorded_mv_run():
+    """One RandomMV platform run and its recorded answer stream."""
+    tasks = TaskSet(
+        [
+            Task(i, f"task {i} tokens shared", "d",
+                 Label.YES if i % 2 == 0 else Label.NO)
+            for i in range(6)
+        ]
+    )
+    pool = WorkerPool(generate_profiles(["d"], 5, seed=4), seed=4)
+    policy = RandomMV(tasks, k=3, seed=4)
+    report = SimulatedPlatform(tasks, pool, policy, seed=4).run()
+    assert report.finished
+    return tasks, tuple(report.events.answers())
+
+
+@functools.lru_cache(maxsize=1)
+def recorded_icrowd_run():
+    """One ICrowd platform run (warm-up, tests and votes included)."""
+    from repro.core import ICrowd, ICrowdConfig
+    from repro.core.config import GraphConfig, QualificationConfig
+    from repro.datasets import make_itemcompare
+
+    tasks = make_itemcompare(seed=5, tasks_per_domain=6)
+    config = ICrowdConfig(
+        qualification=QualificationConfig(
+            num_qualification=4, qualification_threshold=0.0
+        ),
+        graph=GraphConfig(measure="jaccard", threshold=0.3),
+        seed=5,
+    )
+    policy = ICrowd(tasks, config)
+    pool = WorkerPool(
+        generate_profiles(tasks.domains(), 8, seed=5), seed=5
+    )
+    report = SimulatedPlatform(tasks, pool, policy, seed=5).run()
+    assert report.finished
+    return tasks, config, tuple(report.events.answers())
+
+
+def replay(policy, answers, duplicate_at=frozenset()):
+    """Feed an answer stream into a policy, re-delivering some answers.
+
+    Returns (predictions, total_cost, per-worker answer counts); every
+    injected duplicate must be reported as such by the policy.
+    """
+    payments = PaymentLedger()
+    log = EventLog()
+    for index, event in enumerate(answers):
+        deliveries = 2 if index in duplicate_at else 1
+        for attempt in range(deliveries):
+            outcome = policy.on_answer(
+                event.worker_id, event.task_id, event.label,
+                event.is_test,
+            )
+            outcome = AnswerOutcome.ACCEPTED if outcome is None else outcome
+            if attempt > 0:
+                assert outcome is AnswerOutcome.DUPLICATE
+            if outcome.accepted:
+                payments.pay_once(event.worker_id, event.task_id)
+                log.append(
+                    AnswerEvent(
+                        step=index,
+                        worker_id=event.worker_id,
+                        task_id=event.task_id,
+                        label=event.label,
+                        is_test=event.is_test,
+                    )
+                )
+    return (
+        policy.predictions(),
+        payments.total_cost,
+        log.assignment_counts(include_tests=True),
+    )
+
+
+class TestRandomMVReplay:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_duplicates_change_nothing(self, data):
+        tasks, answers = recorded_mv_run()
+        duplicate_at = data.draw(
+            st.frozensets(
+                st.integers(0, len(answers) - 1), max_size=len(answers)
+            )
+        )
+        clean = replay(RandomMV(tasks, k=3, seed=4), answers)
+        noisy = replay(
+            RandomMV(tasks, k=3, seed=4), answers, duplicate_at
+        )
+        assert noisy == clean
+
+    def test_every_answer_duplicated(self):
+        tasks, answers = recorded_mv_run()
+        clean = replay(RandomMV(tasks, k=3, seed=4), answers)
+        noisy = replay(
+            RandomMV(tasks, k=3, seed=4), answers,
+            frozenset(range(len(answers))),
+        )
+        assert noisy == clean
+
+
+class TestICrowdReplay:
+    @given(data=st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_duplicates_change_nothing(self, data):
+        from repro.core import ICrowd
+
+        tasks, config, answers = recorded_icrowd_run()
+        duplicate_at = data.draw(
+            st.frozensets(
+                st.integers(0, len(answers) - 1), max_size=len(answers)
+            )
+        )
+        clean = replay(ICrowd(tasks, config), answers)
+        noisy = replay(ICrowd(tasks, config), answers, duplicate_at)
+        assert noisy == clean

@@ -81,6 +81,55 @@ class TestLifecycle:
         assert len(make_pool(7)) == 7
 
 
+class TestAbandonmentAndSuspension:
+    def test_abandonment_not_credited_as_submission(self):
+        pool = make_pool(3)
+        pool.tick()
+        worker = pool.active_workers()[0]
+        pool.note_abandonment(worker)
+        pool.note_abandonment(worker)
+        pool.note_submission(worker)
+        assert pool.abandonment_counts() == {worker: 2}
+        assert pool.submission_counts() == {worker: 1}
+
+    def test_abandonment_rolls_churn(self):
+        pool = make_pool(5, churn=0.9)
+        pool.tick()
+        for worker in list(pool.active_workers()):
+            pool.note_abandonment(worker)
+        # with churn at 0.9, abandoning should knock someone out
+        assert len(pool.active_workers()) < 5
+
+    def test_suspend_keeps_worker_dark_for_duration(self):
+        pool = make_pool(3, churn=0.0)
+        pool.tick()
+        worker = pool.active_workers()[0]
+        pool.suspend(worker, duration=3)
+        assert worker not in pool.active_workers()
+        for _ in range(2):
+            pool.tick()
+            assert worker not in pool.active_workers()
+        pool.tick()  # suspension elapsed: re-arrives on this tick
+        assert worker in pool.active_workers()
+
+    def test_suspend_extends_not_shrinks(self):
+        pool = make_pool(2, churn=0.0)
+        pool.tick()
+        worker = pool.active_workers()[0]
+        pool.suspend(worker, duration=5)
+        pool.suspend(worker, duration=1)  # shorter: must not shorten
+        for _ in range(4):
+            pool.tick()
+        assert worker not in pool.active_workers()
+
+    def test_suspend_rejects_bad_duration(self):
+        pool = make_pool(2)
+        pool.tick()
+        worker = pool.active_workers()[0]
+        with pytest.raises(ValueError, match="duration"):
+            pool.suspend(worker, duration=0)
+
+
 class TestValidation:
     def test_requires_profiles(self):
         with pytest.raises(ValueError):
