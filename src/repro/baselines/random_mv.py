@@ -37,6 +37,10 @@ class RandomMV:
         Tasks not crowdsourced (the shared qualification set, already
         gold-labelled by the requester); their predictions fall back to
         ground truth like every other approach.
+    recorder:
+        Observability recorder (``None`` = disabled); counts served
+        assignments so baseline runs expose the same policy-side
+        telemetry surface as iCrowd (the platform records the rest).
     """
 
     def __init__(
@@ -45,9 +49,13 @@ class RandomMV:
         k: int = 3,
         seed: int = 0,
         excluded_tasks: Sequence[TaskId] = (),
+        recorder=None,
     ) -> None:
+        from repro.obs.metrics import resolve_recorder
+
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        self.recorder = resolve_recorder(recorder)
         self.tasks = tasks
         self.k = k
         self.excluded: set[TaskId] = set(excluded_tasks)
@@ -93,6 +101,10 @@ class RandomMV:
         task_id = eligible[int(self._rng.integers(0, len(eligible)))]
         self._pending[(worker_id, task_id)] = self._clock
         self._holding[task_id] += 1
+        self.recorder.counter(
+            "repro_policy_assignments_total",
+            "Assignments served by the policy.",
+        ).inc()
         return Assignment(task_id=task_id, worker_id=worker_id)
 
     def on_answer(

@@ -56,6 +56,7 @@ _DESCRIPTIONS = {
     "fig15": "assignment distribution over workers",
     "perf": "offline-phase timings: kernel, parallel basis, cache",
     "chaos": "interaction-loop resilience under injected faults",
+    "telemetry": "instrumented run: span timings, counters, JSONL trace",
 }
 
 
@@ -162,6 +163,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=int, default=50,
         help="assignment lease lifetime in platform steps",
     )
+    telemetry = sub.add_parser(
+        "telemetry", help=_DESCRIPTIONS["telemetry"]
+    )
+    telemetry.add_argument(
+        "setup",
+        choices=["itemcompare", "yahooqa"],
+        help="experiment setup (dataset) to run instrumented",
+    )
+    telemetry.add_argument("--seed", type=int, default=7)
+    telemetry.add_argument(
+        "--scale",
+        type=float,
+        default=0.33,
+        help="fraction of the paper's task count (1.0 = full size)",
+    )
+    telemetry.add_argument(
+        "--trace", default="telemetry_trace.jsonl", metavar="PATH",
+        help="JSONL span+event trace output (use '' to disable)",
+    )
+    telemetry.add_argument(
+        "--max-steps", type=int, default=None,
+        help="platform step cap (default: generous auto cap)",
+    )
     return parser
 
 
@@ -228,6 +252,18 @@ def main(argv: list[str] | None = None) -> int:
             approaches=tuple(args.approaches),
             abandonment=args.abandonment,
             assignment_timeout=args.timeout,
+        )
+        print(result.format_table())
+        return 0
+    if args.command == "telemetry":
+        from repro.experiments import run_telemetry
+
+        result = run_telemetry(
+            dataset=args.setup,
+            seed=args.seed,
+            scale=args.scale,
+            trace_path=args.trace or None,
+            max_steps=args.max_steps,
         )
         print(result.format_table())
         return 0

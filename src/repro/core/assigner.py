@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.config import AssignerConfig
 from repro.core.types import Assignment, TaskId, WorkerId
+from repro.obs.metrics import resolve_recorder
 
 
 @dataclass(frozen=True)
@@ -242,9 +243,11 @@ class AdaptiveAssigner:
         self,
         config: AssignerConfig | None = None,
         tester=None,
+        recorder=None,
     ) -> None:
         self.config = config or AssignerConfig()
         self.tester = tester
+        self.recorder = resolve_recorder(recorder)
         self._round_cache: _RoundCache | None = None
         #: Number of greedy scheme computations performed (tests assert
         #: amortisation: one per invalidation epoch, not one per request).
@@ -258,10 +261,15 @@ class AdaptiveAssigner:
     ) -> list[TopWorkerSet]:
         """Shared scheme walk: top worker sets, then greedy selection."""
         self.scheme_computations += 1
-        candidates = compute_top_worker_sets_fast(
-            states, active_workers, accuracies
-        )
-        return greedy_assign(candidates)
+        self.recorder.counter(
+            "repro_assigner_scheme_builds_total",
+            "Greedy assignment schemes computed from scratch.",
+        ).inc()
+        with self.recorder.span("assigner.scheme"):
+            candidates = compute_top_worker_sets_fast(
+                states, active_workers, accuracies
+            )
+            return greedy_assign(candidates)
 
     def invalidate(self) -> None:
         """Drop the cached round scheme (state changed out of band)."""
@@ -280,6 +288,10 @@ class AdaptiveAssigner:
             and self._round_cache is not None
             and self._round_cache.key == key
         ):
+            self.recorder.counter(
+                "repro_assigner_round_cache_hits_total",
+                "Worker requests served from the cached round scheme.",
+            ).inc()
             return self._round_cache
         scheme = self._compute_scheme(states, active_workers, accuracies)
         by_worker: dict[WorkerId, TopWorkerSet] = {}

@@ -40,6 +40,7 @@ from repro.core.config import EstimatorConfig
 from repro.core.graph import SimilarityGraph
 from repro.core.ppr import PPRBasis, power_iteration
 from repro.core.types import TaskId
+from repro.obs.metrics import resolve_recorder
 
 #: Environment variable naming a default basis-cache directory; used
 #: when neither the constructor nor the config names one (lets CLI and
@@ -69,6 +70,11 @@ class AccuracyEstimator:
         Overrides the basis-cache directory (takes precedence over
         ``config.basis_cache_dir`` and the ``REPRO_BASIS_CACHE``
         environment variable); None falls back to those.
+    recorder:
+        Observability recorder (``None`` = disabled).  Records basis
+        cache hits/misses, estimate refreshes and support-mass cache
+        traffic; rebindable via :attr:`recorder` because experiment
+        setups share one estimator across runs.
     """
 
     def __init__(
@@ -77,12 +83,14 @@ class AccuracyEstimator:
         config: EstimatorConfig | None = None,
         basis_method: str = "auto",
         cache_dir: str | pathlib.Path | None = None,
+        recorder=None,
     ) -> None:
         self.graph = graph
         self.config = config or EstimatorConfig()
         self._basis_method = basis_method
         self._basis: PPRBasis | None = None
         self._cache_dir = self._resolve_cache_dir(cache_dir)
+        self.recorder = resolve_recorder(recorder)
         #: True when the current basis was served from the on-disk
         #: cache rather than computed (diagnostics / benches).
         self.basis_from_cache = False
@@ -110,6 +118,10 @@ class AccuracyEstimator:
         return self._basis
 
     def _load_or_compute_basis(self) -> PPRBasis:
+        with self.recorder.span("estimator.offline"):
+            return self._load_or_compute_basis_inner()
+
+    def _load_or_compute_basis_inner(self) -> PPRBasis:
         key = None
         if self._cache_dir is not None:
             from repro.core.persistence import (
@@ -126,7 +138,16 @@ class AccuracyEstimator:
             cached = load_basis(self._cache_dir, key)
             if cached is not None:
                 self.basis_from_cache = True
+                self.recorder.counter(
+                    "repro_estimator_basis_cache_hits_total",
+                    "Offline bases served from the on-disk cache.",
+                ).inc()
                 return cached
+        if self._cache_dir is not None:
+            self.recorder.counter(
+                "repro_estimator_basis_cache_misses_total",
+                "Offline bases computed because the cache missed.",
+            ).inc()
         basis = PPRBasis.compute(
             self.graph.normalized,
             damping=self.config.damping,
@@ -135,6 +156,7 @@ class AccuracyEstimator:
             tol=self.config.ppr_tol,
             max_iter=self.config.ppr_max_iter,
             num_workers=self.config.num_workers or None,
+            recorder=self.recorder,
         )
         self.basis_from_cache = False
         if key is not None:
@@ -166,10 +188,19 @@ class AccuracyEstimator:
         """
         mass = self._mass_cache.get(support)
         if mass is None:
+            self.recorder.counter(
+                "repro_estimator_mass_cache_misses_total",
+                "Support-mass vectors computed afresh.",
+            ).inc()
             mass = self.basis.combine({t: 1.0 for t in support})
             if len(self._mass_cache) >= _MASS_CACHE_LIMIT:
                 self._mass_cache.clear()
             self._mass_cache[support] = mass
+        else:
+            self.recorder.counter(
+                "repro_estimator_mass_cache_hits_total",
+                "Support-mass vectors served from the memo cache.",
+            ).inc()
         return mass
 
     def estimate(self, observed: Mapping[TaskId, float]) -> np.ndarray:
@@ -183,6 +214,10 @@ class AccuracyEstimator:
         the exact Eq. (3) solution up to basis truncation wherever the
         support covers the graph.
         """
+        self.recorder.counter(
+            "repro_estimator_estimates_total",
+            "Calibrated accuracy-vector refreshes computed.",
+        ).inc()
         observed = dict(observed)
         if not observed:
             return np.full(

@@ -62,6 +62,12 @@ class ICrowd:
     qualification_tasks:
         Explicit qualification set; selected per
         ``config.qualification.selection`` when omitted.
+    recorder:
+        Observability recorder threaded into the estimator and the
+        adaptive assigner (``None`` = disabled).  When both a recorder
+        and a pre-built ``estimator`` are supplied, the estimator is
+        re-bound to this recorder so a telemetry run observes the
+        shared setup's estimator too.
     """
 
     def __init__(
@@ -71,7 +77,11 @@ class ICrowd:
         graph: SimilarityGraph | None = None,
         qualification_tasks: Sequence[TaskId] | None = None,
         estimator: AccuracyEstimator | None = None,
+        recorder=None,
     ) -> None:
+        from repro.obs.metrics import resolve_recorder
+
+        self.recorder = resolve_recorder(recorder)
         self.tasks = tasks
         self.config = config or ICrowdConfig.paper_defaults()
         self.graph = graph or (
@@ -89,8 +99,10 @@ class ICrowd:
         if estimator is not None and estimator.graph is not self.graph:
             raise ValueError("estimator was built on a different graph")
         self.estimator = estimator or AccuracyEstimator(
-            self.graph, self.config.estimator
+            self.graph, self.config.estimator, recorder=self.recorder
         )
+        if estimator is not None and recorder is not None:
+            self.estimator.recorder = self.recorder
         self.estimator.precompute()
 
         if qualification_tasks is None:
@@ -134,7 +146,9 @@ class ICrowd:
             uncertainty_weight=self.config.assigner.uncertainty_weight,
             prior_accuracy=self.config.estimator.prior_accuracy,
         )
-        self.assigner = AdaptiveAssigner(self.config.assigner, tester=tester)
+        self.assigner = AdaptiveAssigner(
+            self.config.assigner, tester=tester, recorder=self.recorder
+        )
 
     # ------------------------------------------------------------------
     # qualification selection

@@ -66,7 +66,11 @@ class MultiICrowd:
         config: ICrowdConfig | None = None,
         graph: SimilarityGraph | None = None,
         qualification_tasks: Sequence[TaskId] | None = None,
+        recorder=None,
     ) -> None:
+        from repro.obs.metrics import resolve_recorder
+
+        self.recorder = resolve_recorder(recorder)
         tasks = list(tasks)
         for expected, task in enumerate(tasks):
             if task.task_id != expected:
@@ -87,7 +91,9 @@ class MultiICrowd:
         )
         if self.graph.num_tasks != len(tasks):
             raise ValueError("graph size does not match the task set")
-        self.estimator = AccuracyEstimator(self.graph, self.config.estimator)
+        self.estimator = AccuracyEstimator(
+            self.graph, self.config.estimator, recorder=self.recorder
+        )
         self.estimator.precompute()
 
         if qualification_tasks is None:
@@ -124,7 +130,9 @@ class MultiICrowd:
             uncertainty_weight=self.config.assigner.uncertainty_weight,
             prior_accuracy=self.config.estimator.prior_accuracy,
         )
-        self.assigner = AdaptiveAssigner(self.config.assigner, tester=tester)
+        self.assigner = AdaptiveAssigner(
+            self.config.assigner, tester=tester, recorder=self.recorder
+        )
 
     # ------------------------------------------------------------------
     def on_worker_request(

@@ -38,6 +38,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
+from repro.obs.metrics import MASS_BUCKETS, resolve_recorder
+
 
 class ConvergenceWarning(UserWarning):
     """A solver hit its work limit before driving residuals below
@@ -142,11 +144,12 @@ class PushKernel:
     #: push switches from gather/scatter to full sparse matvec rounds.
     DENSE_SWITCH_DIVISOR = 16
 
-    def __init__(self, normalized: sparse.csr_matrix) -> None:
+    def __init__(self, normalized: sparse.csr_matrix, recorder=None) -> None:
         matrix = normalized.tocsr()
         if matrix.shape[0] != matrix.shape[1]:
             raise ValueError("normalized matrix must be square")
         self._matrix = matrix
+        self._recorder = resolve_recorder(recorder)
         self.n = matrix.shape[0]
         self._indptr = matrix.indptr
         self._indices = matrix.indices
@@ -254,7 +257,26 @@ class PushKernel:
         stats = PushStats(
             pushes=pushes, residual_norm=residual_norm, truncated=truncated
         )
+        # one aggregate recording per solve keeps the inner loop clean
+        recorder = self._recorder
+        recorder.counter(
+            "repro_ppr_push_solves_total",
+            "Forward-push solves completed.",
+        ).inc()
+        recorder.counter(
+            "repro_ppr_pushes_total",
+            "Node relaxations across all forward-push solves.",
+        ).inc(pushes)
+        recorder.histogram(
+            "repro_ppr_push_residual_mass",
+            "Residual |r| mass left behind at push termination.",
+            buckets=MASS_BUCKETS,
+        ).observe(residual_norm)
         if truncated:
+            recorder.counter(
+                "repro_ppr_push_truncated_total",
+                "Solves cut short by the max_pushes work limit.",
+            ).inc()
             warnings.warn(
                 f"forward push from source {source} truncated after "
                 f"{pushes} pushes with residual mass "
@@ -274,13 +296,16 @@ def forward_push(
     max_pushes: int | None = None,
     kernel: PushKernel | None = None,
     stats: PushStats | None = None,
+    recorder=None,
 ) -> dict[int, float]:
     """Localized solve of Eq. (4) for a unit restart ``q = e_source``.
 
     Vectorised implementation (see :class:`PushKernel`); pass a shared
     ``kernel`` built on the same matrix to reuse its buffers across
     calls, and a :class:`PushStats` instance via ``stats`` to observe
-    push counts and leftover residual mass.  Warns
+    push counts and leftover residual mass.  ``recorder`` feeds the
+    per-solve counters when no shared kernel is supplied (a shared
+    kernel records on its own recorder).  Warns
     :class:`ConvergenceWarning` when ``max_pushes`` truncates the solve.
 
     Returns
@@ -289,7 +314,7 @@ def forward_push(
         Sparse estimate mapping node → value (entries ≥ epsilon scale).
     """
     if kernel is None:
-        kernel = PushKernel(normalized)
+        kernel = PushKernel(normalized, recorder=recorder)
     elif kernel.n != normalized.shape[0]:
         raise ValueError("kernel was built on a different matrix size")
     nodes, values, push_stats = kernel.push(
@@ -497,6 +522,7 @@ class PPRBasis:
         max_iter: int = 200,
         num_workers: int | None = None,
         chunk_size: int | None = None,
+        recorder=None,
     ) -> "PPRBasis":
         """Precompute all basis rows.
 
@@ -522,7 +548,13 @@ class PPRBasis:
             Process count for ``"parallel-push"`` (None/0 = cpu count).
         chunk_size:
             Sources per pool task (default: balanced across workers).
+        recorder:
+            Observability recorder; the offline computation runs under
+            a ``ppr.basis`` span and serial pushes record per-solve
+            counters (pool workers record nothing — the rows-built
+            counter covers them in aggregate).
         """
+        recorder = resolve_recorder(recorder)
         n = normalized.shape[0]
         if method == "auto":
             if n <= cls.AUTO_BATCH_LIMIT:
@@ -531,6 +563,38 @@ class PPRBasis:
                 method = "parallel-push"
             else:
                 method = "push"
+        with recorder.span("ppr.basis", method=method, rows=n):
+            basis = cls._compute_with_method(
+                normalized,
+                damping,
+                epsilon,
+                method,
+                tol,
+                max_iter,
+                num_workers,
+                chunk_size,
+                recorder,
+            )
+        recorder.counter(
+            "repro_ppr_basis_rows_total",
+            "Offline PPR basis rows computed (one per task).",
+        ).inc(n)
+        return basis
+
+    @classmethod
+    def _compute_with_method(
+        cls,
+        normalized,
+        damping,
+        epsilon,
+        method,
+        tol,
+        max_iter,
+        num_workers,
+        chunk_size,
+        recorder,
+    ) -> "PPRBasis":
+        n = normalized.shape[0]
         if method == "batch":
             basis = np.eye(n)
             restart = (1.0 - damping) * np.eye(n)
@@ -548,7 +612,7 @@ class PPRBasis:
             return cls(sparse.csr_matrix(basis.T))
         if method == "push":
             push_eps = max(epsilon * 0.1, 1e-12)
-            kernel = PushKernel(normalized)
+            kernel = PushKernel(normalized, recorder=recorder)
             counts, cols, vals = _push_row_range(
                 kernel, range(n), damping, push_eps, epsilon
             )
@@ -561,6 +625,7 @@ class PPRBasis:
                     epsilon,
                     num_workers=num_workers,
                     chunk_size=chunk_size,
+                    recorder=recorder,
                 )
             )
         if method == "power":
@@ -615,6 +680,7 @@ class PPRBasis:
         epsilon: float,
         num_workers: int | None = None,
         chunk_size: int | None = None,
+        recorder=None,
     ) -> sparse.csr_matrix:
         """Shard push rows over a process pool; output is identical to
         serial ``"push"`` (same kernel, sources merely partitioned)."""
@@ -622,7 +688,7 @@ class PPRBasis:
         workers = min(_resolve_workers(num_workers), max(1, n))
         push_eps = max(epsilon * 0.1, 1e-12)
         if workers <= 1:
-            kernel = PushKernel(normalized)
+            kernel = PushKernel(normalized, recorder=recorder)
             counts, cols, vals = _push_row_range(
                 kernel, range(n), damping, push_eps, epsilon
             )

@@ -20,7 +20,7 @@ actual protocol.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.indexes import SparseEstimateIndex
 from repro.core.types import TaskId, WorkerId

@@ -11,7 +11,6 @@ name-verification tasks carry coordinate features, exercising the
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.types import Label, Task, TaskSet
 from repro.utils.rng import spawn_rng

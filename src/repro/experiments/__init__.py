@@ -21,7 +21,9 @@ Index (see DESIGN.md §4 for the full mapping):
 - :func:`perf_offline` — offline-phase timings (kernel, parallel
   basis, cache) on the current machine,
 - :func:`chaos_resilience` — the interaction loop under injected
-  faults (duplicates, late answers, blackouts, malformed submits).
+  faults (duplicates, late answers, blackouts, malformed submits),
+- :func:`run_telemetry` — one fully instrumented run with span
+  timings, metric counters and an optional JSONL trace.
 """
 
 from repro.experiments.metrics import (
@@ -48,6 +50,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.perf import PerfOfflineResult, perf_offline
 from repro.experiments.chaos import ChaosResult, ChaosRow, chaos_resilience
+from repro.experiments.telemetry import TelemetryResult, run_telemetry
 
 __all__ = [
     "ChaosResult",
@@ -56,6 +59,7 @@ __all__ = [
     "CostReport",
     "ExperimentSetup",
     "PerfOfflineResult",
+    "TelemetryResult",
     "RunResult",
     "chaos_resilience",
     "fig6_diversity",
@@ -73,6 +77,7 @@ __all__ = [
     "make_setup",
     "perf_offline",
     "run_approach",
+    "run_telemetry",
     "table4_datasets",
     "table5_approximation",
 ]

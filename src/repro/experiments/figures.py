@@ -13,7 +13,7 @@ worker counts) for paper-sized runs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
@@ -26,14 +26,12 @@ from repro.core.graph import SimilarityGraph
 from repro.core.indexes import ScalableAssigner
 from repro.core.optimal import approximation_error
 from repro.core.qualification import select_random_tasks
-from repro.core.types import TaskSet
 from repro.datasets import make_itemcompare, make_yahooqa
 from repro.datasets.base import DatasetSpec
-from repro.experiments.runner import build_policy, run_approach
+from repro.experiments.runner import run_approach
 from repro.experiments.setups import ExperimentSetup, make_setup
 from repro.platform import SimulatedPlatform
 from repro.utils.rng import spawn_rng
-from repro.workers import WorkerPool, generate_profiles
 
 
 def _fmt(value: float) -> str:

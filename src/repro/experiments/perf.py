@@ -23,7 +23,6 @@ import json
 import os
 import pathlib
 import tempfile
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +33,7 @@ from repro.core.estimator import AccuracyEstimator
 from repro.core.graph import SimilarityGraph
 from repro.core.ppr import PPRBasis, PushKernel, forward_push_reference
 from repro.experiments.figures import random_normalized_graph
+from repro.obs.tracing import Stopwatch
 from repro.utils.rng import spawn_rng
 
 
@@ -152,17 +152,17 @@ def perf_offline(
         kernel_tasks, kernel_neighbors, seed
     )
     sources = list(range(kernel_sources))
-    start = time.perf_counter()
-    for source in sources:
-        forward_push_reference(
-            normalized, source, damping=0.5, epsilon=kernel_epsilon
-        )
-    reference_per_source = (time.perf_counter() - start) / len(sources)
+    with Stopwatch() as sw:
+        for source in sources:
+            forward_push_reference(
+                normalized, source, damping=0.5, epsilon=kernel_epsilon
+            )
+    reference_per_source = sw.elapsed / len(sources)
     kernel = PushKernel(normalized)
-    start = time.perf_counter()
-    for source in sources:
-        kernel.push(source, damping=0.5, epsilon=kernel_epsilon)
-    vectorized_per_source = (time.perf_counter() - start) / len(sources)
+    with Stopwatch() as sw:
+        for source in sources:
+            kernel.push(source, damping=0.5, epsilon=kernel_epsilon)
+    vectorized_per_source = sw.elapsed / len(sources)
     result.kernel = {
         "num_tasks": kernel_tasks,
         "max_neighbors": kernel_neighbors,
@@ -175,21 +175,21 @@ def perf_offline(
 
     # ---- layer 2: serial vs parallel basis ----------------------------
     normalized = random_normalized_graph(basis_tasks, basis_neighbors, seed)
-    start = time.perf_counter()
-    serial = PPRBasis.compute(
-        normalized, damping=0.5, epsilon=basis_epsilon, method="push"
-    )
-    serial_seconds = time.perf_counter() - start
+    with Stopwatch() as sw:
+        serial = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=basis_epsilon, method="push"
+        )
+    serial_seconds = sw.elapsed
     workers = num_workers or max(2, min(cpu_count, 8))
-    start = time.perf_counter()
-    parallel = PPRBasis.compute(
-        normalized,
-        damping=0.5,
-        epsilon=basis_epsilon,
-        method="parallel-push",
-        num_workers=workers,
-    )
-    parallel_seconds = time.perf_counter() - start
+    with Stopwatch() as sw:
+        parallel = PPRBasis.compute(
+            normalized,
+            damping=0.5,
+            epsilon=basis_epsilon,
+            method="parallel-push",
+            num_workers=workers,
+        )
+    parallel_seconds = sw.elapsed
     result.basis = {
         "num_tasks": basis_tasks,
         "epsilon": basis_epsilon,
@@ -207,13 +207,13 @@ def perf_offline(
         directory = pathlib.Path(cache_dir) if cache_dir else pathlib.Path(tmp)
         config = EstimatorConfig(basis_cache_dir=str(directory))
         cold = AccuracyEstimator(graph, config, basis_method="push")
-        start = time.perf_counter()
-        cold.precompute()
-        cold_seconds = time.perf_counter() - start
+        with Stopwatch() as sw:
+            cold.precompute()
+        cold_seconds = sw.elapsed
         warm = AccuracyEstimator(graph, config, basis_method="push")
-        start = time.perf_counter()
-        warm.precompute()
-        warm_seconds = time.perf_counter() - start
+        with Stopwatch() as sw:
+            warm.precompute()
+        warm_seconds = sw.elapsed
         result.cache = {
             "num_tasks": cache_tasks,
             "max_neighbors": cache_neighbors,

@@ -1,0 +1,139 @@
+"""Structured run telemetry: one fully instrumented end-to-end run.
+
+``run_telemetry`` wires a single :class:`repro.obs.MetricsRegistry`
+through every layer — estimator, assigner, policy, lease ledger, fault
+injector and the platform loop — runs one seeded crowdsourcing job, and
+returns a result whose ``format_table()`` prints the per-span
+count/total/mean table plus the headline counters.  When a trace path
+is given, the registry streams every closed span to it as JSONL and the
+run's platform events are appended afterwards, so the file parses both
+as an observability trace and (via
+:meth:`repro.platform.events.EventLog.from_jsonl`, which skips the span
+records) as a platform event log.
+
+``python -m repro.cli telemetry <setup>`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.core.framework import ICrowd
+from repro.experiments.setups import make_setup
+from repro.obs.metrics import MetricsRegistry
+from repro.platform.platform import PlatformReport, SimulatedPlatform
+
+#: Metric-name prefixes surfaced in the headline-counter section of the
+#: telemetry table (everything else stays in ``snapshot``).
+_HEADLINE_PREFIXES = (
+    "repro_platform_",
+    "repro_lease_",
+    "repro_fault_",
+    "repro_estimator_",
+    "repro_assigner_",
+    "repro_ppr_",
+    "repro_policy_",
+)
+
+
+@dataclass
+class TelemetryResult:
+    """Everything one instrumented run produced."""
+
+    dataset: str
+    seed: int
+    scale: float
+    report: PlatformReport
+    #: flat metric snapshot at the end of the run
+    snapshot: dict[str, float] = field(default_factory=dict)
+    #: ``(name, count, total_s, mean_s)`` per span, descending total
+    span_rows: list[tuple[str, int, float, float]] = field(
+        default_factory=list
+    )
+    span_table: str = ""
+    trace_path: pathlib.Path | None = None
+
+    def headline_counters(self) -> list[tuple[str, float]]:
+        """Instrumentation counters worth printing, sorted by name."""
+        return sorted(
+            (k, v)
+            for k, v in self.snapshot.items()
+            if k.startswith(_HEADLINE_PREFIXES)
+        )
+
+    def format_table(self) -> str:
+        """Span timing table + headline counters, aligned for terminals."""
+        lines = [
+            f"Telemetry: {self.dataset} seed={self.seed} "
+            f"scale={self.scale:g} — finished={self.report.finished} "
+            f"steps={self.report.steps}",
+            "",
+            self.span_table,
+            "",
+            f"{'counter':<52}{'value':>12}",
+        ]
+        for name, value in self.headline_counters():
+            rendered = (
+                f"{int(value):d}" if float(value).is_integer() else f"{value:g}"
+            )
+            lines.append(f"{name:<52}{rendered:>12}")
+        if self.trace_path is not None:
+            lines.append("")
+            lines.append(
+                f"trace: {self.trace_path} "
+                f"({len(self.report.events)} events appended)"
+            )
+        return "\n".join(lines)
+
+
+def run_telemetry(
+    dataset: str = "itemcompare",
+    seed: int = 7,
+    scale: float = 0.33,
+    trace_path: str | pathlib.Path | None = "telemetry_trace.jsonl",
+    max_steps: int | None = None,
+) -> TelemetryResult:
+    """Run one fully instrumented iCrowd job on the simulated platform.
+
+    The shared experiment setup caches one estimator per workload; its
+    recorder is rebound to this run's registry for the duration and
+    restored afterwards so later (un-instrumented) runs in the same
+    process stay recorder-free.
+    """
+    registry = MetricsRegistry(trace_path=trace_path)
+    setup = make_setup(dataset, seed=seed, scale=scale)
+    previous_recorder = setup.estimator.recorder
+    try:
+        policy = ICrowd(
+            setup.tasks,
+            setup.config,
+            graph=setup.graph,
+            qualification_tasks=list(setup.qualification_tasks),
+            estimator=setup.estimator,
+            recorder=registry,
+        )
+        pool = setup.fresh_pool(run_tag="telemetry")
+        platform = SimulatedPlatform(
+            setup.tasks, pool, policy, recorder=registry
+        )
+        report = platform.run(max_steps=max_steps)
+    finally:
+        setup.estimator.recorder = previous_recorder
+        registry.close()
+    resolved_trace = None
+    if trace_path is not None:
+        resolved_trace = pathlib.Path(trace_path)
+        # one file, two record families: spans first (streamed during
+        # the run), then the platform events of the same run
+        report.events.to_jsonl(resolved_trace, append=True)
+    return TelemetryResult(
+        dataset=dataset,
+        seed=seed,
+        scale=scale,
+        report=report,
+        snapshot=registry.snapshot(),
+        span_rows=registry.span_summary(),
+        span_table=registry.format_span_table(),
+        trace_path=resolved_trace,
+    )

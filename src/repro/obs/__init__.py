@@ -1,0 +1,56 @@
+"""Observability: metrics registry, span tracing, structured telemetry.
+
+The paper's evaluation argues with per-round numbers — accuracy *and*
+assignment elapsed time (Section 7) — and this layer makes the same
+numbers visible inside a live run:
+
+- :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms, rendered to Prometheus text by
+  :func:`render_prometheus` (served at ``GET /metrics`` on the HTTP
+  facade);
+- :meth:`MetricsRegistry.span` — nestable wall-time contexts over an
+  injected monotonic clock, optionally traced to JSONL;
+- :class:`NullRecorder` / :data:`NULL_RECORDER` — the zero-overhead
+  disabled path every instrumented component defaults to;
+- :class:`Stopwatch` — the bare timer behind the perf harness;
+- :func:`get_logger` / :func:`log_event` — structured logging that
+  keeps stderr clean unless a handler is attached.
+
+The metric name catalogue lives in DESIGN.md §7.
+"""
+
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MASS_BUCKETS,
+    NULL_RECORDER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    resolve_recorder,
+)
+from repro.obs.tracing import Span, Stopwatch, TraceWriter
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "MASS_BUCKETS",
+    "NULL_RECORDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "Stopwatch",
+    "TraceWriter",
+    "get_logger",
+    "log_event",
+    "render_prometheus",
+    "resolve_recorder",
+]

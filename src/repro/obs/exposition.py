@@ -1,0 +1,89 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+Renders version 0.0.4 of the text format — the format every Prometheus
+scraper and ``promtool`` accepts — without depending on
+``prometheus_client``:
+
+- one ``# HELP`` / ``# TYPE`` header per metric family,
+- counters and gauges as bare samples,
+- histograms as cumulative ``_bucket{le=...}`` samples plus ``_sum``
+  and ``_count``.
+
+:data:`CONTENT_TYPE` is the matching ``Content-Type`` header served by
+``GET /metrics`` on :class:`repro.platform.server.ICrowdHTTPServer`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Content-Type of the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_labels(labels, extra: dict[str, str] | None = None) -> str:
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return _format_value(float(bound))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric of ``registry`` in the text format."""
+    families: dict[str, list] = {}
+    headers: dict[str, tuple[str, str]] = {}
+    for metric in registry.metrics():
+        families.setdefault(metric.name, []).append(metric)
+        if metric.name not in headers or metric.help_text:
+            headers[metric.name] = (metric.kind, metric.help_text)
+    lines: list[str] = []
+    for name, metrics in families.items():
+        kind, help_text = headers[name]
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                bounds = list(metric.buckets) + [math.inf]
+                for bound, count in zip(bounds, metric.bucket_counts):
+                    cumulative += count
+                    labels = _format_labels(
+                        metric.labels, {"le": _format_bound(bound)}
+                    )
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                labels = _format_labels(metric.labels)
+                lines.append(
+                    f"{name}_sum{labels} {_format_value(metric.sum)}"
+                )
+                lines.append(f"{name}_count{labels} {metric.count}")
+            else:
+                labels = _format_labels(metric.labels)
+                lines.append(
+                    f"{name}{labels} {_format_value(float(metric.value))}"
+                )
+    return "\n".join(lines) + "\n"

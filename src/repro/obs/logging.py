@@ -1,0 +1,45 @@
+"""Structured logging under the ``repro`` logger hierarchy.
+
+The repo's components never print to stderr on their own: the root
+``repro`` logger carries a :class:`logging.NullHandler`, so nothing is
+emitted unless the embedding application attaches a handler (e.g.
+``logging.basicConfig(level=logging.DEBUG)``).  This is what lets the
+HTTP server route its per-request log line through :func:`log_event`
+at DEBUG level instead of discarding it — visible on demand, silent by
+default.
+
+Structured means machine-parseable: :func:`log_event` renders one JSON
+object per record (``{"event": ..., **fields}``, keys sorted), the same
+shape as the JSONL trace records of :mod:`repro.obs.tracing`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+_ROOT = logging.getLogger("repro")
+if not any(
+    isinstance(handler, logging.NullHandler) for handler in _ROOT.handlers
+):
+    _ROOT.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger below the silenced-by-default ``repro`` root."""
+    return logging.getLogger(f"repro.{name}")
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields
+) -> None:
+    """Emit one structured (JSON object) log record.
+
+    The JSON is only serialised when the record would actually be
+    handled, so disabled levels cost one ``isEnabledFor`` check.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    logger.log(
+        level, json.dumps({"event": event, **fields}, sort_keys=True)
+    )

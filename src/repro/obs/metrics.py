@@ -1,0 +1,379 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The observability layer is deliberately dependency-free (no
+``prometheus_client``): a :class:`MetricsRegistry` owns every metric,
+instruments are created on first use and shared by ``(name, labels)``
+key, and :mod:`repro.obs.exposition` renders the whole registry in the
+Prometheus text format.
+
+Two recorder implementations share one duck-typed interface:
+
+- :class:`MetricsRegistry` — the real thing: records values, times
+  :meth:`~MetricsRegistry.span` contexts, optionally writes JSONL trace
+  records (see :mod:`repro.obs.tracing`);
+- :class:`NullRecorder` — the zero-overhead default used when
+  observability is disabled.  Every method returns a shared no-op
+  singleton, so instrumented hot paths cost a single method call.
+
+Instrumented components accept ``recorder=None`` and resolve it via
+:func:`resolve_recorder`, so observability never changes behaviour —
+only whether anything is recorded.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from typing import Callable, Iterator
+
+#: Canonical label-set key: sorted tuple of (label, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default latency buckets (seconds), Prometheus-style log-ish spacing.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for residual-mass style quantities spanning many decades.
+MASS_BUCKETS = (1e-9, 1e-7, 1e-5, 1e-3, 1e-1, 1.0)
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "help_text", "labels", "value")
+
+    def __init__(
+        self, name: str, help_text: str = "", labels: LabelKey = ()
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help_text", "labels", "value")
+
+    def __init__(
+        self, name: str, help_text: str = "", labels: LabelKey = ()
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Raise the gauge by ``amount``."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Lower the gauge by ``amount``."""
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with running sum and count.
+
+    ``buckets`` are upper bounds (``le``); an implicit ``+Inf`` bucket
+    catches everything beyond the last bound, exactly as Prometheus
+    models it.  Bucket counts are stored non-cumulative; the exposition
+    layer accumulates them.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "help_text", "labels", "buckets", "bucket_counts",
+        "sum", "count",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: LabelKey = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty sorted tuple")
+        self.name = name
+        self.help_text = help_text
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # + the +Inf one
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation of ``value``."""
+        self.sum += value
+        self.count += 1
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0.0 when nothing was observed)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Owns every metric of one observed run (or server).
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source used by spans.  Injected explicitly so a
+        simulated-time harness can drive it deterministically — span
+        timing never touches the RNG streams or the simulation clock.
+    trace_path:
+        When set, every closed span is appended as one JSONL record to
+        this file (the same on-disk format as
+        :meth:`repro.platform.events.EventLog.to_jsonl`).
+
+    Creation of instruments is get-or-create by ``(name, labels)`` and
+    lock-protected (the HTTP server records from handler threads);
+    recording itself relies on the GIL like every CPython counter.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        trace_path=None,
+    ) -> None:
+        self.clock = clock
+        self._metrics: dict[tuple[str, LabelKey], Metric] = {}
+        self._lock = threading.Lock()
+        self._trace = None
+        if trace_path is not None:
+            from repro.obs.tracing import TraceWriter
+
+            self._trace = TraceWriter(trace_path)
+        self._span_stacks = threading.local()
+
+    # -- instrument accessors ------------------------------------------
+    def _get_or_create(self, cls, name, help_text, labels, **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, help_text, key[1], **kwargs)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+        """Get or create the :class:`Counter` for ``(name, labels)``."""
+        return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
+        """Get or create the :class:`Gauge` for ``(name, labels)``."""
+        return self._get_or_create(Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` for ``(name, labels)``.
+
+        ``buckets`` only applies on first creation.
+        """
+        return self._get_or_create(
+            Histogram, name, help_text, labels, buckets=buckets
+        )
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Nestable wall-time measurement context.
+
+        Records the elapsed time into the
+        ``repro_span_duration_seconds{span=name}`` histogram and, when a
+        trace path is configured, appends one JSONL span record.
+        """
+        from repro.obs.tracing import Span
+
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list:
+        stack = getattr(self._span_stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._span_stacks.stack = stack
+        return stack
+
+    # -- views ----------------------------------------------------------
+    def metrics(self) -> Iterator[Metric]:
+        """Every registered instrument, in registration order."""
+        return iter(list(self._metrics.values()))
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat name→value view for reports.
+
+        Labelled metrics key as ``name{k="v",...}``; histograms expose
+        ``name_count`` and ``name_sum``.
+        """
+        out: dict[str, float] = {}
+        for metric in self.metrics():
+            suffix = "".join(
+                f'{k}="{v}",' for k, v in metric.labels
+            ).rstrip(",")
+            key = f"{metric.name}{{{suffix}}}" if suffix else metric.name
+            if isinstance(metric, Histogram):
+                out[key + "_count"] = metric.count
+                out[key + "_sum"] = metric.sum
+            else:
+                out[key] = metric.value
+        return out
+
+    def span_summary(self) -> list[tuple[str, int, float, float]]:
+        """Per-span ``(name, count, total_seconds, mean_seconds)`` rows,
+        sorted by descending total time."""
+        rows = []
+        for metric in self.metrics():
+            if (
+                isinstance(metric, Histogram)
+                and metric.name == "repro_span_duration_seconds"
+            ):
+                name = dict(metric.labels).get("span", "?")
+                rows.append((name, metric.count, metric.sum, metric.mean))
+        rows.sort(key=lambda r: -r[2])
+        return rows
+
+    def format_span_table(self) -> str:
+        """Aligned count/total/mean table of every recorded span."""
+        rows = self.span_summary()
+        lines = [
+            f"{'span':<28}{'count':>8}{'total (s)':>12}{'mean (s)':>12}"
+        ]
+        for name, count, total, mean in rows:
+            lines.append(
+                f"{name:<28}{count:>8}{total:>12.4f}{mean:>12.6f}"
+            )
+        if not rows:
+            lines.append("(no spans recorded)")
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        """Flush and close the trace writer, if any."""
+        if self._trace is not None:
+            self._trace.close()
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    """Shared no-op span context (reentrant; records nothing)."""
+
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder used when observability is off: every call is a no-op.
+
+    The singletons keep the disabled hot path at one attribute lookup
+    plus one call per instrumentation point — the overhead bench
+    (``benchmarks/test_obs_overhead.py``) guards the cost.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help_text: str = "", **labels):
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help_text: str = "", **labels):
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, help_text: str = "", buckets=DEFAULT_BUCKETS,
+        **labels,
+    ):
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def span(self, name: str, **attrs):
+        """Return the shared no-op span context."""
+        return _NULL_SPAN
+
+    def snapshot(self) -> dict[str, float]:
+        """Nothing is recorded, so the snapshot is empty."""
+        return {}
+
+    def span_summary(self) -> list:
+        """Nothing is recorded, so there are no span rows."""
+        return []
+
+    def close(self) -> None:
+        """No trace writer to close."""
+
+
+#: The process-wide disabled recorder.
+NULL_RECORDER = NullRecorder()
+
+#: Either recorder flavour (duck-typed; kept as an alias for signatures).
+Recorder = MetricsRegistry | NullRecorder
+
+
+def resolve_recorder(recorder: Recorder | None) -> Recorder:
+    """``None`` → the shared :data:`NULL_RECORDER`; else pass through."""
+    return NULL_RECORDER if recorder is None else recorder

@@ -1,0 +1,144 @@
+"""Span timing contexts and JSONL trace records.
+
+A :class:`Span` measures one wall-clock interval on the registry's
+injected monotonic clock and records it into the
+``repro_span_duration_seconds{span=...}`` histogram.  Spans nest: a
+per-thread stack tracks the enclosing span so each trace record carries
+its ``parent`` and ``depth``.
+
+Trace records share the on-disk format of
+:meth:`repro.platform.events.EventLog.to_jsonl` — one JSON object per
+line with a ``type`` tag — so platform event traces and observability
+traces can live in the same file and be consumed by the same tooling
+(``EventLog.from_jsonl`` simply skips ``span`` records).
+
+:class:`Stopwatch` is the bare timing utility behind the experiment
+harness' repeated *start/elapsed* measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from typing import Callable
+
+
+class Stopwatch:
+    """Context manager measuring one wall-clock interval.
+
+    ``elapsed`` is live while the context is open and frozen at exit,
+    so both ``with Stopwatch() as sw: ...`` followed by ``sw.elapsed``
+    and mid-flight reads behave as the plain ``perf_counter`` pairs
+    this replaces.
+    """
+
+    __slots__ = ("clock", "_start", "_elapsed")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self._start: float | None = None
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._elapsed = None
+        self._start = self.clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._elapsed = self.clock() - self._start
+        return False
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since entry (frozen once the context exits)."""
+        if self._elapsed is not None:
+            return self._elapsed
+        if self._start is None:
+            raise RuntimeError("Stopwatch was never started")
+        return self.clock() - self._start
+
+
+class Span:
+    """One nestable timing context owned by a :class:`MetricsRegistry`.
+
+    Created via :meth:`repro.obs.MetricsRegistry.span`; do not
+    instantiate directly.
+    """
+
+    __slots__ = (
+        "_registry", "name", "attrs", "parent", "depth",
+        "started", "elapsed",
+    )
+
+    def __init__(self, registry, name: str, attrs: dict) -> None:
+        self._registry = registry
+        self.name = name
+        self.attrs = attrs
+        self.parent: str | None = None
+        self.depth = 0
+        self.started = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._stack()
+        self.parent = stack[-1].name if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self.started = self._registry.clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.elapsed = self._registry.clock() - self.started
+        stack = self._registry._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._registry.histogram(
+            "repro_span_duration_seconds",
+            "Wall time spent inside named spans.",
+            span=self.name,
+        ).observe(self.elapsed)
+        trace = self._registry._trace
+        if trace is not None:
+            record = {
+                "type": "span",
+                "name": self.name,
+                "parent": self.parent,
+                "depth": self.depth,
+                "start": self.started,
+                "elapsed": self.elapsed,
+            }
+            if self.attrs:
+                record.update(self.attrs)
+            trace.write(record)
+        return False
+
+
+class TraceWriter:
+    """Append-one-JSON-object-per-line writer with eager flushing.
+
+    The file is truncated on construction (one trace per run) and each
+    record is flushed immediately so a crash mid-run still leaves a
+    readable prefix.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        """Append ``record`` as one sorted-key JSON line and flush."""
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()

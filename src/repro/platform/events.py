@@ -3,12 +3,21 @@
 Every interaction is recorded as a typed event so experiments can
 reconstruct the full dynamics (e.g. Figure 15's assignment distribution
 or per-domain answer traces) without instrumenting the policies.
+
+The log round-trips through JSONL (:meth:`EventLog.to_jsonl` /
+:meth:`EventLog.from_jsonl`): one ``{"type": ..., ...}`` object per
+line, the same on-disk format the observability layer uses for span
+traces (:mod:`repro.obs.tracing`).  Records with an unknown ``type``
+are skipped on load, so a combined telemetry file — spans plus events —
+parses as an event log without ceremony.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field, fields
+from typing import Iterator, Mapping
 
 from repro.core.types import Label, TaskId, WorkerId
 
@@ -77,6 +86,59 @@ Event = (
     | ExpireEvent
 )
 
+#: JSONL ``type`` tag per event class (the wire names are stable API).
+_EVENT_TYPES: dict[str, type] = {
+    "request": RequestEvent,
+    "assign": AssignEvent,
+    "answer": AnswerEvent,
+    "complete": CompleteEvent,
+    "reject": RejectEvent,
+    "expire": ExpireEvent,
+}
+_TYPE_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+#: Fields holding a label: binary runs store :class:`Label`, multi-choice
+#: runs an arbitrary choice value — both must survive the round-trip.
+_LABEL_FIELDS = ("label", "consensus")
+
+
+def _encode_label(value):
+    return int(value) if isinstance(value, Label) else value
+
+
+def _decode_label(value):
+    if isinstance(value, (int, bool)) and not isinstance(value, Label):
+        try:
+            return Label(int(value))
+        except ValueError:
+            return value
+    return value
+
+
+def event_to_dict(event: Event) -> dict:
+    """One event as a plain JSON-safe dict with a ``type`` tag."""
+    record = {"type": _TYPE_NAMES[type(event)], **asdict(event)}
+    for key in _LABEL_FIELDS:
+        if key in record:
+            record[key] = _encode_label(record[key])
+    return record
+
+
+def event_from_dict(record: Mapping) -> Event | None:
+    """Rebuild an event from its dict form; ``None`` for unknown types.
+
+    Unknown *fields* are dropped rather than fatal, so logs written by
+    newer code still load.
+    """
+    cls = _EVENT_TYPES.get(record.get("type"))
+    if cls is None:
+        return None
+    names = {f.name for f in fields(cls)}
+    kwargs = {k: v for k, v in record.items() if k in names}
+    for key in _LABEL_FIELDS:
+        if key in kwargs:
+            kwargs[key] = _decode_label(kwargs[key])
+    return cls(**kwargs)
+
 
 @dataclass
 class EventLog:
@@ -113,6 +175,35 @@ class EventLog:
     def expirations(self) -> list[ExpireEvent]:
         """All lease-expiry events in order."""
         return [e for e in self.events if isinstance(e, ExpireEvent)]
+
+    # -- persistence ----------------------------------------------------
+    def to_jsonl(
+        self, path: str | pathlib.Path, append: bool = False
+    ) -> None:
+        """Write the log as JSONL, one ``{"type": ...}`` object per line.
+
+        ``append=True`` adds to an existing file — e.g. appending the
+        run's events after the observability trace of the same run.
+        """
+        with open(path, "a" if append else "w", encoding="utf-8") as fh:
+            for event in self.events:
+                fh.write(
+                    json.dumps(event_to_dict(event), sort_keys=True) + "\n"
+                )
+
+    @classmethod
+    def from_jsonl(cls, path: str | pathlib.Path) -> "EventLog":
+        """Load a JSONL log, skipping blank lines and unknown types."""
+        log = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                event = event_from_dict(json.loads(line))
+                if event is not None:
+                    log.append(event)
+        return log
 
     def assignment_counts(self, include_tests: bool = False) -> dict[WorkerId, int]:
         """Answers submitted per worker (Figure 15's distribution)."""

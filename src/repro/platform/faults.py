@@ -25,7 +25,7 @@ config at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from repro.core.types import WorkerId
 from repro.utils.rng import spawn_rng
@@ -130,12 +130,28 @@ class FaultInjector:
     The injector only *decides*; the platform applies the consequences
     (re-delivery, held answers, pool suspension) so every side effect
     stays in one place.
+
+    ``recorder`` (``None`` = disabled) mirrors fired decisions as the
+    ``repro_fault_injections_total{kind=...}`` counter; it never draws
+    from the RNG, so attaching one cannot perturb a seeded run.
     """
 
-    def __init__(self, config: FaultConfig, seed: int = 0) -> None:
+    def __init__(
+        self, config: FaultConfig, seed: int = 0, recorder=None
+    ) -> None:
+        from repro.obs.metrics import resolve_recorder
+
         self.config = config
+        self.recorder = resolve_recorder(recorder)
         self._rng = spawn_rng(seed + config.seed, "platform-faults")
         self.stats = FaultStats()
+
+    def _count(self, kind: str, amount: int = 1) -> None:
+        self.recorder.counter(
+            "repro_fault_injections_total",
+            "Fault decisions fired by the injector.",
+            kind=kind,
+        ).inc(amount)
 
     # -- per-submission decisions --------------------------------------
     def duplicate_submission(self) -> bool:
@@ -143,6 +159,7 @@ class FaultInjector:
         rate = self.config.duplicate_submission
         if rate and self._rng.random() < rate:
             self.stats.duplicates_injected += 1
+            self._count("duplicate")
             return True
         return False
 
@@ -151,6 +168,7 @@ class FaultInjector:
         rate = self.config.late_answer
         if rate and self._rng.random() < rate:
             self.stats.late_injected += 1
+            self._count("late")
             return True
         return False
 
@@ -159,6 +177,7 @@ class FaultInjector:
         rate = self.config.malformed_submission
         if rate and self._rng.random() < rate:
             self.stats.malformed_injected += 1
+            self._count("malformed")
             return True
         return False
 
@@ -177,4 +196,5 @@ class FaultInjector:
         victims = [active[int(i)] for i in sorted(picks)]
         self.stats.blackout_bursts += 1
         self.stats.blackout_workers += len(victims)
+        self._count("blackout_burst")
         return victims

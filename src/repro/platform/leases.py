@@ -20,7 +20,7 @@ The ledger is pure bookkeeping — it never touches the policy — so both
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.types import TaskId, WorkerId
 
@@ -97,12 +97,20 @@ class LeaseLedger:
         Lease lifetime in caller clock ticks; a lease issued at tick
         ``s`` may be settled up to tick ``s + timeout`` inclusive and
         expires on the first sweep after that.
+    recorder:
+        Observability recorder (``None`` = disabled).  Mirrors the
+        :class:`LeaseStats` counters as ``repro_lease_*_total`` metrics
+        so the HTTP ``/metrics`` endpoint and platform reports expose
+        lease health without polling the ledger.
     """
 
-    def __init__(self, timeout: int) -> None:
+    def __init__(self, timeout: int, recorder=None) -> None:
+        from repro.obs.metrics import resolve_recorder
+
         if timeout <= 0:
             raise ValueError(f"lease timeout must be positive, got {timeout}")
         self.timeout = timeout
+        self.recorder = resolve_recorder(recorder)
         self._pending: dict[LeaseKey, Lease] = {}
         #: pairs whose lease expired and was never answered; an answer
         #: arriving for one of these is late exactly once.
@@ -132,8 +140,15 @@ class LeaseLedger:
             # the same worker took the same slot again after expiry
             self._expired.discard(key)
             self.stats.reissued += 1
+            self.recorder.counter(
+                "repro_lease_reissued_total",
+                "Leases reopened by the same worker after expiry.",
+            ).inc()
         self._pending[key] = lease
         self.stats.issued += 1
+        self.recorder.counter(
+            "repro_lease_issued_total", "Assignment leases opened."
+        ).inc()
         return lease
 
     def settle(
@@ -149,18 +164,29 @@ class LeaseLedger:
                 lease.status = LeaseStatus.EXPIRED
                 self.stats.expired += 1
                 self.stats.late_answers += 1
+                self._count_expired(1)
+                self._count_late()
                 return SettleResult.LATE
             del self._pending[key]
             lease.status = LeaseStatus.ANSWERED
             self._answered.add(key)
             self.stats.answered += 1
+            self.recorder.counter(
+                "repro_lease_answered_total",
+                "Leases closed by a matching in-time answer.",
+            ).inc()
             return SettleResult.ANSWERED
         if key in self._expired:
             self._expired.discard(key)
             self.stats.late_answers += 1
+            self._count_late()
             return SettleResult.LATE
         if key in self._answered:
             self.stats.duplicate_answers += 1
+            self.recorder.counter(
+                "repro_lease_duplicate_total",
+                "Answers arriving for already-settled leases.",
+            ).inc()
             return SettleResult.DUPLICATE
         return SettleResult.UNKNOWN
 
@@ -176,7 +202,20 @@ class LeaseLedger:
             lease.status = LeaseStatus.EXPIRED
             self._expired.add(lease.key)
             self.stats.expired += 1
+        if due:
+            self._count_expired(len(due))
         return due
+
+    def _count_expired(self, amount: int) -> None:
+        self.recorder.counter(
+            "repro_lease_expired_total", "Leases expired past deadline."
+        ).inc(amount)
+
+    def _count_late(self) -> None:
+        self.recorder.counter(
+            "repro_lease_late_total",
+            "Answers arriving after their lease expired.",
+        ).inc()
 
     # ------------------------------------------------------------------
     def outstanding(self) -> dict[LeaseKey, Lease]:

@@ -125,6 +125,9 @@ class PlatformReport:
     rejected_workers: list[WorkerId] = field(default_factory=list)
     leases: LeaseStats = field(default_factory=LeaseStats)
     faults: FaultStats = field(default_factory=FaultStats)
+    #: flat metric snapshot (``recorder.snapshot()``) of the run; empty
+    #: when the platform ran without a recorder.
+    metrics: dict[str, float] = field(default_factory=dict)
 
     @property
     def num_answers(self) -> int:
@@ -206,6 +209,14 @@ class SimulatedPlatform:
     faults:
         Optional :class:`FaultConfig`; ``None`` and
         ``FaultConfig.disabled()`` behave identically.
+    recorder:
+        Observability recorder (``None`` = disabled).  Shared with the
+        lease ledger and the fault injector; the run loop records step,
+        request, assignment and answer-outcome counters and a
+        ``platform.run`` span, and :attr:`PlatformReport.metrics`
+        carries the final snapshot.  The recorder never draws from any
+        RNG stream, so a seeded run's event log is byte-identical with
+        and without one.
     """
 
     def __init__(
@@ -219,7 +230,10 @@ class SimulatedPlatform:
         assignment_timeout: int = 50,
         faults: FaultConfig | None = None,
         seed: int = 0,
+        recorder=None,
     ) -> None:
+        from repro.obs.metrics import resolve_recorder
+
         if not 0.0 <= abandonment < 1.0:
             raise ValueError(
                 f"abandonment must be in [0, 1), got {abandonment}"
@@ -231,13 +245,16 @@ class SimulatedPlatform:
         self.policy = policy
         self.abandonment = abandonment
         self.assignment_timeout = assignment_timeout
+        self.recorder = resolve_recorder(recorder)
         self.events = EventLog()
         self.payments = PaymentLedger(
             price_per_microtask=price_per_assignment / tasks_per_hit
         )
-        self.leases = LeaseLedger(assignment_timeout)
+        self.leases = LeaseLedger(assignment_timeout, recorder=self.recorder)
         self.injector = FaultInjector(
-            faults or FaultConfig.disabled(), seed=seed
+            faults or FaultConfig.disabled(),
+            seed=seed,
+            recorder=self.recorder,
         )
         self._rejected: list[WorkerId] = []
         #: late-fault answers held until after their lease expired:
@@ -253,6 +270,12 @@ class SimulatedPlatform:
         ``max_steps`` defaults to a generous multiple of the total work
         (k answers per task plus warm-up), so broken policies terminate.
         """
+        with self.recorder.span("platform.run"):
+            report = self._run_loop(max_steps)
+        report.metrics = self.recorder.snapshot()
+        return report
+
+    def _run_loop(self, max_steps: int | None) -> PlatformReport:
         if max_steps is None:
             max_steps = 200 * max(1, len(self.tasks))
         step = 0
@@ -276,10 +299,18 @@ class SimulatedPlatform:
                     break
                 continue
             self.events.append(RequestEvent(step=step, worker_id=requester))
+            self.recorder.counter(
+                "repro_platform_requests_total",
+                "Task requests issued by sampled workers.",
+            ).inc()
             assignment = self.policy.on_worker_request(
                 requester, self.pool.active_workers()
             )
             if assignment is None:
+                self.recorder.counter(
+                    "repro_platform_blank_requests_total",
+                    "Requests the policy served with no assignment.",
+                ).inc()
                 # nothing for this worker: rejected, or no eligible task
                 if self._policy_rejected(requester):
                     self.pool.remove(requester)
@@ -304,6 +335,11 @@ class SimulatedPlatform:
             lease = self.leases.issue(
                 requester, assignment.task_id, step, assignment.is_test
             )
+            self.recorder.counter(
+                "repro_platform_assignments_total",
+                "Assignments issued, split by qualification tests.",
+                is_test=str(assignment.is_test).lower(),
+            ).inc()
             if (
                 self.abandonment
                 and not assignment.is_test
@@ -312,6 +348,10 @@ class SimulatedPlatform:
                 # the worker walks away without answering: no submission
                 # is credited, and the open lease is reclaimed by expiry
                 self.pool.note_abandonment(requester)
+                self.recorder.counter(
+                    "repro_platform_abandonments_total",
+                    "Assignments abandoned without a submission.",
+                ).inc()
                 continue
             worker = self.pool.worker(requester)
             label = worker.answer(self.tasks[assignment.task_id])
@@ -345,6 +385,10 @@ class SimulatedPlatform:
                     assignment.is_test,
                 )
             self.pool.note_submission(requester)
+        if step:
+            self.recorder.counter(
+                "repro_platform_steps_total", "Interaction-loop steps run."
+            ).inc(step)
         return PlatformReport(
             steps=step,
             finished=self.policy.is_finished(),
@@ -376,6 +420,7 @@ class SimulatedPlatform:
         if settle is SettleResult.LATE:
             # the lease expired and the slot was requeued: the answer
             # can no longer count (it may not even be a valid vote)
+            self._count_answer("late")
             return False
         if settle in (SettleResult.DUPLICATE, SettleResult.UNKNOWN):
             # deliver anyway: idempotent policies must leave their
@@ -390,13 +435,16 @@ class SimulatedPlatform:
                     f"idempotent"
                 )
             self.injector.stats.duplicates_dropped += 1
+            self._count_answer(settle.value)
             return False
         completed_before = self._completed_tasks()
         outcome = _coerce_outcome(
             self.policy.on_answer(worker_id, task_id, label, is_test)
         )
         if not outcome.accepted:
+            self._count_answer(outcome.name.lower())
             return False
+        self._count_answer("accepted")
         self.events.append(
             AnswerEvent(
                 step=step,
@@ -415,8 +463,20 @@ class SimulatedPlatform:
                     consensus=self.policy.predictions()[completed_id],
                 )
             )
+        if newly_completed:
+            self.recorder.counter(
+                "repro_platform_completions_total",
+                "Tasks whose vote reached global completion.",
+            ).inc(len(newly_completed))
         self.payments.pay_once(worker_id, task_id)
         return True
+
+    def _count_answer(self, result: str) -> None:
+        self.recorder.counter(
+            "repro_platform_answers_total",
+            "Submissions delivered through the lease ledger, by result.",
+            result=result,
+        ).inc()
 
     def _deliver_held(self, step: int) -> None:
         """Deliver answers the late-fault held past their lease expiry."""
@@ -433,7 +493,13 @@ class SimulatedPlatform:
     def _expire_due(self, step: int) -> None:
         """Reclaim every lease past its deadline — runs every step,
         independent of the abandonment setting."""
-        for lease in self.leases.expire_due(step):
+        due = self.leases.expire_due(step)
+        if due:
+            self.recorder.counter(
+                "repro_platform_lease_sweeps_total",
+                "Expiry sweeps that reclaimed at least one lease.",
+            ).inc()
+        for lease in due:
             self._release_with_policy(lease.worker_id, lease.task_id)
             self.events.append(
                 ExpireEvent(

@@ -39,12 +39,19 @@ is the matching bounded-retry client.
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.types import AnswerOutcome, Label, TaskSet, WorkerId
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.logging import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, resolve_recorder
 from repro.platform.leases import LeaseLedger, SettleResult
+
+_LOGGER = get_logger("platform.server")
 
 
 class ICrowdHTTPServer:
@@ -63,6 +70,12 @@ class ICrowdHTTPServer:
         Assignment lease lifetime, measured in server interactions
         (each handled /request or /submit advances the clock by one).
         Defaults to ``max(50, 4 * len(tasks))``.
+    recorder:
+        Observability recorder.  Unlike the in-process components the
+        server defaults to its *own* :class:`MetricsRegistry` (not the
+        null recorder) so ``GET /metrics`` serves Prometheus text out
+        of the box; pass an explicit registry to aggregate with policy
+        metrics, or :data:`repro.obs.NULL_RECORDER` to disable.
     """
 
     def __init__(
@@ -72,12 +85,17 @@ class ICrowdHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         lease_timeout: int | None = None,
+        recorder=None,
     ) -> None:
         self.tasks = tasks
         self.policy = policy
+        self.recorder = (
+            MetricsRegistry() if recorder is None else resolve_recorder(recorder)
+        )
+        self._clock = getattr(self.recorder, "clock", time.perf_counter)
         if lease_timeout is None:
             lease_timeout = max(50, 4 * len(tasks))
-        self.leases = LeaseLedger(lease_timeout)
+        self.leases = LeaseLedger(lease_timeout, recorder=self.recorder)
         self._tick = 0
         self._known_workers: set[WorkerId] = set()
         self._lock = threading.Lock()
@@ -169,6 +187,7 @@ class ICrowdHTTPServer:
             self._advance_and_sweep()
             settle = self.leases.settle(worker_id, task_id, self._tick)
             if settle is SettleResult.LATE:
+                self._count_rejection("late")
                 return 410, {
                     "error": (
                         f"assignment lease for task {task_id} expired; "
@@ -176,6 +195,7 @@ class ICrowdHTTPServer:
                     )
                 }
             if settle is SettleResult.DUPLICATE:
+                self._count_rejection("duplicate")
                 return 409, {
                     "error": (
                         f"worker {worker_id!r} already submitted task "
@@ -183,6 +203,7 @@ class ICrowdHTTPServer:
                     )
                 }
             if settle is SettleResult.UNKNOWN:
+                self._count_rejection("unknown")
                 return 409, {
                     "error": (
                         f"no outstanding assignment of task {task_id} "
@@ -195,6 +216,7 @@ class ICrowdHTTPServer:
             if outcome is None:
                 outcome = AnswerOutcome.ACCEPTED
             if outcome is AnswerOutcome.DUPLICATE:
+                self._count_rejection("policy_duplicate")
                 return 409, {
                     "error": (
                         f"worker {worker_id!r} already answered task "
@@ -209,6 +231,21 @@ class ICrowdHTTPServer:
             "outcome": outcome.value,
             "task_completed": completed,
         }
+
+    def _count_rejection(self, reason: str) -> None:
+        """Count a rejected submit (the HTTP-visible fault surface)."""
+        self.recorder.counter(
+            "repro_http_submit_rejections_total",
+            "Submits rejected by the lease ledger or the policy.",
+            reason=reason,
+        ).inc()
+
+    def _handle_metrics(self) -> tuple[int, str | None]:
+        """Render the registry as Prometheus text (0.0.4 exposition)."""
+        if not self.recorder.enabled:
+            return 503, None
+        with self._lock:
+            return 200, render_prometheus(self.recorder)
 
     def _handle_status(self) -> tuple[int, dict]:
         with self._lock:
@@ -230,10 +267,34 @@ class ICrowdHTTPServer:
         server = self
 
         class Handler(BaseHTTPRequestHandler):
-            """Routes /request, /submit and /status to the policy."""
+            """Routes /request, /submit, /status and /metrics."""
 
-            def log_message(self, *args) -> None:  # silence stderr
-                pass
+            def log_message(self, format: str, *args) -> None:
+                # Stdlib access lines go to the structured "repro"
+                # logger at DEBUG: stderr stays clean unless a caller
+                # attaches a handler and opts in.
+                log_event(
+                    _LOGGER,
+                    logging.DEBUG,
+                    "http.access",
+                    client=self.address_string(),
+                    line=format % args,
+                )
+
+            def _observe(
+                self, endpoint: str, status: int, started: float
+            ) -> None:
+                server.recorder.counter(
+                    "repro_http_requests_total",
+                    "HTTP requests handled, by endpoint and status.",
+                    endpoint=endpoint,
+                    status=str(status),
+                ).inc()
+                server.recorder.histogram(
+                    "repro_http_request_seconds",
+                    "Request handling latency, by endpoint.",
+                    endpoint=endpoint,
+                ).observe(server._clock() - started)
 
             def _reply(self, status: int, body: dict | None) -> None:
                 data = (
@@ -241,38 +302,55 @@ class ICrowdHTTPServer:
                     if body is not None
                     else b""
                 )
+                self._reply_raw(status, data, "application/json")
+
+            def _reply_raw(
+                self, status: int, data: bytes, content_type: str
+            ) -> None:
                 self.send_response(status)
                 if data:
-                    self.send_header(
-                        "Content-Type", "application/json"
-                    )
+                    self.send_header("Content-Type", content_type)
                     self.send_header("Content-Length", str(len(data)))
                 self.end_headers()
                 if data:
                     self.wfile.write(data)
 
             def do_GET(self) -> None:
+                started = server._clock()
                 parsed = urlparse(self.path)
+                endpoint = parsed.path
                 if parsed.path == "/request":
                     params = parse_qs(parsed.query)
                     workers = params.get("worker")
                     if not workers:
-                        self._reply(
+                        status, body = (
                             400, {"error": "missing worker parameter"}
                         )
-                        return
-                    status, body = server._handle_request(workers[0])
-                    self._reply(status, body)
+                    else:
+                        status, body = server._handle_request(workers[0])
                 elif parsed.path == "/status":
                     status, body = server._handle_status()
-                    self._reply(status, body)
+                elif parsed.path == "/metrics":
+                    status, text = server._handle_metrics()
+                    self._reply_raw(
+                        status,
+                        text.encode("utf-8") if text else b"",
+                        CONTENT_TYPE,
+                    )
+                    self._observe(endpoint, status, started)
+                    return
                 else:
-                    self._reply(404, {"error": "not found"})
+                    endpoint = "(unknown)"
+                    status, body = 404, {"error": "not found"}
+                self._reply(status, body)
+                self._observe(endpoint, status, started)
 
             def do_POST(self) -> None:
+                started = server._clock()
                 parsed = urlparse(self.path)
                 if parsed.path != "/submit":
                     self._reply(404, {"error": "not found"})
+                    self._observe("(unknown)", 404, started)
                     return
                 length = int(self.headers.get("Content-Length", "0"))
                 raw = self.rfile.read(length) if length else b"{}"
@@ -280,8 +358,10 @@ class ICrowdHTTPServer:
                     payload = json.loads(raw)
                 except json.JSONDecodeError:
                     self._reply(400, {"error": "invalid JSON"})
+                    self._observe("/submit", 400, started)
                     return
                 status, body = server._handle_submit(payload)
                 self._reply(status, body)
+                self._observe("/submit", status, started)
 
         return Handler

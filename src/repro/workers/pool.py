@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.types import WorkerId
 from repro.utils.rng import spawn_rng

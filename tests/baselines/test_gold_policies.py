@@ -3,8 +3,6 @@
 import pytest
 
 from repro.baselines import AvgAccPV, BestEffort, QFOnly
-from repro.core.config import GraphConfig
-from repro.core.graph import SimilarityGraph
 from repro.core.types import Label
 
 

@@ -1,7 +1,6 @@
 """Tests for the on-disk PPR basis cache and the estimator warm start."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import EstimatorConfig
 from repro.core.estimator import BASIS_CACHE_ENV, AccuracyEstimator

@@ -1,7 +1,6 @@
 """Unit tests for the graph-based accuracy estimator (Section 3.1)."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import EstimatorConfig
 from repro.core.estimator import AccuracyEstimator

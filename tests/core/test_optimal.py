@@ -1,6 +1,5 @@
 """Unit tests for the exact optimal-assignment solvers (Appendix D.4)."""
 
-import numpy as np
 import pytest
 
 from repro.core.assigner import TopWorkerSet, greedy_assign, scheme_value

@@ -13,7 +13,6 @@ import pytest
 
 from repro.core.assigner import AdaptiveAssigner, TaskState
 from repro.core.framework import ICrowd
-from repro.core.types import Label
 
 
 def make_states(num_tasks=4, k=1):

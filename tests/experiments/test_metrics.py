@@ -101,3 +101,66 @@ class TestCostReport:
         tasks = make_tasks([Label.YES])
         report = cost_report(ZeroReport(), tasks)
         assert report.cost_per_task_point == float("inf")
+
+
+class TestConfusionCountsEdgeCases:
+    """NaN/zero-division safety on empty and one-class inputs."""
+
+    def test_empty_counts_all_metrics_finite(self):
+        counts = ConfusionCounts(0, 0, 0, 0)
+        assert counts.total == 0
+        assert counts.accuracy == 0.0
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 1.0  # p = r = 1 by convention
+
+    def test_empty_report_predictions(self):
+        """No predictions at all (a stalled zero-step run)."""
+        tasks = TaskSet(
+            [Task(0, "t0", "d", Label.YES), Task(1, "t1", "d", Label.NO)]
+        )
+        counts = confusion({}, tasks)
+        assert counts.total == 0
+        assert counts.accuracy == 0.0
+        assert counts.f1 == 1.0
+
+    def test_every_task_excluded(self):
+        tasks = TaskSet([Task(0, "t0", "d", Label.YES)])
+        counts = confusion({0: Label.YES}, tasks, exclude=[0])
+        assert counts.total == 0
+        assert counts.accuracy == 0.0
+
+    def test_all_gold_no_predicted_no(self):
+        """Gold all NO, predictions all NO: recall is the 1.0 convention,
+        never a ZeroDivisionError."""
+        tasks = TaskSet(
+            [Task(i, f"t{i}", "d", Label.NO) for i in range(3)]
+        )
+        counts = confusion({i: Label.NO for i in range(3)}, tasks)
+        assert counts.accuracy == 1.0
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 1.0
+
+    def test_all_gold_no_predicted_yes(self):
+        """Gold all NO, predictions all YES: precision 0, recall 1, f1
+        collapses without dividing by zero."""
+        tasks = TaskSet(
+            [Task(i, f"t{i}", "d", Label.NO) for i in range(3)]
+        )
+        counts = confusion({i: Label.YES for i in range(3)}, tasks)
+        assert counts.accuracy == 0.0
+        assert counts.precision == 0.0
+        assert counts.recall == 1.0
+        assert counts.f1 == 0.0
+
+    def test_all_gold_yes_predicted_no(self):
+        """Gold all YES, predictions all NO: recall 0, precision 1."""
+        tasks = TaskSet(
+            [Task(i, f"t{i}", "d", Label.YES) for i in range(3)]
+        )
+        counts = confusion({i: Label.NO for i in range(3)}, tasks)
+        assert counts.accuracy == 0.0
+        assert counts.precision == 1.0
+        assert counts.recall == 0.0
+        assert counts.f1 == 0.0

@@ -1,0 +1,49 @@
+"""End-to-end telemetry run: span table, counters, combined trace."""
+
+import json
+
+import pytest
+
+from repro.experiments.telemetry import run_telemetry
+from repro.platform.events import EventLog
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    trace = tmp_path_factory.mktemp("telemetry") / "trace.jsonl"
+    return run_telemetry(
+        dataset="itemcompare", seed=7, scale=0.06, trace_path=trace
+    )
+
+
+class TestTelemetryRun:
+    def test_run_finishes_and_snapshots(self, result):
+        assert result.report.finished
+        assert result.snapshot["repro_platform_steps_total"] > 0
+        assert result.report.metrics == result.snapshot
+
+    def test_span_table_lists_platform_and_assigner_spans(self, result):
+        names = [name for name, *_ in result.span_rows]
+        assert "platform.run" in names
+        assert "assigner.scheme" in names
+        table = result.format_table()
+        assert "platform.run" in table
+        assert "count" in table and "mean (s)" in table
+        assert "repro_platform_steps_total" in table
+
+    def test_trace_mixes_spans_and_events(self, result):
+        lines = result.trace_path.read_text().splitlines()
+        types = {json.loads(line)["type"] for line in lines}
+        assert "span" in types
+        assert "answer" in types
+
+    def test_trace_parses_as_event_log(self, result):
+        log = EventLog.from_jsonl(result.trace_path)
+        assert len(log.answers()) == len(result.report.events.answers())
+        assert len(log) == len(result.report.events)
+
+    def test_shared_estimator_recorder_restored(self, result):
+        from repro.experiments.setups import make_setup
+
+        setup = make_setup("itemcompare", seed=7, scale=0.06)
+        assert setup.estimator.recorder.enabled is False

@@ -1,0 +1,51 @@
+"""Prometheus text-format rendering."""
+
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_content_type_is_the_text_format():
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+def test_counter_and_gauge_rendering():
+    reg = MetricsRegistry()
+    reg.counter("jobs_total", "Jobs processed.").inc(3)
+    reg.gauge("queue_depth").set(1.5)
+    text = render_prometheus(reg)
+    assert "# HELP jobs_total Jobs processed." in text
+    assert "# TYPE jobs_total counter" in text
+    assert "jobs_total 3" in text
+    assert "# TYPE queue_depth gauge" in text
+    assert "queue_depth 1.5" in text
+    assert text.endswith("\n")
+
+
+def test_labelled_families_share_one_header():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", "Hits.", kind="a").inc()
+    reg.counter("hits_total", "Hits.", kind="b").inc()
+    text = render_prometheus(reg)
+    assert text.count("# TYPE hits_total counter") == 1
+    assert 'hits_total{kind="a"} 1' in text
+    assert 'hits_total{kind="b"} 1' in text
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        h.observe(value)
+    text = render_prometheus(reg)
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1"} 2' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "lat_seconds_sum 5.55" in text
+    assert "lat_seconds_count 3" in text
+
+
+def test_label_values_escaped():
+    reg = MetricsRegistry()
+    reg.counter("odd_total", path='a"b\\c\nd').inc()
+    text = render_prometheus(reg)
+    assert r'odd_total{path="a\"b\\c\nd"} 1' in text

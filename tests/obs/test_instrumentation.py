@@ -1,0 +1,114 @@
+"""A recorder threaded through estimator/assigner/ppr/platform records
+the expected counters — and its absence leaves reports empty."""
+
+from repro.core.estimator import AccuracyEstimator
+from repro.core.framework import ICrowd
+from repro.core.ppr import PPRBasis, forward_push
+from repro.core.types import Label, Task, TaskSet
+from repro.obs.metrics import MetricsRegistry
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.pool import WorkerPool
+from repro.workers.profiles import generate_profiles
+
+
+def small_tasks(n=8):
+    return TaskSet(
+        [
+            Task(i, f"token{i % 3} shared text {i}", "d",
+                 Label.YES if i % 2 == 0 else Label.NO)
+            for i in range(n)
+        ]
+    )
+
+
+class TestPPRInstrumentation:
+    def test_push_records_solves_and_pushes(self, paper_graph):
+        reg = MetricsRegistry()
+        forward_push(
+            paper_graph.normalized, 0, damping=0.5, epsilon=1e-4,
+            recorder=reg,
+        )
+        snap = reg.snapshot()
+        assert snap["repro_ppr_push_solves_total"] == 1
+        assert snap["repro_ppr_pushes_total"] >= 1
+        assert snap["repro_ppr_push_residual_mass_count"] == 1
+
+    def test_basis_records_span_and_rows(self, paper_graph):
+        reg = MetricsRegistry()
+        PPRBasis.compute(
+            paper_graph.normalized, damping=0.5, epsilon=1e-4,
+            method="push", recorder=reg,
+        )
+        snap = reg.snapshot()
+        assert snap["repro_ppr_basis_rows_total"] == paper_graph.num_tasks
+        assert any(name == "ppr.basis" for name, *_ in reg.span_summary())
+
+
+class TestEstimatorInstrumentation:
+    def test_offline_span_and_estimate_counters(self, paper_graph):
+        reg = MetricsRegistry()
+        estimator = AccuracyEstimator(paper_graph, recorder=reg)
+        estimator.precompute()
+        estimator.estimate({0: 1.0})
+        estimator.estimate({0: 0.5})  # same support: mass cache hit
+        snap = reg.snapshot()
+        assert snap["repro_estimator_estimates_total"] == 2
+        assert snap["repro_estimator_mass_cache_misses_total"] == 1
+        assert snap["repro_estimator_mass_cache_hits_total"] == 1
+        assert any(
+            name == "estimator.offline" for name, *_ in reg.span_summary()
+        )
+
+    def test_basis_cache_hit_and_miss_counters(self, paper_graph, tmp_path):
+        reg = MetricsRegistry()
+        cold = AccuracyEstimator(
+            paper_graph, cache_dir=tmp_path, recorder=reg
+        )
+        cold.precompute()
+        warm = AccuracyEstimator(
+            paper_graph, cache_dir=tmp_path, recorder=reg
+        )
+        warm.precompute()
+        snap = reg.snapshot()
+        assert snap["repro_estimator_basis_cache_misses_total"] == 1
+        assert snap["repro_estimator_basis_cache_hits_total"] == 1
+
+
+class TestEndToEndPlatformRun:
+    def _run(self, recorder):
+        tasks = small_tasks()
+        policy = ICrowd(
+            tasks,
+            qualification_tasks=[0, 1],
+            recorder=recorder,
+        )
+        profiles = generate_profiles(["d"], 6, seed=3)
+        pool = WorkerPool(list(profiles), seed=3)
+        platform = SimulatedPlatform(
+            tasks, pool, policy, recorder=recorder, seed=3
+        )
+        return platform.run(max_steps=2000)
+
+    def test_platform_counters_recorded(self):
+        reg = MetricsRegistry()
+        report = self._run(reg)
+        snap = report.metrics
+        assert snap["repro_platform_steps_total"] == report.steps
+        assert snap["repro_platform_requests_total"] >= report.steps / 2
+        assert snap["repro_lease_issued_total"] >= 1
+        assert snap['repro_platform_answers_total{result="accepted"}'] >= 1
+        assert snap["repro_assigner_scheme_builds_total"] >= 1
+        assert snap["repro_estimator_estimates_total"] >= 1
+        assert any(
+            name == "platform.run" for name, *_ in reg.span_summary()
+        )
+
+    def test_report_metrics_empty_without_recorder(self):
+        report = self._run(None)
+        assert report.metrics == {}
+
+    def test_recorder_does_not_change_outcomes(self):
+        with_recorder = self._run(MetricsRegistry())
+        without = self._run(None)
+        assert with_recorder.predictions == without.predictions
+        assert with_recorder.steps == without.steps

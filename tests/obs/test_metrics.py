@@ -1,0 +1,112 @@
+"""Unit tests for the metrics registry and the null recorder."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    NullRecorder,
+    resolve_recorder,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.counter("a_total").inc(2.5)
+        assert reg.snapshot()["a_total"] == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("a_total").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_labels_split_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", kind="x").inc()
+        reg.counter("a_total", kind="y").inc(2)
+        snap = reg.snapshot()
+        assert snap['a_total{kind="x"}'] == 1
+        assert snap['a_total{kind="y"}'] == 2
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a_total", x="1", y="2")
+        b = reg.counter("a_total", y="2", x="1")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert reg.snapshot()["g"] == 4
+
+    def test_histogram_buckets_and_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+        assert h.bucket_counts == [1, 1, 1]  # <=1, <=10, +Inf
+        assert h.mean == pytest.approx(18.5)
+
+    def test_histogram_boundary_is_le(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(2.0, 1.0))
+
+    def test_snapshot_histogram_keys(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["h_count"] == 1
+        assert snap["h_sum"] == 0.5
+
+
+class TestNullRecorder:
+    def test_disabled_flag(self):
+        assert NULL_RECORDER.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_all_calls_are_noops(self):
+        null = NullRecorder()
+        null.counter("a").inc()
+        null.gauge("b").set(1)
+        null.histogram("c").observe(2)
+        with null.span("s"):
+            pass
+        assert null.snapshot() == {}
+        assert null.span_summary() == []
+        null.close()
+
+    def test_instruments_are_shared_singletons(self):
+        null = NullRecorder()
+        assert null.counter("a") is null.counter("b")
+        assert null.span("x") is null.span("y")
+
+    def test_resolve_recorder(self):
+        assert resolve_recorder(None) is NULL_RECORDER
+        reg = MetricsRegistry()
+        assert resolve_recorder(reg) is reg

@@ -1,0 +1,55 @@
+"""Observability must not perturb seeded runs.
+
+The recorder never draws from an RNG stream, so a seeded platform run
+(with fault injection active, the RNG-heaviest configuration) must
+produce a byte-identical event log with and without a registry
+attached.  This is the determinism half of the overhead acceptance
+criterion; the timing half lives in ``benchmarks/test_obs_overhead.py``.
+"""
+
+from repro.baselines.random_mv import RandomMV
+from repro.core.types import Label, Task, TaskSet
+from repro.obs.metrics import MetricsRegistry
+from repro.platform.faults import FaultConfig
+from repro.platform.platform import SimulatedPlatform
+from repro.workers.pool import WorkerPool
+from repro.workers.profiles import generate_profiles
+
+
+def _run_event_log_bytes(recorder, tmp_path, tag):
+    tasks = TaskSet(
+        [
+            Task(i, f"microtask {i} text", "d",
+                 Label.YES if i % 2 == 0 else Label.NO)
+            for i in range(10)
+        ]
+    )
+    policy = RandomMV(tasks, k=2, seed=5, recorder=recorder)
+    pool = WorkerPool(list(generate_profiles(["d"], 8, seed=5)), seed=5)
+    platform = SimulatedPlatform(
+        tasks,
+        pool,
+        policy,
+        abandonment=0.05,
+        assignment_timeout=10,
+        faults=FaultConfig.chaos(0.15, seed=5),
+        seed=5,
+        recorder=recorder,
+    )
+    report = platform.run(max_steps=3000)
+    path = tmp_path / f"{tag}.jsonl"
+    report.events.to_jsonl(path)
+    return path.read_bytes(), report
+
+
+def test_event_log_byte_identical_with_and_without_recorder(tmp_path):
+    recorded_bytes, recorded_report = _run_event_log_bytes(
+        MetricsRegistry(), tmp_path, "on"
+    )
+    plain_bytes, plain_report = _run_event_log_bytes(None, tmp_path, "off")
+    assert recorded_bytes == plain_bytes
+    assert recorded_report.steps == plain_report.steps
+    assert recorded_report.predictions == plain_report.predictions
+    # and the instrumented run actually recorded something
+    assert recorded_report.metrics["repro_platform_steps_total"] > 0
+    assert plain_report.metrics == {}

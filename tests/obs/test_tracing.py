@@ -1,0 +1,120 @@
+"""Span nesting, deterministic clocks and JSONL traces."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Stopwatch
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing a fixed step per call."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestStopwatch:
+    def test_measures_interval(self):
+        clock = FakeClock(step=2.0)
+        with Stopwatch(clock=clock) as sw:
+            pass
+        assert sw.elapsed == 2.0
+        # frozen after exit
+        assert sw.elapsed == 2.0
+
+    def test_live_reads_inside_context(self):
+        clock = FakeClock(step=1.0)
+        with Stopwatch(clock=clock) as sw:
+            first = sw.elapsed
+            second = sw.elapsed
+        assert second > first
+
+    def test_unstarted_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().elapsed
+
+
+class TestSpans:
+    def test_span_records_histogram(self):
+        reg = MetricsRegistry(clock=FakeClock(step=0.25))
+        with reg.span("work"):
+            pass
+        rows = reg.span_summary()
+        assert rows == [("work", 1, 0.25, 0.25)]
+
+    def test_nesting_tracks_parent_and_depth(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        with reg.span("outer") as outer:
+            with reg.span("inner") as inner:
+                assert inner.parent == "outer"
+                assert inner.depth == 1
+            assert outer.parent is None
+            assert outer.depth == 0
+
+    def test_span_summary_sorted_by_total(self):
+        reg = MetricsRegistry(clock=FakeClock(step=1.0))
+        with reg.span("short"):
+            pass
+        clock = FakeClock(step=5.0)
+        reg.clock = clock
+        with reg.span("long"):
+            pass
+        names = [row[0] for row in reg.span_summary()]
+        assert names == ["long", "short"]
+
+    def test_format_span_table_has_header_and_rows(self):
+        reg = MetricsRegistry(clock=FakeClock())
+        with reg.span("alpha"):
+            pass
+        table = reg.format_span_table()
+        assert "span" in table and "count" in table
+        assert "alpha" in table
+
+    def test_format_span_table_empty(self):
+        assert "(no spans recorded)" in MetricsRegistry().format_span_table()
+
+
+class TestTraceFile:
+    def test_trace_records_written_and_parseable(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        reg = MetricsRegistry(clock=FakeClock(step=0.5), trace_path=path)
+        with reg.span("outer", stage="offline"):
+            with reg.span("inner"):
+                pass
+        reg.close()
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        # inner closes first
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[0]["type"] == "span"
+        assert records[0]["parent"] == "outer"
+        assert records[0]["depth"] == 1
+        assert records[1]["stage"] == "offline"
+        assert records[1]["parent"] is None
+
+    def test_trace_truncated_per_registry(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            reg = MetricsRegistry(trace_path=path)
+            with reg.span("only"):
+                pass
+            reg.close()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_close_is_idempotent_and_write_after_close_safe(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        reg = MetricsRegistry(trace_path=path)
+        reg.close()
+        reg.close()
+        with reg.span("late"):
+            pass  # trace writer closed: histogram still records
+        assert reg.span_summary()[0][0] == "late"

@@ -57,3 +57,51 @@ class TestEventLog:
         log = EventLog()
         assert len(log) == 0
         assert log.assignment_counts() == {}
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_events(self, tmp_path):
+        log = sample_log()
+        path = tmp_path / "events.jsonl"
+        log.to_jsonl(path)
+        loaded = EventLog.from_jsonl(path)
+        assert loaded.events == log.events
+        # labels come back as the Label enum, not bare ints
+        assert isinstance(loaded.answers()[0].label, Label)
+
+    def test_append_mode_extends_existing_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = sample_log()
+        log.to_jsonl(path)
+        log.to_jsonl(path, append=True)
+        assert len(EventLog.from_jsonl(path)) == 2 * len(log)
+
+    def test_unknown_types_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        log = sample_log()
+        log.to_jsonl(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "span", "name": "x", "elapsed": 0.1}\n')
+            fh.write("\n")
+            fh.write('{"type": "mystery"}\n')
+        loaded = EventLog.from_jsonl(path)
+        assert loaded.events == log.events
+
+    def test_event_dict_round_trip_units(self):
+        from repro.platform.events import event_from_dict, event_to_dict
+
+        for event in sample_log():
+            record = event_to_dict(event)
+            assert record["type"] in (
+                "request", "assign", "answer", "complete", "reject",
+                "expire",
+            )
+            assert event_from_dict(record) == event
+
+    def test_unknown_fields_dropped_not_fatal(self):
+        from repro.platform.events import event_from_dict
+
+        event = event_from_dict(
+            {"type": "request", "step": 1, "worker_id": "w", "extra": 9}
+        )
+        assert event == RequestEvent(step=1, worker_id="w")

@@ -305,3 +305,75 @@ class TestServerWithICrowd:
                     break
             status, body = call(server, "GET", "/status")
             assert body["finished"] is True
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_with_request_metrics(self, server):
+        # generate some traffic first: a request, a submit, a late one
+        status, body = call(server, "GET", "/request?worker=w1")
+        assert status == 200
+        call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w1", "task_id": body["task_id"], "label": 1},
+        )
+        call(
+            server,
+            "POST",
+            "/submit",
+            {"worker": "w1", "task_id": body["task_id"], "label": 1},
+        )
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        text = response.read().decode("utf-8")
+        content_type = response.getheader("Content-Type")
+        conn.close()
+        assert response.status == 200
+        assert "version=0.0.4" in content_type
+        # request-latency histogram per endpoint
+        assert 'repro_http_request_seconds_bucket{endpoint="/request"' in text
+        assert 'repro_http_request_seconds_bucket{endpoint="/submit"' in text
+        # status-code counters
+        assert (
+            'repro_http_requests_total{endpoint="/request",status="200"} 1'
+            in text
+        )
+        # lease counters from the shared ledger
+        assert "repro_lease_issued_total 1" in text
+        assert "repro_lease_answered_total 1" in text
+        # the duplicate submit surfaced as a rejection counter
+        assert (
+            'repro_http_submit_rejections_total{reason="duplicate"} 1'
+            in text
+        )
+
+    def test_shared_registry_aggregates_policy_metrics(self, tasks):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        policy = RandomMV(tasks, k=2, seed=0, recorder=registry)
+        with ICrowdHTTPServer(tasks, policy, recorder=registry) as srv:
+            status, _ = call(srv, "GET", "/request?worker=w1")
+            assert status == 200
+            host, port = srv.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/metrics")
+            text = conn.getresponse().read().decode("utf-8")
+            conn.close()
+        assert "repro_policy_assignments_total 1" in text
+
+    def test_metrics_disabled_with_null_recorder(self, tasks):
+        from repro.obs.metrics import NULL_RECORDER
+
+        policy = RandomMV(tasks, k=2, seed=0)
+        with ICrowdHTTPServer(tasks, policy, recorder=NULL_RECORDER) as srv:
+            host, port = srv.address
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            response.read()
+            conn.close()
+            assert response.status == 503

@@ -1,6 +1,5 @@
 """Unit tests for extended worker behaviour models."""
 
-import numpy as np
 import pytest
 
 from repro.core.types import Label, Task

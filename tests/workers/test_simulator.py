@@ -1,6 +1,5 @@
 """Unit tests for the simulated worker answer model (Definition 1)."""
 
-import numpy as np
 
 from repro.core.types import Label, Task
 from repro.workers.profiles import Archetype, WorkerProfile
