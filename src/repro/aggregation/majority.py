@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.types import Answer, Label, TaskId, WorkerId
 
@@ -21,7 +21,7 @@ def majority_vote(
         bucket = yes if answer.label is Label.YES else no
         bucket[answer.task_id] = bucket.get(answer.task_id, 0) + 1
     results: dict[TaskId, Label] = {}
-    for task_id in set(yes) | set(no):
+    for task_id in sorted(set(yes) | set(no)):
         y = yes.get(task_id, 0)
         n = no.get(task_id, 0)
         if y > n:

@@ -12,7 +12,7 @@ and symmetrically for NO; the higher posterior wins.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.types import Answer, Label, TaskId, WorkerId
 

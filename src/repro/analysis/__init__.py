@@ -1,0 +1,31 @@
+"""Repo-specific static analysis (``repro-lint``).
+
+The determinism guarantees this repository makes — byte-identical
+event logs under seeded chaos runs, recorder on/off identity, stable
+Eq. 4 PPR estimates — are invariants of the *substrate*, not of any
+single module.  One stray ``random.random()`` call, wall-clock read,
+or set-ordering dependency silently breaks them.  This package
+enforces the substrate statically: an AST pass with six repo-specific
+rules (RL001…RL006), ``file:line`` diagnostics, and inline
+``# repro-lint: disable=RLxxx`` suppressions.
+
+Entry points:
+
+- ``repro-icrowd lint [paths...]`` (CLI subcommand),
+- ``python tools/repro_lint.py [paths...]`` (standalone),
+- :func:`repro.analysis.lint_paths` / :func:`lint_source` (library).
+"""
+
+from repro.analysis.diagnostics import Diagnostic, format_diagnostic
+from repro.analysis.linter import lint_file, lint_paths, lint_source
+from repro.analysis.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "Rule",
+    "format_diagnostic",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,82 @@
+"""Argument handling for ``repro-icrowd lint`` / ``tools/repro_lint.py``.
+
+Kept separate from :mod:`repro.cli` so the standalone entry point can
+run without importing the experiment stack (numpy/scipy load lazily
+elsewhere; the linter itself is stdlib-only).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.analysis.diagnostics import format_diagnostic
+from repro.analysis.linter import lint_paths
+from repro.analysis.rules import ALL_RULES
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared by both entries)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "github"],
+        default="text",
+        dest="fmt",
+        help="diagnostic format: human text or GitHub annotations",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed options; returns the exit code."""
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:<22} {rule.summary}")
+        return 0
+    select = (
+        frozenset(c.strip().upper() for c in args.select.split(",") if c.strip())
+        if args.select
+        else None
+    )
+    try:
+        diagnostics = lint_paths(list(args.paths), select)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}")
+        return 2
+    for diag in diagnostics:
+        print(format_diagnostic(diag, args.fmt))
+    if diagnostics:
+        if args.fmt == "text":
+            plural = "s" if len(diagnostics) != 1 else ""
+            print(f"repro-lint: {len(diagnostics)} violation{plural}")
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python tools/repro_lint.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism linter for the iCrowd reproduction "
+            "(rules RL001-RL006; see DESIGN.md §8)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(list(argv) if argv is not None else None))

@@ -1,0 +1,46 @@
+"""Diagnostic records and output formatting for ``repro-lint``.
+
+Two output formats are supported:
+
+- ``text`` — the classic ``path:line:col: RLxxx message`` lines a
+  human (or an editor's quickfix list) reads;
+- ``github`` — GitHub Actions workflow commands
+  (``::error file=…,line=…``) so violations surface as inline PR
+  annotations when the ``static-analysis`` CI job runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at a source location.
+
+    Ordering is (path, line, col, code) so reports are stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+
+def format_diagnostic(diag: Diagnostic, fmt: str = "text") -> str:
+    """Render ``diag`` in the requested output format."""
+    if fmt == "github":
+        # GitHub strips %, CR and LF from workflow-command payloads;
+        # escape them the way actions/toolkit does.
+        message = (
+            diag.message.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+        )
+        return (
+            f"::error file={diag.path},line={diag.line},"
+            f"col={diag.col},title=repro-lint {diag.code}::{message}"
+        )
+    return f"{diag.path}:{diag.line}:{diag.col}: {diag.code} {diag.message}"

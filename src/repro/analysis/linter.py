@@ -1,0 +1,145 @@
+"""The ``repro-lint`` driver: file discovery, parsing, suppressions.
+
+Suppressions are inline comments on the flagged line::
+
+    value = weight == 0.0  # repro-lint: disable=RL004 -- exact sentinel
+
+or standalone comments, which apply to the next code line::
+
+    # repro-lint: disable=RL004 -- exact-zero guard before division
+    if denominator == 0.0:
+        ...
+
+Multiple codes separate with commas; everything after ``--`` is a
+human-readable reason (encouraged, not parsed).  A suppression applies
+to the physical line the diagnostic points at, which for multi-line
+statements is the line the offending expression *starts* on.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import RULE_CODES, run_rules
+
+#: ``# repro-lint: disable=RL001,RL004 -- optional reason``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)(?:\s*--.*)?$"
+)
+
+#: Directories never worth descending into.
+_SKIP_DIRS = {
+    "__pycache__", ".git", ".mypy_cache", ".ruff_cache",
+    ".pytest_cache", "build", "dist",
+}
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> codes suppressed on that line.
+
+    An inline comment suppresses its own line; a standalone comment
+    (nothing but the comment on the line) suppresses the next line that
+    holds code, so reasons can live above long statements.
+    """
+    lines = source.splitlines()
+    out: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip().upper()
+                for code in match.group(1).split(",")
+                if code.strip()
+            )
+            line = token.start[0]
+            before = lines[line - 1][: token.start[1]] if line <= len(lines) else ""
+            if not before.strip():  # standalone: target the next code line
+                line += 1
+                while line <= len(lines) and (
+                    not lines[line - 1].strip()
+                    or lines[line - 1].lstrip().startswith("#")
+                ):
+                    line += 1
+            out[line] = out.get(line, frozenset()) | codes
+    except tokenize.TokenizeError:
+        pass  # parse errors are reported by lint_source itself
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: frozenset[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one module's source text; ``path`` scopes path-aware rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code="RL000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    diagnostics = run_rules(tree, path, select)
+    if not diagnostics:
+        return []
+    suppressed = _suppressions(source)
+    kept = [
+        diag
+        for diag in diagnostics
+        if diag.code not in suppressed.get(diag.line, frozenset())
+    ]
+    return sorted(kept)
+
+
+def lint_file(
+    path: str | Path,
+    select: frozenset[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint one file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path), select)
+
+
+def discover(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            if root.suffix == ".py":
+                found.add(root)
+            continue
+        for candidate in root.rglob("*.py"):
+            if not any(part in _SKIP_DIRS for part in candidate.parts):
+                found.add(candidate)
+    return sorted(found)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    select: frozenset[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    if select is not None:
+        unknown = select - RULE_CODES
+        if unknown:
+            raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+    diagnostics: list[Diagnostic] = []
+    for path in discover(paths):
+        diagnostics.extend(lint_file(path, select))
+    return sorted(diagnostics)

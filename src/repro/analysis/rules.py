@@ -1,0 +1,472 @@
+"""The six ``repro-lint`` rules.
+
+Each rule guards one determinism invariant of the reproduction (see
+DESIGN.md §8 for the full rationale table):
+
+========  ==========================================================
+RL001     no global RNG — all randomness flows through an injected
+          :class:`numpy.random.Generator` / named stream
+RL002     no wall-clock reads in ``core/``, ``platform/``,
+          ``workers/`` — clocks are injected parameters
+RL003     no iteration over syntactic sets where order reaches
+          output (lists, tuples, joins, enumerate)
+RL004     no float ``==`` / ``!=`` in ``src/repro`` numerics — use
+          ``math.isclose`` / ``np.isclose`` or an explicit epsilon
+RL005     hot-path classes accepting a recorder default it to
+          ``NULL_RECORDER``, never ``None``
+RL006     no mutable default arguments
+========  ==========================================================
+
+Rules are syntactic and import-aware but do no type inference: a
+call is flagged only when its receiver resolves, through the module's
+import aliases, to a known nondeterminism source.  That keeps false
+positives near zero — ``rng.random()`` on an injected generator is
+never confused with the ``random`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: numpy.random attributes that construct seeded, instance-scoped
+#: state rather than touching the legacy global stream.
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "RandomState",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: stdlib ``random`` attributes that construct instance-scoped state.
+_STDLIB_RANDOM_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
+
+#: Fully qualified wall-clock reads.  ``time.perf_counter`` is *not*
+#: listed: it is the conventional default value of injected ``clock``
+#: parameters (obs ``Stopwatch`` / span clocks), and RL002 only flags
+#: calls, so passing the function object stays legal everywhere.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Directories whose modules must use injected clocks (RL002 scope).
+_CLOCK_SCOPED_DIRS = ("repro/core/", "repro/platform/", "repro/workers/")
+
+#: Files allowed to touch global RNG machinery: the seeding shim that
+#: turns (seed, tag) into independent generators.
+_RNG_SHIM_SUFFIXES = ("repro/utils/rng.py",)
+
+#: Order-insensitive consumers: iterating a set inside these is fine.
+_ORDER_SAFE_CALLS = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+#: Order-sensitive consumers: a syntactic set flowing into these leaks
+#: hash-order into output.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+#: Call names whose result is a fresh mutable object (RL006).
+_MUTABLE_FACTORY_CALLS = frozenset({"list", "dict", "set"})
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one lint rule."""
+
+    code: str
+    name: str
+    summary: str
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    Rule(
+        "RL001",
+        "global-rng",
+        "global random.* / np.random.* call; inject a Generator "
+        "via repro.utils.rng.spawn_rng instead",
+    ),
+    Rule(
+        "RL002",
+        "wall-clock",
+        "wall-clock read in core/platform/workers; inject a clock "
+        "parameter instead",
+    ),
+    Rule(
+        "RL003",
+        "unordered-iteration",
+        "iteration over a set where order reaches output; sort or "
+        "use an ordered container",
+    ),
+    Rule(
+        "RL004",
+        "float-equality",
+        "float == / != comparison; use math.isclose / np.isclose "
+        "or an explicit epsilon",
+    ),
+    Rule(
+        "RL005",
+        "recorder-default",
+        "recorder parameter defaults to None; default to "
+        "NULL_RECORDER so hot paths skip the None-resolution branch",
+    ),
+    Rule(
+        "RL006",
+        "mutable-default",
+        "mutable default argument; use None (or a frozen value) and "
+        "construct inside the function",
+    ),
+)
+
+RULE_CODES = frozenset(rule.code for rule in ALL_RULES)
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _in_clock_scope(path: str) -> bool:
+    return any(part in _posix(path) for part in _CLOCK_SCOPED_DIRS)
+
+
+def _is_rng_shim(path: str) -> bool:
+    return _posix(path).endswith(_RNG_SHIM_SUFFIXES)
+
+
+def _in_numeric_scope(path: str) -> bool:
+    """RL004 scope: library code, not tests.
+
+    Tests assert byte-identical reproducibility on purpose, so exact
+    float equality there is the point, not a bug.
+    """
+    posix = _posix(path)
+    return "repro/" in posix and "tests/" not in posix
+
+
+class _ImportTable:
+    """Maps local names to the dotted module/function they denote."""
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            # `import numpy.random` binds `numpy`; `import numpy.random
+            # as npr` binds `npr` to the full dotted path.
+            target = alias.name if alias.asname else local
+            self._aliases[local] = target
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports never name stdlib/numpy modules
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, expr: ast.expr) -> str | None:
+        """Dotted name for ``expr`` through the alias table, or None."""
+        parts: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """True for expressions that are unambiguously sets, syntactically."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra (a | b, a - b) over syntactic sets
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_FACTORY_CALLS
+    return False
+
+
+def _is_float_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor that applies every in-scope rule."""
+
+    def __init__(self, path: str, select: frozenset[str]) -> None:
+        self.path = path
+        self.select = select
+        self.diagnostics: list[Diagnostic] = []
+        self.imports = _ImportTable()
+        self._check_clock = "RL002" in select and _in_clock_scope(path)
+        self._check_rng = "RL001" in select and not _is_rng_shim(path)
+        self._check_float = "RL004" in select and _in_numeric_scope(path)
+
+    # -- plumbing ------------------------------------------------------
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        if code in self.select:
+            self.diagnostics.append(
+                Diagnostic(
+                    path=self.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    code=code,
+                    message=message,
+                )
+            )
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.add_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.add_import_from(node)
+        self.generic_visit(node)
+
+    # -- RL001 / RL002 / RL003 (call shapes) ---------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.imports.resolve(node.func)
+        if dotted is not None:
+            if self._check_rng:
+                self._check_global_rng(node, dotted)
+            if self._check_clock and dotted in _WALL_CLOCK_CALLS:
+                self._emit(
+                    node,
+                    "RL002",
+                    f"wall-clock read {dotted}() in a deterministic "
+                    "module; inject a clock parameter "
+                    "(default time.perf_counter) instead",
+                )
+        self._check_order_sensitive_call(node)
+        self.generic_visit(node)
+
+    def _check_global_rng(self, node: ast.Call, dotted: str) -> None:
+        leaf = dotted.rsplit(".", 1)[-1]
+        if dotted.startswith("random.") and "." not in dotted[len("random."):]:
+            if leaf not in _STDLIB_RANDOM_CONSTRUCTORS:
+                self._emit(
+                    node,
+                    "RL001",
+                    f"global RNG call {dotted}(); draw from an "
+                    "injected Generator (repro.utils.rng.spawn_rng) "
+                    "instead",
+                )
+        elif dotted.startswith("numpy.random."):
+            if leaf not in _NP_RANDOM_CONSTRUCTORS:
+                self._emit(
+                    node,
+                    "RL001",
+                    f"global NumPy RNG call {dotted}(); draw from an "
+                    "injected Generator (repro.utils.rng.spawn_rng) "
+                    "instead",
+                )
+
+    def _check_order_sensitive_call(self, node: ast.Call) -> None:
+        # str.join({...}) — receiver type is unknowable statically, but
+        # a syntactic set as the sole argument of a .join() is always a
+        # hash-order leak.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and len(node.args) == 1
+            and _is_set_expr(node.args[0])
+        ):
+            self._emit(
+                node.args[0],
+                "RL003",
+                "join() over a set leaks hash order into output; "
+                "sort it first",
+            )
+            return
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_SENSITIVE_CALLS
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self._emit(
+                node.args[0],
+                "RL003",
+                f"{node.func.id}() over a set leaks hash order into "
+                "output; sort it first",
+            )
+
+    # -- RL003 (loops and comprehensions) ------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._emit(
+                node.iter,
+                "RL003",
+                "for-loop over a set; iteration order is hash order — "
+                "sort it or use an ordered container",
+            )
+        self.generic_visit(node)
+
+    def _visit_comprehension_generators(
+        self, generators: Iterable[ast.comprehension]
+    ) -> None:
+        for gen in generators:
+            if _is_set_expr(gen.iter):
+                self._emit(
+                    gen.iter,
+                    "RL003",
+                    "comprehension over a set; iteration order is "
+                    "hash order — sort it or use an ordered container",
+                )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    # NOTE: SetComp generators are deliberately exempt — building a set
+    # from a set is order-insensitive.
+
+    # -- RL004 ---------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._check_float:
+            operands = [node.left, *node.comparators]
+            for op, lhs, rhs in zip(
+                node.ops, operands[:-1], operands[1:], strict=True
+            ):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_float_constant(lhs) or _is_float_constant(rhs)
+                ):
+                    self._emit(
+                        node,
+                        "RL004",
+                        "float equality comparison; use math.isclose/"
+                        "np.isclose, an epsilon, or suppress with a "
+                        "reason when exact-sentinel semantics are "
+                        "intended",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- RL005 / RL006 (function signatures) ---------------------------
+    def _check_signature(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        defaults: list[tuple[ast.arg, ast.expr]] = []
+        if args.defaults:
+            defaults.extend(
+                zip(
+                    positional[-len(args.defaults):],
+                    args.defaults,
+                    strict=True,
+                )
+            )
+        defaults.extend(
+            (arg, default)
+            for arg, default in zip(
+                args.kwonlyargs, args.kw_defaults, strict=True
+            )
+            if default is not None
+        )
+        for arg, default in defaults:
+            if _is_mutable_default(default):
+                self._emit(
+                    default,
+                    "RL006",
+                    f"mutable default for parameter {arg.arg!r}; "
+                    "default to None and construct inside the body",
+                )
+            if (
+                arg.arg == "recorder"
+                and isinstance(default, ast.Constant)
+                and default.value is None
+            ):
+                self._emit(
+                    default,
+                    "RL005",
+                    "recorder parameter defaults to None; default to "
+                    "NULL_RECORDER (repro.obs) so the null path needs "
+                    "no resolution branch",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_signature(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_signature(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        if args.defaults:
+            for arg, default in zip(
+                positional[-len(args.defaults):], args.defaults, strict=True
+            ):
+                if _is_mutable_default(default):
+                    self._emit(
+                        default,
+                        "RL006",
+                        f"mutable default for parameter {arg.arg!r}; "
+                        "default to None and construct inside the body",
+                    )
+        self.generic_visit(node)
+
+
+def run_rules(
+    tree: ast.Module,
+    path: str,
+    select: frozenset[str] | None = None,
+) -> list[Diagnostic]:
+    """Apply every (selected) rule to a parsed module."""
+    checker = _Checker(path, select if select is not None else RULE_CODES)
+    checker.visit(tree)
+    return checker.diagnostics
+
+
+#: Callable alias used by the linter driver.
+RuleRunner = Callable[[ast.Module, str], list[Diagnostic]]

@@ -9,7 +9,7 @@ blind spot (no per-domain accuracy) iCrowd exploits.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.aggregation.pv import probabilistic_verification
 from repro.baselines.random_mv import RandomMV

@@ -7,7 +7,7 @@ task's result is the majority of its ``k`` collected answers.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.types import (
     Answer,
@@ -19,6 +19,7 @@ from repro.core.types import (
     VoteState,
     WorkerId,
 )
+from repro.obs.metrics import NULL_RECORDER, Recorder
 from repro.utils.rng import spawn_rng
 
 
@@ -49,13 +50,11 @@ class RandomMV:
         k: int = 3,
         seed: int = 0,
         excluded_tasks: Sequence[TaskId] = (),
-        recorder=None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
-        from repro.obs.metrics import resolve_recorder
-
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        self.recorder = resolve_recorder(recorder)
+        self.recorder = recorder
         self.tasks = tasks
         self.k = k
         self.excluded: set[TaskId] = set(excluded_tasks)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.experiments import (
     fig6_diversity,
     fig7_qualification,
@@ -57,6 +58,7 @@ _DESCRIPTIONS = {
     "perf": "offline-phase timings: kernel, parallel basis, cache",
     "chaos": "interaction-loop resilience under injected faults",
     "telemetry": "instrumented run: span timings, counters, JSONL trace",
+    "lint": "repro-lint static analysis: determinism rules RL001-RL006",
 }
 
 
@@ -186,12 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-steps", type=int, default=None,
         help="platform step cap (default: generous auto cap)",
     )
+    lint = sub.add_parser("lint", help=_DESCRIPTIONS["lint"])
+    add_lint_arguments(lint)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return run_lint(args)
     if args.command == "list":
         for name, description in _DESCRIPTIONS.items():
             print(f"{name:<8} {description}")

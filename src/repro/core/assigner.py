@@ -20,14 +20,18 @@ discards a stale one, giving O(|T| log |T| + overlaps).
 from __future__ import annotations
 
 import heapq
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.config import AssignerConfig
 from repro.core.types import Assignment, TaskId, WorkerId
-from repro.obs.metrics import resolve_recorder
+from repro.obs.metrics import NULL_RECORDER, Recorder
+
+if TYPE_CHECKING:
+    from repro.core.testing import PerformanceTester
 
 
 @dataclass(frozen=True)
@@ -242,12 +246,12 @@ class AdaptiveAssigner:
     def __init__(
         self,
         config: AssignerConfig | None = None,
-        tester=None,
-        recorder=None,
+        tester: "PerformanceTester | None" = None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.config = config or AssignerConfig()
         self.tester = tester
-        self.recorder = resolve_recorder(recorder)
+        self.recorder = recorder
         self._round_cache: _RoundCache | None = None
         #: Number of greedy scheme computations performed (tests assert
         #: amortisation: one per invalidation epoch, not one per request).

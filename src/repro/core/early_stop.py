@@ -16,6 +16,8 @@ flow to harder tasks.  The cost-efficiency bench quantifies the trade.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.aggregation.pv import verification_posterior
 from repro.core.framework import ICrowd
 from repro.core.types import Label, TaskId, WorkerId
@@ -40,10 +42,10 @@ class EarlyStopICrowd(ICrowd):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         confidence_threshold: float = 0.75,
         min_votes: int = 2,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         if not 0.5 < confidence_threshold < 1.0:
             raise ValueError(

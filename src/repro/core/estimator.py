@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import os
 import pathlib
-from typing import Mapping
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -40,7 +40,7 @@ from repro.core.config import EstimatorConfig
 from repro.core.graph import SimilarityGraph
 from repro.core.ppr import PPRBasis, power_iteration
 from repro.core.types import TaskId
-from repro.obs.metrics import resolve_recorder
+from repro.obs.metrics import NULL_RECORDER, Recorder
 
 #: Environment variable naming a default basis-cache directory; used
 #: when neither the constructor nor the config names one (lets CLI and
@@ -83,14 +83,14 @@ class AccuracyEstimator:
         config: EstimatorConfig | None = None,
         basis_method: str = "auto",
         cache_dir: str | pathlib.Path | None = None,
-        recorder=None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.graph = graph
         self.config = config or EstimatorConfig()
         self._basis_method = basis_method
         self._basis: PPRBasis | None = None
         self._cache_dir = self._resolve_cache_dir(cache_dir)
-        self.recorder = resolve_recorder(recorder)
+        self.recorder = recorder
         #: True when the current basis was served from the on-disk
         #: cache rather than computed (diagnostics / benches).
         self.basis_from_cache = False

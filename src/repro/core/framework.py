@@ -19,7 +19,7 @@ PPR basis and Lemma 3's linear combination.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -44,6 +44,7 @@ from repro.core.types import (
     VoteState,
     WorkerId,
 )
+from repro.obs.metrics import NULL_RECORDER, Recorder
 from repro.utils.rng import spawn_rng
 
 
@@ -77,11 +78,9 @@ class ICrowd:
         graph: SimilarityGraph | None = None,
         qualification_tasks: Sequence[TaskId] | None = None,
         estimator: AccuracyEstimator | None = None,
-        recorder=None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
-        from repro.obs.metrics import resolve_recorder
-
-        self.recorder = resolve_recorder(recorder)
+        self.recorder = recorder
         self.tasks = tasks
         self.config = config or ICrowdConfig.paper_defaults()
         self.graph = graph or (

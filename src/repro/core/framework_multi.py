@@ -13,7 +13,7 @@ unchanged, which is precisely the paper's point that the techniques
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.core.multichoice import (
 from repro.core.qualification import WarmUp, select_qualification_tasks
 from repro.core.testing import PerformanceTester
 from repro.core.types import AnswerOutcome, Assignment, TaskId, WorkerId
+from repro.obs.metrics import NULL_RECORDER, Recorder
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class MultiTask:
     text: str
     domain: str
     truth: Choice
-    features: Optional[tuple[float, ...]] = None
+    features: tuple[float, ...] | None = None
 
 
 class MultiICrowd:
@@ -66,11 +67,9 @@ class MultiICrowd:
         config: ICrowdConfig | None = None,
         graph: SimilarityGraph | None = None,
         qualification_tasks: Sequence[TaskId] | None = None,
-        recorder=None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
-        from repro.obs.metrics import resolve_recorder
-
-        self.recorder = resolve_recorder(recorder)
+        self.recorder = recorder
         tasks = list(tasks)
         for expected, task in enumerate(tasks):
             if task.task_id != expected:

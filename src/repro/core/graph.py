@@ -13,7 +13,7 @@ memory-feasible.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -32,7 +32,7 @@ class SimilarityGraph:
     random-graph scalability workload).
     """
 
-    def __init__(self, matrix: sparse.csr_matrix):
+    def __init__(self, matrix: sparse.csr_matrix) -> None:
         if matrix.shape[0] != matrix.shape[1]:
             raise ValueError(f"similarity matrix must be square, got {matrix.shape}")
         diff = abs(matrix - matrix.T)

@@ -23,7 +23,7 @@ scalability simulation measures.
 from __future__ import annotations
 
 import heapq
-from typing import Mapping
+from collections.abc import Container, Mapping
 
 from scipy import sparse
 
@@ -58,7 +58,7 @@ class SparseEstimateIndex:
     def support_size(self) -> int:
         return len(self._values)
 
-    def pop_best(self, excluded) -> TaskId | None:
+    def pop_best(self, excluded: Container[TaskId]) -> TaskId | None:
         """Highest-estimate task not in ``excluded`` (lazy deletion).
 
         Stale heap entries (superseded values or excluded tasks) are

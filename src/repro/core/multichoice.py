@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 from repro.core.types import TaskId, WorkerId
 
@@ -135,6 +135,7 @@ def multichoice_observed_accuracy(
     shift = max(log_posts.values())
     posts = {c: math.exp(v - shift) for c, v in log_posts.items()}
     normaliser = sum(posts.values())
+    # repro-lint: disable=RL004 -- exact-zero guard before division
     if normaliser == 0.0:
         return 1.0 / num_choices
     if worker_choice == consensus:

@@ -19,7 +19,7 @@ globally completed microtask ``t_i``:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 from repro.core.types import Answer, Label, TaskId, WorkerId
 
@@ -69,6 +69,7 @@ def consensus_observed_accuracy(
     numerator_match = p_agree * p_disagree_bar
     numerator_mismatch = p_agree_bar * p_disagree
     denominator = numerator_match + numerator_mismatch
+    # repro-lint: disable=RL004 -- exact-zero guard before division
     if denominator == 0.0:
         # degenerate accuracies cancelled out; fall back to a coin flip
         return 0.5
@@ -86,7 +87,7 @@ class ObservedAccuracyComputer:
     records, and an accuracy lookup for co-voters.
     """
 
-    def __init__(self, qualification_truth: Mapping[TaskId, Label]):
+    def __init__(self, qualification_truth: Mapping[TaskId, Label]) -> None:
         """``qualification_truth`` maps qualification task id → gold label."""
         self._qualification_truth = dict(qualification_truth)
 

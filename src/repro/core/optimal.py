@@ -19,7 +19,7 @@ Two exact solvers are provided:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.assigner import TopWorkerSet, scheme_value
 

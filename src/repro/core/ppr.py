@@ -38,7 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
-from repro.obs.metrics import MASS_BUCKETS, resolve_recorder
+from repro.obs.metrics import MASS_BUCKETS, NULL_RECORDER, Recorder
 
 
 class ConvergenceWarning(UserWarning):
@@ -144,12 +144,16 @@ class PushKernel:
     #: push switches from gather/scatter to full sparse matvec rounds.
     DENSE_SWITCH_DIVISOR = 16
 
-    def __init__(self, normalized: sparse.csr_matrix, recorder=None) -> None:
+    def __init__(
+        self,
+        normalized: sparse.csr_matrix,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
         matrix = normalized.tocsr()
         if matrix.shape[0] != matrix.shape[1]:
             raise ValueError("normalized matrix must be square")
         self._matrix = matrix
-        self._recorder = resolve_recorder(recorder)
+        self._recorder = recorder
         self.n = matrix.shape[0]
         self._indptr = matrix.indptr
         self._indices = matrix.indices
@@ -250,6 +254,7 @@ class PushKernel:
         else:
             reached = np.unique(np.concatenate(touched))
             residual_norm = float(np.abs(residual[reached]).sum())
+            # repro-lint: disable=RL004 -- exact-zero sparsity filter
             nodes = reached[estimate[reached] != 0.0]
             values = estimate[nodes].copy()
             residual[reached] = 0.0
@@ -296,7 +301,7 @@ def forward_push(
     max_pushes: int | None = None,
     kernel: PushKernel | None = None,
     stats: PushStats | None = None,
-    recorder=None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> dict[int, float]:
     """Localized solve of Eq. (4) for a unit restart ``q = e_source``.
 
@@ -501,7 +506,7 @@ class PPRBasis:
     solver in the test suite.
     """
 
-    def __init__(self, matrix: sparse.csr_matrix):
+    def __init__(self, matrix: sparse.csr_matrix) -> None:
         if matrix.shape[0] != matrix.shape[1]:
             raise ValueError("basis must be square (one row per task)")
         self._matrix = matrix.tocsr()
@@ -522,7 +527,7 @@ class PPRBasis:
         max_iter: int = 200,
         num_workers: int | None = None,
         chunk_size: int | None = None,
-        recorder=None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> "PPRBasis":
         """Precompute all basis rows.
 
@@ -554,7 +559,6 @@ class PPRBasis:
             counters (pool workers record nothing — the rows-built
             counter covers them in aggregate).
         """
-        recorder = resolve_recorder(recorder)
         n = normalized.shape[0]
         if method == "auto":
             if n <= cls.AUTO_BATCH_LIMIT:
@@ -584,15 +588,15 @@ class PPRBasis:
     @classmethod
     def _compute_with_method(
         cls,
-        normalized,
-        damping,
-        epsilon,
-        method,
-        tol,
-        max_iter,
-        num_workers,
-        chunk_size,
-        recorder,
+        normalized: sparse.csr_matrix,
+        damping: float,
+        epsilon: float,
+        method: str,
+        tol: float,
+        max_iter: int,
+        num_workers: int | None,
+        chunk_size: int | None,
+        recorder: Recorder,
     ) -> "PPRBasis":
         n = normalized.shape[0]
         if method == "batch":
@@ -680,7 +684,7 @@ class PPRBasis:
         epsilon: float,
         num_workers: int | None = None,
         chunk_size: int | None = None,
-        recorder=None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> sparse.csr_matrix:
         """Shard push rows over a process pool; output is identical to
         serial ``"push"`` (same kernel, sources merely partitioned)."""
@@ -769,6 +773,7 @@ class PPRBasis:
         if isinstance(q, dict):
             out = np.zeros(n)
             for task_id, weight in q.items():
+                # repro-lint: disable=RL004 -- exact-zero skip, not a tolerance
                 if weight == 0.0:
                     continue
                 cols, vals = self._row_slice(task_id)

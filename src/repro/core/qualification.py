@@ -19,7 +19,7 @@ workers below a threshold are rejected as unqualified.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

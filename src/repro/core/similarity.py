@@ -18,7 +18,7 @@ zero diagonal; thresholding and sparsification happen in
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

@@ -20,10 +20,14 @@ actual protocol.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.indexes import SparseEstimateIndex
 from repro.core.types import TaskId, WorkerId
+
+if TYPE_CHECKING:
+    from scipy import sparse
 
 
 class GrowableGraph:
@@ -92,7 +96,7 @@ class GrowableGraph:
                 out[j] = weight / (d_i * d_j) ** 0.5
         return out
 
-    def normalized_csr(self):
+    def normalized_csr(self) -> "sparse.csr_matrix":
         """Freeze the current normalisation ``S'`` into a CSR snapshot.
 
         Bridges the streaming regime to the offline machinery: a frozen

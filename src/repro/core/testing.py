@@ -22,12 +22,16 @@ estimated accuracy of the existing workers.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.graph import SimilarityGraph
 from repro.core.types import TaskId, WorkerId
+
+if TYPE_CHECKING:
+    from repro.core.assigner import TaskState
 
 #: Maximum variance of a Beta(a, b) with a, b >= 1 (attained at a=b=1).
 _MAX_BETA_VARIANCE = 1.0 / 12.0
@@ -113,7 +117,7 @@ class PerformanceTester:
 
     def coworker_quality(
         self,
-        task_state,
+        task_state: "TaskState",
         accuracies: Mapping[WorkerId, np.ndarray],
     ) -> float:
         """Mean estimated accuracy of workers already on the task."""
@@ -131,7 +135,7 @@ class PerformanceTester:
     def score(
         self,
         worker_id: WorkerId,
-        task_state,
+        task_state: "TaskState",
         accuracies: Mapping[WorkerId, np.ndarray],
         observed: Mapping[TaskId, float] | None = None,
     ) -> float:
@@ -144,7 +148,7 @@ class PerformanceTester:
     def choose_test_task(
         self,
         worker_id: WorkerId,
-        states: Sequence,
+        states: Sequence["TaskState"],
         accuracies: Mapping[WorkerId, np.ndarray],
     ) -> TaskId | None:
         """Best test task for an idle worker, or None when nothing fits.

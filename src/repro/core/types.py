@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 #: Identifier of a microtask within a :class:`TaskSet` (dense, 0-based).
 TaskId = int
@@ -86,7 +86,7 @@ class Task:
     text: str
     domain: str
     truth: Label
-    features: Optional[tuple[float, ...]] = None
+    features: tuple[float, ...] | None = None
 
     def tokens(self) -> frozenset[str]:
         """Lower-cased token set of the task text (cached per call site)."""
@@ -145,7 +145,7 @@ class TaskSet:
     the estimator and the experiment harness.
     """
 
-    def __init__(self, tasks: Sequence[Task]):
+    def __init__(self, tasks: Sequence[Task]) -> None:
         tasks = list(tasks)
         for expected, task in enumerate(tasks):
             if task.task_id != expected:
@@ -158,7 +158,7 @@ class TaskSet:
     def __len__(self) -> int:
         return len(self._tasks)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Task]:
         return iter(self._tasks)
 
     def __getitem__(self, task_id: TaskId) -> Task:

@@ -52,6 +52,7 @@ class ChaosResult:
     def baseline_accuracy(self, approach: str) -> float:
         """The approach's fault-free (rate 0) accuracy."""
         for row in self.rows:
+            # repro-lint: disable=RL004 -- rate 0.0 is the exact control sentinel
             if row.approach == approach and row.rate == 0.0:
                 return row.accuracy
         raise ValueError(f"no fault-free run recorded for {approach!r}")
@@ -109,6 +110,7 @@ def chaos_resilience(
             pool = setup.fresh_pool(run_tag=f"chaos-{approach}-{rate}")
             faults = (
                 FaultConfig.disabled()
+                # repro-lint: disable=RL004 -- rate 0.0 is the exact control sentinel
                 if rate == 0.0
                 else FaultConfig.chaos(rate, seed=seed)
             )

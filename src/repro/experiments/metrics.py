@@ -11,7 +11,7 @@ from a :class:`repro.platform.PlatformReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.types import Label, TaskId, TaskSet
 

@@ -16,6 +16,7 @@ scraper and ``promtool`` accepts — without depending on
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 
@@ -29,7 +30,10 @@ def _escape_label_value(value: str) -> str:
     )
 
 
-def _format_labels(labels, extra: dict[str, str] | None = None) -> str:
+def _format_labels(
+    labels: Iterable[tuple[str, str]],
+    extra: dict[str, str] | None = None,
+) -> str:
     pairs = list(labels) + sorted((extra or {}).items())
     if not pairs:
         return ""

@@ -31,7 +31,7 @@ def get_logger(name: str) -> logging.Logger:
 
 
 def log_event(
-    logger: logging.Logger, level: int, event: str, **fields
+    logger: logging.Logger, level: int, event: str, **fields: object
 ) -> None:
     """Emit one structured (JSON object) log record.
 

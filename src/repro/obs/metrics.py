@@ -15,17 +15,24 @@ Two recorder implementations share one duck-typed interface:
   observability is disabled.  Every method returns a shared no-op
   singleton, so instrumented hot paths cost a single method call.
 
-Instrumented components accept ``recorder=None`` and resolve it via
-:func:`resolve_recorder`, so observability never changes behaviour —
-only whether anything is recorded.
+Instrumented components accept a ``recorder`` parameter defaulting to
+:data:`NULL_RECORDER` (enforced statically by repro-lint rule RL005),
+so observability never changes behaviour — only whether anything is
+recorded.  :func:`resolve_recorder` remains for callers holding an
+optional recorder.
 """
 
 from __future__ import annotations
 
 import bisect
+import pathlib
 import threading
 import time
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import TYPE_CHECKING, Any, TypeVar
+
+if TYPE_CHECKING:
+    from repro.obs.tracing import Span, TraceWriter
 
 #: Canonical label-set key: sorted tuple of (label, value) pairs.
 LabelKey = tuple[tuple[str, str], ...]
@@ -114,7 +121,7 @@ class Histogram:
         labels: LabelKey = (),
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> None:
-        if not buckets or list(buckets) != sorted(buckets):
+        if not buckets or sorted(buckets) != list(buckets):
             raise ValueError("buckets must be a non-empty sorted tuple")
         self.name = name
         self.help_text = help_text
@@ -137,6 +144,8 @@ class Histogram:
 
 
 Metric = Counter | Gauge | Histogram
+
+_MetricT = TypeVar("_MetricT", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -163,12 +172,12 @@ class MetricsRegistry:
     def __init__(
         self,
         clock: Callable[[], float] = time.perf_counter,
-        trace_path=None,
+        trace_path: str | pathlib.Path | None = None,
     ) -> None:
         self.clock = clock
         self._metrics: dict[tuple[str, LabelKey], Metric] = {}
         self._lock = threading.Lock()
-        self._trace = None
+        self._trace: TraceWriter | None = None
         if trace_path is not None:
             from repro.obs.tracing import TraceWriter
 
@@ -176,7 +185,14 @@ class MetricsRegistry:
         self._span_stacks = threading.local()
 
     # -- instrument accessors ------------------------------------------
-    def _get_or_create(self, cls, name, help_text, labels, **kwargs):
+    def _get_or_create(
+        self,
+        cls: type[_MetricT],
+        name: str,
+        help_text: str,
+        labels: dict[str, str],
+        **kwargs: Any,
+    ) -> _MetricT:
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -191,11 +207,11 @@ class MetricsRegistry:
             )
         return metric
 
-    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
         """Get or create the :class:`Counter` for ``(name, labels)``."""
         return self._get_or_create(Counter, name, help_text, labels)
 
-    def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
         """Get or create the :class:`Gauge` for ``(name, labels)``."""
         return self._get_or_create(Gauge, name, help_text, labels)
 
@@ -204,7 +220,7 @@ class MetricsRegistry:
         name: str,
         help_text: str = "",
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
-        **labels,
+        **labels: str,
     ) -> Histogram:
         """Get or create the :class:`Histogram` for ``(name, labels)``.
 
@@ -215,7 +231,7 @@ class MetricsRegistry:
         )
 
     # -- spans ----------------------------------------------------------
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> "Span":
         """Nestable wall-time measurement context.
 
         Records the elapsed time into the
@@ -226,8 +242,8 @@ class MetricsRegistry:
 
         return Span(self, name, attrs)
 
-    def _stack(self) -> list:
-        stack = getattr(self._span_stacks, "stack", None)
+    def _stack(self) -> list["Span"]:
+        stack: list[Span] | None = getattr(self._span_stacks, "stack", None)
         if stack is None:
             stack = []
             self._span_stacks.stack = stack
@@ -260,7 +276,7 @@ class MetricsRegistry:
     def span_summary(self) -> list[tuple[str, int, float, float]]:
         """Per-span ``(name, count, total_seconds, mean_seconds)`` rows,
         sorted by descending total time."""
-        rows = []
+        rows: list[tuple[str, int, float, float]] = []
         for metric in self.metrics():
             if (
                 isinstance(metric, Histogram)
@@ -318,7 +334,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         return False
 
 
@@ -336,22 +352,29 @@ class NullRecorder:
 
     enabled = False
 
-    def counter(self, name: str, help_text: str = "", **labels):
+    def counter(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> _NullInstrument:
         """Return the shared no-op instrument."""
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str, help_text: str = "", **labels):
+    def gauge(
+        self, name: str, help_text: str = "", **labels: str
+    ) -> _NullInstrument:
         """Return the shared no-op instrument."""
         return _NULL_INSTRUMENT
 
     def histogram(
-        self, name: str, help_text: str = "", buckets=DEFAULT_BUCKETS,
-        **labels,
-    ):
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> _NullInstrument:
         """Return the shared no-op instrument."""
         return _NULL_INSTRUMENT
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> _NullSpan:
         """Return the shared no-op span context."""
         return _NULL_SPAN
 
@@ -359,7 +382,7 @@ class NullRecorder:
         """Nothing is recorded, so the snapshot is empty."""
         return {}
 
-    def span_summary(self) -> list:
+    def span_summary(self) -> list[tuple[str, int, float, float]]:
         """Nothing is recorded, so there are no span rows."""
         return []
 

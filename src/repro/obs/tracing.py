@@ -22,7 +22,11 @@ import json
 import pathlib
 import threading
 import time
-from typing import Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 
 class Stopwatch:
@@ -36,7 +40,7 @@ class Stopwatch:
 
     __slots__ = ("clock", "_start", "_elapsed")
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.clock = clock
         self._start: float | None = None
         self._elapsed: float | None = None
@@ -46,7 +50,9 @@ class Stopwatch:
         self._start = self.clock()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
+        if self._start is None:
+            raise RuntimeError("Stopwatch was never started")
         self._elapsed = self.clock() - self._start
         return False
 
@@ -72,7 +78,9 @@ class Span:
         "started", "elapsed",
     )
 
-    def __init__(self, registry, name: str, attrs: dict) -> None:
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, attrs: dict[str, object]
+    ) -> None:
         self._registry = registry
         self.name = name
         self.attrs = attrs
@@ -89,7 +97,7 @@ class Span:
         self.started = self._registry.clock()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         self.elapsed = self._registry.clock() - self.started
         stack = self._registry._stack()
         if stack and stack[-1] is self:
@@ -123,12 +131,12 @@ class TraceWriter:
     readable prefix.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: str | pathlib.Path) -> None:
         self.path = pathlib.Path(path)
         self._handle = self.path.open("w", encoding="utf-8")
         self._lock = threading.Lock()
 
-    def write(self, record: dict) -> None:
+    def write(self, record: dict[str, object]) -> None:
         """Append ``record`` as one sorted-key JSON line and flush."""
         line = json.dumps(record, sort_keys=True)
         with self._lock:

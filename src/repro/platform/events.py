@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import asdict, dataclass, field, fields
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 from repro.core.types import Label, TaskId, WorkerId
 
@@ -101,11 +101,11 @@ _TYPE_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
 _LABEL_FIELDS = ("label", "consensus")
 
 
-def _encode_label(value):
+def _encode_label(value: object) -> object:
     return int(value) if isinstance(value, Label) else value
 
 
-def _decode_label(value):
+def _decode_label(value: object) -> object:
     if isinstance(value, (int, bool)) and not isinstance(value, Label):
         try:
             return Label(int(value))
@@ -114,22 +114,24 @@ def _decode_label(value):
     return value
 
 
-def event_to_dict(event: Event) -> dict:
+def event_to_dict(event: Event) -> dict[str, object]:
     """One event as a plain JSON-safe dict with a ``type`` tag."""
-    record = {"type": _TYPE_NAMES[type(event)], **asdict(event)}
+    record: dict[str, object] = {
+        "type": _TYPE_NAMES[type(event)], **asdict(event)
+    }
     for key in _LABEL_FIELDS:
         if key in record:
             record[key] = _encode_label(record[key])
     return record
 
 
-def event_from_dict(record: Mapping) -> Event | None:
+def event_from_dict(record: Mapping[str, object]) -> Event | None:
     """Rebuild an event from its dict form; ``None`` for unknown types.
 
     Unknown *fields* are dropped rather than fatal, so logs written by
     newer code still load.
     """
-    cls = _EVENT_TYPES.get(record.get("type"))
+    cls = _EVENT_TYPES.get(str(record.get("type")))
     if cls is None:
         return None
     names = {f.name for f in fields(cls)}
@@ -195,7 +197,7 @@ class EventLog:
     def from_jsonl(cls, path: str | pathlib.Path) -> "EventLog":
         """Load a JSONL log, skipping blank lines and unknown types."""
         log = cls()
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:

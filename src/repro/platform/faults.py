@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 from repro.core.types import WorkerId
+from repro.obs.metrics import NULL_RECORDER, Recorder
 from repro.utils.rng import spawn_rng
 
 _RATE_FIELDS = (
@@ -131,18 +132,19 @@ class FaultInjector:
     (re-delivery, held answers, pool suspension) so every side effect
     stays in one place.
 
-    ``recorder`` (``None`` = disabled) mirrors fired decisions as the
+    ``recorder`` (:data:`NULL_RECORDER` = disabled) mirrors fired decisions as the
     ``repro_fault_injections_total{kind=...}`` counter; it never draws
     from the RNG, so attaching one cannot perturb a seeded run.
     """
 
     def __init__(
-        self, config: FaultConfig, seed: int = 0, recorder=None
+        self,
+        config: FaultConfig,
+        seed: int = 0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
-        from repro.obs.metrics import resolve_recorder
-
         self.config = config
-        self.recorder = resolve_recorder(recorder)
+        self.recorder = recorder
         self._rng = spawn_rng(seed + config.seed, "platform-faults")
         self.stats = FaultStats()
 

@@ -10,7 +10,7 @@ pricing used by the payment ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.types import TaskId
 

@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.types import TaskId, WorkerId
+from repro.obs.metrics import NULL_RECORDER, Recorder
 
 #: A lease is keyed by the (worker, task) pair it covers.
 LeaseKey = tuple[WorkerId, TaskId]
@@ -98,19 +99,19 @@ class LeaseLedger:
         ``s`` may be settled up to tick ``s + timeout`` inclusive and
         expires on the first sweep after that.
     recorder:
-        Observability recorder (``None`` = disabled).  Mirrors the
+        Observability recorder (:data:`NULL_RECORDER` = disabled).  Mirrors the
         :class:`LeaseStats` counters as ``repro_lease_*_total`` metrics
         so the HTTP ``/metrics`` endpoint and platform reports expose
         lease health without polling the ledger.
     """
 
-    def __init__(self, timeout: int, recorder=None) -> None:
-        from repro.obs.metrics import resolve_recorder
-
+    def __init__(
+        self, timeout: int, recorder: Recorder = NULL_RECORDER
+    ) -> None:
         if timeout <= 0:
             raise ValueError(f"lease timeout must be positive, got {timeout}")
         self.timeout = timeout
-        self.recorder = resolve_recorder(recorder)
+        self.recorder = recorder
         self._pending: dict[LeaseKey, Lease] = {}
         #: pairs whose lease expired and was never answered; an answer
         #: arriving for one of these is late exactly once.

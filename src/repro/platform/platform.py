@@ -21,6 +21,7 @@ malformed submits) to exercise exactly those paths.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -32,6 +33,7 @@ from repro.core.types import (
     TaskSet,
     WorkerId,
 )
+from repro.obs.metrics import NULL_RECORDER, Recorder
 from repro.platform.events import (
     AnswerEvent,
     AssignEvent,
@@ -58,7 +60,9 @@ class PolicyProtocol(Protocol):
     """
 
     def on_worker_request(
-        self, worker_id: WorkerId, active_workers=None
+        self,
+        worker_id: WorkerId,
+        active_workers: Sequence[WorkerId] | None = None,
     ) -> Assignment | None:
         """Serve a task request; None when nothing is assignable."""
         ...
@@ -230,10 +234,8 @@ class SimulatedPlatform:
         assignment_timeout: int = 50,
         faults: FaultConfig | None = None,
         seed: int = 0,
-        recorder=None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
-        from repro.obs.metrics import resolve_recorder
-
         if not 0.0 <= abandonment < 1.0:
             raise ValueError(
                 f"abandonment must be in [0, 1), got {abandonment}"
@@ -245,7 +247,7 @@ class SimulatedPlatform:
         self.policy = policy
         self.abandonment = abandonment
         self.assignment_timeout = assignment_timeout
-        self.recorder = resolve_recorder(recorder)
+        self.recorder = recorder
         self.events = EventLog()
         self.payments = PaymentLedger(
             price_per_microtask=price_per_assignment / tasks_per_hit

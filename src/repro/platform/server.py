@@ -43,12 +43,16 @@ import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.types import AnswerOutcome, Label, TaskSet, WorkerId
+
+if TYPE_CHECKING:
+    from repro.platform.platform import PolicyProtocol
 from repro.obs.exposition import CONTENT_TYPE, render_prometheus
 from repro.obs.logging import get_logger, log_event
-from repro.obs.metrics import MetricsRegistry, resolve_recorder
+from repro.obs.metrics import MetricsRegistry, Recorder
 from repro.platform.leases import LeaseLedger, SettleResult
 
 _LOGGER = get_logger("platform.server")
@@ -81,17 +85,18 @@ class ICrowdHTTPServer:
     def __init__(
         self,
         tasks: TaskSet,
-        policy,
+        policy: "PolicyProtocol",
         host: str = "127.0.0.1",
         port: int = 0,
         lease_timeout: int | None = None,
-        recorder=None,
+        # repro-lint: disable=RL005 -- None means "own a live registry":
+        # the server serves GET /metrics, so its default is a real
+        # MetricsRegistry created below, not the null recorder.
+        recorder: Recorder | None = None,
     ) -> None:
         self.tasks = tasks
         self.policy = policy
-        self.recorder = (
-            MetricsRegistry() if recorder is None else resolve_recorder(recorder)
-        )
+        self.recorder = MetricsRegistry() if recorder is None else recorder
         self._clock = getattr(self.recorder, "clock", time.perf_counter)
         if lease_timeout is None:
             lease_timeout = max(50, 4 * len(tasks))
@@ -131,7 +136,7 @@ class ICrowdHTTPServer:
         self.start()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------------
@@ -148,7 +153,9 @@ class ICrowdHTTPServer:
             if release is not None:
                 release(lease.worker_id, lease.task_id)
 
-    def _handle_request(self, worker_id: str) -> tuple[int, dict | None]:
+    def _handle_request(
+        self, worker_id: str
+    ) -> tuple[int, dict[str, object] | None]:
         with self._lock:
             self._advance_and_sweep()
             self._known_workers.add(worker_id)
@@ -169,7 +176,9 @@ class ICrowdHTTPServer:
             "is_test": assignment.is_test,
         }
 
-    def _handle_submit(self, payload: dict) -> tuple[int, dict]:
+    def _handle_submit(
+        self, payload: object
+    ) -> tuple[int, dict[str, object]]:
         if not isinstance(payload, dict):
             return 400, {"error": "submit payload must be a JSON object"}
         try:
@@ -247,7 +256,7 @@ class ICrowdHTTPServer:
         with self._lock:
             return 200, render_prometheus(self.recorder)
 
-    def _handle_status(self) -> tuple[int, dict]:
+    def _handle_status(self) -> tuple[int, dict[str, object]]:
         with self._lock:
             finished = self.policy.is_finished()
             completed = len(
@@ -263,13 +272,13 @@ class ICrowdHTTPServer:
         }
 
     # ------------------------------------------------------------------
-    def _make_handler(self):
+    def _make_handler(self) -> type[BaseHTTPRequestHandler]:
         server = self
 
         class Handler(BaseHTTPRequestHandler):
             """Routes /request, /submit, /status and /metrics."""
 
-            def log_message(self, format: str, *args) -> None:
+            def log_message(self, format: str, *args: object) -> None:
                 # Stdlib access lines go to the structured "repro"
                 # logger at DEBUG: stderr stays clean unless a caller
                 # attaches a handler and opts in.
@@ -296,7 +305,9 @@ class ICrowdHTTPServer:
                     endpoint=endpoint,
                 ).observe(server._clock() - started)
 
-            def _reply(self, status: int, body: dict | None) -> None:
+            def _reply(
+                self, status: int, body: dict[str, object] | None
+            ) -> None:
                 data = (
                     json.dumps(body).encode("utf-8")
                     if body is not None

@@ -17,7 +17,7 @@ datasets are 110 and 360 microtasks).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

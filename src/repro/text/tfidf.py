@@ -7,7 +7,7 @@ that cosine similarity reduces to a dot product.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -44,7 +44,8 @@ class TfIdfVectorizer:
             raise ValueError("cannot fit TF-IDF on an empty corpus")
         doc_freq: dict[str, int] = {}
         for doc in documents:
-            for token in set(tokenize(doc)):
+            # Order only feeds doc_freq counts; vocabulary is sorted().
+            for token in set(tokenize(doc)):  # repro-lint: disable=RL003
                 doc_freq[token] = doc_freq.get(token, 0) + 1
         self.vocabulary_ = {
             token: idx for idx, token in enumerate(sorted(doc_freq))

@@ -108,6 +108,7 @@ class WorkerPool:
             if member.suspended_until > self._clock:
                 continue
             if not member.active and member.arrives_at <= self._clock:
+                # repro-lint: disable=RL004 -- churn 0.0 exactly disables the feature
                 if member.requests_made == 0 or self._churn == 0.0:
                     member.active = True
                 elif self._rng.random() < self._churn:

@@ -1,0 +1,35 @@
+"""The repo's own tree must satisfy its linter — the dogfooding gate.
+
+This is the in-suite mirror of CI's ``repro-icrowd lint src tests``:
+any new global-RNG call, wall-clock read, recorder=None default, or
+unordered iteration added to the tree turns up here as a test failure
+with an exact ``path:line`` pointer.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis import format_diagnostic, lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tests_are_diagnostics_clean() -> None:
+    diags = lint_paths([REPO_ROOT / "src" / "repro", REPO_ROOT / "tests"])
+    rendered = "\n".join(format_diagnostic(d, "text") for d in diags)
+    assert diags == [], f"repro-lint violations:\n{rendered}"
+
+
+def test_tools_entry_point_exits_zero_on_tree() -> None:
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "repro_lint.py"),
+         "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,118 @@
+"""Fixture-driven end-to-end linter tests: files, CLI, exit codes."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import format_diagnostic, lint_file, lint_paths
+from repro.analysis.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def materialise(tmp_path: pathlib.Path, fixture: str) -> pathlib.Path:
+    """Copy a ``.py.txt`` fixture into the lint scope as a real module.
+
+    The destination path places it under ``src/repro/core`` so the
+    path-scoped rules apply exactly as they would to product code.
+    """
+    target = tmp_path / "src" / "repro" / "core" / fixture.replace(".txt", "")
+    target.parent.mkdir(parents=True)
+    target.write_text((FIXTURES / fixture).read_text(encoding="utf-8"))
+    return target
+
+
+def marked_line(path: pathlib.Path, marker: str) -> int:
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if marker in line:
+            return lineno
+    raise AssertionError(f"marker {marker!r} not found in {path}")
+
+
+# -- demotion: a reintroduced global RNG call must fail the gate ---------
+def test_demotion_fixture_fails_with_rl001_at_exact_lines(
+    tmp_path: pathlib.Path,
+) -> None:
+    bad = materialise(tmp_path, "rl001_global_rng.py.txt")
+    diags = lint_file(bad)
+    assert [d.code for d in diags] == ["RL001", "RL001"]
+    assert diags[0].line == marked_line(bad, "MARK:stdlib")
+    assert diags[1].line == marked_line(bad, "MARK:numpy")
+    assert all(d.path == str(bad) for d in diags)
+    # CLI contract: violations exit 1.
+    assert main([str(bad)]) == 1
+
+
+def test_suppressed_fixture_line_is_not_reported(
+    tmp_path: pathlib.Path,
+) -> None:
+    bad = materialise(tmp_path, "rl001_global_rng.py.txt")
+    suppressed = marked_line(bad, "disable=RL001")
+    assert all(d.line != suppressed for d in lint_file(bad))
+
+
+def test_clean_fixture_exits_zero(tmp_path: pathlib.Path) -> None:
+    clean = materialise(tmp_path, "clean_module.py.txt")
+    assert lint_file(clean) == []
+    assert main([str(clean)]) == 0
+
+
+# -- discovery and path handling -----------------------------------------
+def test_lint_paths_walks_directories(tmp_path: pathlib.Path) -> None:
+    materialise(tmp_path, "rl001_global_rng.py.txt")
+    diags = lint_paths([tmp_path])
+    assert [d.code for d in diags] == ["RL001", "RL001"]
+
+
+def test_lint_paths_skips_pycache(tmp_path: pathlib.Path) -> None:
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "junk.py").write_text("import random\nrandom.random()\n")
+    assert lint_paths([tmp_path]) == []
+
+
+def test_unknown_select_code_raises_and_exits_2(
+    tmp_path: pathlib.Path,
+) -> None:
+    with pytest.raises(ValueError):
+        lint_paths([tmp_path], select=frozenset({"RL999"}))
+    assert main(["--select", "RL999", str(tmp_path)]) == 2
+
+
+# -- output formats ------------------------------------------------------
+def test_github_format_emits_workflow_annotations(
+    tmp_path: pathlib.Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    bad = materialise(tmp_path, "rl001_global_rng.py.txt")
+    assert main(["--format", "github", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "RL001" in out
+
+
+def test_text_format_is_path_line_col_code(tmp_path: pathlib.Path) -> None:
+    bad = materialise(tmp_path, "rl001_global_rng.py.txt")
+    diag = lint_file(bad)[0]
+    rendered = format_diagnostic(diag, "text")
+    assert rendered.startswith(f"{bad}:{diag.line}:")
+    assert "RL001" in rendered
+
+
+def test_list_rules_prints_all_codes(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert code in out
+
+
+# -- broken input --------------------------------------------------------
+def test_syntax_error_reports_rl000(tmp_path: pathlib.Path) -> None:
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    diags = lint_file(broken)
+    assert [d.code for d in diags] == ["RL000"]
+    assert main([str(broken)]) == 1

@@ -1,0 +1,267 @@
+"""Positive/negative vectors for each repro-lint rule (RL001-RL006)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+#: Paths that place a snippet inside / outside each rule's scope.
+CORE = "src/repro/core/mod.py"
+PLATFORM = "src/repro/platform/mod.py"
+EXPERIMENTS = "src/repro/experiments/mod.py"
+TESTS = "tests/core/test_mod.py"
+SHIM = "src/repro/utils/rng.py"
+
+
+def codes(source: str, path: str = CORE) -> list[str]:
+    return [d.code for d in lint_source(textwrap.dedent(source), path)]
+
+
+# -- RL001: no global RNG ------------------------------------------------
+def test_rl001_flags_stdlib_random_call() -> None:
+    src = """
+        import random
+
+        def f():
+            return random.random()
+    """
+    assert codes(src) == ["RL001"]
+
+
+def test_rl001_flags_numpy_global_stream() -> None:
+    src = """
+        import numpy as np
+
+        def f():
+            return np.random.rand(4)
+    """
+    assert codes(src) == ["RL001"]
+
+
+def test_rl001_flags_aliased_import() -> None:
+    src = """
+        from numpy import random as npr
+
+        def f():
+            return npr.normal()
+    """
+    assert codes(src) == ["RL001"]
+
+
+def test_rl001_ignores_injected_generator() -> None:
+    src = """
+        def f(rng):
+            return rng.random() + rng.normal()
+    """
+    assert codes(src) == []
+
+
+def test_rl001_ignores_constructors() -> None:
+    src = """
+        import random
+        import numpy as np
+
+        def f(seed):
+            return np.random.default_rng(seed), random.Random(seed)
+    """
+    assert codes(src) == []
+
+
+def test_rl001_allows_the_seeding_shim() -> None:
+    src = """
+        import numpy as np
+
+        def spawn(seed):
+            return np.random.default_rng(np.random.SeedSequence(seed))
+    """
+    assert codes(src, SHIM) == []
+
+
+# -- RL002: no wall-clock in core/platform/workers -----------------------
+def test_rl002_flags_time_time_in_core() -> None:
+    src = """
+        import time
+
+        def f():
+            return time.time()
+    """
+    assert codes(src, CORE) == ["RL002"]
+    assert codes(src, PLATFORM) == ["RL002"]
+
+
+def test_rl002_flags_datetime_now() -> None:
+    src = """
+        import datetime
+
+        def f():
+            return datetime.datetime.now()
+    """
+    assert codes(src, CORE) == ["RL002"]
+
+
+def test_rl002_out_of_scope_dirs_are_fine() -> None:
+    src = """
+        import time
+
+        def f():
+            return time.time()
+    """
+    assert codes(src, EXPERIMENTS) == []
+    assert codes(src, TESTS) == []
+
+
+def test_rl002_perf_counter_default_is_legal() -> None:
+    src = """
+        import time
+
+        def f(clock=time.perf_counter):
+            return clock()
+    """
+    assert codes(src, CORE) == []
+
+
+# -- RL003: no order-leaking set iteration -------------------------------
+def test_rl003_flags_for_over_set_literal() -> None:
+    src = """
+        def f(out):
+            for x in {3, 1, 2}:
+                out.append(x)
+    """
+    assert codes(src) == ["RL003"]
+
+
+def test_rl003_flags_set_call_into_list() -> None:
+    src = """
+        def f(xs):
+            return list(set(xs))
+    """
+    assert codes(src) == ["RL003"]
+
+
+def test_rl003_flags_join_over_set() -> None:
+    src = """
+        def f(xs):
+            return ",".join({str(x) for x in xs})
+    """
+    assert codes(src) == ["RL003"]
+
+
+def test_rl003_sorted_set_is_fine() -> None:
+    src = """
+        def f(xs, out):
+            for x in sorted(set(xs)):
+                out.append(x)
+    """
+    assert codes(src) == []
+
+
+def test_rl003_order_insensitive_consumers_are_fine() -> None:
+    src = """
+        def f(xs):
+            return sum(set(xs)), len({1, 2}), max(set(xs))
+    """
+    assert codes(src) == []
+
+
+# -- RL004: no float equality in src numerics ----------------------------
+def test_rl004_flags_float_equality() -> None:
+    src = """
+        def f(x):
+            return x == 0.5
+    """
+    assert codes(src) == ["RL004"]
+
+
+def test_rl004_flags_float_inequality() -> None:
+    src = """
+        def f(x):
+            return x != 1.5
+    """
+    assert codes(src) == ["RL004"]
+
+
+def test_rl004_not_applied_to_tests() -> None:
+    src = """
+        def f(x):
+            assert x == 0.25
+    """
+    assert codes(src, TESTS) == []
+
+
+def test_rl004_isclose_and_int_compare_are_fine() -> None:
+    src = """
+        import math
+
+        def f(x, n):
+            return math.isclose(x, 0.5) or n == 0
+    """
+    assert codes(src) == []
+
+
+# -- RL005: recorder params default to NULL_RECORDER ---------------------
+def test_rl005_flags_recorder_none_default() -> None:
+    src = """
+        def f(recorder=None):
+            return recorder
+    """
+    assert codes(src) == ["RL005"]
+
+
+def test_rl005_null_recorder_default_is_fine() -> None:
+    src = """
+        from repro.obs.metrics import NULL_RECORDER
+
+        def f(recorder=NULL_RECORDER):
+            return recorder
+    """
+    assert codes(src) == []
+
+
+def test_rl005_other_none_defaults_are_fine() -> None:
+    src = """
+        def f(tester=None, recorder_path=None):
+            return tester
+    """
+    assert codes(src) == []
+
+
+# -- RL006: no mutable default arguments ---------------------------------
+def test_rl006_flags_mutable_defaults() -> None:
+    src = """
+        def f(xs=[], mapping={}, seen=set()):
+            return xs, mapping, seen
+    """
+    assert codes(src) == ["RL006", "RL006", "RL006"]
+
+
+def test_rl006_flags_kwonly_and_lambda() -> None:
+    src = """
+        def f(*, xs=[]):
+            return xs
+
+        g = lambda xs=[]: xs
+    """
+    assert codes(src) == ["RL006", "RL006"]
+
+
+def test_rl006_immutable_defaults_are_fine() -> None:
+    src = """
+        def f(xs=(), name="", flag=False, value=None):
+            return xs, name, flag, value
+    """
+    assert codes(src) == []
+
+
+# -- select --------------------------------------------------------------
+def test_select_restricts_to_requested_codes() -> None:
+    src = textwrap.dedent(
+        """
+        import random
+
+        def f(xs=[]):
+            return random.random()
+        """
+    )
+    only_rl006 = lint_source(src, CORE, select=frozenset({"RL006"}))
+    assert [d.code for d in only_rl006] == ["RL006"]

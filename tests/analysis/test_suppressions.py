@@ -1,0 +1,89 @@
+"""Suppression comments: inline, standalone, multi-code, and misses."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+PATH = "src/repro/core/mod.py"
+
+
+def lint(source: str) -> list[str]:
+    return [d.code for d in lint_source(textwrap.dedent(source), PATH)]
+
+
+def test_inline_disable_suppresses_own_line() -> None:
+    src = """
+        import random
+
+        def f():
+            return random.random()  # repro-lint: disable=RL001 -- vetted
+    """
+    assert lint(src) == []
+
+
+def test_standalone_disable_applies_to_next_code_line() -> None:
+    src = """
+        def f(x):
+            # repro-lint: disable=RL004 -- exact sentinel comparison
+            return x == 0.0
+    """
+    assert lint(src) == []
+
+
+def test_standalone_disable_skips_blank_and_comment_lines() -> None:
+    src = """
+        def f(x):
+            # repro-lint: disable=RL004 -- exact sentinel comparison
+
+            # the guard below is exact on purpose
+            return x == 0.0
+    """
+    assert lint(src) == []
+
+
+def test_multiple_codes_one_comment() -> None:
+    src = """
+        import random
+
+        def f(x=[]):  # repro-lint: disable=RL006, RL001
+            return random.random()
+    """
+    # RL006 sits on the def line (suppressed); the RL001 call is on the
+    # next line, so it still fires.
+    assert lint(src) == ["RL001"]
+
+
+def test_wrong_code_does_not_suppress() -> None:
+    src = """
+        import random
+
+        def f():
+            return random.random()  # repro-lint: disable=RL002
+    """
+    assert lint(src) == ["RL001"]
+
+
+def test_unrelated_comment_does_not_suppress() -> None:
+    src = """
+        import random
+
+        def f():
+            return random.random()  # TODO: revisit
+    """
+    assert lint(src) == ["RL001"]
+
+
+def test_suppression_is_line_local() -> None:
+    src = """
+        import random
+
+        def f():
+            a = random.random()  # repro-lint: disable=RL001 -- vetted
+            b = random.random()
+            return a + b
+    """
+    diags = lint_source(textwrap.dedent(src), PATH)
+    assert [d.code for d in diags] == ["RL001"]
+    assert diags[0].line == 6

@@ -1,0 +1,35 @@
+"""Strict-typing gate: runs mypy when the tool is available.
+
+The container used for tier-1 runs does not ship mypy; CI's
+``static-analysis`` job installs it and runs the same command, so this
+test skips rather than fails when the import is missing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_mypy_strict_is_clean() -> None:
+    pytest.importorskip("mypy", reason="mypy not installed in this env")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            "pyproject.toml",
+            "src/repro",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -5,7 +5,7 @@ from repro.core.estimator import AccuracyEstimator
 from repro.core.framework import ICrowd
 from repro.core.ppr import PPRBasis, forward_push
 from repro.core.types import Label, Task, TaskSet
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import NULL_RECORDER, MetricsRegistry
 from repro.platform.platform import SimulatedPlatform
 from repro.workers.pool import WorkerPool
 from repro.workers.profiles import generate_profiles
@@ -104,11 +104,11 @@ class TestEndToEndPlatformRun:
         )
 
     def test_report_metrics_empty_without_recorder(self):
-        report = self._run(None)
+        report = self._run(NULL_RECORDER)
         assert report.metrics == {}
 
     def test_recorder_does_not_change_outcomes(self):
         with_recorder = self._run(MetricsRegistry())
-        without = self._run(None)
+        without = self._run(NULL_RECORDER)
         assert with_recorder.predictions == without.predictions
         assert with_recorder.steps == without.steps

@@ -9,7 +9,7 @@ criterion; the timing half lives in ``benchmarks/test_obs_overhead.py``.
 
 from repro.baselines.random_mv import RandomMV
 from repro.core.types import Label, Task, TaskSet
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import NULL_RECORDER, MetricsRegistry
 from repro.platform.faults import FaultConfig
 from repro.platform.platform import SimulatedPlatform
 from repro.workers.pool import WorkerPool
@@ -46,7 +46,9 @@ def test_event_log_byte_identical_with_and_without_recorder(tmp_path):
     recorded_bytes, recorded_report = _run_event_log_bytes(
         MetricsRegistry(), tmp_path, "on"
     )
-    plain_bytes, plain_report = _run_event_log_bytes(None, tmp_path, "off")
+    plain_bytes, plain_report = _run_event_log_bytes(
+        NULL_RECORDER, tmp_path, "off"
+    )
     assert recorded_bytes == plain_bytes
     assert recorded_report.steps == plain_report.steps
     assert recorded_report.predictions == plain_report.predictions

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the repro-lint static analyser.
+
+Usage::
+
+    python tools/repro_lint.py [paths...] [--format=text|github]
+
+Equivalent to ``repro-icrowd lint``; this wrapper only fixes up
+``sys.path`` so the checker runs from a bare checkout with no install
+step (CI uses it exactly this way).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
