@@ -8,6 +8,8 @@ from repro.core.assigner import (
     compute_top_worker_set,
     compute_top_worker_sets,
     greedy_assign,
+    group_states_by_shard,
+    merge_shard_schemes,
     scheme_value,
 )
 from repro.core.config import (
@@ -28,7 +30,12 @@ from repro.core.multichoice import (
     multichoice_observed_accuracy,
     plurality_vote,
 )
-from repro.core.indexes import ScalableAssigner, SparseEstimateIndex
+from repro.core.indexes import (
+    ScalableAssigner,
+    ShardedGraph,
+    ShardIndex,
+    SparseEstimateIndex,
+)
 from repro.core.streaming import GrowableGraph, StreamingAssigner
 from repro.core.graph_selection import (
     GraphScore,
@@ -57,6 +64,7 @@ from repro.core.ppr import (
     PPRBasis,
     PushKernel,
     PushStats,
+    ShardedBasis,
     forward_push,
     forward_push_reference,
     power_iteration,
@@ -107,6 +115,9 @@ __all__ = [
     "PPRBasis",
     "QualificationConfig",
     "ScalableAssigner",
+    "ShardedBasis",
+    "ShardedGraph",
+    "ShardIndex",
     "SimilarityGraph",
     "SparseEstimateIndex",
     "StreamingAssigner",
@@ -130,7 +141,9 @@ __all__ = [
     "forward_push",
     "forward_push_reference",
     "greedy_assign",
+    "group_states_by_shard",
     "hungarian",
+    "merge_shard_schemes",
     "influence",
     "load_basis",
     "load_checkpoint",

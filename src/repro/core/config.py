@@ -42,6 +42,12 @@ class EstimatorConfig:
     #: (the ``REPRO_BASIS_CACHE`` environment variable then acts as the
     #: fallback default, see :class:`repro.core.AccuracyEstimator`).
     basis_cache_dir: str | None = None
+    #: Shard-size cap for the sharded offline phase: 0 (default) keeps
+    #: the whole-graph basis; > 0 partitions the similarity graph by
+    #: connected components (components above the cap are split, small
+    #: ones packed) and stores the basis as per-shard row blocks, with
+    #: assignment running per-shard greedy + cross-shard merge.
+    shard_size: int = 0
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -58,6 +64,8 @@ class EstimatorConfig:
             raise ValueError("basis_epsilon must be >= 0")
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        if self.shard_size < 0:
+            raise ValueError("shard_size must be >= 0")
 
     @property
     def damping(self) -> float:

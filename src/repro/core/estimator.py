@@ -38,7 +38,8 @@ import numpy as np
 
 from repro.core.config import EstimatorConfig
 from repro.core.graph import SimilarityGraph
-from repro.core.ppr import PPRBasis, power_iteration
+from repro.core.indexes import ShardIndex
+from repro.core.ppr import PPRBasis, ShardedBasis, power_iteration
 from repro.core.types import TaskId
 from repro.obs.metrics import NULL_RECORDER, Recorder
 
@@ -88,7 +89,8 @@ class AccuracyEstimator:
         self.graph = graph
         self.config = config or EstimatorConfig()
         self._basis_method = basis_method
-        self._basis: PPRBasis | None = None
+        self._basis: PPRBasis | ShardedBasis | None = None
+        self._shard_index: ShardIndex | None = None
         self._cache_dir = self._resolve_cache_dir(cache_dir)
         self.recorder = recorder
         #: True when the current basis was served from the on-disk
@@ -110,18 +112,34 @@ class AccuracyEstimator:
     # offline phase
     # ------------------------------------------------------------------
     @property
-    def basis(self) -> PPRBasis:
-        """The offline PPR basis; loaded from cache or computed lazily
-        on first access."""
+    def shard_index(self) -> ShardIndex | None:
+        """Task partition of the sharded offline phase, or None when
+        ``config.shard_size`` is 0 (unsharded).  Computed once — the
+        partition is a pure function of the graph and the cap, so the
+        maps stay stable for the lifetime of the estimator."""
+        if self.config.shard_size <= 0:
+            return None
+        if self._shard_index is None:
+            sharded = self.graph.partition(
+                max_shard_tasks=self.config.shard_size
+            )
+            self._shard_index = sharded.index
+        return self._shard_index
+
+    @property
+    def basis(self) -> PPRBasis | ShardedBasis:
+        """The offline PPR basis (per-shard blocks when sharding is
+        configured); loaded from cache or computed lazily on first
+        access."""
         if self._basis is None:
             self._basis = self._load_or_compute_basis()
         return self._basis
 
-    def _load_or_compute_basis(self) -> PPRBasis:
+    def _load_or_compute_basis(self) -> PPRBasis | ShardedBasis:
         with self.recorder.span("estimator.offline"):
             return self._load_or_compute_basis_inner()
 
-    def _load_or_compute_basis_inner(self) -> PPRBasis:
+    def _load_or_compute_basis_inner(self) -> PPRBasis | ShardedBasis:
         key = None
         if self._cache_dir is not None:
             from repro.core.persistence import (
@@ -142,22 +160,39 @@ class AccuracyEstimator:
                     "repro_estimator_basis_cache_hits_total",
                     "Offline bases served from the on-disk cache.",
                 ).inc()
+                if self.shard_index is not None:
+                    # the cache stores the whole-graph form; re-block
+                    # it (cheap row slicing, no recomputation)
+                    return ShardedBasis.from_global(
+                        cached, self.shard_index
+                    )
                 return cached
         if self._cache_dir is not None:
             self.recorder.counter(
                 "repro_estimator_basis_cache_misses_total",
                 "Offline bases computed because the cache missed.",
             ).inc()
-        basis = PPRBasis.compute(
-            self.graph.normalized,
-            damping=self.config.damping,
-            epsilon=self.config.basis_epsilon,
-            method=self._basis_method,
-            tol=self.config.ppr_tol,
-            max_iter=self.config.ppr_max_iter,
-            num_workers=self.config.num_workers or None,
-            recorder=self.recorder,
-        )
+        basis: PPRBasis | ShardedBasis
+        if self.shard_index is not None:
+            basis = ShardedBasis.compute(
+                self.graph.normalized,
+                self.shard_index,
+                damping=self.config.damping,
+                epsilon=self.config.basis_epsilon,
+                num_workers=self.config.num_workers or None,
+                recorder=self.recorder,
+            )
+        else:
+            basis = PPRBasis.compute(
+                self.graph.normalized,
+                damping=self.config.damping,
+                epsilon=self.config.basis_epsilon,
+                method=self._basis_method,
+                tol=self.config.ppr_tol,
+                max_iter=self.config.ppr_max_iter,
+                num_workers=self.config.num_workers or None,
+                recorder=self.recorder,
+            )
         self.basis_from_cache = False
         if key is not None:
             save_basis(basis, self._cache_dir, key)

@@ -146,7 +146,11 @@ class ICrowd:
             prior_accuracy=self.config.estimator.prior_accuracy,
         )
         self.assigner = AdaptiveAssigner(
-            self.config.assigner, tester=tester, recorder=self.recorder
+            self.config.assigner,
+            tester=tester,
+            # sharded offline phase ⇒ per-shard greedy + merge online
+            shard_index=self.estimator.shard_index,
+            recorder=self.recorder,
         )
 
     # ------------------------------------------------------------------

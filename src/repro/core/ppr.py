@@ -32,13 +32,19 @@ from __future__ import annotations
 import os
 import warnings
 from collections import deque
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING, cast
 
 import numpy as np
 from scipy import sparse
 
 from repro.obs.metrics import MASS_BUCKETS, NULL_RECORDER, Recorder
+
+if TYPE_CHECKING:
+    from repro.core.indexes import ShardIndex
 
 
 class ConvergenceWarning(UserWarning):
@@ -414,42 +420,152 @@ def forward_push_reference(
 
 
 # ----------------------------------------------------------------------
-# parallel basis construction (process-pool sharding by source range)
+# parallel basis construction (shared-memory pool, nnz-sized chunks)
 # ----------------------------------------------------------------------
-#: Per-process state installed by :func:`_pool_initializer`; rebuilt once
-#: per worker so source chunks ship only their (start, stop) bounds.
+#: Below these input sizes a parallel basis request is routed to the
+#: serial kernel: pool start-up plus result IPC costs more than the
+#: solve itself.  Both bounds must be cleared to go parallel (override
+#: with ``force_parallel=True``); the routing decision is observable
+#: via the ``repro_ppr_parallel_fallback_total`` counter.
+PARALLEL_MIN_TASKS = 2048
+PARALLEL_MIN_NNZ = 100_000
+
+#: Work units per pool worker: a few chunks per worker lets stragglers
+#: balance out without shrinking chunks below the IPC break-even size.
+_CHUNKS_PER_WORKER = 4
+
+#: Minimum transition-matrix nnz covered by one work unit; chunks are
+#: sized by the nnz their rows touch (push work scales with traversed
+#: edges, not with row count) and never cut finer than this.
+_MIN_CHUNK_NNZ = 10_000
+
+#: Per-process state installed by :func:`_pool_initializer`: the
+#: shared-memory segments (kept referenced so the attached numpy views
+#: stay valid), the kernel built on them, and the solve parameters.
 _POOL_STATE: dict[str, object] = {}
 
 
+@dataclass(frozen=True)
+class _SharedArraySpec:
+    """Name + layout of one numpy array published via shared memory."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _SharedCSRSpec:
+    """Picklable handle to a CSR matrix living in shared memory."""
+
+    shape: tuple[int, int]
+    data: _SharedArraySpec
+    indices: _SharedArraySpec
+    indptr: _SharedArraySpec
+
+
+class _SharedCSR:
+    """Publish a CSR matrix's arrays once via POSIX shared memory.
+
+    The parent copies ``data``/``indices``/``indptr`` into three
+    shared-memory segments before the pool starts; every worker then
+    attaches zero-copy views in its initializer instead of receiving a
+    pickled matrix per chunk.  The parent owns the segment lifetime —
+    call :meth:`close` (idempotent) once the pool has shut down.
+    """
+
+    def __init__(self, matrix: sparse.csr_matrix) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        specs: list[_SharedArraySpec] = []
+        for array in (matrix.data, matrix.indices, matrix.indptr):
+            array = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes)
+            )
+            view: np.ndarray = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf
+            )
+            view[:] = array
+            self._segments.append(segment)
+            specs.append(
+                _SharedArraySpec(segment.name, array.dtype.str, array.shape)
+            )
+        self.spec = _SharedCSRSpec(
+            shape=matrix.shape,
+            data=specs[0],
+            indices=specs[1],
+            indptr=specs[2],
+        )
+
+    def close(self) -> None:
+        """Release and unlink every segment (safe to call twice)."""
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            segment.close()
+            segment.unlink()
+
+
+def _attach_array(
+    spec: _SharedArraySpec,
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    # Attaching registers the segment with the resource tracker (the
+    # tracker process is shared with the parent), which would race the
+    # parent's own register/unregister pair at unlink time.  The parent
+    # owns the segment lifetime, so suppress registration here.
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None  # type: ignore[assignment]
+    try:
+        segment = shared_memory.SharedMemory(name=spec.name)
+    finally:
+        resource_tracker.register = original_register  # type: ignore[assignment]
+    array: np.ndarray = np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+    )
+    return array, segment
+
+
 def _pool_initializer(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    data: np.ndarray,
-    shape: tuple[int, int],
+    spec: _SharedCSRSpec,
     damping: float,
     push_epsilon: float,
     epsilon: float,
 ) -> None:
-    matrix = sparse.csr_matrix((data, indices, indptr), shape=shape)
+    """Attach the shared transition matrix and build this worker's
+    kernel once; work units then carry only their source ids."""
+    data, data_seg = _attach_array(spec.data)
+    indices, indices_seg = _attach_array(spec.indices)
+    indptr, indptr_seg = _attach_array(spec.indptr)
+    matrix = sparse.csr_matrix(
+        (data, indices, indptr), shape=spec.shape, copy=False
+    )
+    _POOL_STATE["segments"] = (data_seg, indices_seg, indptr_seg)
     _POOL_STATE["kernel"] = PushKernel(matrix)
     _POOL_STATE["params"] = (damping, push_epsilon, epsilon)
 
 
-def _pool_push_chunk(
-    bounds: tuple[int, int],
+def _pool_push_unit(
+    unit: tuple[int, np.ndarray],
 ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
-    kernel = _POOL_STATE["kernel"]
-    damping, push_epsilon, epsilon = _POOL_STATE["params"]
-    start, stop = bounds
-    counts, cols, vals = _push_row_range(
-        kernel, range(start, stop), damping, push_epsilon, epsilon
+    unit_id, sources = unit
+    kernel = cast(PushKernel, _POOL_STATE["kernel"])
+    damping, push_epsilon, epsilon = cast(
+        "tuple[float, float, float]", _POOL_STATE["params"]
     )
-    return start, counts, cols, vals
+    counts, cols, vals = push_sources(
+        kernel, sources, damping, push_epsilon, epsilon
+    )
+    return unit_id, counts, cols, vals
 
 
-def _push_row_range(
+def basis_push_epsilon(epsilon: float) -> float:
+    """Push tolerance used for a basis truncated at ``epsilon``: one
+    decade tighter, so truncation (not solver error) dominates."""
+    return max(epsilon * 0.1, 1e-12)
+
+
+def push_sources(
     kernel: PushKernel,
-    sources: range,
+    sources: Sequence[int] | np.ndarray | range,
     damping: float,
     push_epsilon: float,
     epsilon: float,
@@ -458,14 +574,15 @@ def _push_row_range(
 
     Returns per-row entry counts plus the concatenated column/value
     arrays — the raw CSR building blocks — without ever materialising
-    per-entry Python objects.
+    per-entry Python objects.  Sources may be any id sequence (a
+    contiguous range or a shard's sorted task array).
     """
     counts = np.zeros(len(sources), dtype=np.int64)
     col_parts: list[np.ndarray] = []
     val_parts: list[np.ndarray] = []
     for offset, source in enumerate(sources):
         nodes, values, _ = kernel.push(
-            source, damping, epsilon=push_epsilon
+            int(source), damping, epsilon=push_epsilon
         )
         if epsilon > 0:
             keep = np.abs(values) >= epsilon
@@ -486,10 +603,106 @@ def _push_row_range(
     return counts, cols, vals
 
 
+def assemble_csr(
+    counts: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: tuple[int, int],
+) -> sparse.csr_matrix:
+    """CSR from per-row counts + packed columns/values (no COO pass).
+
+    The push kernel emits each row's columns already sorted, so the
+    ``(data, indices, indptr)`` constructor is valid directly.
+    """
+    indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return sparse.csr_matrix(
+        (
+            np.asarray(vals, dtype=np.float64),
+            np.asarray(cols, dtype=np.int64),
+            indptr,
+        ),
+        shape=shape,
+    )
+
+
+def _chunk_sources_by_nnz(
+    indptr: np.ndarray,
+    sources: np.ndarray,
+    workers: int,
+    chunk_nnz: int | None = None,
+) -> list[np.ndarray]:
+    """Cut a source array into work units of roughly equal *push work*.
+
+    Chunk boundaries follow the transition-matrix nnz the rows touch
+    (push cost scales with traversed edges), not the row count — a few
+    hub rows no longer ride in one chunk with thousands of leaves.
+    """
+    if sources.size == 0:
+        return []
+    row_nnz = indptr[sources + 1] - indptr[sources]
+    # every row costs at least its own solve, even with no edges
+    cum = np.cumsum(np.maximum(row_nnz, 1))
+    total = int(cum[-1])
+    if chunk_nnz is None:
+        chunk_nnz = max(
+            total // max(workers * _CHUNKS_PER_WORKER, 1), _MIN_CHUNK_NNZ
+        )
+    chunk_nnz = max(int(chunk_nnz), 1)
+    targets = np.arange(chunk_nnz, total, chunk_nnz, dtype=np.int64)
+    boundaries = np.unique(np.searchsorted(cum, targets, side="left") + 1)
+    boundaries = boundaries[boundaries < sources.size]
+    return [np.asarray(part) for part in np.split(sources, boundaries)]
+
+
+def _run_push_pool(
+    matrix: sparse.csr_matrix,
+    units: list[tuple[int, np.ndarray]],
+    workers: int,
+    damping: float,
+    push_epsilon: float,
+    epsilon: float,
+) -> dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Execute push work units on a shared-memory process pool.
+
+    Returns ``unit_id → (counts, cols, vals)``.  The transition matrix
+    is published once via :class:`_SharedCSR`; unit payloads are just
+    source-id arrays, and only results travel back.
+    """
+    shared = _SharedCSR(matrix)
+    results: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_initializer,
+            initargs=(shared.spec, damping, push_epsilon, epsilon),
+        ) as pool:
+            for unit_id, counts, cols, vals in pool.map(
+                _pool_push_unit, units
+            ):
+                results[unit_id] = (counts, cols, vals)
+    finally:
+        shared.close()
+    return results
+
+
 def _resolve_workers(num_workers: int | None) -> int:
     if num_workers is None or num_workers <= 0:
         return os.cpu_count() or 1
     return num_workers
+
+
+def _parallel_worth_it(n: int, nnz: int) -> bool:
+    """Whether a graph is big enough for the pool to pay for itself."""
+    return n >= PARALLEL_MIN_TASKS and nnz >= PARALLEL_MIN_NNZ
+
+
+def _record_parallel_fallback(recorder: Recorder) -> None:
+    recorder.counter(
+        "repro_ppr_parallel_fallback_total",
+        "Parallel basis requests routed to the serial kernel because "
+        "the input sat below the small-n threshold.",
+    ).inc()
 
 
 class PPRBasis:
@@ -527,6 +740,7 @@ class PPRBasis:
         max_iter: int = 200,
         num_workers: int | None = None,
         chunk_size: int | None = None,
+        force_parallel: bool = False,
         recorder: Recorder = NULL_RECORDER,
     ) -> "PPRBasis":
         """Precompute all basis rows.
@@ -552,7 +766,13 @@ class PPRBasis:
         num_workers:
             Process count for ``"parallel-push"`` (None/0 = cpu count).
         chunk_size:
-            Sources per pool task (default: balanced across workers).
+            Sources per pool task (default: work units sized by the
+            transition-matrix nnz they cover, a few per worker).
+        force_parallel:
+            ``"parallel-push"`` requests on inputs below
+            :data:`PARALLEL_MIN_TASKS` / :data:`PARALLEL_MIN_NNZ` are
+            routed to the serial kernel (pool start-up would dominate);
+            pass True to run the pool anyway (tests, benchmarks).
         recorder:
             Observability recorder; the offline computation runs under
             a ``ppr.basis`` span and serial pushes record per-solve
@@ -577,6 +797,7 @@ class PPRBasis:
                 max_iter,
                 num_workers,
                 chunk_size,
+                force_parallel,
                 recorder,
             )
         recorder.counter(
@@ -596,6 +817,7 @@ class PPRBasis:
         max_iter: int,
         num_workers: int | None,
         chunk_size: int | None,
+        force_parallel: bool,
         recorder: Recorder,
     ) -> "PPRBasis":
         n = normalized.shape[0]
@@ -615,9 +837,9 @@ class PPRBasis:
             # the matrix is symmetric too — transpose for clarity.
             return cls(sparse.csr_matrix(basis.T))
         if method == "push":
-            push_eps = max(epsilon * 0.1, 1e-12)
+            push_eps = basis_push_epsilon(epsilon)
             kernel = PushKernel(normalized, recorder=recorder)
-            counts, cols, vals = _push_row_range(
+            counts, cols, vals = push_sources(
                 kernel, range(n), damping, push_eps, epsilon
             )
             return cls(cls._assemble(n, counts, cols, vals))
@@ -629,6 +851,7 @@ class PPRBasis:
                     epsilon,
                     num_workers=num_workers,
                     chunk_size=chunk_size,
+                    force_parallel=force_parallel,
                     recorder=recorder,
                 )
             )
@@ -660,21 +883,9 @@ class PPRBasis:
     def _assemble(
         n: int, counts: np.ndarray, cols: np.ndarray, vals: np.ndarray
     ) -> sparse.csr_matrix:
-        """CSR from per-row counts + packed columns/values (no COO pass).
-
-        The kernel emits each row's columns already sorted, so the
-        (data, indices, indptr) constructor is valid directly.
-        """
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        return sparse.csr_matrix(
-            (
-                np.asarray(vals, dtype=np.float64),
-                np.asarray(cols, dtype=np.int64),
-                indptr,
-            ),
-            shape=(n, n),
-        )
+        """CSR from per-row counts + packed columns/values (no COO
+        pass); see :func:`assemble_csr`."""
+        return assemble_csr(counts, cols, vals, (n, n))
 
     @classmethod
     def _compute_parallel(
@@ -684,50 +895,50 @@ class PPRBasis:
         epsilon: float,
         num_workers: int | None = None,
         chunk_size: int | None = None,
+        force_parallel: bool = False,
         recorder: Recorder = NULL_RECORDER,
     ) -> sparse.csr_matrix:
-        """Shard push rows over a process pool; output is identical to
-        serial ``"push"`` (same kernel, sources merely partitioned)."""
+        """Shard push sources over a shared-memory process pool.
+
+        Output is bit-identical to serial ``"push"``: workers run the
+        same kernel on the same full matrix, sources are merely
+        partitioned, and assembly re-orders the packed results into
+        source order.  Small inputs (below :data:`PARALLEL_MIN_TASKS` /
+        :data:`PARALLEL_MIN_NNZ`) fall back to the serial kernel unless
+        ``force_parallel`` is set — pool start-up would dominate.
+        """
         n = normalized.shape[0]
+        matrix = normalized.tocsr()
         workers = min(_resolve_workers(num_workers), max(1, n))
-        push_eps = max(epsilon * 0.1, 1e-12)
+        push_eps = basis_push_epsilon(epsilon)
+        small = not _parallel_worth_it(n, matrix.nnz)
+        if workers > 1 and small and not force_parallel:
+            _record_parallel_fallback(recorder)
+            workers = 1
         if workers <= 1:
             kernel = PushKernel(normalized, recorder=recorder)
-            counts, cols, vals = _push_row_range(
+            counts, cols, vals = push_sources(
                 kernel, range(n), damping, push_eps, epsilon
             )
             return cls._assemble(n, counts, cols, vals)
-        matrix = normalized.tocsr()
-        if chunk_size is None:
-            # a few chunks per worker so stragglers balance out
-            chunk_size = max(1, n // (workers * 4))
-        bounds = [
-            (start, min(start + chunk_size, n))
-            for start in range(0, n, chunk_size)
-        ]
-        all_counts = np.zeros(n, dtype=np.int64)
-        chunk_results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_pool_initializer,
-            initargs=(
-                matrix.indptr,
-                matrix.indices,
-                matrix.data,
-                matrix.shape,
-                damping,
-                push_eps,
-                epsilon,
-            ),
-        ) as pool:
-            for start, counts, cols, vals in pool.map(
-                _pool_push_chunk, bounds
-            ):
-                all_counts[start : start + len(counts)] = counts
-                chunk_results[start] = (cols, vals)
-        ordered = sorted(chunk_results.items())
-        cols = np.concatenate([c for _, (c, _) in ordered])
-        vals = np.concatenate([v for _, (_, v) in ordered])
+        sources = np.arange(n, dtype=np.int64)
+        if chunk_size is not None:
+            # legacy row-count chunking, kept for explicit callers
+            parts = [
+                sources[start : start + chunk_size]
+                for start in range(0, n, max(1, chunk_size))
+            ]
+        else:
+            parts = _chunk_sources_by_nnz(matrix.indptr, sources, workers)
+        units = list(enumerate(parts))
+        results = _run_push_pool(
+            matrix, units, workers, damping, push_eps, epsilon
+        )
+        all_counts = np.concatenate(
+            [results[uid][0] for uid, _ in units]
+        )
+        cols = np.concatenate([results[uid][1] for uid, _ in units])
+        vals = np.concatenate([results[uid][2] for uid, _ in units])
         return cls._assemble(n, all_counts, cols, vals)
 
     @property
@@ -783,3 +994,283 @@ class PPRBasis:
         if q.shape != (n,):
             raise ValueError(f"q has shape {q.shape}, expected ({n},)")
         return np.asarray(q @ self._matrix).ravel()
+
+
+class ShardedBasis:
+    """PPR basis stored as per-shard CSR row blocks.
+
+    Each shard of a :class:`~repro.core.indexes.ShardIndex` owns one
+    CSR block of shape ``(shard_size, n)`` — the basis rows of that
+    shard's tasks, in shard-task order, with **global** column ids.
+    Pushes always run on the *full* transition matrix (never a shard
+    submatrix), so every stored row is bit-identical to the row the
+    serial ``"push"`` path produces: shards only decide which process
+    solves which sources and how results are blocked, never the
+    arithmetic.
+
+    Online reads (:meth:`row`, the dict path of :meth:`combine`) route
+    through the index and touch only the owning shard's block, keeping
+    the working set per query at one block instead of the whole basis.
+    """
+
+    def __init__(
+        self, index: "ShardIndex", blocks: Sequence[sparse.csr_matrix]
+    ) -> None:
+        if len(blocks) != index.num_shards:
+            raise ValueError(
+                f"expected {index.num_shards} blocks, got {len(blocks)}"
+            )
+        n = index.num_tasks
+        for shard_id, block in enumerate(blocks):
+            expected = (len(index.shard_tasks(shard_id)), n)
+            if block.shape != expected:
+                raise ValueError(
+                    f"shard {shard_id} block has shape {block.shape}, "
+                    f"expected {expected}"
+                )
+        self._index = index
+        self._blocks: list[sparse.csr_matrix] = [
+            block.tocsr() for block in blocks
+        ]
+        self._global: sparse.csr_matrix | None = None
+
+    @classmethod
+    def compute(
+        cls,
+        normalized: sparse.csr_matrix,
+        index: "ShardIndex",
+        damping: float,
+        epsilon: float = 1e-6,
+        num_workers: int | None = None,
+        chunk_nnz: int | None = None,
+        force_parallel: bool = False,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> "ShardedBasis":
+        """Compute the basis sharded by ``index``.
+
+        With more than one resolved worker (and an input above the
+        small-n thresholds, or ``force_parallel``), each shard's source
+        set is cut into nnz-sized work units and solved on the
+        shared-memory pool; blocks are then assembled per shard with
+        only intra-shard concatenation.  Otherwise a single kernel
+        solves every shard in turn (same output, no pool).
+        """
+        n = normalized.shape[0]
+        if index.num_tasks != n:
+            raise ValueError(
+                f"index covers {index.num_tasks} tasks, matrix has {n}"
+            )
+        matrix = normalized.tocsr()
+        workers = min(_resolve_workers(num_workers), max(1, n))
+        push_eps = basis_push_epsilon(epsilon)
+        small = not _parallel_worth_it(n, matrix.nnz)
+        if workers > 1 and small and not force_parallel:
+            _record_parallel_fallback(recorder)
+            workers = 1
+        with recorder.span(
+            "ppr.sharded_basis", shards=index.num_shards, rows=n
+        ):
+            if workers <= 1:
+                kernel = PushKernel(matrix, recorder=recorder)
+                blocks = [
+                    assemble_csr(
+                        *push_sources(
+                            kernel,
+                            index.shard_tasks(shard_id),
+                            damping,
+                            push_eps,
+                            epsilon,
+                        ),
+                        shape=(len(index.shard_tasks(shard_id)), n),
+                    )
+                    for shard_id in range(index.num_shards)
+                ]
+            else:
+                blocks = cls._compute_blocks_parallel(
+                    matrix, index, workers, damping, push_eps, epsilon,
+                    chunk_nnz,
+                )
+        recorder.counter(
+            "repro_ppr_basis_rows_total",
+            "Offline PPR basis rows computed (one per task).",
+        ).inc(n)
+        return cls(index, blocks)
+
+    @staticmethod
+    def _compute_blocks_parallel(
+        matrix: sparse.csr_matrix,
+        index: "ShardIndex",
+        workers: int,
+        damping: float,
+        push_eps: float,
+        epsilon: float,
+        chunk_nnz: int | None,
+    ) -> list[sparse.csr_matrix]:
+        """One pool run over every shard's nnz-sized work units."""
+        n = matrix.shape[0]
+        units: list[tuple[int, np.ndarray]] = []
+        shard_units: list[list[int]] = []
+        for shard_id in range(index.num_shards):
+            parts = _chunk_sources_by_nnz(
+                matrix.indptr,
+                index.shard_tasks(shard_id),
+                workers,
+                chunk_nnz,
+            )
+            base = len(units)
+            shard_units.append(list(range(base, base + len(parts))))
+            units.extend(
+                (base + offset, part)
+                for offset, part in enumerate(parts)
+            )
+        results = _run_push_pool(
+            matrix, units, workers, damping, push_eps, epsilon
+        )
+        blocks: list[sparse.csr_matrix] = []
+        for shard_id, unit_ids in enumerate(shard_units):
+            shard_size = len(index.shard_tasks(shard_id))
+            if not unit_ids:
+                blocks.append(
+                    sparse.csr_matrix((shard_size, n), dtype=np.float64)
+                )
+                continue
+            counts = np.concatenate(
+                [results[uid][0] for uid in unit_ids]
+            )
+            cols = np.concatenate([results[uid][1] for uid in unit_ids])
+            vals = np.concatenate([results[uid][2] for uid in unit_ids])
+            blocks.append(
+                assemble_csr(counts, cols, vals, (shard_size, n))
+            )
+        return blocks
+
+    @classmethod
+    def from_global(
+        cls,
+        basis: "PPRBasis | sparse.csr_matrix",
+        index: "ShardIndex",
+    ) -> "ShardedBasis":
+        """Re-block a whole-graph basis (e.g. loaded from the on-disk
+        cache) into per-shard row blocks without recomputation."""
+        matrix = basis.matrix if isinstance(basis, PPRBasis) else basis
+        matrix = matrix.tocsr()
+        if matrix.shape[0] != index.num_tasks:
+            raise ValueError(
+                f"basis has {matrix.shape[0]} rows, "
+                f"index covers {index.num_tasks} tasks"
+            )
+        blocks = [
+            matrix[index.shard_tasks(shard_id), :].tocsr()
+            for shard_id in range(index.num_shards)
+        ]
+        return cls(index, blocks)
+
+    def to_global(self) -> sparse.csr_matrix:
+        """Whole-graph CSR basis (row ``i`` = ``p_{t_i}``), assembled
+        once and cached; bit-identical to the serial path's matrix.
+
+        Used for exact on-disk serialisation and identity checks — the
+        online paths never need it.
+        """
+        if self._global is not None:
+            return self._global
+        n = self.num_tasks
+        counts = np.zeros(n, dtype=np.int64)
+        for shard_id, block in enumerate(self._blocks):
+            tasks = self._index.shard_tasks(shard_id)
+            counts[tasks] = np.diff(block.indptr)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        cols = np.empty(total, dtype=np.int64)
+        vals = np.empty(total, dtype=np.float64)
+        for shard_id, block in enumerate(self._blocks):
+            if block.nnz == 0:
+                continue
+            tasks = self._index.shard_tasks(shard_id)
+            lengths = np.diff(block.indptr).astype(np.int64)
+            # per-entry destination: global row start + offset in row
+            offsets = np.arange(block.nnz, dtype=np.int64) - np.repeat(
+                block.indptr[:-1].astype(np.int64), lengths
+            )
+            dest = np.repeat(indptr[tasks], lengths) + offsets
+            cols[dest] = block.indices
+            vals[dest] = block.data
+        self._global = sparse.csr_matrix(
+            (vals, cols, indptr), shape=(n, n)
+        )
+        return self._global
+
+    # ------------------------------------------------------------------
+    # PPRBasis-compatible surface (duck-typed by estimator/qualification)
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> "ShardIndex":
+        return self._index
+
+    @property
+    def num_tasks(self) -> int:
+        return self._index.num_tasks
+
+    @property
+    def num_shards(self) -> int:
+        return self._index.num_shards
+
+    @property
+    def nnz(self) -> int:
+        return sum(block.nnz for block in self._blocks)
+
+    @property
+    def matrix(self) -> sparse.csr_matrix:
+        """Whole-graph view (for the on-disk cache); see
+        :meth:`to_global`."""
+        return self.to_global()
+
+    def block(self, shard_id: int) -> sparse.csr_matrix:
+        """Shard ``shard_id``'s row block ``(shard_size, n)``, rows in
+        ``index.shard_tasks(shard_id)`` order, global columns."""
+        return self._blocks[shard_id]
+
+    def block_nnz(self) -> list[int]:
+        """Stored non-zeros per shard (perf/memory diagnostics)."""
+        return [int(block.nnz) for block in self._blocks]
+
+    def _row_slice(self, task_id: int) -> tuple[np.ndarray, np.ndarray]:
+        shard_id, local = self._index.locate(task_id)
+        block = self._blocks[shard_id]
+        start, end = block.indptr[local], block.indptr[local + 1]
+        return block.indices[start:end], block.data[start:end]
+
+    def row(self, task_id: int) -> np.ndarray:
+        """Dense basis vector ``p_{t_i}`` (reads one shard block)."""
+        out = np.zeros(self.num_tasks)
+        cols, vals = self._row_slice(task_id)
+        out[cols] = vals
+        return out
+
+    def combine(self, q: np.ndarray | dict[int, float]) -> np.ndarray:
+        """Online estimation ``p* = Σ q_i · p_{t_i}`` (Lemma 3).
+
+        The dict path accumulates rows in key order exactly like
+        :meth:`PPRBasis.combine` — identical float additions, so
+        estimates match the unsharded basis bit for bit.  The dense
+        path evaluates per shard and sums the partials.
+        """
+        n = self.num_tasks
+        if isinstance(q, dict):
+            out = np.zeros(n)
+            for task_id, weight in q.items():
+                # repro-lint: disable=RL004 -- exact-zero skip, not a tolerance
+                if weight == 0.0:
+                    continue
+                cols, vals = self._row_slice(task_id)
+                out[cols] += weight * vals
+            return out
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (n,):
+            raise ValueError(f"q has shape {q.shape}, expected ({n},)")
+        out = np.zeros(n)
+        for shard_id, block in enumerate(self._blocks):
+            tasks = self._index.shard_tasks(shard_id)
+            out += np.asarray(q[tasks] @ block).ravel()
+        return out

@@ -132,6 +132,8 @@ class TestPushStats:
 
 class TestParallelBasis:
     def test_parallel_identical_to_serial(self):
+        # force_parallel: 200 tasks sit below the small-n fallback
+        # threshold, and this test must keep exercising the real pool
         normalized = random_normalized_graph(200, 5, 11)
         serial = PPRBasis.compute(
             normalized, damping=0.5, epsilon=1e-6, method="push"
@@ -139,12 +141,61 @@ class TestParallelBasis:
         parallel = PPRBasis.compute(
             normalized, damping=0.5, epsilon=1e-6,
             method="parallel-push", num_workers=2, chunk_size=37,
+            force_parallel=True,
         )
         assert np.array_equal(serial.matrix.indptr, parallel.matrix.indptr)
         assert np.array_equal(
             serial.matrix.indices, parallel.matrix.indices
         )
         assert np.array_equal(serial.matrix.data, parallel.matrix.data)
+
+    def test_parallel_nnz_chunks_identical_to_serial(self):
+        """Default (nnz-derived) work units match serial bit-for-bit."""
+        normalized = random_normalized_graph(200, 5, 11)
+        serial = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6, method="push"
+        )
+        parallel = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6,
+            method="parallel-push", num_workers=2, force_parallel=True,
+        )
+        assert np.array_equal(serial.matrix.data, parallel.matrix.data)
+        assert np.array_equal(
+            serial.matrix.indices, parallel.matrix.indices
+        )
+
+    def test_small_input_falls_back_to_serial_with_counter(self):
+        """Below the size thresholds, parallel requests run serially and
+        the routing decision is observable on the metrics registry."""
+        from repro.core.ppr import PARALLEL_MIN_TASKS
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        normalized = random_normalized_graph(100, 4, 7)
+        assert normalized.shape[0] < PARALLEL_MIN_TASKS
+        basis = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6,
+            method="parallel-push", num_workers=4, recorder=registry,
+        )
+        serial = PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6, method="push"
+        )
+        assert np.array_equal(basis.matrix.data, serial.matrix.data)
+        snapshot = registry.snapshot()
+        assert snapshot.get("repro_ppr_parallel_fallback_total") == 1.0
+
+    def test_force_parallel_skips_fallback_counter(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        normalized = random_normalized_graph(64, 4, 7)
+        PPRBasis.compute(
+            normalized, damping=0.5, epsilon=1e-6,
+            method="parallel-push", num_workers=2, force_parallel=True,
+            recorder=registry,
+        )
+        snapshot = registry.snapshot()
+        assert "repro_ppr_parallel_fallback_total" not in snapshot
 
     def test_parallel_one_worker_falls_back_to_serial(self, paper_graph):
         basis = PPRBasis.compute(

@@ -1,0 +1,285 @@
+"""Shard correctness: partition determinism, index maps, and the
+bit-identity of the sharded offline basis against the serial path.
+
+The sharded basis never pushes on a shard submatrix — shards only pick
+which sources a process solves and how results are blocked — so its
+values must equal the serial ``"push"`` output *bit for bit*, not just
+within tolerance.  The identity assertions here reuse the exact-array
+check pattern of ``tests/core/test_basis_cache.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EstimatorConfig
+from repro.core.estimator import AccuracyEstimator
+from repro.core.graph import SimilarityGraph
+from repro.core.indexes import ShardIndex
+from repro.core.ppr import PPRBasis, ShardedBasis
+from repro.obs.metrics import MetricsRegistry
+
+
+def multi_component_graph() -> SimilarityGraph:
+    """Deterministic fixture: one 12-node ring (to be split), a
+    4-clique, a 3-path and two isolated-pair components."""
+    edges = []
+    ring = list(range(12))
+    edges += [
+        (ring[i], ring[(i + 1) % 12], 0.9) for i in range(12)
+    ]
+    clique = [12, 13, 14, 15]
+    edges += [
+        (a, b, 0.8)
+        for i, a in enumerate(clique)
+        for b in clique[i + 1 :]
+    ]
+    edges += [(16, 17, 0.7), (17, 18, 0.7)]  # 3-path
+    edges += [(19, 20, 0.6), (21, 22, 0.6)]  # two pairs
+    return SimilarityGraph.from_edges(23, edges)
+
+
+class TestShardIndex:
+    def test_maps_are_consistent(self):
+        index = ShardIndex([[3, 1], [0, 2, 4]], num_tasks=5)
+        assert index.num_shards == 2
+        assert index.shard_sizes() == [2, 3]
+        for task in range(5):
+            shard, local = index.locate(task)
+            assert index.shard_tasks(shard)[local] == task
+        # members are sorted regardless of input order
+        assert index.shard_tasks(0).tolist() == [1, 3]
+        assert index.shard_tasks(1).tolist() == [0, 2, 4]
+
+    def test_group_orders_shards_ascending(self):
+        index = ShardIndex([[3, 1], [0, 2, 4]], num_tasks=5)
+        grouped = index.group([4, 3, 0, 1])
+        assert list(grouped) == [0, 1]
+        assert grouped[0] == [3, 1]
+        assert grouped[1] == [4, 0]
+
+    def test_rejects_bad_partitions(self):
+        with pytest.raises(ValueError, match="empty"):
+            ShardIndex([[0, 1], []], num_tasks=2)
+        with pytest.raises(ValueError, match="out-of-range"):
+            ShardIndex([[0, 5]], num_tasks=2)
+        with pytest.raises(ValueError, match="repeats"):
+            ShardIndex([[0, 0, 1]], num_tasks=2)
+        with pytest.raises(ValueError, match="more than one shard"):
+            ShardIndex([[0, 1], [1]], num_tasks=2)
+        with pytest.raises(ValueError, match="no shard"):
+            ShardIndex([[0]], num_tasks=2)
+
+
+class TestPartition:
+    def test_components_become_shards(self):
+        graph = multi_component_graph()
+        sharded = graph.partition()
+        components = graph.connected_components()
+        assert sharded.num_shards == len(components)
+        assert sharded.cut_edges == 0
+        assert sharded.split_components == 0
+        shard_sets = {
+            frozenset(sharded.index.shard_tasks(s).tolist())
+            for s in range(sharded.num_shards)
+        }
+        assert shard_sets == {frozenset(c) for c in components}
+
+    def test_oversized_component_is_split(self):
+        graph = multi_component_graph()
+        sharded = graph.partition(max_shard_tasks=6)
+        assert sharded.split_components == 1  # only the 12-ring
+        assert max(sharded.index.shard_sizes()) <= 6
+        assert sharded.cut_edges > 0
+        # split chunks follow the BFS order, so the ring splits into
+        # two contiguous arcs — exactly 2 cut edges
+        assert sharded.cut_edges == 2
+
+    def test_small_components_are_packed(self):
+        graph = multi_component_graph()
+        sharded = graph.partition(max_shard_tasks=8)
+        # packing small components never cuts an edge
+        assert sharded.cut_edges == 2  # from splitting the ring only
+        sizes = sharded.index.shard_sizes()
+        assert sum(sizes) == graph.num_tasks
+        assert max(sizes) <= 8
+        # the 4-clique, 3-path and one pair fit in one packed shard
+        assert sharded.num_shards < len(graph.connected_components()) + 1
+
+    def test_partition_is_deterministic(self):
+        """RL003: equal graphs produce equal partitions, every time."""
+        snapshots = []
+        for _ in range(3):
+            sharded = multi_component_graph().partition(max_shard_tasks=6)
+            snapshots.append(
+                [
+                    sharded.index.shard_tasks(s).tolist()
+                    for s in range(sharded.num_shards)
+                ]
+            )
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="max_shard_tasks"):
+            multi_component_graph().partition(max_shard_tasks=0)
+
+
+class TestShardedBasisIdentity:
+    def test_serial_sharded_bit_identical(self):
+        graph = multi_component_graph()
+        index = graph.partition(max_shard_tasks=6).index
+        serial = PPRBasis.compute(
+            graph.normalized, damping=0.5, epsilon=1e-8, method="push"
+        )
+        sharded = ShardedBasis.compute(
+            graph.normalized, index, damping=0.5, epsilon=1e-8
+        )
+        merged = sharded.to_global()
+        assert np.array_equal(serial.matrix.indptr, merged.indptr)
+        assert np.array_equal(serial.matrix.indices, merged.indices)
+        assert np.array_equal(serial.matrix.data, merged.data)
+
+    def test_pool_sharded_bit_identical(self):
+        graph = multi_component_graph()
+        index = graph.partition(max_shard_tasks=6).index
+        serial = PPRBasis.compute(
+            graph.normalized, damping=0.5, epsilon=1e-8, method="push"
+        )
+        pooled = ShardedBasis.compute(
+            graph.normalized, index, damping=0.5, epsilon=1e-8,
+            num_workers=2, force_parallel=True,
+        )
+        merged = pooled.to_global()
+        assert np.array_equal(serial.matrix.indptr, merged.indptr)
+        assert np.array_equal(serial.matrix.indices, merged.indices)
+        assert np.array_equal(serial.matrix.data, merged.data)
+
+    def test_row_and_combine_match_unsharded(self):
+        graph = multi_component_graph()
+        index = graph.partition(max_shard_tasks=6).index
+        serial = PPRBasis.compute(
+            graph.normalized, damping=0.5, epsilon=1e-8, method="push"
+        )
+        sharded = ShardedBasis.compute(
+            graph.normalized, index, damping=0.5, epsilon=1e-8
+        )
+        for task in (0, 7, 15, 22):
+            assert np.array_equal(serial.row(task), sharded.row(task))
+        observed = {2: 0.9, 14: 0.4, 19: 0.7}
+        assert np.array_equal(
+            serial.combine(observed), sharded.combine(observed)
+        )
+        dense = np.zeros(graph.num_tasks)
+        dense[[2, 14, 19]] = (0.9, 0.4, 0.7)
+        assert np.allclose(
+            serial.combine(dense), sharded.combine(dense)
+        )
+
+    def test_from_global_roundtrip(self):
+        graph = multi_component_graph()
+        index = graph.partition(max_shard_tasks=6).index
+        serial = PPRBasis.compute(
+            graph.normalized, damping=0.5, epsilon=1e-8, method="push"
+        )
+        reblocked = ShardedBasis.from_global(serial, index)
+        assert np.array_equal(
+            reblocked.to_global().data, serial.matrix.data
+        )
+        assert reblocked.nnz == serial.nnz
+
+    def test_small_input_fallback_is_observable(self):
+        graph = multi_component_graph()
+        index = graph.partition().index
+        registry = MetricsRegistry()
+        ShardedBasis.compute(
+            graph.normalized, index, damping=0.5, epsilon=1e-8,
+            num_workers=4, recorder=registry,
+        )
+        snapshot = registry.snapshot()
+        assert snapshot.get("repro_ppr_parallel_fallback_total") == 1.0
+
+
+class TestShardedRoundCache:
+    def test_rerequest_refreshes_only_owner_shard(self):
+        """A mid-round re-request recomputes the held task's shard and
+        re-merges; the other shards' local schemes are reused."""
+        from repro.core.assigner import AdaptiveAssigner, TaskState
+
+        registry = MetricsRegistry()
+        index = ShardIndex([[0, 1], [2, 3]], num_tasks=4)
+        accuracies = {
+            "a0": np.array([0.9, 0.8, 0.0, 0.0]),
+            "a1": np.array([0.7, 0.6, 0.0, 0.0]),
+            "b0": np.array([0.0, 0.0, 0.9, 0.8]),
+            "b1": np.array([0.0, 0.0, 0.7, 0.6]),
+        }
+        workers = sorted(accuracies)
+        shard_pools = {0: {"a0", "a1"}, 1: {"b0", "b1"}}
+        states = [
+            TaskState(
+                task_id=t,
+                k=1,
+                tested_workers=set().union(
+                    *(
+                        pool
+                        for shard, pool in shard_pools.items()
+                        if shard != index.shard_of(t)
+                    )
+                ),
+            )
+            for t in range(4)
+        ]
+        assigner = AdaptiveAssigner(shard_index=index, recorder=registry)
+        first = assigner.assign_for_worker(
+            "a0", states, workers, accuracies, epoch=5
+        )
+        assert first is not None and first.task_id == 0
+        # the platform issues the slot: worker now holds task 0
+        states[0].assigned_workers.add("a0")
+        second = assigner.assign_for_worker(
+            "a0", states, workers, accuracies, epoch=5
+        )
+        assert second is not None and second.task_id == 1
+        snapshot = registry.snapshot()
+        # one full build, then one refresh touching a single shard
+        assert snapshot["repro_assigner_scheme_builds_total"] == 1.0
+        assert snapshot["repro_assigner_shard_refreshes_total"] == 1.0
+        # 2 shards on the full build + 1 recomputed on refresh
+        assert snapshot["repro_assigner_shard_scheme_builds_total"] == 3.0
+
+
+class TestEstimatorSharding:
+    def test_shard_size_routes_through_sharded_basis(self):
+        graph = multi_component_graph()
+        plain = AccuracyEstimator(graph, EstimatorConfig())
+        sharded = AccuracyEstimator(
+            graph, EstimatorConfig(shard_size=6), basis_method="push"
+        )
+        assert plain.shard_index is None
+        assert sharded.shard_index is not None
+        assert isinstance(sharded.basis, ShardedBasis)
+        observed = {0: 0.8, 13: 0.6}
+        assert np.allclose(
+            plain.estimate(observed), sharded.estimate(observed)
+        )
+        assert plain.influence_support(14) == sharded.influence_support(
+            14
+        )
+
+    def test_cache_interop_between_sharded_and_unsharded(self, tmp_path):
+        """A sharded run consumes an unsharded run's cache entry and
+        vice versa — the on-disk format is the whole-graph matrix."""
+        graph = multi_component_graph()
+        plain_config = EstimatorConfig(basis_cache_dir=str(tmp_path))
+        shard_config = EstimatorConfig(
+            basis_cache_dir=str(tmp_path), shard_size=6
+        )
+        cold = AccuracyEstimator(graph, plain_config, basis_method="push")
+        cold.precompute()
+        assert not cold.basis_from_cache
+        warm = AccuracyEstimator(graph, shard_config)
+        warm.precompute()
+        assert warm.basis_from_cache
+        assert isinstance(warm.basis, ShardedBasis)
+        assert np.array_equal(
+            warm.basis.matrix.data, cold.basis.matrix.data
+        )

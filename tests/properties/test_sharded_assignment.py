@@ -1,0 +1,120 @@
+"""Per-shard greedy + cross-shard merge vs whole-graph greedy.
+
+The merge pass only arbitrates workers claimed across shards, so on
+*shard-disjoint* inputs — every worker eligible in exactly one shard —
+the sharded pipeline must reproduce the whole-graph greedy scheme
+exactly.  (On overlapping inputs the two may differ: greedy is an
+approximation and locality changes its tie landscape; the paper-level
+guarantee only covers the disjoint case, which component sharding
+produces by construction.)
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assigner import (
+    AdaptiveAssigner,
+    TaskState,
+    compute_top_worker_sets_fast,
+    greedy_assign,
+    group_states_by_shard,
+    merge_shard_schemes,
+    scheme_value,
+)
+from repro.core.indexes import ShardIndex
+
+
+@st.composite
+def shard_disjoint_instance(draw):
+    """Random tasks + workers where each worker only serves one shard.
+
+    Shards partition the task range contiguously; each shard gets its
+    own worker pool, and every task marks all other shards' workers as
+    ``tested`` so they are ineligible — worker-disjointness enforced
+    through the same eligibility masking the assigner itself uses.
+    """
+    num_shards = draw(st.integers(2, 4))
+    shard_sizes = [draw(st.integers(1, 5)) for _ in range(num_shards)]
+    num_tasks = sum(shard_sizes)
+    shards = []
+    start = 0
+    for size in shard_sizes:
+        shards.append(list(range(start, start + size)))
+        start += size
+    index = ShardIndex(shards, num_tasks)
+
+    workers: list[str] = []
+    workers_of_shard: list[list[str]] = []
+    for shard_id in range(num_shards):
+        pool = [
+            f"s{shard_id}w{i}"
+            for i in range(draw(st.integers(1, 4)))
+        ]
+        workers_of_shard.append(pool)
+        workers.extend(pool)
+
+    accuracies = {
+        w: np.array(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=1.0),
+                    min_size=num_tasks,
+                    max_size=num_tasks,
+                )
+            )
+        )
+        for w in workers
+    }
+    k = draw(st.integers(1, 3))
+    states = []
+    for task_id in range(num_tasks):
+        shard_id = index.shard_of(task_id)
+        foreign = {
+            w
+            for other, pool in enumerate(workers_of_shard)
+            if other != shard_id
+            for w in pool
+        }
+        states.append(
+            TaskState(task_id=task_id, k=k, tested_workers=foreign)
+        )
+    return index, states, workers, accuracies
+
+
+class TestShardDisjointEquality:
+    @given(instance=shard_disjoint_instance())
+    @settings(max_examples=50, deadline=None)
+    def test_merged_equals_whole_graph(self, instance):
+        index, states, workers, accuracies = instance
+        whole = greedy_assign(
+            compute_top_worker_sets_fast(states, workers, accuracies)
+        )
+        shard_schemes = {
+            shard_id: greedy_assign(
+                compute_top_worker_sets_fast(
+                    members, workers, accuracies
+                )
+            )
+            for shard_id, members in group_states_by_shard(
+                states, index
+            ).items()
+        }
+        merged = merge_shard_schemes(shard_schemes)
+        assert {(c.task_id, c.worker_ids) for c in merged} == {
+            (c.task_id, c.worker_ids) for c in whole
+        }
+        # repro-lint: disable=RL004 -- same float objects on both sides
+        assert scheme_value(merged) == scheme_value(whole)
+
+    @given(instance=shard_disjoint_instance())
+    @settings(max_examples=25, deadline=None)
+    def test_assigner_with_shard_index_matches(self, instance):
+        index, states, workers, accuracies = instance
+        plain = AdaptiveAssigner().assign(states, workers, accuracies)
+        sharded = AdaptiveAssigner(shard_index=index).assign(
+            states, workers, accuracies
+        )
+        assert sorted(
+            (a.task_id, a.worker_id) for a in plain
+        ) == sorted((a.task_id, a.worker_id) for a in sharded)
