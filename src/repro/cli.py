@@ -145,6 +145,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: max(256, basis_tasks // (workers * 2)))",
     )
     perf.add_argument(
+        "--incremental", dest="incremental", action="store_true",
+        default=True,
+        help="measure insertion-round basis repair vs full rebuild "
+        "(default: on)",
+    )
+    perf.add_argument(
+        "--no-incremental", dest="incremental", action="store_false",
+        help="skip the incremental section",
+    )
+    perf.add_argument(
+        "--stream-tasks", type=int, default=5_000,
+        help="initial graph size for the incremental section",
+    )
+    perf.add_argument(
+        "--stream-batch", type=int, default=100,
+        help="tasks inserted per incremental round",
+    )
+    perf.add_argument(
+        "--stream-rounds", type=int, default=3,
+        help="insertion rounds in the incremental section",
+    )
+    perf.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write machine-readable results to PATH",
     )
@@ -257,6 +279,10 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             sharded=args.sharded,
             shard_size=args.shard_size,
+            incremental=args.incremental,
+            stream_tasks=args.stream_tasks,
+            stream_batch=args.stream_batch,
+            stream_rounds=args.stream_rounds,
         )
         print(result.format_table())
         if args.json:

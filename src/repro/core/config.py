@@ -48,6 +48,13 @@ class EstimatorConfig:
     #: ones packed) and stores the basis as per-shard row blocks, with
     #: assignment running per-shard greedy + cross-shard merge.
     shard_size: int = 0
+    #: Route graph updates through incremental basis repair
+    #: (:meth:`repro.core.ppr.PPRBasis.repair`): when the estimator's
+    #: graph is swapped via ``update_graph`` and a basis already
+    #: exists, only the rows the change perturbs are re-pushed — the
+    #: repaired basis stays within ``basis_epsilon`` of a cold rebuild.
+    #: False (default) recomputes from scratch on every graph change.
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if self.alpha < 0:

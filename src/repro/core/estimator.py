@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import os
 import pathlib
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -201,6 +201,92 @@ class AccuracyEstimator:
     def precompute(self) -> None:
         """Force the offline basis computation (Algorithm 1 lines 2-4)."""
         _ = self.basis
+
+    def update_graph(
+        self,
+        graph: SimilarityGraph,
+        dirty: "Sequence[TaskId]" = (),
+    ) -> None:
+        """Swap in a grown graph, maintaining the basis incrementally.
+
+        ``graph`` must contain the old task set as a prefix (task ids
+        are stable; the stream only appends).  ``dirty`` names every
+        old task whose row of ``S'`` changed — pass
+        ``GrowableGraph.delta().dirty_rows`` — new tasks are implied
+        by the size difference and need not be listed.
+
+        With ``config.incremental`` set and a basis already
+        materialised, the basis is repaired in place of a recompute
+        (:meth:`repro.core.ppr.PPRBasis.repair`): only perturbed and
+        new rows are re-pushed, and the result — within
+        ``basis_epsilon`` of a cold rebuild — is re-keyed into the
+        on-disk cache under the new graph's content hash.  When
+        sharding is configured, the partition is recomputed on the new
+        graph and a change confined to one shard repairs only that
+        shard (clean blocks with unchanged membership are reused
+        zero-copy).  Without ``incremental`` (or before any basis
+        exists), the basis is simply dropped and the next access
+        recomputes cold.
+        """
+        old_graph = self.graph
+        self.graph = graph
+        self._mass_cache.clear()
+        self._shard_index = None
+        if not (self.config.incremental and self._basis is not None):
+            self._basis = None
+            self.basis_from_cache = False
+            return
+        if graph.num_tasks < old_graph.num_tasks:
+            raise ValueError(
+                "update_graph cannot shrink the task set "
+                f"({old_graph.num_tasks} -> {graph.num_tasks})"
+            )
+        basis = self._basis
+        index = self.shard_index
+        repaired: PPRBasis | ShardedBasis
+        with self.recorder.span(
+            "estimator.repair", tasks=graph.num_tasks
+        ):
+            if isinstance(basis, ShardedBasis):
+                if index is not None:
+                    repaired = basis.repair(
+                        graph.normalized,
+                        dirty,
+                        index,
+                        damping=self.config.damping,
+                        epsilon=self.config.basis_epsilon,
+                        recorder=self.recorder,
+                    )
+                else:
+                    # sharding switched off since the basis was built
+                    repaired = PPRBasis(basis.to_global()).repair(
+                        graph.normalized,
+                        dirty,
+                        damping=self.config.damping,
+                        epsilon=self.config.basis_epsilon,
+                        recorder=self.recorder,
+                    )
+            else:
+                repaired = basis.repair(
+                    graph.normalized,
+                    dirty,
+                    damping=self.config.damping,
+                    epsilon=self.config.basis_epsilon,
+                    recorder=self.recorder,
+                )
+                if index is not None:
+                    repaired = ShardedBasis.from_global(repaired, index)
+        self._basis = repaired
+        self.basis_from_cache = False
+        if self._cache_dir is not None:
+            from repro.core.persistence import basis_cache_key, save_basis
+
+            key = basis_cache_key(
+                graph.normalized,
+                self.config.damping,
+                self.config.basis_epsilon,
+            )
+            save_basis(repaired, self._cache_dir, key)
 
     # ------------------------------------------------------------------
     # online phase

@@ -210,6 +210,14 @@ class SparseEstimateIndex:
         """Current estimate for a task (prior when unobserved)."""
         return self._values.get(task_id, self.prior)
 
+    def observed(self, task_id: TaskId) -> bool:
+        """True when the task has an explicit estimate entry (i.e. is
+        inside the support rather than implicitly at ``prior``)."""
+        return task_id in self._values
+
+    def __contains__(self, task_id: TaskId) -> bool:
+        return self.observed(task_id)
+
     @property
     def support_size(self) -> int:
         return len(self._values)
@@ -229,6 +237,19 @@ class SparseEstimateIndex:
                 continue  # superseded by an update
             return task_id
         return None
+
+    def restore(self, task_id: TaskId) -> None:
+        """Re-push a task consumed by :meth:`pop_best` but not served.
+
+        An assigner that pops the best entry and then decides to serve
+        something else (e.g. a frontier candidate) must put the entry
+        back, or the task could never again be reached by estimate
+        order.  No-op for tasks outside the support; duplicate pushes
+        are harmless under lazy deletion.
+        """
+        value = self._values.get(task_id)
+        if value is not None:
+            heapq.heappush(self._heap, (-value, task_id))
 
 
 class ScalableAssigner:
@@ -328,7 +349,7 @@ class ScalableAssigner:
             blended = weight * evidence + (1.0 - weight) * self.prior
             prev = index.value(neighbor)
             # average with any existing evidence (cheap online merge)
-            if neighbor in index._values:
+            if index.observed(neighbor):
                 blended = 0.5 * (prev + blended)
             updates[neighbor] = min(max(blended, 0.0), 1.0)
         index.update(updates)
@@ -379,6 +400,11 @@ class ScalableAssigner:
             candidate = self._frontier.pop()
             if candidate in self._completed or candidate in seen:
                 continue
+            if best is not None:
+                # serving a frontier candidate instead: re-push the
+                # heap entry pop_best consumed, or the task could
+                # never again be served by estimate order
+                index.restore(best)
             seen.add(candidate)
             return candidate
         if best is not None:

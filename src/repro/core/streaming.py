@@ -16,11 +16,20 @@ efficiency."  That protocol needs a graph that *grows*:
 Per-request work stays neighbourhood-bounded, so assignment time is
 flat across insertion rounds — the Figure 10 shape under the paper's
 actual protocol.
+
+The graph additionally keeps a **change journal** (:class:`GraphDelta`)
+recording which normalised rows moved since the last freeze: inserting
+edge ``{i, j}`` rescales rows ``i``/``j`` wholesale (their degrees
+changed) *and* the ``(·, i)`` / ``(·, j)`` entries of every neighbour
+row, so the dirty set of one edge is ``{i, j} ∪ N(i) ∪ N(j)``.  That
+set is exactly what :meth:`repro.core.ppr.PPRBasis.repair` needs to
+repair a frozen basis incrementally instead of recomputing it.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.indexes import SparseEstimateIndex
@@ -28,6 +37,34 @@ from repro.core.types import TaskId, WorkerId
 
 if TYPE_CHECKING:
     from scipy import sparse
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """What changed in a :class:`GrowableGraph` since its last freeze.
+
+    ``base_tasks`` is the task count at the last :meth:`mark_clean`
+    (or construction); every id in ``[base_tasks, num_tasks)`` is a new
+    task.  ``dirty_rows`` lists every task whose row of ``S'`` changed
+    — edge endpoints plus their neighbourhoods (degree renormalisation
+    reaches one hop) — including new tasks that received edges.  Feed
+    ``dirty_rows`` straight into ``PPRBasis.repair`` /
+    ``AccuracyEstimator.update_graph``.
+    """
+
+    base_tasks: int
+    num_tasks: int
+    dirty_rows: tuple[TaskId, ...] = field(default_factory=tuple)
+
+    @property
+    def new_tasks(self) -> range:
+        """Ids appended since the last freeze."""
+        return range(self.base_tasks, self.num_tasks)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when nothing changed since the last freeze."""
+        return not self.dirty_rows and self.base_tasks == self.num_tasks
 
 
 class GrowableGraph:
@@ -41,6 +78,9 @@ class GrowableGraph:
     def __init__(self) -> None:
         self._adjacency: list[dict[TaskId, float]] = []
         self._degree: list[float] = []
+        # change journal: rows of S' perturbed since the last freeze
+        self._dirty: set[TaskId] = set()
+        self._clean_tasks: int = 0
 
     @property
     def num_tasks(self) -> int:
@@ -52,9 +92,13 @@ class GrowableGraph:
         return sum(len(adj) for adj in self._adjacency) // 2
 
     def add_tasks(self, count: int) -> range:
-        """Append ``count`` isolated tasks; returns their id range."""
-        if count <= 0:
-            raise ValueError(f"count must be positive, got {count}")
+        """Append ``count`` isolated tasks; returns their id range.
+
+        ``count == 0`` is a valid (empty) batch — edge-only insertion
+        rounds between existing tasks pass zero here.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
         start = self.num_tasks
         for _ in range(count):
             self._adjacency.append({})
@@ -71,10 +115,38 @@ class GrowableGraph:
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
         previous = self._adjacency[i].get(j, 0.0)
+        # repro-lint: disable=RL004 -- exact no-op rewrite leaves S' untouched
+        if weight == previous:
+            return
         self._adjacency[i][j] = weight
         self._adjacency[j][i] = weight
         self._degree[i] += weight - previous
         self._degree[j] += weight - previous
+        # d_i/d_j changed: rows i and j rescale wholesale, and the
+        # (·, i)/(·, j) entries of every neighbour row move with them
+        self._dirty.add(i)
+        self._dirty.add(j)
+        self._dirty.update(self._adjacency[i])
+        self._dirty.update(self._adjacency[j])
+
+    def delta(self) -> GraphDelta:
+        """Snapshot of the change journal (non-destructive)."""
+        return GraphDelta(
+            base_tasks=self._clean_tasks,
+            num_tasks=self.num_tasks,
+            dirty_rows=tuple(sorted(self._dirty)),
+        )
+
+    def mark_clean(self) -> GraphDelta:
+        """Return the pending delta and reset the journal.
+
+        Call after feeding the delta into basis repair (or after a cold
+        rebuild): subsequent deltas are relative to this point.
+        """
+        pending = self.delta()
+        self._dirty.clear()
+        self._clean_tasks = self.num_tasks
+        return pending
 
     def neighbors(self, task_id: TaskId) -> dict[TaskId, float]:
         """Adjacency dict of a task (live view; do not mutate)."""
@@ -125,6 +197,31 @@ class GrowableGraph:
             for offset, (j, weight) in enumerate(sorted(adj.items())):
                 indices[start + offset] = j
                 data[start + offset] = weight * inv_sqrt[i] * inv_sqrt[j]
+        return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+
+    def similarity_csr(self) -> "sparse.csr_matrix":
+        """Freeze the raw (unnormalised) similarity matrix ``S``.
+
+        Feed this into :class:`repro.core.graph.SimilarityGraph` when
+        handing a settled snapshot to the batch estimator — it applies
+        its own normalisation and validation.
+        """
+        import numpy as np
+        from scipy import sparse
+
+        n = self.num_tasks
+        counts = np.fromiter(
+            (len(adj) for adj in self._adjacency), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(indptr[-1], dtype=np.int64)
+        data = np.empty(indptr[-1], dtype=np.float64)
+        for i, adj in enumerate(self._adjacency):
+            start = indptr[i]
+            for offset, (j, weight) in enumerate(sorted(adj.items())):
+                indices[start + offset] = j
+                data[start + offset] = weight
         return sparse.csr_matrix((data, indices, indptr), shape=(n, n))
 
 
@@ -207,7 +304,7 @@ class StreamingAssigner:
             weight = min(mass, 1.0)
             blended = weight * observed + (1.0 - weight) * self.prior
             previous = index.value(neighbor)
-            if neighbor in index._values:
+            if index.observed(neighbor):
                 blended = 0.5 * (previous + blended)
             updates[neighbor] = min(max(blended, 0.0), 1.0)
         index.update(updates)
@@ -227,6 +324,11 @@ class StreamingAssigner:
             candidate = self._frontier.pop()
             if candidate in self._completed or candidate in seen:
                 continue
+            if best is not None and index is not None:
+                # serving a frontier candidate instead: re-push the
+                # heap entry pop_best consumed, or the task could never
+                # again be served by estimate order
+                index.restore(best)
             seen.add(candidate)
             return candidate
         if best is not None:

@@ -30,6 +30,28 @@ class TestSparseEstimateIndex:
         index.update({1: 0.9})
         assert index.pop_best({1}) is None
 
+    def test_observed_and_contains(self):
+        index = SparseEstimateIndex(prior=0.5)
+        assert not index.observed(1)
+        assert 1 not in index
+        index.update({1: 0.5})  # explicit entry, even at prior value
+        assert index.observed(1)
+        assert 1 in index
+        assert not index.observed(2)
+
+    def test_restore_repushes_popped_entry(self):
+        index = SparseEstimateIndex()
+        index.update({1: 0.4})
+        assert index.pop_best(set()) == 1
+        assert index.pop_best(set()) is None  # consumed
+        index.restore(1)
+        assert index.pop_best(set()) == 1
+
+    def test_restore_outside_support_is_noop(self):
+        index = SparseEstimateIndex()
+        index.restore(9)
+        assert index.pop_best(set()) is None
+
 
 class TestScalableAssigner:
     def make_assigner(self, n=200, m=8, k=2, seed=0):
@@ -105,6 +127,22 @@ class TestScalableAssigner:
         ) / max(len(large._basis_cache), 1)
         # pushed supports are neighbourhood-sized in both cases
         assert large_support < 10 * small_support + 50
+
+    def test_request_survives_frontier_fallthrough(self):
+        """Regression: serving a frontier candidate after ``pop_best``
+        popped a below-prior task used to consume that heap entry —
+        the task then could never be served by estimate order."""
+        from scipy import sparse
+
+        normalized = sparse.csr_matrix((2, 2), dtype=np.float64)
+        assigner = ScalableAssigner(normalized, damping=0.5, k=5)
+        # drain task 0 from the shared frontier via another worker
+        assert assigner.request("v") == 0
+        assigner.observe("w", 0, 0.2)  # below-prior evidence
+        # pop_best pops 0 (<= prior); frontier serves 1 instead
+        assert assigner.request("w") == 1
+        # the popped entry must be restored: 0 is still reachable
+        assert assigner.request("w") == 0
 
     def test_validation(self):
         normalized = _random_normalized_graph(10, 3, seed=0)

@@ -61,13 +61,70 @@ class TestGrowableGraph:
         graph = GrowableGraph()
         graph.add_tasks(2)
         with pytest.raises(ValueError):
-            graph.add_tasks(0)
+            graph.add_tasks(-1)
         with pytest.raises(ValueError):
             graph.add_edge(0, 5, 1.0)
         with pytest.raises(ValueError):
             graph.add_edge(0, 0, 1.0)
         with pytest.raises(ValueError):
             graph.add_edge(0, 1, 0.0)
+
+    def test_zero_count_batch_is_valid(self):
+        """Regression: edge-only insertion rounds pass count == 0."""
+        graph = GrowableGraph()
+        graph.add_tasks(2)
+        empty = graph.add_tasks(0)
+        assert list(empty) == []
+        assert graph.num_tasks == 2
+
+    def test_change_journal_tracks_dirty_neighborhoods(self):
+        graph = GrowableGraph()
+        graph.add_tasks(4)
+        graph.add_edge(0, 1, 1.0)
+        graph.mark_clean()
+        assert graph.delta().is_clean
+        # 1's degree changes, so row 0 (holding entry (0,1)) is dirty too
+        graph.add_edge(1, 2, 1.0)
+        delta = graph.delta()
+        assert delta.dirty_rows == (0, 1, 2)
+        assert list(delta.new_tasks) == []
+        # non-destructive: delta() again gives the same answer
+        assert graph.delta().dirty_rows == (0, 1, 2)
+        flushed = graph.mark_clean()
+        assert flushed.dirty_rows == (0, 1, 2)
+        assert graph.delta().is_clean
+
+    def test_journal_skips_noop_edge_rewrite(self):
+        graph = GrowableGraph()
+        graph.add_tasks(2)
+        graph.add_edge(0, 1, 0.5)
+        graph.mark_clean()
+        graph.add_edge(0, 1, 0.5)  # identical weight: S' untouched
+        assert graph.delta().is_clean
+        graph.add_edge(0, 1, 0.75)  # real change
+        assert graph.delta().dirty_rows == (0, 1)
+
+    def test_journal_records_new_tasks(self):
+        graph = GrowableGraph()
+        graph.add_tasks(2)
+        graph.mark_clean()
+        graph.add_tasks(3)
+        delta = graph.delta()
+        assert delta.base_tasks == 2
+        assert list(delta.new_tasks) == [2, 3, 4]
+        assert not delta.is_clean
+
+    def test_similarity_csr_roundtrips_raw_weights(self):
+        graph = GrowableGraph()
+        graph.add_tasks(3)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(1, 2, 0.8)
+        sim = graph.similarity_csr()
+        assert sim.shape == (3, 3)
+        assert sim[0, 1] == pytest.approx(0.5)
+        assert sim[1, 0] == pytest.approx(0.5)
+        assert sim[1, 2] == pytest.approx(0.8)
+        assert sim.nnz == 4
 
 
 def build_assigner(num_tasks=30, k=2, seed=0):
@@ -153,3 +210,61 @@ class TestStreamingAssigner:
             StreamingAssigner(graph, damping=1.5)
         with pytest.raises(ValueError):
             StreamingAssigner(graph, damping=0.5, k=0)
+
+    def test_insert_zero_tasks_with_edges(self):
+        """Regression: an edge-only batch between existing tasks used to
+        raise ValueError out of ``GrowableGraph.add_tasks(0)``."""
+        assigner = build_assigner(num_tasks=5, k=1)
+        new_ids = assigner.insert_tasks(0, edges=[(0, 4, 0.9)])
+        assert list(new_ids) == []
+        assert assigner.graph.neighbors(0)[4] == pytest.approx(0.9)
+
+    def test_request_survives_frontier_fallthrough(self):
+        """Regression: when ``pop_best`` popped a below-prior task and a
+        frontier candidate was served instead, the popped heap entry was
+        silently consumed — the task could never again be served by
+        estimate order."""
+        graph = GrowableGraph()
+        graph.add_tasks(1)  # task 0, isolated
+        assigner = StreamingAssigner(graph, damping=0.5, k=5)
+        # another worker drains the frontier so 0 is out of it but not
+        # in w's seen set
+        assert assigner.request("v") == 0
+        # below-prior evidence for w on task 0
+        assigner.observe("w", 0, 0.2)
+        assigner.insert_tasks(1)
+        # pop_best pops 0 (<= prior), the new task is served instead
+        assert assigner.request("w") == 1
+        # the heap entry must have been restored: 0 is still reachable
+        assert assigner.request("w") == 0
+
+    def test_streaming_matches_scalable_on_frozen_graph(self):
+        """Differential: on a frozen graph, the streaming assigner and
+        ``ScalableAssigner`` (one-hop mode) serve identical sequences —
+        their observe/request logic is the same math."""
+        from repro.core.indexes import ScalableAssigner
+
+        rng = spawn_rng(7, "streaming-differential")
+        graph = GrowableGraph()
+        graph.add_tasks(12)
+        for i in range(12):
+            for _ in range(2):
+                j = int(rng.integers(0, 12))
+                if j != i:
+                    graph.add_edge(i, j, float(rng.uniform(0.5, 1.0)))
+        streaming = StreamingAssigner(graph, damping=0.5, k=2)
+        scalable = ScalableAssigner(
+            graph.normalized_csr(), damping=0.5, k=2,
+            neighborhood_only=True,
+        )
+        for step in range(60):
+            worker = f"w{step % 3}"
+            expected = scalable.request(worker)
+            actual = streaming.request(worker)
+            assert actual == expected
+            if expected is None:
+                continue
+            observed = float(rng.uniform(0.0, 1.0))
+            scalable.answer(worker, expected, observed)
+            streaming.answer(worker, expected, observed)
+        assert streaming.num_completed == scalable.num_completed

@@ -1,0 +1,112 @@
+"""Property-based tests for incremental basis repair (hypothesis).
+
+Across random insertion sequences — arbitrary interleavings of task
+batches (including empty ones), fresh edges and weight rewrites — a
+basis maintained by :meth:`PPRBasis.repair` from the graph's change
+journal must stay within the push tolerance of a cold rebuild.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ppr import PPRBasis, basis_push_epsilon
+from repro.core.streaming import GrowableGraph
+
+DAMPING = 0.5
+#: Storage truncation off: comparisons then see the raw push output and
+#: the tolerance below is a pure function of the push invariant, not of
+#: which entries straddled the truncation threshold.
+EPSILON = 0.0
+
+
+@st.composite
+def insertion_rounds(draw):
+    """An initial graph plus 1-3 rounds of mixed insertions."""
+    script = []
+    initial = draw(st.integers(2, 8))
+    total = initial
+    num_rounds = draw(st.integers(1, 3))
+    for _ in range(num_rounds):
+        ops = []
+        count = draw(st.integers(0, 4))
+        ops.append(("tasks", count))
+        grown = total + count
+        for _ in range(draw(st.integers(0, 6))):
+            i = draw(st.integers(0, grown - 1))
+            j = draw(st.integers(0, grown - 1))
+            if i != j:
+                weight = draw(
+                    st.floats(min_value=0.1, max_value=1.0)
+                )
+                ops.append(("edge", (i, j, weight)))
+        script.append(ops)
+        total = grown
+    return initial, script
+
+
+def seed_graph(initial, seed_edges=True):
+    graph = GrowableGraph()
+    graph.add_tasks(initial)
+    if seed_edges and initial >= 2:
+        # a deterministic chain so the initial basis is non-trivial
+        for i in range(initial - 1):
+            graph.add_edge(i, i + 1, 0.5 + 0.1 * (i % 3))
+    return graph
+
+
+def apply_round(graph, ops):
+    for kind, arg in ops:
+        if kind == "tasks":
+            graph.add_tasks(arg)
+        else:
+            graph.add_edge(*arg)
+
+
+class TestRepairEqualsColdRebuild:
+    @given(scenario=insertion_rounds())
+    @settings(max_examples=60, deadline=None)
+    def test_repaired_basis_matches_cold(self, scenario):
+        initial, script = scenario
+        graph = seed_graph(initial)
+        basis = PPRBasis.compute(
+            graph.normalized_csr(), DAMPING,
+            epsilon=EPSILON, method="push",
+        )
+        graph.mark_clean()
+        tolerance = 10.0 * basis_push_epsilon(EPSILON)
+        for ops in script:
+            apply_round(graph, ops)
+            delta = graph.mark_clean()
+            basis = basis.repair(
+                graph.normalized_csr(), delta.dirty_rows, DAMPING,
+                epsilon=EPSILON,
+            )
+            cold = PPRBasis.compute(
+                graph.normalized_csr(), DAMPING,
+                epsilon=EPSILON, method="push",
+            )
+            diff = basis.matrix - cold.matrix
+            max_diff = (
+                np.abs(diff.toarray()).max() if diff.nnz else 0.0
+            )
+            assert max_diff <= tolerance
+
+    @given(scenario=insertion_rounds())
+    @settings(max_examples=30, deadline=None)
+    def test_repair_preserves_row_count(self, scenario):
+        initial, script = scenario
+        graph = seed_graph(initial)
+        basis = PPRBasis.compute(
+            graph.normalized_csr(), DAMPING,
+            epsilon=EPSILON, method="push",
+        )
+        graph.mark_clean()
+        for ops in script:
+            apply_round(graph, ops)
+            delta = graph.mark_clean()
+            basis = basis.repair(
+                graph.normalized_csr(), delta.dirty_rows, DAMPING,
+                epsilon=EPSILON,
+            )
+            assert basis.num_tasks == graph.num_tasks
