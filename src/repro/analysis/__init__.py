@@ -5,25 +5,37 @@ event logs under seeded chaos runs, recorder on/off identity, stable
 Eq. 4 PPR estimates — are invariants of the *substrate*, not of any
 single module.  One stray ``random.random()`` call, wall-clock read,
 or set-ordering dependency silently breaks them.  This package
-enforces the substrate statically: an AST pass with six repo-specific
-rules (RL001…RL006), ``file:line`` diagnostics, and inline
-``# repro-lint: disable=RLxxx`` suppressions.
+enforces the substrate statically, in two tiers:
+
+- a fast single-pass AST linter with six repo-specific rules
+  (RL001…RL006), ``file:line`` diagnostics, and inline
+  ``# repro-lint: disable=RLxxx`` suppressions;
+- a two-pass interprocedural analyzer (``--deep``): pass 1 builds a
+  whole-package symbol table and call graph, pass 2 runs CFG-based
+  dataflow rules — RL1xx concurrency/resource-lifecycle, RL2xx
+  RNG-stream discipline, RL3xx recorder threading.
 
 Entry points:
 
-- ``repro-icrowd lint [paths...]`` (CLI subcommand),
-- ``python tools/repro_lint.py [paths...]`` (standalone),
-- :func:`repro.analysis.lint_paths` / :func:`lint_source` (library).
+- ``repro-icrowd lint [--deep] [paths...]`` (CLI subcommand),
+- ``python tools/repro_lint.py [--deep] [paths...]`` (standalone),
+- :func:`repro.analysis.lint_paths` / :func:`lint_source` /
+  :func:`deep_lint_paths` (library).
 """
 
+from repro.analysis.deep import deep_lint_paths, deep_lint_sources
+from repro.analysis.deep_rules import DEEP_RULES
 from repro.analysis.diagnostics import Diagnostic, format_diagnostic
 from repro.analysis.linter import lint_file, lint_paths, lint_source
 from repro.analysis.rules import ALL_RULES, Rule
 
 __all__ = [
     "ALL_RULES",
+    "DEEP_RULES",
     "Diagnostic",
     "Rule",
+    "deep_lint_paths",
+    "deep_lint_sources",
     "format_diagnostic",
     "lint_file",
     "lint_paths",

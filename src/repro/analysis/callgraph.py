@@ -1,0 +1,266 @@
+"""Pass 1b of deep analysis: the whole-package call graph.
+
+Built on top of the symbol table, the call graph records, for every
+function in the package, which *internal* functions it calls (by
+qualified name) and which *external* dotted names it invokes.  Four
+resolution cases are handled, all import-alias aware:
+
+- plain names: ``helper()`` → a module-level function of the same
+  module, or a ``from mod import helper`` target,
+- dotted names: ``ppr.push_sources()`` through ``import`` aliases,
+- ``self.method()`` / ``cls.method()`` inside a class body → a method
+  of the enclosing class,
+- class constructors: ``PushKernel(...)`` resolves to
+  ``PushKernel.__init__`` when the class is internal.
+
+Resolution is deliberately conservative: anything the table cannot
+pin down stays an *external* edge (or no edge at all), so downstream
+rules never act on a guessed target.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.symbols import FunctionSymbol, ModuleSymbols, SymbolTable
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: str  #: qualname of the enclosing function
+    callee: str | None  #: resolved internal qualname (or None)
+    external: str | None  #: dotted external target (or None)
+    lineno: int
+    col: int
+
+
+class ModuleResolver:
+    """Resolve names/calls of one module against the package table."""
+
+    def __init__(self, symtab: SymbolTable, mod: ModuleSymbols) -> None:
+        self._symtab = symtab
+        self._module = mod.module
+        self._aliases = dict(mod.imports)
+        self._local_functions = {
+            func.local_name: func
+            for func in mod.functions
+            if "." not in func.local_name and not func.is_nested
+        }
+        self._local_classes = {
+            func.local_name.split(".", 1)[0]
+            for func in mod.functions
+            if "." in func.local_name
+        }
+
+    def dotted_name(self, expr: ast.expr) -> str | None:
+        """Attribute/name chain as a dotted string through the aliases.
+
+        A bare local name maps to itself; an aliased base expands to
+        its import target (``npr.normal`` → ``numpy.random.normal``).
+        """
+        parts: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def _internal_target(self, dotted: str) -> FunctionSymbol | None:
+        """Internal function/method/constructor for a dotted name."""
+        func = self._symtab.function(dotted)
+        if func is not None:
+            return func
+        if self._symtab.is_class(dotted):
+            init = self._symtab.class_methods(dotted).get("__init__")
+            return init
+        return None
+
+    def resolve_call(
+        self, node: ast.Call, enclosing_class: str | None = None
+    ) -> tuple[str | None, str | None]:
+        """``(internal qualname, external dotted)`` for a call's target.
+
+        Exactly one of the two is non-None for resolvable targets;
+        both are None when the receiver is opaque (an arbitrary
+        object's method, a call on a call result, …).
+        """
+        func = node.func
+        # self.method() / cls.method() inside a class
+        if (
+            enclosing_class is not None
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            class_qual = f"{self._module}.{enclosing_class}"
+            method = self._symtab.class_methods(class_qual).get(func.attr)
+            if method is not None:
+                return method.qualname, None
+            return None, None
+        if isinstance(func, ast.Name):
+            local = self._local_functions.get(func.id)
+            if local is not None:
+                return local.qualname, None
+            if func.id in self._local_classes:
+                class_qual = f"{self._module}.{func.id}"
+                init = self._symtab.class_methods(class_qual).get("__init__")
+                if init is not None:
+                    return init.qualname, None
+                return class_qual, None
+            alias = self._aliases.get(func.id)
+            if alias is None:
+                return None, None
+            internal = self._internal_target(alias)
+            if internal is not None:
+                return internal.qualname, None
+            if self._symtab.is_class(alias):
+                return alias, None
+            return None, alias
+        dotted = self.dotted_name(func)
+        if dotted is None:
+            return None, None
+        internal = self._internal_target(dotted)
+        if internal is not None:
+            return internal.qualname, None
+        if self._symtab.is_class(dotted):
+            return dotted, None
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ) and func.value.id not in self._aliases:
+            # method on a local object — receiver type is unknown
+            return None, None
+        return None, dotted
+
+    def alias_target(self, name: str) -> str | None:
+        """Dotted import target a local name is an alias for, if any."""
+        return self._aliases.get(name)
+
+    def symbol_for(self, qualname: str) -> FunctionSymbol | None:
+        """Function symbol for a resolved internal qualname."""
+        return self._symtab.function(qualname)
+
+    def resolve_reference(self, expr: ast.expr) -> str | None:
+        """Internal qualname a bare (non-call) reference points at.
+
+        Used for callables passed by value — ``initializer=_init`` or
+        ``pool.map(_work, units)`` — and for reads of module globals.
+        """
+        if isinstance(expr, ast.Name):
+            local = self._local_functions.get(expr.id)
+            if local is not None:
+                return local.qualname
+            glob = self._symtab.global_symbol(f"{self._module}.{expr.id}")
+            if glob is not None:
+                return glob.qualname
+            alias = self._aliases.get(expr.id)
+            if alias is not None:
+                if self._symtab.function(alias) is not None:
+                    return alias
+                if self._symtab.global_symbol(alias) is not None:
+                    return alias
+                if self._symtab.is_class(alias):
+                    return alias
+            return None
+        dotted = self.dotted_name(expr)
+        if dotted is None:
+            return None
+        if self._symtab.function(dotted) is not None:
+            return dotted
+        if self._symtab.global_symbol(dotted) is not None:
+            return dotted
+        if self._symtab.is_class(dotted):
+            return dotted
+        return None
+
+
+def _function_defs(
+    tree: ast.Module,
+) -> list[tuple[str, str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every def in a module as ``(local name, enclosing class, node)``."""
+    out: list[tuple[str, str | None, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+    def walk(
+        body: list[ast.stmt], prefix: str, enclosing_class: str | None
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = f"{prefix}{stmt.name}"
+                out.append((local, enclosing_class, stmt))
+                walk(stmt.body, f"{local}.", enclosing_class)
+            elif isinstance(stmt, ast.ClassDef):
+                walk(stmt.body, f"{prefix}{stmt.name}.", stmt.name)
+
+    walk(tree.body, "", None)
+    return out
+
+
+class CallGraph:
+    """Package-wide caller → callee edges with per-site locations."""
+
+    def __init__(self, sites: list[CallSite]) -> None:
+        self._by_caller: dict[str, list[CallSite]] = {}
+        self._callers_of: dict[str, list[str]] = {}
+        for site in sites:
+            self._by_caller.setdefault(site.caller, []).append(site)
+            if site.callee is not None:
+                self._callers_of.setdefault(site.callee, []).append(
+                    site.caller
+                )
+
+    @classmethod
+    def build(
+        cls, symtab: SymbolTable, trees: dict[str, ast.Module]
+    ) -> "CallGraph":
+        sites: list[CallSite] = []
+        for path in sorted(trees):
+            mod = symtab.module_for_path(path)
+            if mod is None:
+                continue
+            resolver = ModuleResolver(symtab, mod)
+            for local, enclosing_class, func in _function_defs(trees[path]):
+                caller = f"{mod.module}.{local}"
+                for node in ast.walk(func):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee, external = resolver.resolve_call(
+                        node, enclosing_class
+                    )
+                    if callee is None and external is None:
+                        continue
+                    sites.append(
+                        CallSite(
+                            caller=caller,
+                            callee=callee,
+                            external=external,
+                            lineno=node.lineno,
+                            col=node.col_offset,
+                        )
+                    )
+        return cls(sites)
+
+    def calls_from(self, qualname: str) -> list[CallSite]:
+        return self._by_caller.get(qualname, [])
+
+    def callers_of(self, qualname: str) -> list[str]:
+        return sorted(set(self._callers_of.get(qualname, [])))
+
+    def reachable_from(self, roots: set[str]) -> set[str]:
+        """Transitive internal-callee closure of ``roots`` (inclusive)."""
+        seen = set(roots)
+        frontier = sorted(roots)
+        while frontier:
+            nxt: list[str] = []
+            for caller in frontier:
+                for site in self.calls_from(caller):
+                    if site.callee is not None and site.callee not in seen:
+                        seen.add(site.callee)
+                        nxt.append(site.callee)
+            frontier = sorted(nxt)
+        return seen

@@ -1,0 +1,270 @@
+"""Pass 2 substrate: a statement-level CFG with exception edges.
+
+Every statement of a function body becomes one node; edges are split
+into *normal* successors (sequential flow, branches, loop back-edges,
+returns routed to EXIT) and *exceptional* successors (any statement
+may raise — the edge lands on the innermost enclosing handler,
+``finally`` block, or EXIT).  ``try`` statements are modelled with the
+semantics the lifecycle rules need:
+
+- an exception inside the body may land on *any* handler (matching is
+  dynamic) or, unmatched, on the ``finally`` / outer target;
+- ``finally`` runs on every exit — fall-through, exception, and
+  ``return``/``break``/``continue`` — and afterwards resumes the
+  corresponding continuation; return/break/continue continuations are
+  added only when the protected region actually contains one, keeping
+  spurious paths out of reachability queries;
+- exceptions raised inside a handler or the ``finally`` body escape to
+  the outer target.
+
+The graph deliberately over-approximates raising: *every* statement
+gets an exceptional edge.  For "must reach a release on all paths"
+queries that is the safe direction — a path that cannot happen at
+runtime may be reported, but no real leak path is missed.  The one
+refinement is at the *acquisition* node itself: reachability queries
+start from its normal successors only, because a constructor that
+raises never produced a resource to leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+
+@dataclass
+class _Ctx:
+    """Where control transfers out of the current region land."""
+
+    exc: int
+    ret: int
+    brk: int | None
+    cont: int | None
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    ENTRY = 0
+    EXIT = 1
+
+    def __init__(self) -> None:
+        self.stmts: list[ast.stmt | None] = [None, None]
+        self.normal: list[set[int]] = [set(), set()]
+        self.exc: list[set[int]] = [set(), set()]
+        self._node_of: dict[int, int] = {}
+
+    # -- construction --------------------------------------------------
+    def _new_node(self, stmt: ast.stmt | None) -> int:
+        node = len(self.stmts)
+        self.stmts.append(stmt)
+        self.normal.append(set())
+        self.exc.append(set())
+        if stmt is not None:
+            self._node_of[id(stmt)] = node
+        return node
+
+    def node_of(self, stmt: ast.stmt) -> int | None:
+        """CFG node holding ``stmt`` (None for unreached code)."""
+        return self._node_of.get(id(stmt))
+
+    @classmethod
+    def build(
+        cls, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> "CFG":
+        cfg = cls()
+        ctx = _Ctx(exc=cls.EXIT, ret=cls.EXIT, brk=None, cont=None)
+        frontier = cfg._build_body(func.body, [cls.ENTRY], ctx)
+        for node in frontier:
+            cfg.normal[node].add(cls.EXIT)
+        return cfg
+
+    def _link(self, preds: list[int], node: int) -> None:
+        for pred in preds:
+            self.normal[pred].add(node)
+
+    def _build_body(
+        self, body: list[ast.stmt], preds: list[int], ctx: _Ctx
+    ) -> list[int]:
+        """Wire ``body`` after ``preds``; returns the fall-through
+        frontier (empty when every path leaves the region)."""
+        frontier = preds
+        for stmt in body:
+            if not frontier:
+                break  # unreachable code — stop wiring
+            frontier = self._build_stmt(stmt, frontier, ctx)
+        return frontier
+
+    def _build_stmt(
+        self, stmt: ast.stmt, preds: list[int], ctx: _Ctx
+    ) -> list[int]:
+        node = self._new_node(stmt)
+        self._link(preds, node)
+        if not isinstance(stmt, ast.Try):
+            # a Try header executes no code; giving it an exception
+            # edge to the *outer* target would fabricate a path that
+            # bypasses its own handlers/finally
+            self.exc[node].add(ctx.exc)
+        if isinstance(stmt, ast.Return):
+            self.normal[node].add(ctx.ret)
+            return []
+        if isinstance(stmt, ast.Raise):
+            return []
+        if isinstance(stmt, ast.Break):
+            if ctx.brk is not None:
+                self.normal[node].add(ctx.brk)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if ctx.cont is not None:
+                self.normal[node].add(ctx.cont)
+            return []
+        if isinstance(stmt, ast.If):
+            then = self._build_body(stmt.body, [node], ctx)
+            if stmt.orelse:
+                other = self._build_body(stmt.orelse, [node], ctx)
+            else:
+                other = [node]
+            return then + other
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, node, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, node, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_body(stmt.body, [node], ctx)
+        if isinstance(stmt, ast.Match):
+            frontier: list[int] = []
+            matched_all = False
+            for case in stmt.cases:
+                frontier.extend(self._build_body(case.body, [node], ctx))
+                if isinstance(case.pattern, ast.MatchAs) and (
+                    case.pattern.pattern is None
+                ):
+                    matched_all = True
+            if not matched_all:
+                frontier.append(node)
+            return frontier
+        return [node]
+
+    def _build_loop(
+        self,
+        stmt: ast.While | ast.For | ast.AsyncFor,
+        header: int,
+        ctx: _Ctx,
+    ) -> list[int]:
+        after = self._new_node(None)  # join node for break / loop exit
+        loop_ctx = _Ctx(exc=ctx.exc, ret=ctx.ret, brk=after, cont=header)
+        body_exit = self._build_body(stmt.body, [header], loop_ctx)
+        for node in body_exit:
+            self.normal[node].add(header)  # back edge
+        self.normal[header].add(after)  # condition false / exhausted
+        frontier = [after]
+        if stmt.orelse:
+            frontier = self._build_body(stmt.orelse, [after], ctx)
+        return frontier
+
+    def _build_try(
+        self, stmt: ast.Try, node: int, ctx: _Ctx
+    ) -> list[int]:
+        has_finally = bool(stmt.finalbody)
+        fin_entry = self._new_node(None) if has_finally else None
+        # exception landing for the protected body: a dispatch node
+        # with edges to every handler (matching is dynamic) plus the
+        # unmatched continuation (finally, else outer target).
+        unmatched = fin_entry if fin_entry is not None else ctx.exc
+        if stmt.handlers:
+            dispatch = self._new_node(None)
+            self.normal[dispatch].add(unmatched)
+        else:
+            dispatch = unmatched
+        inner = _Ctx(
+            exc=dispatch,
+            ret=fin_entry if fin_entry is not None else ctx.ret,
+            brk=fin_entry if fin_entry is not None else ctx.brk,
+            cont=fin_entry if fin_entry is not None else ctx.cont,
+        )
+        body_exit = self._build_body(stmt.body, [node], inner)
+        if stmt.orelse:
+            # else runs after a clean body; its exceptions are NOT
+            # caught by this try's handlers
+            else_ctx = _Ctx(
+                exc=unmatched, ret=inner.ret, brk=inner.brk, cont=inner.cont
+            )
+            body_exit = self._build_body(stmt.orelse, body_exit, else_ctx)
+        handler_ctx = _Ctx(
+            exc=unmatched, ret=inner.ret, brk=inner.brk, cont=inner.cont
+        )
+        handler_exits: list[int] = []
+        for handler in stmt.handlers:
+            entry = self._new_node(None)
+            self.normal[dispatch].add(entry)
+            handler_exits.extend(
+                self._build_body(handler.body, [entry], handler_ctx)
+            )
+        if fin_entry is None:
+            return body_exit + handler_exits
+        for exit_node in body_exit + handler_exits:
+            self.normal[exit_node].add(fin_entry)
+        fin_ctx = _Ctx(exc=ctx.exc, ret=ctx.ret, brk=ctx.brk, cont=ctx.cont)
+        fin_exit = self._build_body(stmt.finalbody, [fin_entry], fin_ctx)
+        protected = stmt.body + [
+            inner_stmt for handler in stmt.handlers
+            for inner_stmt in handler.body
+        ] + stmt.orelse
+        has_return = any(
+            isinstance(sub, ast.Return)
+            for outer in protected
+            for sub in ast.walk(outer)
+        )
+        has_break = any(
+            isinstance(sub, ast.Break)
+            for outer in protected
+            for sub in ast.walk(outer)
+        )
+        has_continue = any(
+            isinstance(sub, ast.Continue)
+            for outer in protected
+            for sub in ast.walk(outer)
+        )
+        for exit_node in fin_exit:
+            # the finally may be running on behalf of an in-flight
+            # exception / return / break — resume that transfer
+            self.exc[exit_node].add(ctx.exc)
+            if has_return:
+                self.normal[exit_node].add(ctx.ret)
+            if has_break and ctx.brk is not None:
+                self.normal[exit_node].add(ctx.brk)
+            if has_continue and ctx.cont is not None:
+                self.normal[exit_node].add(ctx.cont)
+        return fin_exit
+
+    # -- queries -------------------------------------------------------
+    def successors(self, node: int, include_exc: bool = True) -> set[int]:
+        out = set(self.normal[node])
+        if include_exc:
+            out |= self.exc[node]
+        return out
+
+    def can_reach_exit_avoiding(
+        self, start: int, blocked: set[int], skip_start_exc: bool = False
+    ) -> bool:
+        """Whether EXIT is reachable from ``start`` without *entering*
+        any node in ``blocked``.
+
+        With ``skip_start_exc`` the exceptional successors of ``start``
+        itself are ignored (an acquisition that raises produced
+        nothing).  ``blocked`` nodes terminate a path when reached —
+        they count as handled regardless of what they do next.
+        """
+        seen: set[int] = set()
+        stack = sorted(
+            self.successors(start, include_exc=not skip_start_exc)
+        )
+        while stack:
+            node = stack.pop()
+            if node in seen or node in blocked:
+                continue
+            if node == self.EXIT:
+                return True
+            seen.add(node)
+            stack.extend(self.successors(node))
+        return False

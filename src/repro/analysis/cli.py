@@ -10,9 +10,18 @@ from __future__ import annotations
 import argparse
 from collections.abc import Sequence
 
+from repro.analysis.deep_rules import DEEP_RULES, DEEP_RULE_CODES
 from repro.analysis.diagnostics import format_diagnostic
 from repro.analysis.linter import lint_paths
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules import ALL_RULES, RULE_CODES, Rule
+
+#: Family display order and headings for ``--list-rules``.
+_FAMILY_TITLES: tuple[tuple[str, str], ...] = (
+    ("syntactic", "RL0xx syntactic (single-pass)"),
+    ("concurrency", "RL1xx concurrency & resource lifecycle"),
+    ("rng", "RL2xx RNG-stream discipline"),
+    ("recorder", "RL3xx recorder threading"),
+)
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -37,28 +46,85 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the two-pass interprocedural rules "
+        "(RL1xx concurrency, RL2xx RNG, RL3xx recorder)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the deep per-file pass on N worker processes "
+        "(default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--symtab-cache",
+        default=None,
+        metavar="PATH",
+        help="JSON cache for the deep pass-1 symbol table; files "
+        "whose content hash is unchanged skip re-extraction",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule table and exit",
+        help="print the rule table (grouped by family) and exit",
     )
+
+
+def _print_rules() -> None:
+    rules: tuple[Rule, ...] = ALL_RULES + DEEP_RULES
+    for family, title in _FAMILY_TITLES:
+        members = [rule for rule in rules if rule.family == family]
+        if not members:
+            continue
+        print(title)
+        for rule in members:
+            flag = "--deep" if rule.deep else "      "
+            print(f"  {rule.code}  {flag}  {rule.name:<22} {rule.summary}")
 
 
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint run from parsed options; returns the exit code."""
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.name:<22} {rule.summary}")
+        _print_rules()
         return 0
     select = (
         frozenset(c.strip().upper() for c in args.select.split(",") if c.strip())
         if args.select
         else None
     )
+    if select is not None:
+        unknown = select - (RULE_CODES | DEEP_RULE_CODES)
+        if unknown:
+            print(f"repro-lint: unknown rule codes: {sorted(unknown)}")
+            return 2
+        deep_only = select - RULE_CODES
+        if deep_only and not args.deep:
+            print(
+                "repro-lint: rules "
+                f"{', '.join(sorted(deep_only))} need --deep"
+            )
+            return 2
+    fast_select = select & RULE_CODES if select is not None else None
     try:
-        diagnostics = lint_paths(list(args.paths), select)
+        diagnostics = lint_paths(list(args.paths), fast_select)
     except ValueError as exc:
         print(f"repro-lint: {exc}")
         return 2
+    if args.deep:
+        from repro.analysis.deep import deep_lint_paths
+
+        diagnostics.extend(
+            deep_lint_paths(
+                list(args.paths),
+                select=select,
+                cache_path=args.symtab_cache,
+                jobs=max(1, args.jobs),
+            )
+        )
+        diagnostics.sort()
     for diag in diagnostics:
         print(format_diagnostic(diag, args.fmt))
     if diagnostics:
@@ -75,7 +141,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="repro-lint",
         description=(
             "AST-based determinism linter for the iCrowd reproduction "
-            "(rules RL001-RL006; see DESIGN.md §8)"
+            "(RL001-RL006 single-pass; RL1xx/RL2xx/RL3xx with --deep; "
+            "see DESIGN.md §8)"
         ),
     )
     add_lint_arguments(parser)

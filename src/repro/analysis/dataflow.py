@@ -1,0 +1,445 @@
+"""Pass 2 substrate: value-kind taint tracking and call summaries.
+
+The deep rules reason about *what kind of value* a name holds — a
+shared-memory handle, an RNG stream, a lock, a process pool — and
+about how those values move through calls.  This module provides:
+
+- :func:`taint_env` — a forward pass over one function assigning each
+  local name a *kind* (seeded from parameters and constructor calls,
+  propagated through assignments and internal-call return summaries);
+- :func:`pool_boundary_args` — every expression that crosses a
+  process boundary in a function (``ProcessPoolExecutor`` ``initargs``
+  / ``initializer``, ``submit``/``map``/``starmap`` payloads);
+- :class:`Summaries` + :func:`compute_summaries` — interprocedural
+  fixpoint over the call graph: per-function *return kinds*
+  (tuple-position aware, so ``arrays, segments = _attach(...)`` taints
+  the right target) and *boundary parameters* (parameters that flow,
+  possibly transitively, into a process boundary).
+
+Everything here is deliberately flow-insensitive within a statement
+and conservative across unknown calls: a kind is only ever assigned
+when the constructor or summary is recognised, so the rules built on
+top act on facts, not guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import ModuleResolver
+from repro.analysis.symbols import (
+    RNG_CONSTRUCTORS,
+    RNG_SHIM_PREFIX,
+    FunctionSymbol,
+)
+
+#: Value kinds the deep rules distinguish.
+KIND_SHM = "shm"
+KIND_RNG = "rng"
+KIND_LOCK = "lock"
+KIND_SOCKET = "socket"
+KIND_FILE = "file"
+KIND_RECORDER = "recorder"
+KIND_POOL = "pool"
+
+#: External constructors → the kind of value they produce.
+EXTERNAL_KINDS: dict[str, str] = {
+    "multiprocessing.shared_memory.SharedMemory": KIND_SHM,
+    "threading.Lock": KIND_LOCK,
+    "threading.RLock": KIND_LOCK,
+    "threading.Semaphore": KIND_LOCK,
+    "threading.BoundedSemaphore": KIND_LOCK,
+    "threading.Condition": KIND_LOCK,
+    "threading.Event": KIND_LOCK,
+    "multiprocessing.Lock": KIND_LOCK,
+    "multiprocessing.RLock": KIND_LOCK,
+    "socket.socket": KIND_SOCKET,
+    "socket.create_connection": KIND_SOCKET,
+    "concurrent.futures.ProcessPoolExecutor": KIND_POOL,
+    "multiprocessing.Pool": KIND_POOL,
+    "multiprocessing.pool.Pool": KIND_POOL,
+}
+
+#: Parameter names that carry a kind by repo convention.
+PARAM_NAME_KINDS: dict[str, str] = {
+    "rng": KIND_RNG,
+    "recorder": KIND_RECORDER,
+}
+
+#: Annotation leaf names that carry a kind.
+_ANNOTATION_KINDS: dict[str, str] = {
+    "Generator": KIND_RNG,
+    "Random": KIND_RNG,
+    "RandomState": KIND_RNG,
+    "Recorder": KIND_RECORDER,
+    "SharedMemory": KIND_SHM,
+}
+
+#: ``pool.<method>`` names that ship their arguments to workers.
+_POOL_SHIP_METHODS = frozenset({"submit", "map", "starmap", "apply_async"})
+
+
+def external_call_kind(dotted: str) -> str | None:
+    """Kind produced by an external constructor, if recognised."""
+    kind = EXTERNAL_KINDS.get(dotted)
+    if kind is not None:
+        return kind
+    if dotted in RNG_CONSTRUCTORS or dotted.startswith(RNG_SHIM_PREFIX):
+        return KIND_RNG
+    return None
+
+
+@dataclass
+class Summaries:
+    """Interprocedural facts, one fixpoint over the call graph."""
+
+    #: qualname → return kind: a single kind, or a tuple of per-element
+    #: kinds for functions returning a literal tuple.
+    returns: dict[str, object] = field(default_factory=dict)
+    #: qualname → parameter names that reach a process boundary.
+    boundary_params: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def return_kind(self, qualname: str) -> object:
+        return self.returns.get(qualname)
+
+
+def _annotation_kind(annotation: ast.expr | None) -> str | None:
+    if annotation is None:
+        return None
+    node = annotation
+    while isinstance(node, ast.Attribute):
+        if node.attr in _ANNOTATION_KINDS:
+            return _ANNOTATION_KINDS[node.attr]
+        node = node.value
+    if isinstance(node, ast.Name):
+        return _ANNOTATION_KINDS.get(node.id)
+    return None
+
+
+def seed_params(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """Initial taint environment from a function's signature."""
+    env: dict[str, str] = {}
+    args = func.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        kind = PARAM_NAME_KINDS.get(arg.arg) or _annotation_kind(
+            arg.annotation
+        )
+        if kind is not None:
+            env[arg.arg] = kind
+    return env
+
+
+def expr_kind(
+    expr: ast.expr,
+    env: dict[str, str],
+    resolver: ModuleResolver,
+    summaries: Summaries,
+    enclosing_class: str | None = None,
+) -> object:
+    """Kind of value ``expr`` evaluates to (or a tuple of kinds)."""
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id)
+    if isinstance(expr, ast.Tuple):
+        kinds = tuple(
+            expr_kind(elt, env, resolver, summaries, enclosing_class)
+            for elt in expr.elts
+        )
+        return kinds if any(kind is not None for kind in kinds) else None
+    if isinstance(expr, ast.IfExp):
+        return expr_kind(
+            expr.body, env, resolver, summaries, enclosing_class
+        ) or expr_kind(
+            expr.orelse, env, resolver, summaries, enclosing_class
+        )
+    if isinstance(expr, ast.Await):
+        return expr_kind(
+            expr.value, env, resolver, summaries, enclosing_class
+        )
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Name) and expr.func.id == "open":
+            return KIND_FILE
+        callee, external = resolver.resolve_call(expr, enclosing_class)
+        if external is not None:
+            return external_call_kind(external)
+        if callee is not None:
+            return summaries.return_kind(callee)
+    return None
+
+
+def _assign_kinds(
+    target: ast.expr, kind: object, env: dict[str, str]
+) -> None:
+    """Bind an assignment target (possibly a tuple) to its kind(s)."""
+    if isinstance(target, ast.Name):
+        if isinstance(kind, str):
+            env[target.id] = kind
+        else:
+            env.pop(target.id, None)
+        return
+    if isinstance(target, (ast.Tuple, ast.List)):
+        elements = target.elts
+        if isinstance(kind, tuple) and len(kind) == len(elements):
+            for elt, sub in zip(elements, kind):
+                _assign_kinds(elt, sub, env)
+        else:
+            for elt in elements:
+                _assign_kinds(elt, None, env)
+
+
+def taint_env(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    resolver: ModuleResolver,
+    summaries: Summaries,
+    enclosing_class: str | None = None,
+) -> dict[str, str]:
+    """Name → kind after one forward pass over the function body.
+
+    Statements are visited in source order (including nested blocks);
+    a later re-assignment overwrites the kind.  This is flow-
+    *insensitive* at join points — good enough for the acquisition /
+    boundary patterns the rules target, where names are not reused
+    across kinds.
+    """
+    env = seed_params(func)
+
+    def visit(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign):
+                kind = expr_kind(
+                    stmt.value, env, resolver, summaries, enclosing_class
+                )
+                for target in stmt.targets:
+                    _assign_kinds(target, kind, env)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                kind = expr_kind(
+                    stmt.value, env, resolver, summaries, enclosing_class
+                ) or _annotation_kind(stmt.annotation)
+                _assign_kinds(stmt.target, kind, env)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        kind = expr_kind(
+                            item.context_expr,
+                            env,
+                            resolver,
+                            summaries,
+                            enclosing_class,
+                        )
+                        _assign_kinds(item.optional_vars, kind, env)
+            visit(
+                [
+                    child
+                    for child in ast.iter_child_nodes(stmt)
+                    if isinstance(child, ast.stmt)
+                    and not isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                ]
+            )
+
+    visit(func.body)
+    return env
+
+
+@dataclass(frozen=True)
+class BoundaryArg:
+    """One expression that crosses a process boundary."""
+
+    expr: ast.expr
+    role: str  #: ``"payload"`` | ``"callable"``
+    lineno: int
+    col: int
+
+
+def pool_boundary_args(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    env: dict[str, str],
+    resolver: ModuleResolver,
+    enclosing_class: str | None = None,
+) -> list[BoundaryArg]:
+    """Every process-boundary crossing inside ``func``.
+
+    Two shapes are recognised: ``ProcessPoolExecutor(...)`` /
+    ``multiprocessing.Pool(...)`` construction (``initializer`` is a
+    *callable* crossing, each element of ``initargs`` a *payload*
+    crossing) and ``submit``/``map``/``starmap`` calls on a value of
+    pool kind (first argument *callable*, the rest *payload*).
+    """
+    out: list[BoundaryArg] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        _, external = resolver.resolve_call(node, enclosing_class)
+        if external is not None and EXTERNAL_KINDS.get(external) == KIND_POOL:
+            for keyword in node.keywords:
+                if keyword.arg == "initializer":
+                    out.append(
+                        BoundaryArg(
+                            keyword.value,
+                            "callable",
+                            keyword.value.lineno,
+                            keyword.value.col_offset,
+                        )
+                    )
+                elif keyword.arg == "initargs":
+                    elements = (
+                        keyword.value.elts
+                        if isinstance(keyword.value, (ast.Tuple, ast.List))
+                        else [keyword.value]
+                    )
+                    out.extend(
+                        BoundaryArg(
+                            element,
+                            "payload",
+                            element.lineno,
+                            element.col_offset,
+                        )
+                        for element in elements
+                    )
+            continue
+        func_expr = node.func
+        if (
+            isinstance(func_expr, ast.Attribute)
+            and func_expr.attr in _POOL_SHIP_METHODS
+            and isinstance(func_expr.value, ast.Name)
+            and env.get(func_expr.value.id) == KIND_POOL
+        ):
+            if node.args:
+                out.append(
+                    BoundaryArg(
+                        node.args[0],
+                        "callable",
+                        node.args[0].lineno,
+                        node.args[0].col_offset,
+                    )
+                )
+            for arg in node.args[1:]:
+                out.append(
+                    BoundaryArg(arg, "payload", arg.lineno, arg.col_offset)
+                )
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    out.append(
+                        BoundaryArg(
+                            keyword.value,
+                            "payload",
+                            keyword.value.lineno,
+                            keyword.value.col_offset,
+                        )
+                    )
+    return out
+
+
+@dataclass(frozen=True)
+class FunctionUnit:
+    """One analyzable function: symbol + AST + resolution context."""
+
+    path: str
+    symbol: FunctionSymbol
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    enclosing_class: str | None
+    resolver: ModuleResolver
+
+
+def _return_kind_of(
+    unit: FunctionUnit, env: dict[str, str], summaries: Summaries
+) -> object:
+    """Kind(s) returned by a function under the current summaries."""
+    result: object = None
+    for node in ast.walk(unit.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            kind = expr_kind(
+                node.value, env, unit.resolver, summaries,
+                unit.enclosing_class,
+            )
+            if kind is not None and result is None:
+                result = kind
+    return result
+
+
+def _boundary_params_of(
+    unit: FunctionUnit, env: dict[str, str], summaries: Summaries
+) -> frozenset[str]:
+    """Parameters of ``unit`` that reach a process boundary."""
+    params = set(unit.symbol.params) | set(unit.symbol.kwonly)
+    hit: set[str] = set()
+    boundary = pool_boundary_args(
+        unit.node, env, unit.resolver, unit.enclosing_class
+    )
+    for crossing in boundary:
+        for sub in ast.walk(crossing.expr):
+            if isinstance(sub, ast.Name) and sub.id in params:
+                hit.add(sub.id)
+    # transitively: passing a param to an internal callee whose own
+    # parameter (at that position / keyword) is boundary-flowing
+    for node in ast.walk(unit.node):
+        if not isinstance(node, ast.Call):
+            continue
+        callee, _ = unit.resolver.resolve_call(node, unit.enclosing_class)
+        if callee is None:
+            continue
+        flows = summaries.boundary_params.get(callee)
+        if not flows:
+            continue
+        callee_symbol = unit.resolver.symbol_for(callee)
+        if callee_symbol is None:
+            continue
+        positional = list(callee_symbol.params)
+        if callee_symbol.is_method and positional:
+            positional = positional[1:]
+        for offset, arg in enumerate(node.args):
+            if (
+                isinstance(arg, ast.Name)
+                and arg.id in params
+                and offset < len(positional)
+                and positional[offset] in flows
+            ):
+                hit.add(arg.id)
+        for keyword in node.keywords:
+            if (
+                keyword.arg is not None
+                and keyword.arg in flows
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id in params
+            ):
+                hit.add(keyword.value.id)
+    return frozenset(hit)
+
+
+def compute_summaries(
+    units: list[FunctionUnit], max_rounds: int = 10
+) -> Summaries:
+    """Fixpoint the per-function summaries over the call graph.
+
+    Deterministic: units are processed in qualname order each round;
+    the loop stops when a round changes nothing (or after
+    ``max_rounds`` — summaries only ever grow, so early exit is safe,
+    just less precise).
+    """
+    summaries = Summaries()
+    ordered = sorted(units, key=lambda unit: unit.symbol.qualname)
+    for _ in range(max_rounds):
+        changed = False
+        for unit in ordered:
+            env = taint_env(
+                unit.node, unit.resolver, summaries, unit.enclosing_class
+            )
+            returned = _return_kind_of(unit, env, summaries)
+            if returned is not None and (
+                summaries.returns.get(unit.symbol.qualname) != returned
+            ):
+                summaries.returns[unit.symbol.qualname] = returned
+                changed = True
+            flows = _boundary_params_of(unit, env, summaries)
+            if flows and (
+                summaries.boundary_params.get(unit.symbol.qualname)
+                != flows
+            ):
+                summaries.boundary_params[unit.symbol.qualname] = flows
+                changed = True
+        if not changed:
+            break
+    return summaries

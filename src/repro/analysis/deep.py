@@ -1,0 +1,184 @@
+"""The ``--deep`` driver: two passes over the whole package.
+
+Pass 1 parses every file once and builds the package symbol table
+(content-hash cached via ``--symtab-cache``) and the call graph.
+Pass 2 computes interprocedural summaries, then runs the deep rule
+families per file — optionally in parallel (``--jobs``): the symbol
+table, summaries, and rule selection are shipped to each worker once
+via the pool initializer, and workers re-parse their own files (ASTs
+do not pickle; source text and dataclasses do).  Package-wide rules
+(RL104, RL203) always run in the parent, which already holds every
+tree.
+
+Diagnostics reuse the fast path's machinery end to end: the same
+:class:`~repro.analysis.diagnostics.Diagnostic` type, the same
+``# repro-lint: disable=`` suppressions, the same output formats.
+"""
+
+from __future__ import annotations
+
+import ast
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph, ModuleResolver, _function_defs
+from repro.analysis.dataflow import FunctionUnit, Summaries, compute_summaries
+from repro.analysis.deep_rules import (
+    DEEP_RULE_CODES,
+    run_function_rules,
+    run_module_rules,
+    run_package_rules,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.linter import _suppressions, discover
+from repro.analysis.symbols import SymbolTable, build_symbol_table
+
+
+def build_units(
+    symtab: SymbolTable, trees: dict[str, ast.Module]
+) -> list[FunctionUnit]:
+    """Every function in the package as an analyzable unit."""
+    units: list[FunctionUnit] = []
+    for path in sorted(trees):
+        units.extend(_file_units(symtab, path, trees[path]))
+    return units
+
+
+def _file_units(
+    symtab: SymbolTable, path: str, tree: ast.Module
+) -> list[FunctionUnit]:
+    mod = symtab.module_for_path(path)
+    if mod is None:
+        return []
+    resolver = ModuleResolver(symtab, mod)
+    by_local = {func.local_name: func for func in mod.functions}
+    units: list[FunctionUnit] = []
+    for local, enclosing_class, node in _function_defs(tree):
+        symbol = by_local.get(local)
+        if symbol is None:
+            continue
+        units.append(
+            FunctionUnit(
+                path=path,
+                symbol=symbol,
+                node=node,
+                enclosing_class=enclosing_class,
+                resolver=resolver,
+            )
+        )
+    return units
+
+
+def _lint_one_file(
+    symtab: SymbolTable,
+    summaries: Summaries,
+    select: frozenset[str],
+    path: str,
+    tree: ast.Module,
+) -> list[Diagnostic]:
+    """Per-file deep rules: module-level + one run per function."""
+    mod = symtab.module_for_path(path)
+    if mod is None:
+        return []
+    resolver = ModuleResolver(symtab, mod)
+    out = run_module_rules(path, tree, resolver, select)
+    for unit in _file_units(symtab, path, tree):
+        out.extend(run_function_rules(unit, summaries, select))
+    return out
+
+
+#: Per-worker analysis context, installed once by the pool initializer.
+_WORKER_CTX: dict[str, object] = {}
+
+
+def _worker_init(
+    symtab: SymbolTable,
+    summaries: Summaries,
+    select: frozenset[str],
+) -> None:
+    _WORKER_CTX["symtab"] = symtab
+    _WORKER_CTX["summaries"] = summaries
+    _WORKER_CTX["select"] = select
+
+
+def _worker_lint(item: tuple[str, str]) -> list[Diagnostic]:
+    path, source = item
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # the fast pass reports RL000 for this file
+    symtab = _WORKER_CTX["symtab"]
+    summaries = _WORKER_CTX["summaries"]
+    select = _WORKER_CTX["select"]
+    assert isinstance(symtab, SymbolTable)
+    assert isinstance(summaries, Summaries)
+    assert isinstance(select, frozenset)
+    return _lint_one_file(symtab, summaries, select, path, tree)
+
+
+def deep_lint_sources(
+    sources: dict[str, str],
+    select: frozenset[str] | None = None,
+    cache_path: str | Path | None = None,
+    jobs: int = 1,
+) -> list[Diagnostic]:
+    """Run the deep rules over a set of in-memory sources."""
+    active = (
+        select & DEEP_RULE_CODES if select is not None else DEEP_RULE_CODES
+    )
+    if not active:
+        return []
+    trees: dict[str, ast.Module] = {}
+    for path in sorted(sources):
+        try:
+            trees[path] = ast.parse(sources[path], filename=path)
+        except SyntaxError:
+            continue  # the fast pass reports RL000 for this file
+    parsed = {path: sources[path] for path in trees}
+    symtab = build_symbol_table(parsed, trees, cache_path)
+    graph = CallGraph.build(symtab, trees)
+    units = build_units(symtab, trees)
+    summaries = compute_summaries(units)
+    diagnostics: list[Diagnostic] = []
+    if jobs > 1:
+        items = [(path, sources[path]) for path in sorted(trees)]
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_worker_init,
+            initargs=(symtab, summaries, active),
+        ) as pool:
+            for batch in pool.map(_worker_lint, items):
+                diagnostics.extend(batch)
+    else:
+        for path in sorted(trees):
+            diagnostics.extend(
+                _lint_one_file(symtab, summaries, active, path, trees[path])
+            )
+    diagnostics.extend(
+        run_package_rules(symtab, graph, units, summaries, trees, active)
+    )
+    suppressions: dict[str, dict[int, frozenset[str]]] = {}
+    kept: list[Diagnostic] = []
+    for diag in diagnostics:
+        per_line = suppressions.get(diag.path)
+        if per_line is None:
+            per_line = _suppressions(sources.get(diag.path, ""))
+            suppressions[diag.path] = per_line
+        if diag.code not in per_line.get(diag.line, frozenset()):
+            kept.append(diag)
+    return sorted(kept)
+
+
+def deep_lint_paths(
+    paths: list[str | Path],
+    select: frozenset[str] | None = None,
+    cache_path: str | Path | None = None,
+    jobs: int = 1,
+) -> list[Diagnostic]:
+    """Run the deep rules over files/directories on disk."""
+    sources: dict[str, str] = {}
+    for path in discover(paths):
+        sources[str(path)] = path.read_text(encoding="utf-8")
+    return deep_lint_sources(
+        sources, select=select, cache_path=cache_path, jobs=jobs
+    )

@@ -1,0 +1,958 @@
+"""The deep (``--deep``) rule families: RL1xx / RL2xx / RL3xx.
+
+Built on the two-pass substrate — symbol table and call graph from
+pass 1, CFG + taint environments + interprocedural summaries in
+pass 2:
+
+========  ==========================================================
+RL101     a ``SharedMemory`` acquisition must reach ``close()`` /
+          ``unlink()`` (or transfer ownership) on **all** CFG paths,
+          exception edges included
+RL102     a monkeypatched module attribute (``orig = m.attr`` …
+          ``m.attr = repl``) must be restored in a ``finally`` block
+RL103     values shipped across a process boundary (``initargs``,
+          ``submit``/``map`` payloads) must be picklable: no locks,
+          sockets, files, shm handles, recorders, pools; worker
+          callables must be module-level functions
+RL104     a mutable module global written inside worker-reachable
+          code and read outside it — per-process state does not
+          propagate back across ``fork``
+RL201     RNG streams must be constructed from an explicit seed
+          (``default_rng()`` / ``Random()`` with no arguments draws
+          OS entropy and breaks replay)
+RL202     an RNG stream must not cross a process boundary — child
+          streams replay the parent's draws; spawn per-worker
+          streams from (seed, worker-tag) instead
+RL203     a module-level RNG stream read from another module — one
+          stream, one owner; inject the generator as a parameter
+RL301     a function holding a ``recorder`` parameter calls an
+          internal function that accepts one without passing it —
+          the callee silently records nothing
+========  ==========================================================
+
+All deep rules are scoped to product code (``repro/`` outside
+``tests/``); RL2xx additionally exempts the seeding shim
+(``repro/utils/rng.py``), whose whole job is constructing streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.cfg import CFG
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.callgraph import CallGraph, ModuleResolver, _function_defs
+from repro.analysis.dataflow import (
+    KIND_FILE,
+    KIND_LOCK,
+    KIND_POOL,
+    KIND_RECORDER,
+    KIND_RNG,
+    KIND_SHM,
+    KIND_SOCKET,
+    FunctionUnit,
+    Summaries,
+    expr_kind,
+    pool_boundary_args,
+    taint_env,
+)
+from repro.analysis.rules import Rule, _in_numeric_scope, _is_rng_shim
+from repro.analysis.symbols import RNG_CONSTRUCTORS, SymbolTable
+
+DEEP_RULES: tuple[Rule, ...] = (
+    Rule(
+        "RL101",
+        "shm-lifecycle",
+        "SharedMemory acquisition may leak: close()/unlink() is not "
+        "reached on every path (exception edges included)",
+        family="concurrency",
+        deep=True,
+    ),
+    Rule(
+        "RL102",
+        "monkeypatch-restore",
+        "monkeypatched module attribute is not restored in a finally "
+        "block; an exception leaves the patch installed forever",
+        family="concurrency",
+        deep=True,
+    ),
+    Rule(
+        "RL103",
+        "pool-pickle-safety",
+        "unpicklable or process-local value (lock/socket/file/shm/"
+        "recorder/pool) crosses a process boundary",
+        family="concurrency",
+        deep=True,
+    ),
+    Rule(
+        "RL104",
+        "fork-shared-global",
+        "mutable module global written in worker processes and read "
+        "in the parent; per-process writes never propagate back",
+        family="concurrency",
+        deep=True,
+    ),
+    Rule(
+        "RL201",
+        "rng-unseeded",
+        "RNG stream constructed without an explicit seed; replay "
+        "breaks — thread (seed, tag) through repro.utils.rng",
+        family="rng",
+        deep=True,
+    ),
+    Rule(
+        "RL202",
+        "rng-process-boundary",
+        "RNG stream crosses a process boundary; child processes "
+        "replay the parent's draws — spawn per-worker streams",
+        family="rng",
+        deep=True,
+    ),
+    Rule(
+        "RL203",
+        "rng-shared-module",
+        "module-level RNG stream read from another module; one "
+        "stream has one owner — inject the generator instead",
+        family="rng",
+        deep=True,
+    ),
+    Rule(
+        "RL301",
+        "recorder-dropped",
+        "call drops the in-scope recorder even though the callee "
+        "accepts one; pass recorder=recorder",
+        family="recorder",
+        deep=True,
+    ),
+)
+
+DEEP_RULE_CODES = frozenset(rule.code for rule in DEEP_RULES)
+
+#: Methods that release / transfer a tracked handle (RL101).
+_RELEASE_METHODS = frozenset({"close", "unlink", "shutdown", "terminate"})
+
+#: Method calls that mutate their receiver in place (RL104 writes).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Payload kinds that must not cross a process boundary (RL103).
+_UNPICKLABLE_KINDS = frozenset(
+    {KIND_LOCK, KIND_SOCKET, KIND_FILE, KIND_SHM, KIND_RECORDER, KIND_POOL}
+)
+
+#: RNG constructors that accept (and require, for replay) a seed.
+_SEEDABLE_RNG = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+    }
+)
+
+
+def in_deep_scope(path: str) -> bool:
+    """Deep rules cover product code only, never tests/fixtures."""
+    return _in_numeric_scope(path)
+
+
+def _diag(
+    path: str, node: ast.AST, code: str, message: str
+) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        code=code,
+        message=message,
+    )
+
+
+def _own_statements(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.stmt]:
+    """Every statement of ``func`` excluding nested def/class bodies.
+
+    Mirrors the CFG's view: a nested ``def`` is one opaque statement.
+    """
+    out: list[ast.stmt] = []
+
+    def visit(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            out.append(stmt)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for attr in ("body", "orelse", "finalbody"):
+                child = getattr(stmt, attr, None)
+                if child:
+                    visit(child)
+            for handler in getattr(stmt, "handlers", []):
+                visit(handler.body)
+            for case in getattr(stmt, "cases", []):
+                visit(case.body)
+
+    visit(func.body)
+    return out
+
+
+def _header_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """AST nodes belonging to ``stmt``'s *own* CFG node.
+
+    For compound statements only the header expressions count — body
+    statements have CFG nodes of their own.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield from ast.walk(stmt.test)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from ast.walk(stmt.target)
+        yield from ast.walk(stmt.iter)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from ast.walk(item.context_expr)
+    elif isinstance(
+        stmt,
+        (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+         ast.Match),
+    ):
+        return
+    else:
+        yield from ast.walk(stmt)
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {
+        sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)
+    }
+
+
+def _is_release_of(node: ast.AST, var: str) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _RELEASE_METHODS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == var
+    )
+
+
+def _bare_name_args(call: ast.Call) -> Iterator[str]:
+    """Names passed *by value* to a call (ownership may transfer)."""
+    values = list(call.args) + [
+        keyword.value for keyword in call.keywords
+    ]
+    for value in values:
+        if isinstance(value, ast.Name):
+            yield value.id
+        elif isinstance(value, (ast.Tuple, ast.List)):
+            for element in value.elts:
+                if isinstance(element, ast.Name):
+                    yield element.id
+
+
+def _bare_positions(value: ast.expr) -> set[str]:
+    """Names the *object itself* occupies in a value expression: the
+    whole value, or an element of a tuple/list literal."""
+    if isinstance(value, ast.Name):
+        return {value.id}
+    if isinstance(value, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for element in value.elts:
+            out |= _bare_positions(element)
+        return out
+    return set()
+
+
+def _stmt_escapes(stmt: ast.stmt, var: str) -> bool:
+    """Whether ``stmt`` transfers ownership of ``var`` elsewhere.
+
+    Ownership transfers: returning/yielding the handle itself,
+    storing it into an attribute or subscript, or passing it (a bare
+    name, possibly inside a tuple/list literal) to any call.  Mere
+    attribute access (``seg.buf``) transfers nothing.
+    """
+    for node in _header_nodes(stmt):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is not None and var in _bare_positions(value):
+                return True
+        if isinstance(node, ast.Call) and var in set(
+            _bare_name_args(node)
+        ):
+            return True
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        value = stmt.value
+        if value is not None and any(
+            isinstance(target, (ast.Attribute, ast.Subscript))
+            for target in targets
+        ):
+            if var in _names_in(value):
+                return True
+    return False
+
+
+def _captured_by_nested_def(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, var: str
+) -> bool:
+    for stmt in _own_statements(func):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if var in _names_in(stmt):
+                return True
+    return False
+
+
+def _rl101_shm_lifecycle(
+    unit: FunctionUnit, env: dict[str, str], summaries: Summaries
+) -> list[Diagnostic]:
+    statements = _own_statements(unit.node)
+    acquisitions: list[tuple[ast.stmt, str]] = []
+    # re-walk assignments with a *fresh* env so each acquisition site is
+    # attributed to its own statement (the summary env is final-state)
+    tracking: dict[str, str] = dict(env)
+    for stmt in statements:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        kind = expr_kind(
+            stmt.value, tracking, unit.resolver, summaries,
+            unit.enclosing_class,
+        )
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and kind == KIND_SHM:
+                acquisitions.append((stmt, target.id))
+            elif isinstance(target, ast.Tuple) and isinstance(kind, tuple):
+                for element, sub in zip(target.elts, kind):
+                    if isinstance(element, ast.Name) and sub == KIND_SHM:
+                        acquisitions.append((stmt, element.id))
+    if not acquisitions:
+        return []
+    cfg = CFG.build(unit.node)
+    out: list[Diagnostic] = []
+    for acq_stmt, var in acquisitions:
+        if _captured_by_nested_def(unit.node, var):
+            continue  # closure owns it now; lifetime is its problem
+        start = cfg.node_of(acq_stmt)
+        if start is None:
+            continue  # statically unreachable
+        blocked: set[int] = set()
+        for stmt in statements:
+            node_id = cfg.node_of(stmt)
+            if node_id is None or stmt is acq_stmt:
+                continue
+            if any(
+                _is_release_of(node, var) for node in _header_nodes(stmt)
+            ) or _stmt_escapes(stmt, var):
+                blocked.add(node_id)
+        if cfg.can_reach_exit_avoiding(start, blocked, skip_start_exc=True):
+            out.append(
+                _diag(
+                    unit.path,
+                    acq_stmt,
+                    "RL101",
+                    f"shared-memory handle {var!r} may leak: a path "
+                    "(exception edges included) reaches function exit "
+                    "without close()/unlink() or an ownership "
+                    "transfer; release it in a finally block",
+                )
+            )
+    return out
+
+
+def _attr_chain(expr: ast.expr) -> tuple[str, str] | None:
+    """``(base name, raw dotted text)`` of an attribute chain."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return node.id, ".".join(reversed(parts))
+
+
+def _rl102_monkeypatch_restore(unit: FunctionUnit) -> list[Diagnostic]:
+    statements = _own_statements(unit.node)
+    finally_stmts: set[int] = set()
+    for stmt in statements:
+        if isinstance(stmt, ast.Try):
+            for inner in stmt.finalbody:
+                for sub in ast.walk(inner):
+                    if isinstance(sub, ast.stmt):
+                        finally_stmts.add(id(sub))
+    saved: dict[str, str] = {}  #: local name → saved attribute chain
+    patches: list[tuple[ast.stmt, str]] = []
+    restores: dict[str, list[int]] = {}  #: chain → ids of restore stmts
+
+    def module_chain(expr: ast.expr) -> str | None:
+        """Chain text when the base is an imported module — the
+        monkeypatch shape; ``self.attr`` swaps are plain state."""
+        parsed = _attr_chain(expr)
+        if parsed is None:
+            return None
+        base, chain = parsed
+        if unit.resolver.alias_target(base) is None:
+            return None
+        return chain
+
+    for stmt in statements:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name) and isinstance(
+            stmt.value, ast.Attribute
+        ):
+            chain = module_chain(stmt.value)
+            if chain is not None:
+                saved[target.id] = chain
+            continue
+        if isinstance(target, ast.Attribute):
+            chain = module_chain(target)
+            if chain is None:
+                continue
+            if (
+                isinstance(stmt.value, ast.Name)
+                and saved.get(stmt.value.id) == chain
+            ):
+                restores.setdefault(chain, []).append(id(stmt))
+            elif chain in set(saved.values()):
+                patches.append((stmt, chain))
+    out: list[Diagnostic] = []
+    for stmt, chain in patches:
+        restored_in_finally = any(
+            stmt_id in finally_stmts
+            for stmt_id in restores.get(chain, [])
+        )
+        if not restored_in_finally:
+            out.append(
+                _diag(
+                    unit.path,
+                    stmt,
+                    "RL102",
+                    f"monkeypatch of {chain!r} is not restored in a "
+                    "finally block; an exception between patch and "
+                    "restore leaves it installed permanently",
+                )
+            )
+    return out
+
+
+def _rl103_pool_pickle_safety(
+    unit: FunctionUnit, env: dict[str, str], summaries: Summaries
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    crossings = pool_boundary_args(
+        unit.node, env, unit.resolver, unit.enclosing_class
+    )
+    for crossing in crossings:
+        if crossing.role == "callable":
+            if isinstance(crossing.expr, ast.Lambda):
+                out.append(
+                    _diag(
+                        unit.path,
+                        crossing.expr,
+                        "RL103",
+                        "lambda shipped as a worker callable; lambdas "
+                        "do not pickle — use a module-level function",
+                    )
+                )
+                continue
+            nested_defs = {
+                stmt.name
+                for stmt in _own_statements(unit.node)
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            }
+            if (
+                isinstance(crossing.expr, ast.Name)
+                and crossing.expr.id in nested_defs
+            ):
+                out.append(
+                    _diag(
+                        unit.path,
+                        crossing.expr,
+                        "RL103",
+                        f"nested function {crossing.expr.id!r} shipped "
+                        "as a worker callable; closures do not pickle "
+                        "— use a module-level function",
+                    )
+                )
+            continue
+        kind = expr_kind(
+            crossing.expr, env, unit.resolver, summaries,
+            unit.enclosing_class,
+        )
+        kinds = kind if isinstance(kind, tuple) else (kind,)
+        for sub in kinds:
+            if isinstance(sub, str) and sub in _UNPICKLABLE_KINDS:
+                out.append(
+                    _diag(
+                        unit.path,
+                        crossing.expr,
+                        "RL103",
+                        f"value of kind {sub!r} crosses a process "
+                        "boundary; it is process-local (or holds a "
+                        "lock) and cannot be shipped — pass a "
+                        "picklable spec and reconstruct in the worker",
+                    )
+                )
+    return out
+
+
+def _rl201_rng_unseeded(
+    path: str,
+    tree: ast.Module,
+    resolver: ModuleResolver,
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        _, external = resolver.resolve_call(node, None)
+        if external is None or external not in RNG_CONSTRUCTORS:
+            continue
+        if external == "random.SystemRandom":
+            out.append(
+                _diag(
+                    path,
+                    node,
+                    "RL201",
+                    "SystemRandom draws OS entropy and can never "
+                    "replay; construct a seeded stream via "
+                    "repro.utils.rng instead",
+                )
+            )
+            continue
+        if external not in _SEEDABLE_RNG:
+            continue
+        seedless = not node.args and not node.keywords
+        none_seed = (
+            len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value is None
+        )
+        if seedless or none_seed:
+            out.append(
+                _diag(
+                    path,
+                    node,
+                    "RL201",
+                    f"{external}() constructed without an explicit "
+                    "seed; replay breaks — thread (seed, tag) through "
+                    "repro.utils.rng.spawn_rng",
+                )
+            )
+    return out
+
+
+def _rl202_rng_process_boundary(
+    unit: FunctionUnit, env: dict[str, str], summaries: Summaries
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for crossing in pool_boundary_args(
+        unit.node, env, unit.resolver, unit.enclosing_class
+    ):
+        if crossing.role != "payload":
+            continue
+        kind = expr_kind(
+            crossing.expr, env, unit.resolver, summaries,
+            unit.enclosing_class,
+        )
+        kinds = kind if isinstance(kind, tuple) else (kind,)
+        if KIND_RNG in kinds:
+            out.append(
+                _diag(
+                    unit.path,
+                    crossing.expr,
+                    "RL202",
+                    "RNG stream crosses a process boundary; every "
+                    "child replays the same draws — ship (seed, "
+                    "worker-tag) and spawn streams in the worker",
+                )
+            )
+    # interprocedural: passing a stream to a callee whose parameter
+    # flows (transitively) into a boundary
+    for node in ast.walk(unit.node):
+        if not isinstance(node, ast.Call):
+            continue
+        callee, _ = unit.resolver.resolve_call(
+            node, unit.enclosing_class
+        )
+        if callee is None:
+            continue
+        flows = summaries.boundary_params.get(callee)
+        if not flows:
+            continue
+        symbol = unit.resolver.symbol_for(callee)
+        if symbol is None:
+            continue
+        positional = list(symbol.params)
+        if symbol.is_method and positional:
+            positional = positional[1:]
+        flagged: list[ast.expr] = []
+        for offset, arg in enumerate(node.args):
+            if (
+                offset < len(positional)
+                and positional[offset] in flows
+                and expr_kind(
+                    arg, env, unit.resolver, summaries,
+                    unit.enclosing_class,
+                )
+                == KIND_RNG
+            ):
+                flagged.append(arg)
+        for keyword in node.keywords:
+            if (
+                keyword.arg in flows
+                and expr_kind(
+                    keyword.value, env, unit.resolver, summaries,
+                    unit.enclosing_class,
+                )
+                == KIND_RNG
+            ):
+                flagged.append(keyword.value)
+        for arg in flagged:
+            out.append(
+                _diag(
+                    unit.path,
+                    arg,
+                    "RL202",
+                    f"RNG stream flows into {callee}(), which ships "
+                    "this parameter across a process boundary — "
+                    "spawn per-worker streams instead",
+                )
+            )
+    return out
+
+
+def _rl301_recorder_dropped(
+    unit: FunctionUnit,
+) -> list[Diagnostic]:
+    if not unit.symbol.accepts("recorder"):
+        return []
+    out: list[Diagnostic] = []
+    for stmt in _own_statements(unit.node):
+        for node in _header_nodes(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            callee, _ = unit.resolver.resolve_call(
+                node, unit.enclosing_class
+            )
+            if callee is None or callee == unit.symbol.qualname:
+                continue
+            symbol = unit.resolver.symbol_for(callee)
+            if symbol is None or not symbol.accepts("recorder"):
+                continue
+            if any(
+                keyword.arg in (None, "recorder")
+                for keyword in node.keywords
+            ):
+                continue
+            passed_positionally = False
+            if "recorder" in symbol.params:
+                index = symbol.params.index("recorder")
+                if symbol.is_method:
+                    index -= 1
+                passed_positionally = 0 <= index < len(node.args)
+            if not passed_positionally:
+                out.append(
+                    _diag(
+                        unit.path,
+                        node,
+                        "RL301",
+                        f"call to {callee}() drops the in-scope "
+                        "recorder; the callee accepts one and will "
+                        "silently record nothing — pass "
+                        "recorder=recorder",
+                    )
+                )
+    return out
+
+
+def run_function_rules(
+    unit: FunctionUnit,
+    summaries: Summaries,
+    select: frozenset[str],
+) -> list[Diagnostic]:
+    """Per-function deep rules (RL101–RL103, RL202, RL301)."""
+    if not in_deep_scope(unit.path):
+        return []
+    out: list[Diagnostic] = []
+    needs_env = select & {"RL101", "RL103", "RL202"}
+    env: dict[str, str] = {}
+    if needs_env:
+        env = taint_env(
+            unit.node, unit.resolver, summaries, unit.enclosing_class
+        )
+    if "RL101" in select:
+        out.extend(_rl101_shm_lifecycle(unit, env, summaries))
+    if "RL102" in select:
+        out.extend(_rl102_monkeypatch_restore(unit))
+    if "RL103" in select:
+        out.extend(_rl103_pool_pickle_safety(unit, env, summaries))
+    if "RL202" in select and not _is_rng_shim(unit.path):
+        out.extend(_rl202_rng_process_boundary(unit, env, summaries))
+    if "RL301" in select:
+        out.extend(_rl301_recorder_dropped(unit))
+    return out
+
+
+def run_module_rules(
+    path: str,
+    tree: ast.Module,
+    resolver: ModuleResolver,
+    select: frozenset[str],
+) -> list[Diagnostic]:
+    """Per-module deep rules (RL201 — module-level calls included)."""
+    if not in_deep_scope(path) or _is_rng_shim(path):
+        return []
+    out: list[Diagnostic] = []
+    if "RL201" in select:
+        out.extend(_rl201_rng_unseeded(path, tree, resolver))
+    return out
+
+
+# ----------------------------------------------------------------------
+# package-wide rules (RL104, RL203)
+# ----------------------------------------------------------------------
+def _local_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names bound locally in ``func`` (minus ``global`` declarations)."""
+    args = func.args
+    names: set[str] = {
+        arg.arg
+        for arg in args.posonlyargs + args.args + args.kwonlyargs
+    }
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    def bound_names(target: ast.expr) -> Iterator[str]:
+        """Names a target expression *binds* — the base of a
+        subscript/attribute store mutates an existing object and
+        binds nothing."""
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from bound_names(element)
+        elif isinstance(target, ast.Starred):
+            yield from bound_names(target.value)
+
+    declared_global: set[str] = set()
+    for stmt in _own_statements(func):
+        if isinstance(stmt, ast.Global):
+            declared_global.update(stmt.names)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.update(bound_names(target))
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            names.update(bound_names(stmt.target))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            names.update(bound_names(stmt.target))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    names.update(bound_names(item.optional_vars))
+    return names - declared_global
+
+
+def _global_accesses(
+    unit: FunctionUnit, global_names: set[str]
+) -> tuple[set[str], list[tuple[str, ast.AST]], set[str]]:
+    """(reads, read sites, writes) of module globals inside ``unit``.
+
+    ``global_names`` are qualnames of the globals under scrutiny; a
+    bare name only matches when it is not shadowed by a local.
+    """
+    local = _local_names(unit.node)
+    module = unit.symbol.module
+    reads: set[str] = set()
+    read_sites: list[tuple[str, ast.AST]] = []
+    writes: set[str] = set()
+
+    def qual_of(name: str) -> str | None:
+        if name in local:
+            return None
+        candidate = f"{module}.{name}"
+        return candidate if candidate in global_names else None
+
+    for stmt in _own_statements(unit.node):
+        for node in _header_nodes(stmt):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                qual = qual_of(node.id)
+                if qual is not None:
+                    reads.add(qual)
+                    read_sites.append((qual, node))
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                receiver = node.func.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and node.func.attr in _MUTATING_METHODS
+                ):
+                    qual = qual_of(receiver.id)
+                    if qual is not None:
+                        writes.add(qual)
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                base = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name) and base is not target:
+                    qual = qual_of(base.id)
+                    if qual is not None:
+                        writes.add(qual)
+    return reads, read_sites, writes
+
+
+def _worker_entry_points(
+    units: list[FunctionUnit],
+    env_of: dict[str, dict[str, str]],
+) -> set[str]:
+    """Qualnames shipped as pool callables anywhere in the package."""
+    entries: set[str] = set()
+    for unit in units:
+        env = env_of.get(unit.symbol.qualname, {})
+        for crossing in pool_boundary_args(
+            unit.node, env, unit.resolver, unit.enclosing_class
+        ):
+            if crossing.role != "callable":
+                continue
+            target = unit.resolver.resolve_reference(crossing.expr)
+            if target is not None:
+                entries.add(target)
+    return entries
+
+
+def run_package_rules(
+    symtab: SymbolTable,
+    graph: CallGraph,
+    units: list[FunctionUnit],
+    summaries: Summaries,
+    trees: dict[str, ast.Module],
+    select: frozenset[str],
+) -> list[Diagnostic]:
+    """Whole-package deep rules (RL104, RL203)."""
+    out: list[Diagnostic] = []
+    product_units = [
+        unit for unit in units if in_deep_scope(unit.path)
+    ]
+    if "RL104" in select:
+        mutable_globals = {
+            glob.qualname
+            for mod in symtab.modules()
+            if in_deep_scope(mod.path)
+            for glob in mod.globals
+            if glob.kind == "mutable"
+        }
+        if mutable_globals:
+            env_of = {
+                unit.symbol.qualname: taint_env(
+                    unit.node, unit.resolver, summaries,
+                    unit.enclosing_class,
+                )
+                for unit in product_units
+            }
+            workers = graph.reachable_from(
+                _worker_entry_points(product_units, env_of)
+            )
+            writers: dict[str, set[str]] = {}
+            readers: dict[str, list[tuple[FunctionUnit, ast.AST]]] = {}
+            for unit in product_units:
+                reads, read_sites, writes = _global_accesses(
+                    unit, mutable_globals
+                )
+                for qual in writes:
+                    writers.setdefault(qual, set()).add(
+                        unit.symbol.qualname
+                    )
+                for qual, node in read_sites:
+                    readers.setdefault(qual, []).append((unit, node))
+            for qual in sorted(writers):
+                worker_writers = sorted(writers[qual] & workers)
+                if not worker_writers:
+                    continue
+                for unit, node in readers.get(qual, []):
+                    if unit.symbol.qualname in workers:
+                        continue
+                    out.append(
+                        _diag(
+                            unit.path,
+                            node,
+                            "RL104",
+                            f"mutable global {qual!r} is written in "
+                            f"worker code ({worker_writers[0]}) but "
+                            "read here in the parent process; "
+                            "per-process writes never propagate back "
+                            "across fork — return results instead",
+                        )
+                    )
+    if "RL203" in select:
+        rng_globals = {
+            glob.qualname: glob
+            for mod in symtab.modules()
+            if in_deep_scope(mod.path) and not _is_rng_shim(mod.path)
+            for glob in mod.globals
+            if glob.kind == "rng"
+        }
+        for path in sorted(trees):
+            mod = symtab.module_for_path(path)
+            if mod is None or not in_deep_scope(path):
+                continue
+            resolver = ModuleResolver(symtab, mod)
+            for local, enclosing_class, func in _function_defs(
+                trees[path]
+            ):
+                for node in ast.walk(func):
+                    if not isinstance(
+                        node, (ast.Name, ast.Attribute)
+                    ) or not isinstance(node.ctx, ast.Load):
+                        continue
+                    qual = resolver.resolve_reference(node)
+                    glob = (
+                        rng_globals.get(qual)
+                        if qual is not None
+                        else None
+                    )
+                    if glob is None or glob.module == mod.module:
+                        continue
+                    out.append(
+                        _diag(
+                            path,
+                            node,
+                            "RL203",
+                            f"module-level RNG stream {qual!r} "
+                            f"(owned by {glob.module}) is read from "
+                            f"{mod.module}; one stream has one owner "
+                            "— inject the generator as a parameter",
+                        )
+                    )
+    return out

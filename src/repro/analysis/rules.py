@@ -98,6 +98,8 @@ class Rule:
     code: str
     name: str
     summary: str
+    family: str = "syntactic"  #: rule family for grouped --list-rules
+    deep: bool = False  #: requires the two-pass analyzer (--deep)
 
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -169,6 +171,10 @@ class _ImportTable:
 
     def __init__(self) -> None:
         self._aliases: dict[str, str] = {}
+
+    def aliases(self) -> dict[str, str]:
+        """Copy of the alias map (local name → dotted target)."""
+        return dict(self._aliases)
 
     def add_import(self, node: ast.Import) -> None:
         for alias in node.names:

@@ -1,0 +1,407 @@
+"""Pass 1 of deep analysis: the whole-package symbol table.
+
+The single-pass linter (:mod:`repro.analysis.rules`) sees one module
+at a time; the deep rules (RL1xx/RL2xx/RL3xx) need to answer
+questions like "which function does this call resolve to?" and "is
+this module-level name a mutable dict?" across the whole package.
+This module extracts, per file, everything those questions need:
+
+- every function/method (qualified name, parameter list, nesting),
+- every module-level assignment, classified by *kind* (mutable
+  container, RNG stream, other),
+- the module's import-alias table.
+
+Extraction is pure AST work keyed only by file content, so the
+results are cached between runs: :func:`build_symbol_table` accepts a
+JSON cache path and re-extracts only files whose SHA-256 changed
+(CI keeps the cache across runs via ``actions/cache``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.analysis.rules import _ImportTable
+
+#: Cache schema version; bump on any change to the dataclasses below.
+CACHE_VERSION = 1
+
+#: External constructors whose result is an RNG stream (module-level
+#: assignments from these get ``kind="rng"``).
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+    }
+)
+
+#: Internal helpers whose return value is an RNG stream.
+RNG_SHIM_PREFIX = "repro.utils.rng."
+
+#: Builtin factory calls whose result is a fresh mutable container.
+_MUTABLE_FACTORIES = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """One function, method, or nested def in the package."""
+
+    qualname: str  #: e.g. ``repro.core.ppr.PushKernel.push``
+    module: str  #: e.g. ``repro.core.ppr``
+    local_name: str  #: e.g. ``PushKernel.push``
+    lineno: int
+    params: tuple[str, ...]  #: positional(-or-keyword) names, in order
+    kwonly: tuple[str, ...]
+    has_varargs: bool
+    has_kwargs: bool
+    is_method: bool
+    is_nested: bool
+
+    def accepts(self, name: str) -> bool:
+        """Whether ``name`` is a parameter (positional or kw-only)."""
+        return name in self.params or name in self.kwonly
+
+
+@dataclass(frozen=True)
+class GlobalSymbol:
+    """One module-level assignment target."""
+
+    qualname: str  #: e.g. ``repro.core.ppr._POOL_STATE``
+    module: str
+    name: str
+    lineno: int
+    kind: str  #: ``"mutable"`` | ``"rng"`` | ``"other"``
+
+
+@dataclass(frozen=True)
+class ModuleSymbols:
+    """Everything pass 1 extracts from one file."""
+
+    module: str
+    path: str
+    functions: tuple[FunctionSymbol, ...]
+    globals: tuple[GlobalSymbol, ...]
+    imports: tuple[tuple[str, str], ...]  #: (local alias, dotted target)
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for a file path.
+
+    Anchored at the last ``src`` component (``src/repro/core/ppr.py``
+    → ``repro.core.ppr``) or, failing that, the last ``tests``
+    component; bare files fall back to their stem.  Deterministic in
+    the path alone, so cached entries stay valid across machines.
+    """
+    posix = path.replace("\\", "/")
+    if posix.endswith(".py"):
+        posix = posix[: -len(".py")]
+    parts = [part for part in posix.split("/") if part]
+    for anchor in ("src", "tests"):
+        if anchor in parts:
+            idx = len(parts) - 1 - parts[::-1].index(anchor)
+            tail = parts[idx + 1 :] if anchor == "src" else parts[idx:]
+            if tail:
+                if tail[-1] == "__init__":
+                    tail = tail[:-1]
+                if tail:
+                    return ".".join(tail)
+    return parts[-1] if parts else "<unknown>"
+
+
+def _import_table(tree: ast.Module) -> _ImportTable:
+    table = _ImportTable()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            table.add_import(node)
+        elif isinstance(node, ast.ImportFrom):
+            table.add_import_from(node)
+    return table
+
+
+def _global_kind(value: ast.expr, table: _ImportTable) -> str:
+    """Classify a module-level assignment's right-hand side."""
+    if isinstance(
+        value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+                ast.SetComp)
+    ):
+        return "mutable"
+    if isinstance(value, ast.Call):
+        if isinstance(value.func, ast.Name):
+            if value.func.id in _MUTABLE_FACTORIES:
+                return "mutable"
+        dotted = table.resolve(value.func)
+        if dotted is not None:
+            if dotted in RNG_CONSTRUCTORS or dotted.startswith(
+                RNG_SHIM_PREFIX
+            ):
+                return "rng"
+            leaf = dotted.rsplit(".", 1)[-1]
+            if leaf in _MUTABLE_FACTORIES:
+                return "mutable"
+    return "other"
+
+
+class _Extractor(ast.NodeVisitor):
+    """Collect function and global symbols from one module tree."""
+
+    def __init__(self, module: str, table: _ImportTable) -> None:
+        self.module = module
+        self.table = table
+        self.functions: list[FunctionSymbol] = []
+        self.globals: list[GlobalSymbol] = []
+        self._scope: list[tuple[str, str]] = []  #: (kind, name) stack
+
+    def _add_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        local = ".".join([name for _, name in self._scope] + [node.name])
+        args = node.args
+        params = tuple(
+            arg.arg for arg in args.posonlyargs + args.args
+        )
+        self.functions.append(
+            FunctionSymbol(
+                qualname=f"{self.module}.{local}",
+                module=self.module,
+                local_name=local,
+                lineno=node.lineno,
+                params=params,
+                kwonly=tuple(arg.arg for arg in args.kwonlyargs),
+                has_varargs=args.vararg is not None,
+                has_kwargs=args.kwarg is not None,
+                is_method=bool(self._scope) and self._scope[-1][0] == "class",
+                is_nested=any(kind == "func" for kind, _ in self._scope),
+            )
+        )
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._add_function(node)
+        self._scope.append(("func", node.name))
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(("class", node.name))
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def _add_global(self, target: ast.expr, value: ast.expr | None) -> None:
+        if self._scope or not isinstance(target, ast.Name):
+            return
+        kind = _global_kind(value, self.table) if value is not None else "other"
+        self.globals.append(
+            GlobalSymbol(
+                qualname=f"{self.module}.{target.id}",
+                module=self.module,
+                name=target.id,
+                lineno=target.lineno,
+                kind=kind,
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._add_global(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._add_global(node.target, node.value)
+        self.generic_visit(node)
+
+
+def extract_module(tree: ast.Module, path: str) -> ModuleSymbols:
+    """Extract one module's symbols from its parsed tree."""
+    module = module_name(path)
+    table = _import_table(tree)
+    extractor = _Extractor(module, table)
+    extractor.visit(tree)
+    return ModuleSymbols(
+        module=module,
+        path=path,
+        functions=tuple(extractor.functions),
+        globals=tuple(extractor.globals),
+        imports=tuple(sorted(table.aliases().items())),
+    )
+
+
+class SymbolTable:
+    """Whole-package symbol index: modules, functions, classes, globals."""
+
+    def __init__(self, modules: list[ModuleSymbols]) -> None:
+        self._modules: dict[str, ModuleSymbols] = {}
+        self._by_path: dict[str, ModuleSymbols] = {}
+        self._functions: dict[str, FunctionSymbol] = {}
+        self._classes: dict[str, dict[str, FunctionSymbol]] = {}
+        self._globals: dict[str, GlobalSymbol] = {}
+        for mod in modules:
+            self._modules[mod.module] = mod
+            self._by_path[mod.path] = mod
+            for func in mod.functions:
+                self._functions[func.qualname] = func
+                if "." in func.local_name:
+                    owner, method = func.local_name.rsplit(".", 1)
+                    class_qual = f"{mod.module}.{owner}"
+                    self._classes.setdefault(class_qual, {})[method] = func
+            for glob in mod.globals:
+                self._globals[glob.qualname] = glob
+
+    def module(self, name: str) -> ModuleSymbols | None:
+        return self._modules.get(name)
+
+    def module_for_path(self, path: str) -> ModuleSymbols | None:
+        return self._by_path.get(path)
+
+    def modules(self) -> list[ModuleSymbols]:
+        return [self._modules[name] for name in sorted(self._modules)]
+
+    def function(self, qualname: str) -> FunctionSymbol | None:
+        return self._functions.get(qualname)
+
+    def functions(self) -> list[FunctionSymbol]:
+        return [self._functions[name] for name in sorted(self._functions)]
+
+    def class_methods(self, class_qual: str) -> dict[str, FunctionSymbol]:
+        return self._classes.get(class_qual, {})
+
+    def is_class(self, qualname: str) -> bool:
+        return qualname in self._classes
+
+    def global_symbol(self, qualname: str) -> GlobalSymbol | None:
+        return self._globals.get(qualname)
+
+    def resolve_callable(self, dotted: str) -> FunctionSymbol | None:
+        """Map a dotted name to an internal function if one exists.
+
+        Tries, in order: a plain function (``mod.f``), a method
+        (``mod.Class.m``), a class constructor (``mod.Class`` →
+        ``mod.Class.__init__``).
+        """
+        func = self._functions.get(dotted)
+        if func is not None:
+            return func
+        methods = self._classes.get(dotted)
+        if methods is not None:
+            return methods.get("__init__")
+        return None
+
+
+# ----------------------------------------------------------------------
+# content-hash cache
+# ----------------------------------------------------------------------
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _to_cache_entry(mod: ModuleSymbols) -> dict[str, object]:
+    return asdict(mod)
+
+
+def _from_cache_entry(raw: dict[str, object]) -> ModuleSymbols:
+    functions = tuple(
+        FunctionSymbol(
+            qualname=str(f["qualname"]),
+            module=str(f["module"]),
+            local_name=str(f["local_name"]),
+            lineno=int(f["lineno"]),
+            params=tuple(str(p) for p in f["params"]),
+            kwonly=tuple(str(p) for p in f["kwonly"]),
+            has_varargs=bool(f["has_varargs"]),
+            has_kwargs=bool(f["has_kwargs"]),
+            is_method=bool(f["is_method"]),
+            is_nested=bool(f["is_nested"]),
+        )
+        for f in raw["functions"]  # type: ignore[union-attr]
+    )
+    globs = tuple(
+        GlobalSymbol(
+            qualname=str(g["qualname"]),
+            module=str(g["module"]),
+            name=str(g["name"]),
+            lineno=int(g["lineno"]),
+            kind=str(g["kind"]),
+        )
+        for g in raw["globals"]  # type: ignore[union-attr]
+    )
+    imports = tuple(
+        (str(alias), str(target))
+        for alias, target in raw["imports"]  # type: ignore[union-attr]
+    )
+    return ModuleSymbols(
+        module=str(raw["module"]),
+        path=str(raw["path"]),
+        functions=functions,
+        globals=globs,
+        imports=imports,
+    )
+
+
+def _load_cache(cache_path: Path) -> dict[str, dict[str, object]]:
+    try:
+        raw = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(raw, dict) or raw.get("version") != CACHE_VERSION:
+        return {}
+    files = raw.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def build_symbol_table(
+    sources: dict[str, str],
+    trees: dict[str, ast.Module],
+    cache_path: str | Path | None = None,
+) -> SymbolTable:
+    """Build (or incrementally refresh) the whole-package symbol table.
+
+    ``sources`` maps path → source text; ``trees`` holds the parsed
+    module for every path that needs (re-)extraction — paths whose
+    SHA-256 matches the cache are deserialised instead and their tree
+    is never consulted.  When ``cache_path`` is given the refreshed
+    cache is written back (best-effort; an unwritable path is ignored).
+    """
+    cached: dict[str, dict[str, object]] = {}
+    if cache_path is not None:
+        cached = _load_cache(Path(cache_path))
+    modules: list[ModuleSymbols] = []
+    fresh: dict[str, dict[str, object]] = {}
+    for path in sorted(sources):
+        sha = _sha256(sources[path])
+        entry = cached.get(path)
+        if (
+            entry is not None
+            and entry.get("sha") == sha
+            and isinstance(entry.get("symbols"), dict)
+        ):
+            mod = _from_cache_entry(
+                entry["symbols"]  # type: ignore[arg-type]
+            )
+        else:
+            mod = extract_module(trees[path], path)
+        modules.append(mod)
+        fresh[path] = {"sha": sha, "symbols": _to_cache_entry(mod)}
+    if cache_path is not None:
+        payload = json.dumps(
+            {"version": CACHE_VERSION, "files": fresh}, sort_keys=True
+        )
+        try:
+            Path(cache_path).write_text(payload, encoding="utf-8")
+        except OSError:
+            pass
+    return SymbolTable(modules)

@@ -553,7 +553,7 @@ class _SharedCSRSpec:
     indptr: _SharedArraySpec
 
 
-class _SharedCSR:
+class _SharedCSRPublisher:
     """Publish a CSR matrix's arrays once via POSIX shared memory.
 
     The parent copies ``data``/``indices``/``indptr`` into three
@@ -563,22 +563,35 @@ class _SharedCSR:
     call :meth:`close` (idempotent) once the pool has shut down.
     """
 
-    def __init__(self, matrix: sparse.csr_matrix) -> None:
+    def __init__(
+        self,
+        matrix: sparse.csr_matrix,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        self._recorder = recorder
         self._segments: list[shared_memory.SharedMemory] = []
         specs: list[_SharedArraySpec] = []
-        for array in (matrix.data, matrix.indices, matrix.indptr):
-            array = np.ascontiguousarray(array)
-            segment = shared_memory.SharedMemory(
-                create=True, size=max(1, array.nbytes)
-            )
-            view: np.ndarray = np.ndarray(
-                array.shape, dtype=array.dtype, buffer=segment.buf
-            )
-            view[:] = array
-            self._segments.append(segment)
-            specs.append(
-                _SharedArraySpec(segment.name, array.dtype.str, array.shape)
-            )
+        try:
+            for array in (matrix.data, matrix.indices, matrix.indptr):
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                # own the segment before anything that can raise, so a
+                # partial publish is torn down by the except below
+                self._segments.append(segment)
+                view: np.ndarray = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf
+                )
+                view[:] = array
+                specs.append(
+                    _SharedArraySpec(
+                        segment.name, array.dtype.str, array.shape
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
         self.spec = _SharedCSRSpec(
             shape=matrix.shape,
             data=specs[0],
@@ -587,30 +600,71 @@ class _SharedCSR:
         )
 
     def close(self) -> None:
-        """Release and unlink every segment (safe to call twice)."""
+        """Release and unlink every segment (safe to call twice).
+
+        Each segment is torn down independently: one failing
+        ``close()``/``unlink()`` cannot skip the remaining segments.
+        Failures are counted on ``repro_ppr_shm_unlink_errors_total``
+        (each one is a leak candidate the OS must reclaim).
+        """
         segments, self._segments = self._segments, []
+        errors = 0
         for segment in segments:
-            segment.close()
-            segment.unlink()
+            try:
+                segment.close()
+            except OSError:
+                errors += 1
+            try:
+                segment.unlink()
+            except OSError:
+                errors += 1
+        if errors:
+            self._recorder.counter(
+                "repro_ppr_shm_unlink_errors_total",
+                "Shared-memory segment close()/unlink() failures during "
+                "publisher teardown (leak candidates).",
+            ).inc(errors)
 
 
-def _attach_array(
-    spec: _SharedArraySpec,
-) -> tuple[np.ndarray, shared_memory.SharedMemory]:
-    # Attaching registers the segment with the resource tracker (the
-    # tracker process is shared with the parent), which would race the
-    # parent's own register/unregister pair at unlink time.  The parent
-    # owns the segment lifetime, so suppress registration here.
+def _noop_register(name: str, rtype: str) -> None:
+    """Stand-in for ``resource_tracker.register`` while workers attach
+    parent-owned segments (registration would race the parent's own
+    register/unregister pair at unlink time)."""
+
+
+def _attach(
+    specs: Sequence[_SharedArraySpec],
+) -> tuple[list[np.ndarray], list[shared_memory.SharedMemory]]:
+    """Attach every published segment in ``specs`` as a zero-copy view.
+
+    The resource-tracker monkeypatch (see :func:`_noop_register`) spans
+    all attaches and is restored in a ``finally`` so a failing attach
+    cannot leave the tracker permanently patched; segments attached
+    before a failure are closed before the error propagates, so a
+    partially initialised worker holds no dangling mappings.
+    """
+    arrays: list[np.ndarray] = []
+    segments: list[shared_memory.SharedMemory] = []
     original_register = resource_tracker.register
-    resource_tracker.register = lambda name, rtype: None  # type: ignore[assignment]
+    resource_tracker.register = _noop_register  # type: ignore[assignment]
     try:
-        segment = shared_memory.SharedMemory(name=spec.name)
+        for spec in specs:
+            segment = shared_memory.SharedMemory(name=spec.name)
+            segments.append(segment)
+            array: np.ndarray = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+            )
+            arrays.append(array)
+    except BaseException:
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:
+                pass
+        raise
     finally:
         resource_tracker.register = original_register  # type: ignore[assignment]
-    array: np.ndarray = np.ndarray(
-        spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
-    )
-    return array, segment
+    return arrays, segments
 
 
 def _pool_initializer(
@@ -621,13 +675,13 @@ def _pool_initializer(
 ) -> None:
     """Attach the shared transition matrix and build this worker's
     kernel once; work units then carry only their source ids."""
-    data, data_seg = _attach_array(spec.data)
-    indices, indices_seg = _attach_array(spec.indices)
-    indptr, indptr_seg = _attach_array(spec.indptr)
+    (data, indices, indptr), segments = _attach(
+        (spec.data, spec.indices, spec.indptr)
+    )
     matrix = sparse.csr_matrix(
         (data, indices, indptr), shape=spec.shape, copy=False
     )
-    _POOL_STATE["segments"] = (data_seg, indices_seg, indptr_seg)
+    _POOL_STATE["segments"] = tuple(segments)
     _POOL_STATE["kernel"] = PushKernel(matrix)
     _POOL_STATE["params"] = (damping, push_epsilon, epsilon)
 
@@ -913,14 +967,15 @@ def _run_push_pool(
     damping: float,
     push_epsilon: float,
     epsilon: float,
+    recorder: Recorder = NULL_RECORDER,
 ) -> dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Execute push work units on a shared-memory process pool.
 
     Returns ``unit_id → (counts, cols, vals)``.  The transition matrix
-    is published once via :class:`_SharedCSR`; unit payloads are just
-    source-id arrays, and only results travel back.
+    is published once via :class:`_SharedCSRPublisher`; unit payloads
+    are just source-id arrays, and only results travel back.
     """
-    shared = _SharedCSR(matrix)
+    shared = _SharedCSRPublisher(matrix, recorder=recorder)
     results: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
     try:
         with ProcessPoolExecutor(
@@ -1183,7 +1238,8 @@ class PPRBasis:
             parts = _chunk_sources_by_nnz(matrix.indptr, sources, workers)
         units = list(enumerate(parts))
         results = _run_push_pool(
-            matrix, units, workers, damping, push_eps, epsilon
+            matrix, units, workers, damping, push_eps, epsilon,
+            recorder=recorder,
         )
         all_counts = np.concatenate(
             [results[uid][0] for uid, _ in units]
@@ -1472,7 +1528,7 @@ class ShardedBasis:
             else:
                 blocks = cls._compute_blocks_parallel(
                     matrix, index, workers, damping, push_eps, epsilon,
-                    chunk_nnz,
+                    chunk_nnz, recorder=recorder,
                 )
         recorder.counter(
             "repro_ppr_basis_rows_total",
@@ -1489,6 +1545,7 @@ class ShardedBasis:
         push_eps: float,
         epsilon: float,
         chunk_nnz: int | None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> list[sparse.csr_matrix]:
         """One pool run over every shard's nnz-sized work units."""
         n = matrix.shape[0]
@@ -1508,7 +1565,8 @@ class ShardedBasis:
                 for offset, part in enumerate(parts)
             )
         results = _run_push_pool(
-            matrix, units, workers, damping, push_eps, epsilon
+            matrix, units, workers, damping, push_eps, epsilon,
+            recorder=recorder,
         )
         blocks: list[sparse.csr_matrix] = []
         for shard_id, unit_ids in enumerate(shard_units):

@@ -1,0 +1,176 @@
+"""Pass-1b call graph: resolution vectors and reachability."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, ModuleResolver
+from repro.analysis.symbols import build_symbol_table
+
+PKG = "src/repro/pkg"
+
+
+def _graph(sources: dict[str, str]) -> CallGraph:
+    trees = {path: ast.parse(text) for path, text in sources.items()}
+    symtab = build_symbol_table(sources, trees)
+    return CallGraph.build(symtab, trees)
+
+
+def _edges(graph: CallGraph, caller: str) -> set[tuple[str | None, str | None]]:
+    return {
+        (site.callee, site.external)
+        for site in graph.calls_from(caller)
+    }
+
+
+def test_plain_name_resolves_to_module_function() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/mod.py": (
+                "def helper():\n    pass\n"
+                "def caller():\n    helper()\n"
+            )
+        }
+    )
+    assert ("repro.pkg.mod.helper", None) in _edges(
+        graph, "repro.pkg.mod.caller"
+    )
+
+
+def test_from_import_alias_resolves_across_modules() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/util.py": "def helper():\n    pass\n",
+            f"{PKG}/mod.py": (
+                "from repro.pkg.util import helper as h\n"
+                "def caller():\n    h()\n"
+            ),
+        }
+    )
+    assert ("repro.pkg.util.helper", None) in _edges(
+        graph, "repro.pkg.mod.caller"
+    )
+
+
+def test_module_alias_dotted_call_resolves() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/util.py": "def helper():\n    pass\n",
+            f"{PKG}/mod.py": (
+                "import repro.pkg.util as util\n"
+                "def caller():\n    util.helper()\n"
+            ),
+        }
+    )
+    assert ("repro.pkg.util.helper", None) in _edges(
+        graph, "repro.pkg.mod.caller"
+    )
+
+
+def test_self_method_call_resolves_to_enclosing_class() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/mod.py": (
+                "class K:\n"
+                "    def a(self):\n        self.b()\n"
+                "    def b(self):\n        pass\n"
+            )
+        }
+    )
+    assert ("repro.pkg.mod.K.b", None) in _edges(
+        graph, "repro.pkg.mod.K.a"
+    )
+
+
+def test_constructor_resolves_to_init() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/mod.py": (
+                "class K:\n"
+                "    def __init__(self, x):\n        self.x = x\n"
+                "def caller():\n    return K(1)\n"
+            )
+        }
+    )
+    assert ("repro.pkg.mod.K.__init__", None) in _edges(
+        graph, "repro.pkg.mod.caller"
+    )
+
+
+def test_nested_def_is_its_own_caller() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/mod.py": (
+                "def target():\n    pass\n"
+                "def outer():\n"
+                "    def inner():\n        target()\n"
+                "    return inner\n"
+            )
+        }
+    )
+    assert ("repro.pkg.mod.target", None) in _edges(
+        graph, "repro.pkg.mod.outer.inner"
+    )
+
+
+def test_unresolved_external_keeps_dotted_name() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/mod.py": (
+                "import numpy as np\n"
+                "def caller():\n    return np.zeros(3)\n"
+            )
+        }
+    )
+    assert (None, "numpy.zeros") in _edges(graph, "repro.pkg.mod.caller")
+
+
+def test_opaque_receiver_produces_no_edge() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/mod.py": (
+                "def caller(obj):\n    return obj.method()\n"
+            )
+        }
+    )
+    assert _edges(graph, "repro.pkg.mod.caller") == set()
+
+
+def test_callers_of_and_reachability() -> None:
+    graph = _graph(
+        {
+            f"{PKG}/mod.py": (
+                "def leaf():\n    pass\n"
+                "def mid():\n    leaf()\n"
+                "def root():\n    mid()\n"
+                "def unrelated():\n    pass\n"
+            )
+        }
+    )
+    assert graph.callers_of("repro.pkg.mod.leaf") == ["repro.pkg.mod.mid"]
+    reach = graph.reachable_from({"repro.pkg.mod.root"})
+    assert reach == {
+        "repro.pkg.mod.root",
+        "repro.pkg.mod.mid",
+        "repro.pkg.mod.leaf",
+    }
+
+
+def test_resolve_reference_for_bare_callables() -> None:
+    sources = {
+        f"{PKG}/mod.py": (
+            "def work(unit):\n    return unit\n"
+            "STATE = {}\n"
+        )
+    }
+    trees = {path: ast.parse(text) for path, text in sources.items()}
+    symtab = build_symbol_table(sources, trees)
+    mod = symtab.module("repro.pkg.mod")
+    assert mod is not None
+    resolver = ModuleResolver(symtab, mod)
+    ref = ast.parse("work", mode="eval").body
+    assert resolver.resolve_reference(ref) == "repro.pkg.mod.work"
+    glob = ast.parse("STATE", mode="eval").body
+    assert resolver.resolve_reference(glob) == "repro.pkg.mod.STATE"
+    missing = ast.parse("nothing", mode="eval").body
+    assert resolver.resolve_reference(missing) is None

@@ -12,7 +12,7 @@ import pathlib
 import subprocess
 import sys
 
-from repro.analysis import format_diagnostic, lint_paths
+from repro.analysis import deep_lint_paths, format_diagnostic, lint_paths
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
@@ -23,13 +23,21 @@ def test_src_and_tests_are_diagnostics_clean() -> None:
     assert diags == [], f"repro-lint violations:\n{rendered}"
 
 
+def test_src_and_tests_are_deep_clean() -> None:
+    diags = deep_lint_paths(
+        [REPO_ROOT / "src" / "repro", REPO_ROOT / "tests"]
+    )
+    rendered = "\n".join(format_diagnostic(d, "text") for d in diags)
+    assert diags == [], f"deep-lint violations:\n{rendered}"
+
+
 def test_tools_entry_point_exits_zero_on_tree() -> None:
     result = subprocess.run(
         [sys.executable, str(REPO_ROOT / "tools" / "repro_lint.py"),
-         "src", "tests"],
+         "--deep", "src", "tests"],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
-        timeout=120,
+        timeout=300,
     )
     assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,469 @@
+"""Deep rule families end to end: one positive and one negative
+vector per rule, fixture demotion, suppressions, ``--jobs`` parity,
+and the symbol-table cache."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.cli import main
+from repro.analysis.deep import deep_lint_paths, deep_lint_sources
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+MOD = "src/repro/pkg/mod.py"
+
+
+def _codes(sources: dict[str, str] | str) -> list[str]:
+    if isinstance(sources, str):
+        sources = {MOD: sources}
+    return sorted({diag.code for diag in deep_lint_sources(sources)})
+
+
+def materialise(tmp_path: pathlib.Path, fixture: str) -> pathlib.Path:
+    target = tmp_path / "src" / "repro" / "core" / fixture.replace(".txt", "")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text((FIXTURES / fixture).read_text(encoding="utf-8"))
+    return target
+
+
+def marked_line(path: pathlib.Path, marker: str) -> int:
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if marker in line:
+            return lineno
+    raise AssertionError(f"marker {marker!r} not found in {path}")
+
+
+# -- RL101 shm lifecycle -------------------------------------------------
+RL101_POS = """
+from multiprocessing import shared_memory
+import numpy as np
+
+def leaky(spec):
+    seg = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, buffer=seg.buf)
+    return float(view.sum())
+"""
+
+RL101_NEG = """
+from multiprocessing import shared_memory
+import numpy as np
+
+def safe(spec):
+    seg = shared_memory.SharedMemory(name=spec.name)
+    try:
+        view = np.ndarray(spec.shape, buffer=seg.buf)
+        total = float(view.sum())
+    finally:
+        seg.close()
+    return total
+"""
+
+
+def test_rl101_flags_leak_on_exception_path() -> None:
+    assert "RL101" in _codes(RL101_POS)
+
+
+def test_rl101_accepts_finally_release() -> None:
+    assert "RL101" not in _codes(RL101_NEG)
+
+
+def test_rl101_ownership_transfer_is_not_a_leak() -> None:
+    source = """
+from multiprocessing import shared_memory
+
+def publish(specs, registry):
+    for spec in specs:
+        seg = shared_memory.SharedMemory(name=spec.name)
+        registry.append(seg)
+"""
+    assert "RL101" not in _codes(source)
+
+
+def test_rl101_interprocedural_acquirer_taints_caller() -> None:
+    source = """
+from multiprocessing import shared_memory
+import numpy as np
+
+def open_segment(name):
+    return shared_memory.SharedMemory(name=name)
+
+def leaky(name):
+    seg = open_segment(name)
+    return float(np.ndarray((4,), buffer=seg.buf).sum())
+"""
+    diags = deep_lint_sources({MOD: source})
+    assert ["RL101"] == sorted({d.code for d in diags})
+    (diag,) = [d for d in diags if d.code == "RL101"]
+    assert diag.line == source.splitlines().index(
+        "    seg = open_segment(name)"
+    ) + 1
+
+
+# -- RL102 monkeypatch restore -------------------------------------------
+RL102_POS = """
+from multiprocessing import resource_tracker
+
+def _quiet(name, rtype):
+    pass
+
+def patchy():
+    original = resource_tracker.register
+    resource_tracker.register = _quiet
+    work()
+    resource_tracker.register = original
+
+def work():
+    pass
+"""
+
+RL102_NEG = RL102_POS.replace(
+    "    work()\n    resource_tracker.register = original",
+    "    try:\n        work()\n"
+    "    finally:\n        resource_tracker.register = original",
+)
+
+
+def test_rl102_flags_unprotected_restore() -> None:
+    assert "RL102" in _codes(RL102_POS)
+
+
+def test_rl102_accepts_finally_restore() -> None:
+    assert "RL102" not in _codes(RL102_NEG)
+
+
+def test_rl102_ignores_plain_attribute_state() -> None:
+    source = """
+class K:
+    def swap(self, replacement):
+        original = self.graph
+        self.graph = replacement
+        return original
+"""
+    assert "RL102" not in _codes(source)
+
+
+# -- RL103 pool pickle safety --------------------------------------------
+RL103_POS_LOCK = """
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+def _init(lock):
+    pass
+
+def _work(unit):
+    return unit
+
+def run(units):
+    lock = threading.Lock()
+    with ProcessPoolExecutor(initializer=_init, initargs=(lock,)) as pool:
+        return list(pool.map(_work, units))
+"""
+
+RL103_POS_NESTED = """
+from concurrent.futures import ProcessPoolExecutor
+
+def run(units):
+    def work(unit):
+        return unit
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, units))
+"""
+
+RL103_NEG = """
+from concurrent.futures import ProcessPoolExecutor
+
+def _work(unit):
+    return unit
+
+def run(units):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_work, units))
+"""
+
+
+def test_rl103_flags_lock_in_initargs() -> None:
+    assert "RL103" in _codes(RL103_POS_LOCK)
+
+
+def test_rl103_flags_nested_worker_callable() -> None:
+    assert "RL103" in _codes(RL103_POS_NESTED)
+
+
+def test_rl103_accepts_plain_payloads() -> None:
+    assert "RL103" not in _codes(RL103_NEG)
+
+
+# -- RL104 fork-shared global --------------------------------------------
+RL104_POS = """
+from concurrent.futures import ProcessPoolExecutor
+
+_STATE = {}
+
+def _init(spec):
+    _STATE["spec"] = spec
+
+def _work(unit):
+    return _STATE["spec"], unit
+
+def run(units, spec):
+    with ProcessPoolExecutor(initializer=_init, initargs=(spec,)) as pool:
+        results = list(pool.map(_work, units))
+    return results, _STATE
+"""
+
+RL104_NEG = RL104_POS.replace("    return results, _STATE", "    return results")
+
+
+def test_rl104_flags_parent_read_of_worker_written_global() -> None:
+    assert "RL104" in _codes(RL104_POS)
+
+
+def test_rl104_accepts_worker_only_state() -> None:
+    assert "RL104" not in _codes(RL104_NEG)
+
+
+# -- RL201 unseeded RNG --------------------------------------------------
+def test_rl201_flags_unseeded_and_none_seeded() -> None:
+    source = """
+import numpy as np
+import random
+
+def draw():
+    a = np.random.default_rng()
+    b = random.Random(None)
+    return a.random() + b.random()
+"""
+    diags = deep_lint_sources({MOD: source})
+    assert [d.code for d in diags].count("RL201") == 2
+
+
+def test_rl201_flags_system_random() -> None:
+    source = """
+import random
+
+def draw():
+    return random.SystemRandom().random()
+"""
+    assert "RL201" in _codes(source)
+
+
+def test_rl201_accepts_seeded_streams() -> None:
+    source = """
+import numpy as np
+
+def draw(seed):
+    return np.random.default_rng(seed).random()
+"""
+    assert "RL201" not in _codes(source)
+
+
+# -- RL202 RNG across a process boundary ---------------------------------
+RL202_POS = """
+import numpy as np
+from concurrent.futures import ProcessPoolExecutor
+
+def _work(rng, unit):
+    return rng.random()
+
+def run(units, seed):
+    rng = np.random.default_rng(seed)
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(_work, rng, unit) for unit in units]
+"""
+
+RL202_NEG = """
+import numpy as np
+from concurrent.futures import ProcessPoolExecutor
+
+def _work(seed, unit):
+    return np.random.default_rng(seed).random()
+
+def run(units, seed):
+    with ProcessPoolExecutor() as pool:
+        return [
+            pool.submit(_work, seed + index, unit)
+            for index, unit in enumerate(units)
+        ]
+"""
+
+
+def test_rl202_flags_rng_payload() -> None:
+    assert "RL202" in _codes(RL202_POS)
+
+
+def test_rl202_accepts_seed_payloads() -> None:
+    assert "RL202" not in _codes(RL202_NEG)
+
+
+def test_rl202_interprocedural_param_flow() -> None:
+    source = """
+import numpy as np
+from concurrent.futures import ProcessPoolExecutor
+
+def _work(rng, unit):
+    return unit
+
+def dispatch(stream, units):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(_work, stream, unit) for unit in units]
+
+def run(units, seed):
+    rng = np.random.default_rng(seed)
+    return dispatch(rng, units)
+"""
+    diags = deep_lint_sources({MOD: source})
+    lines = {d.line for d in diags if d.code == "RL202"}
+    # dispatch() alone has no evidence its parameter is a stream; the
+    # flag lands at run()'s call site, where the taint meets the
+    # boundary-flowing parameter
+    call_line = source.splitlines().index(
+        "    return dispatch(rng, units)"
+    ) + 1
+    assert lines == {call_line}
+
+
+# -- RL203 shared module-level stream ------------------------------------
+def test_rl203_flags_foreign_module_read() -> None:
+    sources = {
+        "src/repro/pkg/streams.py": (
+            "import numpy as np\n\nSTREAM = np.random.default_rng(7)\n"
+        ),
+        "src/repro/pkg/consumer.py": (
+            "from repro.pkg.streams import STREAM\n\n"
+            "def draw():\n    return STREAM.random()\n"
+        ),
+    }
+    diags = deep_lint_sources(sources)
+    rl203 = [d for d in diags if d.code == "RL203"]
+    assert len(rl203) == 1
+    assert rl203[0].path == "src/repro/pkg/consumer.py"
+
+
+def test_rl203_accepts_owner_module_reads() -> None:
+    sources = {
+        "src/repro/pkg/streams.py": (
+            "import numpy as np\n\n"
+            "STREAM = np.random.default_rng(7)\n\n"
+            "def draw():\n    return STREAM.random()\n"
+        ),
+    }
+    diags = deep_lint_sources(sources)
+    assert not [d for d in diags if d.code == "RL203"]
+
+
+# -- RL301 dropped recorder ----------------------------------------------
+RL301_POS = """
+from repro.obs import NULL_RECORDER
+
+def helper(x, recorder=NULL_RECORDER):
+    return x + 1
+
+def outer(x, recorder=NULL_RECORDER):
+    return helper(x)
+"""
+
+RL301_NEG = RL301_POS.replace("helper(x)", "helper(x, recorder=recorder)")
+
+
+def test_rl301_flags_dropped_recorder() -> None:
+    assert "RL301" in _codes(RL301_POS)
+
+
+def test_rl301_accepts_threaded_recorder() -> None:
+    assert "RL301" not in _codes(RL301_NEG)
+
+
+def test_rl301_accepts_positional_recorder() -> None:
+    source = """
+from repro.obs import NULL_RECORDER
+
+def helper(x, recorder=NULL_RECORDER):
+    return x + 1
+
+def outer(x, recorder=NULL_RECORDER):
+    return helper(x, recorder)
+"""
+    assert "RL301" not in _codes(source)
+
+
+def test_rl301_silent_without_recorder_in_scope() -> None:
+    source = """
+from repro.obs import NULL_RECORDER
+
+def helper(x, recorder=NULL_RECORDER):
+    return x + 1
+
+def outer(x):
+    return helper(x)
+"""
+    assert "RL301" not in _codes(source)
+
+
+# -- scope, suppressions, fixtures, parallelism, cache -------------------
+def test_deep_rules_skip_test_code() -> None:
+    assert _codes({"tests/pkg/test_mod.py": RL101_POS}) == []
+
+
+def test_inline_suppression_is_honoured() -> None:
+    suppressed = RL101_POS.replace(
+        "shared_memory.SharedMemory(name=spec.name)",
+        "shared_memory.SharedMemory(name=spec.name)"
+        "  # repro-lint: disable=RL101 -- test vector",
+    )
+    assert _codes(suppressed) == []
+
+
+def test_seeded_fault_fixture_demotes_at_marked_line(
+    tmp_path: pathlib.Path,
+) -> None:
+    bad = materialise(tmp_path, "rl101_shm_leak.py.txt")
+    diags = deep_lint_paths([bad])
+    assert [d.code for d in diags] == ["RL101"]
+    assert diags[0].line == marked_line(bad, "MARK:leak")
+    # CLI contract: --deep violations exit 1
+    assert main(["--deep", str(bad)]) == 1
+
+
+def test_clean_fixture_passes_deep(tmp_path: pathlib.Path) -> None:
+    clean = materialise(tmp_path, "deep_clean_module.py.txt")
+    assert deep_lint_paths([clean]) == []
+    assert main(["--deep", str(clean)]) == 0
+
+
+def test_jobs_parity_with_serial(tmp_path: pathlib.Path) -> None:
+    bad = materialise(tmp_path, "rl101_shm_leak.py.txt")
+    materialise(tmp_path, "deep_clean_module.py.txt")
+    root = bad.parents[3]
+    serial = deep_lint_paths([root])
+    parallel = deep_lint_paths([root], jobs=2)
+    assert serial == parallel
+    assert [d.code for d in serial] == ["RL101"]
+
+
+def test_symtab_cache_reused_between_runs(
+    tmp_path: pathlib.Path,
+) -> None:
+    bad = materialise(tmp_path, "rl101_shm_leak.py.txt")
+    cache = tmp_path / "symtab.json"
+    first = deep_lint_paths([bad], cache_path=cache)
+    assert cache.is_file()
+    stamp = cache.read_text(encoding="utf-8")
+    second = deep_lint_paths([bad], cache_path=cache)
+    assert first == second
+    # unchanged sources → byte-identical cache
+    assert cache.read_text(encoding="utf-8") == stamp
+
+
+def test_select_gates_deep_rules() -> None:
+    diags = deep_lint_sources(
+        {MOD: RL101_POS}, select=frozenset({"RL102"})
+    )
+    assert diags == []
+
+
+def test_deep_only_select_requires_deep_flag(
+    tmp_path: pathlib.Path,
+) -> None:
+    clean = materialise(tmp_path, "deep_clean_module.py.txt")
+    assert main(["--select", "RL101", str(clean)]) == 2
+    assert main(["--select", "RL101", "--deep", str(clean)]) == 0

@@ -1,0 +1,200 @@
+"""Pass-1 symbol table: extraction, resolution, content-hash cache."""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+
+from repro.analysis.symbols import (
+    SymbolTable,
+    build_symbol_table,
+    extract_module,
+    module_name,
+)
+
+PKG = "src/repro/pkg"
+
+
+def _extract(source: str, path: str = f"{PKG}/mod.py"):
+    return extract_module(ast.parse(source), path)
+
+
+def _table(sources: dict[str, str]) -> SymbolTable:
+    trees = {path: ast.parse(text) for path, text in sources.items()}
+    return build_symbol_table(sources, trees)
+
+
+class TestModuleName:
+    def test_src_anchored(self) -> None:
+        assert module_name("src/repro/core/ppr.py") == "repro.core.ppr"
+
+    def test_absolute_path(self) -> None:
+        assert (
+            module_name("/root/repo/src/repro/obs/metrics.py")
+            == "repro.obs.metrics"
+        )
+
+    def test_package_init(self) -> None:
+        assert module_name("src/repro/core/__init__.py") == "repro.core"
+
+    def test_tests_anchored(self) -> None:
+        assert (
+            module_name("tests/analysis/test_rules.py")
+            == "tests.analysis.test_rules"
+        )
+
+    def test_bare_file_falls_back_to_stem(self) -> None:
+        assert module_name("scratch.py") == "scratch"
+
+
+class TestExtraction:
+    def test_function_symbols_capture_signature(self) -> None:
+        mod = _extract(
+            "def f(a, b, *args, c, **kwargs):\n    pass\n"
+        )
+        (func,) = mod.functions
+        assert func.qualname == "repro.pkg.mod.f"
+        assert func.params == ("a", "b")
+        assert func.kwonly == ("c",)
+        assert func.has_varargs and func.has_kwargs
+        assert not func.is_method and not func.is_nested
+        assert func.accepts("c") and not func.accepts("args")
+
+    def test_methods_and_nested_defs_are_classified(self) -> None:
+        mod = _extract(
+            "class K:\n"
+            "    def m(self, x):\n"
+            "        def inner(y):\n"
+            "            return y\n"
+            "        return inner(x)\n"
+        )
+        by_name = {func.local_name: func for func in mod.functions}
+        assert by_name["K.m"].is_method
+        assert not by_name["K.m"].is_nested
+        assert by_name["K.m.inner"].is_nested
+
+    def test_global_kinds(self) -> None:
+        mod = _extract(
+            "import numpy as np\n"
+            "STATE = {}\n"
+            "ITEMS = list()\n"
+            "STREAM = np.random.default_rng(7)\n"
+            "LIMIT = 10\n"
+        )
+        kinds = {glob.name: glob.kind for glob in mod.globals}
+        assert kinds == {
+            "STATE": "mutable",
+            "ITEMS": "mutable",
+            "STREAM": "rng",
+            "LIMIT": "other",
+        }
+
+    def test_import_aliases_recorded(self) -> None:
+        mod = _extract(
+            "import numpy.random as npr\n"
+            "from concurrent.futures import ProcessPoolExecutor as Pool\n"
+        )
+        aliases = dict(mod.imports)
+        assert aliases["npr"] == "numpy.random"
+        assert aliases["Pool"] == "concurrent.futures.ProcessPoolExecutor"
+
+
+class TestSymbolTable:
+    def test_resolve_callable_function_method_constructor(self) -> None:
+        table = _table(
+            {
+                f"{PKG}/mod.py": (
+                    "def f():\n    pass\n"
+                    "class K:\n"
+                    "    def __init__(self):\n        pass\n"
+                    "    def m(self):\n        pass\n"
+                )
+            }
+        )
+        assert table.resolve_callable("repro.pkg.mod.f") is not None
+        method = table.resolve_callable("repro.pkg.mod.K.m")
+        assert method is not None and method.is_method
+        init = table.resolve_callable("repro.pkg.mod.K")
+        assert init is not None and init.local_name == "K.__init__"
+        assert table.resolve_callable("repro.pkg.mod.missing") is None
+
+    def test_module_lookup_by_path_and_name(self) -> None:
+        table = _table({f"{PKG}/mod.py": "X = 1\n"})
+        assert table.module_for_path(f"{PKG}/mod.py") is not None
+        assert table.module("repro.pkg.mod") is not None
+        assert table.global_symbol("repro.pkg.mod.X") is not None
+
+
+class TestCache:
+    SOURCES = {
+        f"{PKG}/a.py": "def fa():\n    pass\n",
+        f"{PKG}/b.py": "def fb():\n    pass\n",
+    }
+
+    def test_cache_round_trip_skips_reparse(
+        self, tmp_path: pathlib.Path
+    ) -> None:
+        cache = tmp_path / "symtab.json"
+        trees = {
+            path: ast.parse(text) for path, text in self.SOURCES.items()
+        }
+        first = build_symbol_table(self.SOURCES, trees, cache)
+        assert cache.is_file()
+        # a second build must be served fully from the cache: passing
+        # no trees at all proves extraction is skipped
+        second = build_symbol_table(self.SOURCES, {}, cache)
+        assert [m.module for m in first.modules()] == [
+            m.module for m in second.modules()
+        ]
+        assert second.function("repro.pkg.a.fa") is not None
+
+    def test_changed_file_is_reextracted(
+        self, tmp_path: pathlib.Path
+    ) -> None:
+        cache = tmp_path / "symtab.json"
+        trees = {
+            path: ast.parse(text) for path, text in self.SOURCES.items()
+        }
+        build_symbol_table(self.SOURCES, trees, cache)
+        changed = dict(self.SOURCES)
+        changed[f"{PKG}/a.py"] = "def fa_v2():\n    pass\n"
+        # only the changed file needs a tree; b.py rides the cache
+        table = build_symbol_table(
+            changed,
+            {f"{PKG}/a.py": ast.parse(changed[f"{PKG}/a.py"])},
+            cache,
+        )
+        assert table.function("repro.pkg.a.fa_v2") is not None
+        assert table.function("repro.pkg.a.fa") is None
+        assert table.function("repro.pkg.b.fb") is not None
+
+    def test_corrupt_cache_is_ignored(
+        self, tmp_path: pathlib.Path
+    ) -> None:
+        cache = tmp_path / "symtab.json"
+        cache.write_text("{not json", encoding="utf-8")
+        trees = {
+            path: ast.parse(text) for path, text in self.SOURCES.items()
+        }
+        table = build_symbol_table(self.SOURCES, trees, cache)
+        assert table.function("repro.pkg.a.fa") is not None
+        # and the cache healed into valid JSON
+        assert isinstance(
+            json.loads(cache.read_text(encoding="utf-8")), dict
+        )
+
+    def test_version_mismatch_invalidates(
+        self, tmp_path: pathlib.Path
+    ) -> None:
+        cache = tmp_path / "symtab.json"
+        trees = {
+            path: ast.parse(text) for path, text in self.SOURCES.items()
+        }
+        build_symbol_table(self.SOURCES, trees, cache)
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        payload["version"] = -1
+        cache.write_text(json.dumps(payload), encoding="utf-8")
+        # stale version → full re-extraction (trees required again)
+        table = build_symbol_table(self.SOURCES, trees, cache)
+        assert table.function("repro.pkg.b.fb") is not None

@@ -1,0 +1,157 @@
+"""Shared-memory lifecycle regressions for the sharded offline phase.
+
+Two failure modes this file pins down:
+
+- a worker-side attach failure (``SharedMemory(name=...)`` raising)
+  must restore ``resource_tracker.register`` and close every segment
+  attached before the failure — the monkeypatch must never outlive
+  ``_attach``;
+- publisher teardown must be per-segment error-isolated: one failing
+  ``unlink()`` cannot skip the remaining segments, and each failure
+  increments ``repro_ppr_shm_unlink_errors_total``.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.ppr import _attach, _SharedArraySpec, _SharedCSRPublisher
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def published_segment():
+    segment = shared_memory.SharedMemory(create=True, size=16)
+    np.ndarray((2,), dtype=np.float64, buffer=segment.buf)[:] = [1.0, 2.0]
+    yield segment
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _matrix() -> sparse.csr_matrix:
+    dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+    return sparse.csr_matrix(dense)
+
+
+class TestAttach:
+    def test_success_restores_tracker_and_attaches_views(
+        self, published_segment: shared_memory.SharedMemory
+    ) -> None:
+        original = resource_tracker.register
+        spec = _SharedArraySpec(published_segment.name, "<f8", (2,))
+        arrays, segments = _attach([spec])
+        try:
+            assert resource_tracker.register is original
+            assert arrays[0].tolist() == [1.0, 2.0]
+        finally:
+            for segment in segments:
+                segment.close()
+
+    def test_failure_restores_tracker(
+        self, published_segment: shared_memory.SharedMemory
+    ) -> None:
+        original = resource_tracker.register
+        good = _SharedArraySpec(published_segment.name, "<f8", (2,))
+        bad = _SharedArraySpec("psm_repro_missing_xyz", "<f8", (2,))
+        with pytest.raises(FileNotFoundError):
+            _attach([good, bad])
+        assert resource_tracker.register is original
+
+    def test_failure_closes_previously_attached_segments(
+        self,
+        published_segment: shared_memory.SharedMemory,
+        monkeypatch: pytest.MonkeyPatch,
+    ) -> None:
+        real_cls = shared_memory.SharedMemory
+        closed: list[str] = []
+
+        def recording(*args: object, **kwargs: object):
+            segment = real_cls(*args, **kwargs)
+            original_close = segment.close
+
+            def close_and_record() -> None:
+                closed.append(segment.name)
+                original_close()
+
+            segment.close = close_and_record  # type: ignore[method-assign]
+            return segment
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", recording)
+        good = _SharedArraySpec(published_segment.name, "<f8", (2,))
+        bad = _SharedArraySpec("psm_repro_missing_xyz", "<f8", (2,))
+        with pytest.raises(FileNotFoundError):
+            _attach([good, bad])
+        assert closed == [published_segment.name]
+
+
+class TestPublisherClose:
+    def test_segments_published_and_closed(self) -> None:
+        publisher = _SharedCSRPublisher(_matrix())
+        name = publisher.spec.data.name
+        attached = shared_memory.SharedMemory(name=name)
+        attached.close()
+        publisher.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_one_failing_unlink_does_not_skip_remaining_segments(
+        self,
+    ) -> None:
+        recorder = MetricsRegistry()
+        publisher = _SharedCSRPublisher(_matrix(), recorder=recorder)
+        spec = publisher.spec
+        # sabotage the first segment: unlink it out from under the
+        # publisher so its own unlink() raises FileNotFoundError
+        first = shared_memory.SharedMemory(name=spec.data.name)
+        first.unlink()
+        first.close()
+        publisher.close()
+        # remaining segments were still unlinked, not skipped
+        for name in (spec.indices.name, spec.indptr.name):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        counter = recorder.counter(
+            "repro_ppr_shm_unlink_errors_total", ""
+        )
+        assert counter.value == 1
+
+    def test_close_is_idempotent(self) -> None:
+        recorder = MetricsRegistry()
+        publisher = _SharedCSRPublisher(_matrix(), recorder=recorder)
+        publisher.close()
+        publisher.close()  # second call: no segments, no errors
+        counter = recorder.counter(
+            "repro_ppr_shm_unlink_errors_total", ""
+        )
+        assert counter.value == 0
+
+    def test_partial_publish_failure_tears_down_own_segments(
+        self, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        real_cls = shared_memory.SharedMemory
+        created: list[shared_memory.SharedMemory] = []
+        calls = {"count": 0}
+
+        def failing_second(*args: object, **kwargs: object):
+            calls["count"] += 1
+            if calls["count"] == 2:
+                raise OSError("simulated allocation failure")
+            segment = real_cls(*args, **kwargs)
+            created.append(segment)
+            return segment
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", failing_second)
+        with pytest.raises(OSError, match="simulated"):
+            _SharedCSRPublisher(_matrix())
+        # the first segment was created, then released by the
+        # constructor's own teardown
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            real_cls(name=created[0].name)
