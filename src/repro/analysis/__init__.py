@@ -7,8 +7,8 @@ single module.  One stray ``random.random()`` call, wall-clock read,
 or set-ordering dependency silently breaks them.  This package
 enforces the substrate statically, in two tiers:
 
-- a fast single-pass AST linter with six repo-specific rules
-  (RL001…RL006), ``file:line`` diagnostics, and inline
+- a fast single-pass AST linter with seven repo-specific rules
+  (RL001…RL007), ``file:line`` diagnostics, and inline
   ``# repro-lint: disable=RLxxx`` suppressions;
 - a two-pass interprocedural analyzer (``--deep``): pass 1 builds a
   whole-package symbol table and call graph, pass 2 runs CFG-based

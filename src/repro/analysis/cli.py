@@ -141,7 +141,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="repro-lint",
         description=(
             "AST-based determinism linter for the iCrowd reproduction "
-            "(RL001-RL006 single-pass; RL1xx/RL2xx/RL3xx with --deep; "
+            "(RL001-RL007 single-pass; RL1xx/RL2xx/RL3xx with --deep; "
             "see DESIGN.md §8)"
         ),
     )

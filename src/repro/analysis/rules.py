@@ -1,4 +1,4 @@
-"""The six ``repro-lint`` rules.
+"""The seven ``repro-lint`` rules.
 
 Each rule guards one determinism invariant of the reproduction (see
 DESIGN.md §8 for the full rationale table):
@@ -15,6 +15,9 @@ RL004     no float ``==`` / ``!=`` in ``src/repro`` numerics — use
 RL005     hot-path classes accepting a recorder default it to
           ``NULL_RECORDER``, never ``None``
 RL006     no mutable default arguments
+RL007     no OS-entropy identifiers (``uuid4`` / ``os.urandom`` /
+          ``secrets``) in library code — span/trace ids come from
+          the injected :class:`repro.obs.ids.TraceIdSource`
 ========  ==========================================================
 
 Rules are syntactic and import-aware but do no type inference: a
@@ -90,6 +93,19 @@ _ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
 #: Call names whose result is a fresh mutable object (RL006).
 _MUTABLE_FACTORY_CALLS = frozenset({"list", "dict", "set"})
 
+#: OS-entropy identifier sources (RL007).  ``uuid3``/``uuid5`` are
+#: deliberately absent — they hash a namespace+name and are
+#: deterministic.  Anything under ``secrets.`` is matched by prefix.
+_ENTROPY_CALLS = frozenset(
+    {
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "os.getrandom",
+        "random.SystemRandom",
+    }
+)
+
 
 @dataclass(frozen=True)
 class Rule:
@@ -139,6 +155,12 @@ ALL_RULES: tuple[Rule, ...] = (
         "mutable default argument; use None (or a frozen value) and "
         "construct inside the function",
     ),
+    Rule(
+        "RL007",
+        "entropy-id",
+        "OS-entropy identifier (uuid4/urandom/secrets) in library "
+        "code; derive ids from the injected TraceIdSource instead",
+    ),
 )
 
 RULE_CODES = frozenset(rule.code for rule in ALL_RULES)
@@ -164,6 +186,15 @@ def _in_numeric_scope(path: str) -> bool:
     """
     posix = _posix(path)
     return "repro/" in posix and "tests/" not in posix
+
+
+def _in_id_scope(path: str) -> bool:
+    """RL007 scope: library code, not tests.
+
+    Tests may legitimately fabricate entropy (e.g. to prove a replay
+    mismatch); library code must keep every identifier replayable.
+    """
+    return _in_numeric_scope(path)
 
 
 class _ImportTable:
@@ -245,6 +276,7 @@ class _Checker(ast.NodeVisitor):
         self._check_clock = "RL002" in select and _in_clock_scope(path)
         self._check_rng = "RL001" in select and not _is_rng_shim(path)
         self._check_float = "RL004" in select and _in_numeric_scope(path)
+        self._check_entropy = "RL007" in select and _in_id_scope(path)
 
     # -- plumbing ------------------------------------------------------
     def _emit(self, node: ast.AST, code: str, message: str) -> None:
@@ -281,6 +313,16 @@ class _Checker(ast.NodeVisitor):
                     f"wall-clock read {dotted}() in a deterministic "
                     "module; inject a clock parameter "
                     "(default time.perf_counter) instead",
+                )
+            if self._check_entropy and (
+                dotted in _ENTROPY_CALLS or dotted.startswith("secrets.")
+            ):
+                self._emit(
+                    node,
+                    "RL007",
+                    f"OS-entropy call {dotted}(); identifiers must come "
+                    "from the injected TraceIdSource (repro.obs.ids) so "
+                    "traces replay deterministically",
                 )
         self._check_order_sensitive_call(node)
         self.generic_visit(node)

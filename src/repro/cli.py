@@ -14,6 +14,7 @@ experiment (see EXPERIMENTS.md for the paper-vs-measured record).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.cli import add_lint_arguments, run_lint
@@ -57,8 +58,9 @@ _DESCRIPTIONS = {
     "fig15": "assignment distribution over workers",
     "perf": "offline-phase timings: kernel, parallel basis, sharded, cache",
     "chaos": "interaction-loop resilience under injected faults",
-    "telemetry": "instrumented run: span timings, counters, JSONL trace",
-    "lint": "repro-lint static analysis: determinism rules RL001-RL006",
+    "telemetry": "instrumented run: span timings, counters, SLOs, trace",
+    "timeline": "flight recorder: per-task timelines from a trace file",
+    "lint": "repro-lint static analysis: determinism rules RL001-RL007",
 }
 
 
@@ -170,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH",
         help="also write machine-readable results to PATH",
     )
+    perf.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="sample the measurement and write collapsed stacks "
+        "(flamegraph input) to PATH",
+    )
     chaos = sub.add_parser("chaos", help=_DESCRIPTIONS["chaos"])
     chaos.add_argument(
         "--dataset",
@@ -222,6 +229,41 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--max-steps", type=int, default=None,
         help="platform step cap (default: generous auto cap)",
+    )
+    telemetry.add_argument(
+        "--faults", type=float, default=0.0, metavar="RATE",
+        help="run a traced chaos round: FaultConfig.chaos(RATE)",
+    )
+    telemetry.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="sample the run and write collapsed stacks to PATH",
+    )
+    telemetry.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format (json = machine-readable as_dict payload)",
+    )
+    timeline = sub.add_parser(
+        "timeline", help=_DESCRIPTIONS["timeline"]
+    )
+    timeline.add_argument(
+        "trace",
+        help="combined span+event JSONL trace (telemetry --trace output)",
+    )
+    timeline.add_argument(
+        "--task", type=int, default=None, metavar="ID",
+        help="show only this task's lifecycle timeline",
+    )
+    timeline.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="export a Chrome trace-event JSON file (Perfetto input)",
+    )
+    timeline.add_argument(
+        "--validate", action="store_true",
+        help="schema-check the Chrome trace; non-zero exit on errors",
+    )
+    timeline.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format for the timelines themselves",
     )
     lint = sub.add_parser("lint", help=_DESCRIPTIONS["lint"])
     add_lint_arguments(lint)
@@ -283,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
             stream_tasks=args.stream_tasks,
             stream_batch=args.stream_batch,
             stream_rounds=args.stream_rounds,
+            profile_path=args.profile,
         )
         print(result.format_table())
         if args.json:
@@ -311,8 +354,32 @@ def main(argv: list[str] | None = None) -> int:
             scale=args.scale,
             trace_path=args.trace or None,
             max_steps=args.max_steps,
+            faults_rate=args.faults,
+            profile_path=args.profile,
         )
-        print(result.format_table())
+        if args.format == "json":
+            print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(result.format_table())
+        return 0
+    if args.command == "timeline":
+        from repro.obs.flight import FlightRecorder, validate_chrome_trace
+
+        recorder = FlightRecorder.from_jsonl(args.trace)
+        if args.chrome or args.validate:
+            trace = recorder.chrome_trace()
+            errors = validate_chrome_trace(trace) if args.validate else []
+            for error in errors:
+                print(f"invalid chrome trace: {error}", file=sys.stderr)
+            if args.chrome:
+                out = recorder.write_chrome(args.chrome)
+                print(f"wrote {out}")
+            if errors:
+                return 1
+        if args.format == "json":
+            print(json.dumps(recorder.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(recorder.format_table(task_id=args.task))
         return 0
     runner = _STANDARD[args.command]
     result = runner(args.dataset, seed=args.seed, scale=args.scale)
@@ -321,4 +388,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `... | head`): the unix
+        # convention is a quiet exit, not a traceback
+        sys.stderr.close()
+        sys.exit(141)

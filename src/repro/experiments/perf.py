@@ -59,6 +59,7 @@ from repro.core.ppr import (
 )
 from repro.core.streaming import GrowableGraph
 from repro.experiments.figures import random_normalized_graph
+from repro.obs.profiling import profile_call
 from repro.obs.tracing import Stopwatch
 from repro.utils.rng import spawn_rng
 
@@ -136,6 +137,9 @@ class PerfOfflineResult:
     sharded: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
     incremental: dict = field(default_factory=dict)
+    #: sampling-profiler summary of the whole measurement, when
+    #: ``perf_offline(profile_path=...)`` was set
+    profile: dict = field(default_factory=dict)
 
     def format_table(self) -> str:
         """Render the timing sections as an aligned text table."""
@@ -232,6 +236,15 @@ class PerfOfflineResult:
                 f"(max |diff| {i['max_abs_diff']:.2e}); "
                 f"repair speedup {i['speedup']:.1f}x (serial vs serial)",
             ]
+        if self.profile:
+            hottest = self.profile.get("top") or [{}]
+            lines += [
+                "",
+                f"[profile] {self.profile['samples']} samples "
+                f"@ {self.profile['interval_s'] * 1000:g}ms -> "
+                f"{self.profile['path']} "
+                f"(hottest: {hottest[0].get('function', '?')})",
+            ]
         return "\n".join(lines)
 
     def to_json_dict(self) -> dict:
@@ -244,6 +257,7 @@ class PerfOfflineResult:
             "sharded": self.sharded,
             "cache": self.cache,
             "incremental": self.incremental,
+            "profile": self.profile,
         }
 
     def write_json(self, path: str | pathlib.Path) -> pathlib.Path:
@@ -473,6 +487,7 @@ def perf_offline(
     stream_rounds: int = 3,
     stream_neighbors: int = 6,
     cluster_size: int = 100,
+    profile_path: str | pathlib.Path | None = None,
 ) -> PerfOfflineResult:
     """Measure kernel / basis / sharded / cache / incremental timings.
 
@@ -491,7 +506,40 @@ def perf_offline(
     ``stream_rounds`` rounds of ``stream_batch`` new tasks each).  Its
     repair-vs-rebuild comparison is serial on both sides, so it never
     needs a multicore skip.
+
+    ``profile_path`` samples the whole measurement with
+    :class:`repro.obs.SamplingProfiler` and writes collapsed stacks
+    (flamegraph input) there; the profile summary lands in
+    ``result.profile`` and the ``BENCH_offline.json`` payload.
     """
+    if profile_path is not None:
+        result, profiler = profile_call(
+            lambda: perf_offline(
+                kernel_tasks=kernel_tasks,
+                kernel_neighbors=kernel_neighbors,
+                kernel_sources=kernel_sources,
+                kernel_epsilon=kernel_epsilon,
+                basis_tasks=basis_tasks,
+                basis_neighbors=basis_neighbors,
+                basis_epsilon=basis_epsilon,
+                cache_tasks=cache_tasks,
+                cache_neighbors=cache_neighbors,
+                num_workers=num_workers,
+                cache_dir=cache_dir,
+                seed=seed,
+                sharded=sharded,
+                shard_size=shard_size,
+                incremental=incremental,
+                stream_tasks=stream_tasks,
+                stream_batch=stream_batch,
+                stream_rounds=stream_rounds,
+                stream_neighbors=stream_neighbors,
+                cluster_size=cluster_size,
+            )
+        )
+        out = profiler.write_collapsed(profile_path)
+        result.profile = {"path": str(out), **profiler.summary()}
+        return result
     cpu_count = usable_cpu_count()
     multicore = cpu_count >= 2
     result = PerfOfflineResult(cpu_count=cpu_count)

@@ -4,12 +4,23 @@
 through every layer — estimator, assigner, policy, lease ledger, fault
 injector and the platform loop — runs one seeded crowdsourcing job, and
 returns a result whose ``format_table()`` prints the per-span
-count/total/mean table plus the headline counters.  When a trace path
-is given, the registry streams every closed span to it as JSONL and the
-run's platform events are appended afterwards, so the file parses both
-as an observability trace and (via
+count/total/mean table, the headline counters and the SLO verdicts.
+When a trace path is given, the registry streams every closed span to
+it as JSONL and the run's platform events are appended afterwards, so
+the file parses both as an observability trace and (via
 :meth:`repro.platform.events.EventLog.from_jsonl`, which skips the span
-records) as a platform event log.
+records) as a platform event log — exactly the combined stream
+:class:`repro.obs.FlightRecorder` joins into per-task timelines.
+
+Optional extras:
+
+- ``faults_rate`` > 0 runs the job under
+  :meth:`repro.platform.faults.FaultConfig.chaos` — a traced chaos
+  round, the CI perf-smoke configuration;
+- ``profile_path`` samples the run with
+  :class:`repro.obs.SamplingProfiler` and writes collapsed stacks
+  (flamegraph input) there;
+- :meth:`TelemetryResult.as_dict` is the ``--format=json`` payload.
 
 ``python -m repro.cli telemetry <setup>`` is the CLI wrapper.
 """
@@ -21,7 +32,11 @@ from dataclasses import dataclass, field
 
 from repro.core.framework import ICrowd
 from repro.experiments.setups import make_setup
+from repro.obs.ids import TraceIdSource
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import SamplingProfiler
+from repro.obs.slo import DEFAULT_SLOS, SLOReport, evaluate_slos
+from repro.platform.faults import FaultConfig
 from repro.platform.platform import PlatformReport, SimulatedPlatform
 
 #: Metric-name prefixes surfaced in the headline-counter section of the
@@ -53,6 +68,15 @@ class TelemetryResult:
     )
     span_table: str = ""
     trace_path: pathlib.Path | None = None
+    #: chaos rate the run was injected with (0 = clean run)
+    faults_rate: float = 0.0
+    #: verdicts of :data:`repro.obs.DEFAULT_SLOS` over the span
+    #: histograms of this run
+    slo_report: SLOReport | None = None
+    profile_path: pathlib.Path | None = None
+    #: :meth:`repro.obs.SamplingProfiler.summary` of the run, when
+    #: profiling was requested
+    profile: dict[str, object] | None = None
 
     def headline_counters(self) -> list[tuple[str, float]]:
         """Instrumentation counters worth printing, sorted by name."""
@@ -63,10 +87,14 @@ class TelemetryResult:
         )
 
     def format_table(self) -> str:
-        """Span timing table + headline counters, aligned for terminals."""
+        """Span timings + headline counters + SLO verdicts, aligned."""
+        chaos = (
+            f" faults={self.faults_rate:g}" if self.faults_rate else ""
+        )
         lines = [
             f"Telemetry: {self.dataset} seed={self.seed} "
-            f"scale={self.scale:g} — finished={self.report.finished} "
+            f"scale={self.scale:g}{chaos} — "
+            f"finished={self.report.finished} "
             f"steps={self.report.steps}",
             "",
             self.span_table,
@@ -78,6 +106,12 @@ class TelemetryResult:
                 f"{int(value):d}" if float(value).is_integer() else f"{value:g}"
             )
             lines.append(f"{name:<52}{rendered:>12}")
+        if self.slo_report is not None:
+            lines.append("")
+            lines.append(self.slo_report.format_table())
+        if self.profile_path is not None:
+            lines.append("")
+            lines.append(f"profile: {self.profile_path}")
         if self.trace_path is not None:
             lines.append("")
             lines.append(
@@ -86,6 +120,41 @@ class TelemetryResult:
             )
         return "\n".join(lines)
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe view of the run (the ``--format=json`` payload)."""
+        return {
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "scale": self.scale,
+            "faults_rate": self.faults_rate,
+            "finished": self.report.finished,
+            "steps": self.report.steps,
+            "num_answers": self.report.num_answers,
+            "total_cost": self.report.total_cost,
+            "spans": [
+                {
+                    "name": name,
+                    "count": count,
+                    "total_s": total,
+                    "mean_s": mean,
+                }
+                for name, count, total, mean in self.span_rows
+            ],
+            "counters": dict(self.headline_counters()),
+            "slo": (
+                self.slo_report.as_dict()
+                if self.slo_report is not None
+                else None
+            ),
+            "profile": self.profile,
+            "trace_path": (
+                str(self.trace_path) if self.trace_path else None
+            ),
+            "profile_path": (
+                str(self.profile_path) if self.profile_path else None
+            ),
+        }
+
 
 def run_telemetry(
     dataset: str = "itemcompare",
@@ -93,6 +162,8 @@ def run_telemetry(
     scale: float = 0.33,
     trace_path: str | pathlib.Path | None = "telemetry_trace.jsonl",
     max_steps: int | None = None,
+    faults_rate: float = 0.0,
+    profile_path: str | pathlib.Path | None = None,
 ) -> TelemetryResult:
     """Run one fully instrumented iCrowd job on the simulated platform.
 
@@ -100,10 +171,19 @@ def run_telemetry(
     recorder is rebound to this run's registry for the duration and
     restored afterwards so later (un-instrumented) runs in the same
     process stay recorder-free.
+
+    ``faults_rate`` > 0 turns the job into a traced chaos round
+    (:meth:`FaultConfig.chaos` seeded from ``seed``); ``profile_path``
+    additionally samples the run and writes collapsed stacks there.
+    Span identities come from a :class:`TraceIdSource` seeded from
+    ``seed``, so the trace is replayable: same seed, same ids.
     """
-    registry = MetricsRegistry(trace_path=trace_path)
+    registry = MetricsRegistry(
+        trace_path=trace_path, ids=TraceIdSource(seed=seed)
+    )
     setup = make_setup(dataset, seed=seed, scale=scale)
     previous_recorder = setup.estimator.recorder
+    profiler: SamplingProfiler | None = None
     try:
         policy = ICrowd(
             setup.tasks,
@@ -114,10 +194,21 @@ def run_telemetry(
             recorder=registry,
         )
         pool = setup.fresh_pool(run_tag="telemetry")
-        platform = SimulatedPlatform(
-            setup.tasks, pool, policy, recorder=registry
+        faults = (
+            FaultConfig.chaos(faults_rate, seed=seed)
+            if faults_rate
+            else None
         )
-        report = platform.run(max_steps=max_steps)
+        platform = SimulatedPlatform(
+            setup.tasks, pool, policy, faults=faults, recorder=registry
+        )
+        if profile_path is not None:
+            profiler = SamplingProfiler()
+            with profiler:
+                report = platform.run(max_steps=max_steps)
+        else:
+            report = platform.run(max_steps=max_steps)
+        slo_report = evaluate_slos(registry, DEFAULT_SLOS)
     finally:
         setup.estimator.recorder = previous_recorder
         registry.close()
@@ -127,6 +218,11 @@ def run_telemetry(
         # one file, two record families: spans first (streamed during
         # the run), then the platform events of the same run
         report.events.to_jsonl(resolved_trace, append=True)
+    resolved_profile = None
+    profile_summary: dict[str, object] | None = None
+    if profiler is not None and profile_path is not None:
+        resolved_profile = profiler.write_collapsed(profile_path)
+        profile_summary = profiler.summary()
     return TelemetryResult(
         dataset=dataset,
         seed=seed,
@@ -136,4 +232,8 @@ def run_telemetry(
         span_rows=registry.span_summary(),
         span_table=registry.format_span_table(),
         trace_path=resolved_trace,
+        faults_rate=faults_rate,
+        slo_report=slo_report,
+        profile_path=resolved_profile,
+        profile=profile_summary,
     )

@@ -14,12 +14,33 @@ numbers visible inside a live run:
   disabled path every instrumented component defaults to;
 - :class:`Stopwatch` — the bare timer behind the perf harness;
 - :func:`get_logger` / :func:`log_event` — structured logging that
-  keeps stderr clean unless a handler is attached.
+  keeps stderr clean unless a handler is attached;
+- :class:`TraceIdSource` / :class:`TraceContext` — seeded span
+  identities and W3C ``traceparent`` propagation across HTTP;
+- :class:`FlightRecorder` — per-task lifecycle timelines joined from
+  a combined span+event trace, exported as Chrome trace-event JSON;
+- :class:`SamplingProfiler` — stdlib sampling profiler with
+  collapsed-stack (flamegraph) output;
+- :class:`SLO` / :func:`evaluate_slos` — named latency objectives
+  evaluated over span histograms, with error-budget accounting.
 
 The metric name catalogue lives in DESIGN.md §7.
 """
 
 from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.flight import (
+    FlightRecorder,
+    TaskTimeline,
+    TimelineEntry,
+    validate_chrome_trace,
+)
+from repro.obs.ids import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    TraceIdSource,
+    format_traceparent,
+    parse_traceparent,
+)
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -33,24 +54,50 @@ from repro.obs.metrics import (
     Recorder,
     resolve_recorder,
 )
+from repro.obs.profiling import SamplingProfiler, profile_call
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    SLOReport,
+    SLOResult,
+    evaluate_slos,
+    histogram_quantile,
+)
 from repro.obs.tracing import Span, Stopwatch, TraceWriter
 
 __all__ = [
     "CONTENT_TYPE",
     "DEFAULT_BUCKETS",
+    "DEFAULT_SLOS",
     "MASS_BUCKETS",
     "NULL_RECORDER",
+    "SLO",
+    "TRACEPARENT_HEADER",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRecorder",
     "Recorder",
+    "SLOReport",
+    "SLOResult",
+    "SamplingProfiler",
     "Span",
     "Stopwatch",
+    "TaskTimeline",
+    "TimelineEntry",
+    "TraceContext",
+    "TraceIdSource",
     "TraceWriter",
+    "evaluate_slos",
+    "format_traceparent",
     "get_logger",
+    "histogram_quantile",
     "log_event",
+    "parse_traceparent",
+    "profile_call",
     "render_prometheus",
     "resolve_recorder",
+    "validate_chrome_trace",
 ]

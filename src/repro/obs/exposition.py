@@ -4,13 +4,19 @@ Renders version 0.0.4 of the text format — the format every Prometheus
 scraper and ``promtool`` accepts — without depending on
 ``prometheus_client``:
 
-- one ``# HELP`` / ``# TYPE`` header per metric family,
+- one ``# HELP`` / ``# TYPE`` header per metric family, with ``\\``
+  and line feeds escaped in the help text as the spec requires,
 - counters and gauges as bare samples,
 - histograms as cumulative ``_bucket{le=...}`` samples plus ``_sum``
-  and ``_count``.
+  and ``_count``, read atomically under the instrument's lock so a
+  concurrent ``observe`` can never yield a torn family
+  (``+Inf`` bucket ≠ ``_count``),
+- non-finite sample values spelled ``+Inf`` / ``-Inf`` / ``NaN``.
 
-:data:`CONTENT_TYPE` is the matching ``Content-Type`` header served by
-``GET /metrics`` on :class:`repro.platform.server.ICrowdHTTPServer`.
+``tests/obs/test_exposition.py`` holds a reference-output conformance
+fixture.  :data:`CONTENT_TYPE` is the matching ``Content-Type`` header
+served by ``GET /metrics`` on
+:class:`repro.platform.server.ICrowdHTTPServer`.
 """
 
 from __future__ import annotations
@@ -30,6 +36,12 @@ def _escape_label_value(value: str) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and line feed only (no quotes — the
+    # text is not quoted on the wire).
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _format_labels(
     labels: Iterable[tuple[str, str]],
     extra: dict[str, str] | None = None,
@@ -45,6 +57,10 @@ def _format_labels(
 
 
 def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
@@ -54,6 +70,27 @@ def _format_bound(bound: float) -> str:
     if math.isinf(bound):
         return "+Inf"
     return _format_value(float(bound))
+
+
+def _histogram_lines(name: str, metric: Histogram) -> list[str]:
+    """One histogram's samples from an atomic state snapshot."""
+    with metric.lock:
+        bucket_counts = list(metric.bucket_counts)
+        total_sum = metric.sum
+        count = metric.count
+    lines: list[str] = []
+    cumulative = 0
+    bounds = list(metric.buckets) + [math.inf]
+    for bound, bucket_count in zip(bounds, bucket_counts):
+        cumulative += bucket_count
+        labels = _format_labels(
+            metric.labels, {"le": _format_bound(bound)}
+        )
+        lines.append(f"{name}_bucket{labels} {cumulative}")
+    labels = _format_labels(metric.labels)
+    lines.append(f"{name}_sum{labels} {_format_value(total_sum)}")
+    lines.append(f"{name}_count{labels} {count}")
+    return lines
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
@@ -68,23 +105,11 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     for name, metrics in families.items():
         kind, help_text = headers[name]
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         for metric in metrics:
             if isinstance(metric, Histogram):
-                cumulative = 0
-                bounds = list(metric.buckets) + [math.inf]
-                for bound, count in zip(bounds, metric.bucket_counts):
-                    cumulative += count
-                    labels = _format_labels(
-                        metric.labels, {"le": _format_bound(bound)}
-                    )
-                    lines.append(f"{name}_bucket{labels} {cumulative}")
-                labels = _format_labels(metric.labels)
-                lines.append(
-                    f"{name}_sum{labels} {_format_value(metric.sum)}"
-                )
-                lines.append(f"{name}_count{labels} {metric.count}")
+                lines.extend(_histogram_lines(name, metric))
             else:
                 labels = _format_labels(metric.labels)
                 lines.append(

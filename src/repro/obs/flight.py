@@ -1,0 +1,433 @@
+"""Task flight recorder: lifecycle timelines from a combined trace.
+
+A telemetry trace file holds two record families on one JSONL stream —
+``{"type": "span", ...}`` observability spans and the platform's typed
+events (``assign`` / ``answer`` / ``expire`` / ``complete`` / ...).
+The flight recorder joins them into **per-task lifecycle timelines**::
+
+    created → assigned (lease opened) → submitted (lease settled)
+            ↘ expired (lease requeued) ↗
+    → aggregated (consensus reached) → paid
+
+Join semantics (see DESIGN.md §7):
+
+- ``created`` is synthesised at step 0 — tasks exist before the loop;
+- an ``assign`` event *is* the lease issue: both platforms
+  (:class:`repro.platform.SimulatedPlatform` and the HTTP server) open
+  the lease in the same act that hands out the assignment;
+- an ``answer`` event is a **settled** lease: late/duplicate deliveries
+  are classified and dropped before the event log sees them, and
+  accepted non-test answers are paid in the same step (``pay_once``),
+  so ``submitted`` doubles as ``paid``;
+- an ``expire`` event is a lease that died and whose slot was requeued
+  with the policy;
+- a ``complete`` event is the aggregation verdict (consensus label).
+
+The recorder also exports the whole trace — spans *and* task lanes —
+as Chrome trace-event JSON (the ``traceEvents`` array format), directly
+loadable in Perfetto / ``chrome://tracing``.  Spans are placed on one
+lane per ``trace_id`` with real wall-clock micros; task lifecycles are
+placed on one lane per task on the platform's *step* clock (1 step =
+1 ms of trace time).  The two clocks are unrelated; the export keeps
+them in separate process groups so neither lies about the other.
+
+``repro-icrowd timeline <trace.jsonl>`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+#: Event-log wire tags consumed by the lifecycle join (stable API, see
+#: ``repro.platform.events``).  Imported as data, not code: obs stays
+#: import-independent of the platform package.
+_TASK_EVENT_TYPES = frozenset({"assign", "answer", "complete", "expire"})
+
+#: Microseconds of Chrome-trace time per platform step in task lanes.
+_STEP_US = 1000.0
+
+#: Phases a complete lifecycle must visit, in order of first occurrence.
+_REQUIRED_PHASES = ("created", "assigned", "submitted", "aggregated")
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One lifecycle phase transition of one task."""
+
+    step: int
+    phase: str  #: created | assigned | submitted | expired | aggregated
+    worker_id: str | None = None
+    detail: str = ""
+
+
+@dataclass
+class TaskTimeline:
+    """The full recorded lifecycle of one task."""
+
+    task_id: int
+    entries: list[TimelineEntry] = field(default_factory=list)
+
+    def phases(self) -> list[str]:
+        """Phase names in event order."""
+        return [entry.phase for entry in self.entries]
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the task went created → assigned → submitted →
+        aggregated (possibly with expiries and re-assignments between)."""
+        seen = set(self.phases())
+        return all(phase in seen for phase in _REQUIRED_PHASES)
+
+    @property
+    def expiries(self) -> int:
+        """Lease expiries (requeues) this task survived."""
+        return sum(1 for entry in self.entries if entry.phase == "expired")
+
+    def format_line(self) -> str:
+        """One-line arrow rendering of the lifecycle."""
+        hops = []
+        for entry in self.entries:
+            who = f"({entry.worker_id})" if entry.worker_id else ""
+            hops.append(f"{entry.phase}@{entry.step}{who}")
+        return f"task {self.task_id:>5}: " + " → ".join(hops)
+
+
+class FlightRecorder:
+    """Joins a span trace with the event log of the same run.
+
+    Build one with :meth:`from_jsonl` (a combined telemetry trace file)
+    or :meth:`from_records` (already-parsed dicts).
+    """
+
+    def __init__(
+        self,
+        spans: list[dict[str, object]],
+        events: list[dict[str, object]],
+    ) -> None:
+        self.spans = spans
+        self.events = events
+        self._timelines: dict[int, TaskTimeline] | None = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, records: list[dict[str, object]]
+    ) -> "FlightRecorder":
+        """Split parsed JSONL records into spans and task events."""
+        spans = [r for r in records if r.get("type") == "span"]
+        events = [
+            r for r in records if r.get("type") in _TASK_EVENT_TYPES
+        ]
+        return cls(spans, events)
+
+    @classmethod
+    def from_jsonl(cls, path: str | pathlib.Path) -> "FlightRecorder":
+        """Load a combined span+event JSONL trace file."""
+        records: list[dict[str, object]] = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                parsed = json.loads(line)
+                if isinstance(parsed, dict):
+                    records.append(parsed)
+        return cls.from_records(records)
+
+    # -- lifecycle join -------------------------------------------------
+    def timelines(self) -> dict[int, TaskTimeline]:
+        """Per-task lifecycle timelines, keyed by task id (cached)."""
+        if self._timelines is not None:
+            return self._timelines
+        timelines: dict[int, TaskTimeline] = {}
+
+        def timeline(task_id: int) -> TaskTimeline:
+            if task_id not in timelines:
+                timelines[task_id] = TaskTimeline(
+                    task_id,
+                    [TimelineEntry(step=0, phase="created")],
+                )
+            return timelines[task_id]
+
+        for event in self.events:
+            kind = str(event.get("type"))
+            task_id = int(event.get("task_id", -1))  # type: ignore[arg-type]
+            step = int(event.get("step", 0))  # type: ignore[arg-type]
+            worker = event.get("worker_id")
+            worker_id = str(worker) if worker is not None else None
+            if kind == "assign":
+                is_test = bool(event.get("is_test", False))
+                timeline(task_id).entries.append(
+                    TimelineEntry(
+                        step=step,
+                        phase="assigned",
+                        worker_id=worker_id,
+                        detail="test" if is_test else "lease opened",
+                    )
+                )
+            elif kind == "answer":
+                is_test = bool(event.get("is_test", False))
+                timeline(task_id).entries.append(
+                    TimelineEntry(
+                        step=step,
+                        phase="submitted",
+                        worker_id=worker_id,
+                        detail=(
+                            "test graded"
+                            if is_test
+                            else "lease settled; paid"
+                        ),
+                    )
+                )
+            elif kind == "expire":
+                timeline(task_id).entries.append(
+                    TimelineEntry(
+                        step=step,
+                        phase="expired",
+                        worker_id=worker_id,
+                        detail="lease expired; slot requeued",
+                    )
+                )
+            elif kind == "complete":
+                timeline(task_id).entries.append(
+                    TimelineEntry(
+                        step=step,
+                        phase="aggregated",
+                        detail=f"consensus={event.get('consensus')}",
+                    )
+                )
+        for task_timeline in timelines.values():
+            task_timeline.entries.sort(
+                key=lambda entry: (entry.step, _PHASE_ORDER[entry.phase])
+            )
+        self._timelines = timelines
+        return timelines
+
+    def incomplete_tasks(self) -> list[int]:
+        """Task ids whose lifecycle never reached aggregation."""
+        return sorted(
+            task_id
+            for task_id, timeline in self.timelines().items()
+            if not timeline.is_complete
+        )
+
+    def format_table(self, task_id: int | None = None) -> str:
+        """Aligned lifecycle rendering (one task, or a run summary)."""
+        timelines = self.timelines()
+        if task_id is not None:
+            if task_id not in timelines:
+                return f"task {task_id}: no recorded lifecycle"
+            return timelines[task_id].format_line()
+        complete = sum(1 for t in timelines.values() if t.is_complete)
+        expiries = sum(t.expiries for t in timelines.values())
+        lines = [
+            f"Flight recorder: {len(timelines)} tasks, "
+            f"{complete} complete lifecycles, {expiries} lease expiries, "
+            f"{len(self.spans)} spans",
+            "",
+        ]
+        for tid in sorted(timelines):
+            lines.append(timelines[tid].format_line())
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, object]:
+        """Machine-readable summary (the ``--format=json`` payload)."""
+        timelines = self.timelines()
+        return {
+            "tasks": len(timelines),
+            "complete": sum(
+                1 for t in timelines.values() if t.is_complete
+            ),
+            "expiries": sum(t.expiries for t in timelines.values()),
+            "spans": len(self.spans),
+            "timelines": {
+                str(tid): [
+                    {
+                        "step": entry.step,
+                        "phase": entry.phase,
+                        "worker_id": entry.worker_id,
+                        "detail": entry.detail,
+                    }
+                    for entry in timelines[tid].entries
+                ]
+                for tid in sorted(timelines)
+            },
+        }
+
+    # -- Chrome trace-event export -------------------------------------
+    def chrome_trace(self) -> dict[str, object]:
+        """The whole trace as a Chrome trace-event JSON object."""
+        trace_events: list[dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "spans"},
+            },
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 2,
+                "tid": 0,
+                "args": {"name": "task lifecycles (1 step = 1 ms)"},
+            },
+        ]
+        # spans: one lane per trace_id, wall-clock micros
+        lanes: dict[str, int] = {}
+        for span in self.spans:
+            trace_id = str(span.get("trace_id", "") or "untraced")
+            lane = lanes.setdefault(trace_id, len(lanes) + 1)
+            start = float(span.get("start", 0.0))  # type: ignore[arg-type]
+            elapsed = float(span.get("elapsed", 0.0))  # type: ignore[arg-type]
+            args = {
+                key: value
+                for key, value in span.items()
+                if key not in ("type", "name", "start", "elapsed")
+            }
+            trace_events.append(
+                {
+                    "name": str(span.get("name", "?")),
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": start * 1e6,
+                    "dur": elapsed * 1e6,
+                    "pid": 1,
+                    "tid": lane,
+                    "args": args,
+                }
+            )
+        for trace_id, lane in lanes.items():
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": lane,
+                    "args": {"name": f"trace {trace_id[:8]}"},
+                }
+            )
+        # task lanes: instants per phase + one slice per open lease
+        for task_id, timeline in sorted(self.timelines().items()):
+            open_since: TimelineEntry | None = None
+            for entry in timeline.entries:
+                trace_events.append(
+                    {
+                        "name": entry.phase,
+                        "cat": "lifecycle",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": entry.step * _STEP_US,
+                        "pid": 2,
+                        "tid": task_id,
+                        "args": {
+                            "worker": entry.worker_id,
+                            "detail": entry.detail,
+                        },
+                    }
+                )
+                if entry.phase == "assigned":
+                    open_since = entry
+                elif entry.phase in ("submitted", "expired"):
+                    if open_since is not None:
+                        trace_events.append(
+                            {
+                                "name": "lease",
+                                "cat": "lease",
+                                "ph": "X",
+                                "ts": open_since.step * _STEP_US,
+                                "dur": max(
+                                    (entry.step - open_since.step)
+                                    * _STEP_US,
+                                    1.0,
+                                ),
+                                "pid": 2,
+                                "tid": task_id,
+                                "args": {
+                                    "worker": open_since.worker_id,
+                                    "outcome": entry.phase,
+                                },
+                            }
+                        )
+                    open_since = None
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 2,
+                    "tid": task_id,
+                    "args": {"name": f"task {task_id}"},
+                }
+            )
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the Chrome trace JSON to ``path``."""
+        out = pathlib.Path(path)
+        out.write_text(
+            json.dumps(self.chrome_trace(), sort_keys=True),
+            encoding="utf-8",
+        )
+        return out
+
+
+#: Deterministic tiebreak when several phases land on one step: the
+#: lifecycle can only advance in this order within a step.
+_PHASE_ORDER = {
+    "created": 0,
+    "expired": 1,  # expiry sweeps run before assignment each step
+    "assigned": 2,
+    "submitted": 3,
+    "aggregated": 4,
+}
+
+
+def validate_chrome_trace(trace: object) -> list[str]:
+    """Schema-check a Chrome trace-event object; returns problems.
+
+    Checks the invariants Perfetto's importer relies on: a top-level
+    ``traceEvents`` array; every event a dict with string ``name`` and
+    ``ph`` and numeric ``ts`` (metadata events excepted); ``X`` events
+    carry a non-negative ``dur``; ``pid``/``tid`` are integers.  An
+    empty list means the trace is loadable.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return ["trace must be a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        phase = event.get("ph")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing string 'name'")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing string 'ph'")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: '{key}' must be an integer")
+        if phase == "M":
+            continue  # metadata events need no timestamp
+        timestamp = event.get("ts")
+        if not isinstance(timestamp, (int, float)):
+            problems.append(f"{where}: 'ts' must be a number")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(
+                    f"{where}: 'X' event needs a non-negative 'dur'"
+                )
+        if phase == "i" and event.get("s") not in (None, "g", "p", "t"):
+            problems.append(f"{where}: instant scope must be g/p/t")
+    return problems

@@ -1,0 +1,122 @@
+"""Deterministic trace/span identities and W3C context propagation.
+
+Spans need identities to be correlated across the HTTP boundary: the
+client stamps every request with a ``traceparent`` header, the server
+parses it and parents its handler span under the client's span, and
+every platform/framework span opened inside the handler inherits the
+same ``trace_id``.  One trace then covers client retry → server
+handler → lease issue → aggregation.
+
+Identities must stay **replayable** — two runs with the same seed must
+emit byte-identical traces — so they are never drawn from ``uuid4()``
+or ``os.urandom``.  :class:`TraceIdSource` derives IDs from a seed via
+keyed BLAKE2 over a monotone counter (repro-lint rule RL007 enforces
+that core code never reaches for entropy-backed IDs instead).
+
+The header format follows the W3C Trace Context ``traceparent`` field::
+
+    traceparent: 00-<32 hex trace-id>-<16 hex span-id>-01
+
+(version ``00``, flags ``01`` = sampled).  :func:`format_traceparent` /
+:func:`parse_traceparent` round-trip it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import threading
+from dataclasses import dataclass
+
+#: ``traceparent`` shape accepted by :func:`parse_traceparent` —
+#: version-00 with lowercase hex fields, per the W3C recommendation.
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+#: All-zero IDs are invalid per the spec.
+_ZERO_TRACE = "0" * 32
+_ZERO_SPAN = "0" * 16
+
+#: HTTP header name carrying the context.
+TRACEPARENT_HEADER = "traceparent"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated half of a span identity: ``(trace_id, span_id)``."""
+
+    trace_id: str  #: 32 lowercase hex chars (16 bytes)
+    span_id: str  #: 16 lowercase hex chars (8 bytes)
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[0-9a-f]{32}", self.trace_id):
+            raise ValueError(f"bad trace_id {self.trace_id!r}")
+        if not re.fullmatch(r"[0-9a-f]{16}", self.span_id):
+            raise ValueError(f"bad span_id {self.span_id!r}")
+
+
+def format_traceparent(context: TraceContext) -> str:
+    """Render ``context`` as a W3C ``traceparent`` header value."""
+    return f"00-{context.trace_id}-{context.span_id}-01"
+
+
+def parse_traceparent(value: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; ``None`` on absent/malformed.
+
+    Per the spec, a malformed or all-zero header is *ignored* (the
+    receiver starts a fresh trace) rather than rejected with an error —
+    tracing must never turn a working request into a failing one.
+    """
+    if value is None:
+        return None
+    match = _TRACEPARENT_RE.match(value.strip())
+    if match is None:
+        return None
+    trace_id, span_id, _flags = match.groups()
+    if trace_id == _ZERO_TRACE or span_id == _ZERO_SPAN:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+class TraceIdSource:
+    """Seeded, replayable source of trace and span IDs.
+
+    IDs are ``blake2b(key=seed-derived)`` digests of a monotone
+    per-source counter: collision-free within a run, stable across
+    runs with the same ``(seed, tag)``, and never touching global
+    entropy (``uuid4``/``os.urandom`` — see RL007) or any experiment
+    RNG stream (allocating an ID can never perturb a seeded run).
+
+    Thread-safe: the HTTP server allocates from handler threads.
+    """
+
+    __slots__ = ("_key", "_count", "_lock")
+
+    def __init__(self, seed: int = 0, tag: str = "trace-ids") -> None:
+        self._key = hashlib.blake2b(
+            f"{seed}:{tag}".encode(), digest_size=16
+        ).digest()
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def _next(self, size: int) -> str:
+        with self._lock:
+            count = self._count
+            self._count += 1
+        digest = hashlib.blake2b(
+            count.to_bytes(8, "little"), key=self._key, digest_size=size
+        ).hexdigest()
+        # keyed BLAKE2 output is uniform: an (astronomically unlikely)
+        # all-zero digest would be invalid on the wire, so perturb it
+        if digest == "0" * (2 * size):  # pragma: no cover
+            digest = "1" + digest[1:]
+        return digest
+
+    def trace_id(self) -> str:
+        """A fresh 16-byte (32 hex chars) trace ID."""
+        return self._next(16)
+
+    def span_id(self) -> str:
+        """A fresh 8-byte (16 hex chars) span ID."""
+        return self._next(8)

@@ -31,6 +31,8 @@ import time
 from collections.abc import Callable, Iterator
 from typing import TYPE_CHECKING, Any, TypeVar
 
+from repro.obs.ids import TraceContext, TraceIdSource
+
 if TYPE_CHECKING:
     from repro.obs.tracing import Span, TraceWriter
 
@@ -52,10 +54,15 @@ def _label_key(labels: dict[str, str]) -> LabelKey:
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value.
+
+    Mutation is lock-protected: ``value += amount`` is a read-modify-
+    write that can lose updates when HTTP handler threads race — the
+    GIL serialises bytecodes, not statements.
+    """
 
     kind = "counter"
-    __slots__ = ("name", "help_text", "labels", "value")
+    __slots__ = ("name", "help_text", "labels", "value", "lock")
 
     def __init__(
         self, name: str, help_text: str = "", labels: LabelKey = ()
@@ -64,19 +71,21 @@ class Counter:
         self.help_text = help_text
         self.labels = labels
         self.value = 0.0
+        self.lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (>= 0) to the counter."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with self.lock:
+            self.value += amount
 
 
 class Gauge:
-    """Value that can go up and down."""
+    """Value that can go up and down (lock-protected like Counter)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help_text", "labels", "value")
+    __slots__ = ("name", "help_text", "labels", "value", "lock")
 
     def __init__(
         self, name: str, help_text: str = "", labels: LabelKey = ()
@@ -85,18 +94,22 @@ class Gauge:
         self.help_text = help_text
         self.labels = labels
         self.value = 0.0
+        self.lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Set the gauge to ``value``."""
-        self.value = float(value)
+        with self.lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         """Raise the gauge by ``amount``."""
-        self.value += amount
+        with self.lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Lower the gauge by ``amount``."""
-        self.value -= amount
+        with self.lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -111,7 +124,7 @@ class Histogram:
     kind = "histogram"
     __slots__ = (
         "name", "help_text", "labels", "buckets", "bucket_counts",
-        "sum", "count",
+        "sum", "count", "lock",
     )
 
     def __init__(
@@ -130,12 +143,19 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.buckets) + 1)  # + the +Inf one
         self.sum = 0.0
         self.count = 0
+        self.lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation of ``value``."""
-        self.sum += value
-        self.count += 1
-        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        """Record one observation of ``value``.
+
+        Sum, count and the bucket move under one lock so a concurrent
+        exposition render never sees a torn (count ≠ Σ buckets) state.
+        """
+        index = bisect.bisect_left(self.buckets, value)
+        with self.lock:
+            self.sum += value
+            self.count += 1
+            self.bucket_counts[index] += 1
 
     @property
     def mean(self) -> float:
@@ -161,10 +181,17 @@ class MetricsRegistry:
         When set, every closed span is appended as one JSONL record to
         this file (the same on-disk format as
         :meth:`repro.platform.events.EventLog.to_jsonl`).
+    ids:
+        Injected :class:`repro.obs.ids.TraceIdSource` allocating every
+        span's ``trace_id``/``span_id``.  Defaults to a fresh seed-0
+        source, so traces are replayable out of the box; inject a
+        source to share one ID space across registries (e.g. client
+        and server of one test) or to vary the ID stream by seed.
 
     Creation of instruments is get-or-create by ``(name, labels)`` and
     lock-protected (the HTTP server records from handler threads);
-    recording itself relies on the GIL like every CPython counter.
+    each instrument serialises its own mutations so concurrent
+    recording never loses updates.
     """
 
     enabled = True
@@ -173,8 +200,10 @@ class MetricsRegistry:
         self,
         clock: Callable[[], float] = time.perf_counter,
         trace_path: str | pathlib.Path | None = None,
+        ids: TraceIdSource | None = None,
     ) -> None:
         self.clock = clock
+        self.ids = ids if ids is not None else TraceIdSource()
         self._metrics: dict[tuple[str, LabelKey], Metric] = {}
         self._lock = threading.Lock()
         self._trace: TraceWriter | None = None
@@ -231,16 +260,29 @@ class MetricsRegistry:
         )
 
     # -- spans ----------------------------------------------------------
-    def span(self, name: str, **attrs: object) -> "Span":
+    def span(
+        self,
+        name: str,
+        remote_context: TraceContext | None = None,
+        **attrs: object,
+    ) -> "Span":
         """Nestable wall-time measurement context.
 
         Records the elapsed time into the
         ``repro_span_duration_seconds{span=name}`` histogram and, when a
-        trace path is configured, appends one JSONL span record.
+        trace path is configured, appends one JSONL span record carrying
+        the span's trace identity.  ``remote_context`` (a parsed
+        ``traceparent`` header) parents a root span under a remote
+        trace; it is ignored when a local span is already open.
         """
         from repro.obs.tracing import Span
 
-        return Span(self, name, attrs)
+        return Span(self, name, attrs, remote_context=remote_context)
+
+    def current_span(self) -> "Span | None":
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     def _stack(self) -> list["Span"]:
         stack: list[Span] | None = getattr(self._span_stacks, "stack", None)
@@ -326,10 +368,30 @@ class _NullInstrument:
 
 
 class _NullSpan:
-    """Shared no-op span context (reentrant; records nothing)."""
+    """Shared no-op span context (reentrant; records nothing).
+
+    Carries empty identity fields so callers can probe
+    ``span.trace_id`` without isinstance checks: falsy means "no
+    tracing identity — do not propagate headers".
+    """
 
     __slots__ = ()
     elapsed = 0.0
+    trace_id = ""
+    span_id = ""
+    parent_id: str | None = None
+
+    @property
+    def attrs(self) -> dict[str, object]:
+        """Write-and-forget sink (the null span records nothing)."""
+        return {}
+
+    @property
+    def context(self) -> TraceContext:
+        """Never propagate from a null span — guard on ``trace_id``."""
+        raise RuntimeError(
+            "null span has no trace context; check span.trace_id first"
+        )
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -374,9 +436,18 @@ class NullRecorder:
         """Return the shared no-op instrument."""
         return _NULL_INSTRUMENT
 
-    def span(self, name: str, **attrs: object) -> _NullSpan:
+    def span(
+        self,
+        name: str,
+        remote_context: TraceContext | None = None,
+        **attrs: object,
+    ) -> _NullSpan:
         """Return the shared no-op span context."""
         return _NULL_SPAN
+
+    def current_span(self) -> None:
+        """No span is ever open on the null recorder."""
+        return None
 
     def snapshot(self) -> dict[str, float]:
         """Nothing is recorded, so the snapshot is empty."""

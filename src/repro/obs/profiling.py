@@ -1,0 +1,183 @@
+"""Stdlib sampling profiler with collapsed-stack (flamegraph) output.
+
+Hot-path claims in ``BENCH_offline.json`` need evidence, not vibes: the
+:class:`SamplingProfiler` interrupts nothing and instruments nothing —
+a daemon thread snapshots ``sys._current_frames()`` at a fixed
+interval and aggregates the target thread's stacks.  Output is the
+*collapsed stack* format (``frame;frame;frame count`` per line) that
+``flamegraph.pl``, speedscope and Perfetto all ingest directly, plus a
+terminal-friendly top-functions table.
+
+Sampling is statistical: a frame's share of samples estimates its share
+of wall time, with no per-call overhead on the measured code (the
+sampler thread costs one stack walk per interval).  The profiler never
+touches any RNG stream, so profiled runs stay byte-identical to
+unprofiled ones — only wall-clock timing differs.
+
+``python -m repro.cli perf --profile out.txt`` profiles the offline
+phase; ``telemetry ... --profile out.txt`` profiles a platform round.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import threading
+from collections import Counter as _TallyCounter
+from collections.abc import Callable
+from types import FrameType
+from typing import TypeVar
+
+_T = TypeVar("_T")
+
+
+def _frame_label(frame: FrameType) -> str:
+    """``module:function`` label for one stack frame."""
+    code = frame.f_code
+    path = pathlib.PurePath(code.co_filename)
+    return f"{path.stem}:{code.co_name}"
+
+
+def _collapse(frame: FrameType | None) -> str:
+    """Root-first ``;``-joined stack below ``frame``."""
+    labels: list[str] = []
+    current: FrameType | None = frame
+    while current is not None:
+        labels.append(_frame_label(current))
+        current = current.f_back
+    return ";".join(reversed(labels))
+
+
+class SamplingProfiler:
+    """Wall-clock sampling profiler for one thread.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default 5 ms — coarse enough to stay
+        invisible, fine enough for multi-second hot paths).
+    target_thread:
+        ``threading.get_ident()`` of the thread to sample; defaults to
+        the thread that enters the context.
+
+    Use as a context manager::
+
+        with SamplingProfiler() as prof:
+            expensive_call()
+        prof.write_collapsed("flame.txt")
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        target_thread: int | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.target_thread = target_thread
+        self.stacks: _TallyCounter[str] = _TallyCounter()
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- sampling loop --------------------------------------------------
+    def _run(self, target: int) -> None:
+        while not self._stop.is_set():
+            frames = sys._current_frames()
+            frame = frames.get(target)
+            if frame is not None:
+                self.stacks[_collapse(frame)] += 1
+                self.samples += 1
+            del frames, frame  # drop frame refs before sleeping
+            self._stop.wait(self.interval)
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling (idempotent guard: one run per instance)."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        target = (
+            self.target_thread
+            if self.target_thread is not None
+            else threading.get_ident()
+        )
+        self._thread = threading.Thread(
+            target=self._run, args=(target,), daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling and join the sampler thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- output ---------------------------------------------------------
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``frame;frame count`` per line."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(self.stacks.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the collapsed stacks to ``path`` (flamegraph input)."""
+        out = pathlib.Path(path)
+        out.write_text(self.collapsed(), encoding="utf-8")
+        return out
+
+    def top_functions(self, limit: int = 10) -> list[tuple[str, int]]:
+        """Leaf-frame tally: the functions samples actually landed in."""
+        leaves: _TallyCounter[str] = _TallyCounter()
+        for stack, count in self.stacks.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            leaves[leaf] += count
+        return leaves.most_common(limit)
+
+    def format_table(self, limit: int = 10) -> str:
+        """Aligned top-functions table with sample shares."""
+        rows = self.top_functions(limit)
+        lines = [f"{'function':<44}{'samples':>9}{'share':>8}"]
+        total = self.samples or 1
+        for name, count in rows:
+            lines.append(
+                f"{name:<44}{count:>9}{count / total:>8.1%}"
+            )
+        if not rows:
+            lines.append("(no samples collected)")
+        return "\n".join(lines)
+
+    def summary(self, limit: int = 10) -> dict[str, object]:
+        """Machine-readable profile summary for bench JSON sections."""
+        total = self.samples or 1
+        return {
+            "samples": self.samples,
+            "interval_s": self.interval,
+            "top": [
+                {
+                    "function": name,
+                    "samples": count,
+                    "share": count / total,
+                }
+                for name, count in self.top_functions(limit)
+            ],
+        }
+
+
+def profile_call(
+    fn: Callable[[], _T],
+    interval: float = 0.005,
+) -> tuple[_T, SamplingProfiler]:
+    """Run ``fn()`` under a profiler; returns ``(result, profiler)``."""
+    profiler = SamplingProfiler(interval=interval)
+    with profiler:
+        result = fn()
+    return result, profiler

@@ -1,0 +1,246 @@
+"""SLO evaluation over span/latency histograms.
+
+A service-level objective here is a named statement about a recorded
+histogram: *"the q-quantile of <metric>{<labels>} stays under T
+seconds"*.  The evaluator reads the cumulative bucket counts the
+Prometheus exposition also renders and answers three questions per
+objective:
+
+- **observed quantile** — PromQL-style ``histogram_quantile``: linear
+  interpolation inside the bucket the target rank falls in (the
+  ``+Inf`` bucket reports the largest finite bound);
+- **pass/fail** — observed quantile ≤ threshold;
+- **error budget** — an objective "q-quantile ≤ T" tolerates a
+  ``1 - q`` fraction of observations above T.  The fraction actually
+  above T (conservatively: everything past the last bucket bound ≤ T)
+  is divided by that allowance; ``budget_used ≥ 1.0`` means the budget
+  is spent, which is exactly the fail condition restated in spend
+  terms.
+
+The measurement harness of ROADMAP item 1 (p50/p99 serving SLOs) plugs
+its latency targets straight into :func:`evaluate_slos`; today the
+``telemetry`` CLI evaluates :data:`DEFAULT_SLOS` over the span
+histograms of an instrumented run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Histogram, MetricsRegistry, _label_key
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One named latency objective over a histogram family."""
+
+    name: str  #: human handle, e.g. ``"assign_p99"``
+    metric: str  #: histogram metric name
+    quantile: float  #: e.g. 0.99
+    threshold: float  #: upper bound for the quantile, in the metric's unit
+    labels: tuple[tuple[str, str], ...] = ()  #: sorted (label, value) pairs
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError(
+                f"quantile must be in (0, 1), got {self.quantile}"
+            )
+        if self.threshold <= 0:
+            raise ValueError(
+                f"threshold must be positive, got {self.threshold}"
+            )
+
+    @classmethod
+    def span(
+        cls, name: str, span: str, quantile: float, threshold: float
+    ) -> "SLO":
+        """Objective over one named span's duration histogram."""
+        return cls(
+            name=name,
+            metric="repro_span_duration_seconds",
+            quantile=quantile,
+            threshold=threshold,
+            labels=(("span", span),),
+        )
+
+
+@dataclass
+class SLOResult:
+    """Verdict for one objective."""
+
+    slo: SLO
+    count: int  #: observations the verdict is based on
+    observed: float  #: estimated quantile (NaN when count == 0)
+    passed: bool
+    violations: int  #: observations (conservatively) above threshold
+    budget_used: float  #: violating fraction / allowed fraction
+
+    @property
+    def skipped(self) -> bool:
+        """No observations were recorded for the target histogram."""
+        return self.count == 0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe view (NaN observed → ``null``, not bare ``NaN``)."""
+        return {
+            "name": self.slo.name,
+            "metric": self.slo.metric,
+            "labels": dict(self.slo.labels),
+            "quantile": self.slo.quantile,
+            "threshold_s": self.slo.threshold,
+            "count": self.count,
+            "observed_s": (
+                None if math.isnan(self.observed) else self.observed
+            ),
+            "passed": self.passed,
+            "violations": self.violations,
+            "budget_used": self.budget_used,
+        }
+
+
+@dataclass
+class SLOReport:
+    """All objective verdicts of one evaluation."""
+
+    results: list[SLOResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every evaluated (non-skipped) objective passed."""
+        return all(
+            result.passed for result in self.results if not result.skipped
+        )
+
+    def format_table(self) -> str:
+        """Aligned pass/fail + error-budget table."""
+        lines = [
+            f"{'SLO':<26}{'objective':<22}{'observed':>10}"
+            f"{'n':>7}{'budget':>9}{'verdict':>9}"
+        ]
+        for result in self.results:
+            objective = (
+                f"p{result.slo.quantile * 100:g}"
+                f" <= {result.slo.threshold:g}s"
+            )
+            if result.skipped:
+                observed, verdict, budget = "-", "skip", "-"
+            else:
+                observed = f"{result.observed:.4f}s"
+                verdict = "pass" if result.passed else "FAIL"
+                budget = f"{result.budget_used:.0%}"
+            lines.append(
+                f"{result.slo.name:<26}{objective:<22}{observed:>10}"
+                f"{result.count:>7}{budget:>9}{verdict:>9}"
+            )
+        if not self.results:
+            lines.append("(no objectives evaluated)")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe view (the telemetry ``--format=json`` section)."""
+        return {
+            "passed": self.passed,
+            "objectives": [result.as_dict() for result in self.results],
+        }
+
+
+def histogram_quantile(histogram: Histogram, quantile: float) -> float:
+    """PromQL-style quantile estimate from cumulative buckets.
+
+    Linear interpolation within the bucket holding the target rank;
+    ranks landing in the ``+Inf`` bucket report the largest finite
+    bound (there is nothing finite to interpolate towards).  NaN when
+    the histogram is empty.
+    """
+    with histogram.lock:
+        counts = list(histogram.bucket_counts)
+        total = histogram.count
+    if total == 0:
+        return float("nan")
+    rank = quantile * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= rank:
+            if index >= len(histogram.buckets):
+                return histogram.buckets[-1]  # +Inf bucket
+            upper = histogram.buckets[index]
+            lower = histogram.buckets[index - 1] if index else 0.0
+            below = cumulative - bucket_count
+            if bucket_count == 0:  # pragma: no cover - defensive
+                return upper
+            return lower + (upper - lower) * (rank - below) / bucket_count
+    return histogram.buckets[-1]  # pragma: no cover - defensive
+
+
+def _violations_above(histogram: Histogram, threshold: float) -> int:
+    """Observations conservatively counted above ``threshold``.
+
+    Bucketed data only bounds each observation: everything in buckets
+    whose *upper* bound exceeds ``threshold`` might be above it, so it
+    counts against the budget.  (With a bucket bound placed exactly at
+    the threshold, the count is exact.)
+    """
+    with histogram.lock:
+        counts = list(histogram.bucket_counts)
+    boundary = bisect.bisect_right(histogram.buckets, threshold)
+    return sum(counts[boundary:])
+
+
+def evaluate_slo(registry: MetricsRegistry, slo: SLO) -> SLOResult:
+    """Evaluate one objective against a registry."""
+    metric = None
+    for candidate in registry.metrics():
+        if (
+            isinstance(candidate, Histogram)
+            and candidate.name == slo.metric
+            and candidate.labels == _label_key(dict(slo.labels))
+        ):
+            metric = candidate
+            break
+    if metric is None or metric.count == 0:
+        return SLOResult(
+            slo=slo,
+            count=0,
+            observed=float("nan"),
+            passed=True,
+            violations=0,
+            budget_used=0.0,
+        )
+    observed = histogram_quantile(metric, slo.quantile)
+    violations = _violations_above(metric, slo.threshold)
+    allowance = (1.0 - slo.quantile) * metric.count
+    budget_used = violations / allowance if allowance > 0 else math.inf
+    return SLOResult(
+        slo=slo,
+        count=metric.count,
+        observed=observed,
+        passed=bool(observed <= slo.threshold),
+        violations=violations,
+        budget_used=budget_used,
+    )
+
+
+def evaluate_slos(
+    registry: MetricsRegistry, slos: tuple[SLO, ...]
+) -> SLOReport:
+    """Evaluate every objective; skipped ones never fail the report."""
+    return SLOReport(
+        results=[evaluate_slo(registry, slo) for slo in slos]
+    )
+
+
+#: Objectives the ``telemetry`` CLI evaluates by default.  Thresholds
+#: are generous single-box bounds — they exist to exercise the
+#: evaluator on every run and to catch order-of-magnitude regressions,
+#: not to gate CI on machine speed.  ROADMAP item 1's serving bench
+#: will bring its own, tight, p50/p99 targets.
+DEFAULT_SLOS: tuple[SLO, ...] = (
+    SLO.span("scheme_build_p99", "assigner.scheme", 0.99, 2.5),
+    SLO.span("offline_estimate_p99", "estimator.offline", 0.99, 10.0),
+    SLO.span("platform_run_p50", "platform.run", 0.50, 60.0),
+    SLO.span("http_request_p99", "server.request", 0.99, 0.5),
+    SLO.span("http_submit_p99", "server.submit", 0.99, 0.5),
+)

@@ -25,6 +25,8 @@ import time
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
+from repro.obs.ids import TraceContext
+
 if TYPE_CHECKING:
     from repro.obs.metrics import MetricsRegistry
 
@@ -71,28 +73,64 @@ class Span:
 
     Created via :meth:`repro.obs.MetricsRegistry.span`; do not
     instantiate directly.
+
+    Every span carries a causal identity (``trace_id`` / ``span_id`` /
+    ``parent_id``) allocated at entry from the registry's injected
+    :class:`repro.obs.ids.TraceIdSource`:
+
+    - nested under a live span → inherits the parent's ``trace_id``
+      and parents under its ``span_id``;
+    - opened with a ``remote_context`` (a parsed ``traceparent``
+      header) → joins that remote trace;
+    - otherwise → roots a fresh trace.
     """
 
     __slots__ = (
         "_registry", "name", "attrs", "parent", "depth",
-        "started", "elapsed",
+        "started", "elapsed", "remote_context",
+        "trace_id", "span_id", "parent_id",
     )
 
     def __init__(
-        self, registry: "MetricsRegistry", name: str, attrs: dict[str, object]
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        attrs: dict[str, object],
+        remote_context: TraceContext | None = None,
     ) -> None:
         self._registry = registry
         self.name = name
         self.attrs = attrs
+        self.remote_context = remote_context
         self.parent: str | None = None
         self.depth = 0
         self.started = 0.0
         self.elapsed = 0.0
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: str | None = None
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's identity, ready to propagate downstream."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
     def __enter__(self) -> "Span":
         stack = self._registry._stack()
         self.parent = stack[-1].name if stack else None
         self.depth = len(stack)
+        ids = self._registry.ids
+        self.span_id = ids.span_id()
+        if stack:
+            enclosing = stack[-1]
+            self.trace_id = enclosing.trace_id
+            self.parent_id = enclosing.span_id
+        elif self.remote_context is not None:
+            self.trace_id = self.remote_context.trace_id
+            self.parent_id = self.remote_context.span_id
+        else:
+            self.trace_id = ids.trace_id()
+            self.parent_id = None
         stack.append(self)
         self.started = self._registry.clock()
         return self
@@ -116,6 +154,9 @@ class Span:
                 "depth": self.depth,
                 "start": self.started,
                 "elapsed": self.elapsed,
+                "trace_id": self.trace_id,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
             }
             if self.attrs:
                 record.update(self.attrs)

@@ -11,6 +11,14 @@ at-least-once delivery discipline the hardened server is built for:
 - a 409 on ``/submit`` after a retry means the first POST landed and
   only its response was lost; the server's idempotent answer handling
   makes that a success (``SubmitResult.ok``), not an error.
+
+With a live recorder attached, every endpoint call runs inside a
+``client.<endpoint>`` span and stamps each HTTP attempt with a W3C
+``traceparent`` header carrying that span's identity — retries reuse
+the same span, so the server-side handler spans of all delivery
+attempts parent under one client span and share one ``trace_id``.
+With the default :data:`NULL_RECORDER` no header is sent and the wire
+format is unchanged.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ import time
 from dataclasses import dataclass
 
 from repro.core.types import Label, TaskId, WorkerId
+from repro.obs.ids import TRACEPARENT_HEADER, format_traceparent
+from repro.obs.metrics import NULL_RECORDER, Recorder
 
 
 class TransportError(RuntimeError):
@@ -72,6 +82,10 @@ class ICrowdClient:
         Initial sleep between attempts, doubled each retry.
     timeout:
         Per-connection socket timeout in seconds.
+    recorder:
+        Metrics/tracing sink; a live registry wraps every endpoint
+        call in a ``client.<endpoint>`` span and propagates its
+        identity server-side via the ``traceparent`` header.
     """
 
     def __init__(
@@ -80,6 +94,7 @@ class ICrowdClient:
         max_retries: int = 3,
         backoff: float = 0.05,
         timeout: float = 5.0,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -89,12 +104,44 @@ class ICrowdClient:
         self.max_retries = max_retries
         self.backoff = backoff
         self.timeout = timeout
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
     def _call(
         self, method: str, path: str, payload: dict | None = None
     ) -> tuple[int, dict | None, int]:
-        """One endpoint call with bounded retries on transport/5xx."""
+        """One endpoint call with bounded retries on transport/5xx.
+
+        The whole retry loop runs inside a single ``client.<endpoint>``
+        span, so every delivery attempt carries the same traceparent
+        and the server-side handler spans of all attempts join one
+        trace under one client parent.
+        """
+        endpoint = path.partition("?")[0].lstrip("/") or "root"
+        with self.recorder.span(
+            f"client.{endpoint}", method=method
+        ) as span:
+            headers: dict[str, str] = {}
+            if span.trace_id:
+                headers[TRACEPARENT_HEADER] = format_traceparent(
+                    span.context
+                )
+            status, data, attempts = self._send(
+                method, path, payload, headers
+            )
+            if span.trace_id:
+                span.attrs["attempts"] = attempts
+                span.attrs["status"] = status
+            return status, data, attempts
+
+    def _send(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        headers: dict[str, str],
+    ) -> tuple[int, dict | None, int]:
+        """The bounded-retry delivery loop behind :meth:`_call`."""
         body = json.dumps(payload) if payload is not None else None
         delay = self.backoff
         last_error: Exception | None = None
@@ -104,7 +151,7 @@ class ICrowdClient:
                     *self.address, timeout=self.timeout
                 )
                 try:
-                    conn.request(method, path, body=body)
+                    conn.request(method, path, body=body, headers=headers)
                     response = conn.getresponse()
                     raw = response.read()
                     status = response.status

@@ -34,6 +34,19 @@ The server serialises access to the policy with a lock (policies are
 deliberately single-threaded state machines) and binds to an ephemeral
 localhost port by default.  :class:`repro.platform.client.ICrowdClient`
 is the matching bounded-retry client.
+
+Two observability surfaces make served rounds reconstructable after
+the fact:
+
+- **causal tracing** — handlers honour the W3C ``traceparent`` header
+  (malformed or absent → a fresh trace): each request runs inside a
+  ``server.<endpoint>`` span joined to the caller's trace, with nested
+  ``server.lease_issue`` / ``server.aggregate`` spans around the two
+  state transitions that matter;
+- **flight data** — the server keeps its own :class:`EventLog` of
+  request/assign/answer/complete/expire events at interaction-tick
+  granularity, so :class:`repro.obs.FlightRecorder` can join it with
+  the span trace into per-task lifecycle timelines.
 """
 
 from __future__ import annotations
@@ -51,8 +64,21 @@ from repro.core.types import AnswerOutcome, Label, TaskSet, WorkerId
 if TYPE_CHECKING:
     from repro.platform.platform import PolicyProtocol
 from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.ids import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    parse_traceparent,
+)
 from repro.obs.logging import get_logger, log_event
 from repro.obs.metrics import MetricsRegistry, Recorder
+from repro.platform.events import (
+    AnswerEvent,
+    AssignEvent,
+    CompleteEvent,
+    EventLog,
+    ExpireEvent,
+    RequestEvent,
+)
 from repro.platform.leases import LeaseLedger, SettleResult
 
 _LOGGER = get_logger("platform.server")
@@ -101,6 +127,9 @@ class ICrowdHTTPServer:
         if lease_timeout is None:
             lease_timeout = max(50, 4 * len(tasks))
         self.leases = LeaseLedger(lease_timeout, recorder=self.recorder)
+        #: Flight data: every served interaction as a typed event, at
+        #: interaction-tick granularity (guarded by the server lock).
+        self.events = EventLog()
         self._tick = 0
         self._known_workers: set[WorkerId] = set()
         self._lock = threading.Lock()
@@ -149,6 +178,13 @@ class ICrowdHTTPServer:
         """
         self._tick += 1
         for lease in self.leases.expire_due(self._tick):
+            self.events.append(
+                ExpireEvent(
+                    step=self._tick,
+                    worker_id=lease.worker_id,
+                    task_id=lease.task_id,
+                )
+            )
             release = getattr(self.policy, "release_assignment", None)
             if release is not None:
                 release(lease.worker_id, lease.task_id)
@@ -159,13 +195,27 @@ class ICrowdHTTPServer:
         with self._lock:
             self._advance_and_sweep()
             self._known_workers.add(worker_id)
+            self.events.append(
+                RequestEvent(step=self._tick, worker_id=worker_id)
+            )
             assignment = self.policy.on_worker_request(worker_id)
             if assignment is not None:
-                self.leases.issue(
-                    worker_id,
-                    assignment.task_id,
-                    self._tick,
-                    assignment.is_test,
+                with self.recorder.span(
+                    "server.lease_issue", worker=worker_id
+                ):
+                    self.leases.issue(
+                        worker_id,
+                        assignment.task_id,
+                        self._tick,
+                        assignment.is_test,
+                    )
+                self.events.append(
+                    AssignEvent(
+                        step=self._tick,
+                        worker_id=worker_id,
+                        task_id=assignment.task_id,
+                        is_test=assignment.is_test,
+                    )
                 )
         if assignment is None:
             return 204, None
@@ -219,9 +269,15 @@ class ICrowdHTTPServer:
                         f"for worker {worker_id!r}"
                     )
                 }
-            outcome = self.policy.on_answer(
-                worker_id, task_id, label, is_test
+            completed_before = set(
+                getattr(self.policy, "completed_tasks", list)()
             )
+            with self.recorder.span(
+                "server.aggregate", worker=worker_id, task=task_id
+            ):
+                outcome = self.policy.on_answer(
+                    worker_id, task_id, label, is_test
+                )
             if outcome is None:
                 outcome = AnswerOutcome.ACCEPTED
             if outcome is AnswerOutcome.DUPLICATE:
@@ -232,9 +288,34 @@ class ICrowdHTTPServer:
                         f"{task_id}"
                     )
                 }
-            completed = task_id in set(
+            if outcome is AnswerOutcome.ACCEPTED:
+                self.events.append(
+                    AnswerEvent(
+                        step=self._tick,
+                        worker_id=worker_id,
+                        task_id=task_id,
+                        label=label,
+                        is_test=is_test,
+                    )
+                )
+            completed_now = set(
                 getattr(self.policy, "completed_tasks", list)()
             )
+            predictions = getattr(self.policy, "predictions", None)
+            for completed_id in sorted(completed_now - completed_before):
+                consensus = (
+                    predictions()[completed_id]
+                    if predictions is not None
+                    else label
+                )
+                self.events.append(
+                    CompleteEvent(
+                        step=self._tick,
+                        task_id=completed_id,
+                        consensus=consensus,
+                    )
+                )
+            completed = task_id in completed_now
         return 200, {
             "accepted": outcome is AnswerOutcome.ACCEPTED,
             "outcome": outcome.value,
@@ -326,10 +407,18 @@ class ICrowdHTTPServer:
                 if data:
                     self.wfile.write(data)
 
+            def _remote_context(self) -> TraceContext | None:
+                # A malformed or absent traceparent header must never
+                # fail a request: parse_traceparent returns None and
+                # the handler span roots a fresh trace instead.
+                header = self.headers.get(TRACEPARENT_HEADER) or ""
+                return parse_traceparent(header)
+
             def do_GET(self) -> None:
                 started = server._clock()
                 parsed = urlparse(self.path)
                 endpoint = parsed.path
+                remote = self._remote_context()
                 if parsed.path == "/request":
                     params = parse_qs(parsed.query)
                     workers = params.get("worker")
@@ -338,11 +427,22 @@ class ICrowdHTTPServer:
                             400, {"error": "missing worker parameter"}
                         )
                     else:
-                        status, body = server._handle_request(workers[0])
+                        with server.recorder.span(
+                            "server.request", remote_context=remote
+                        ):
+                            status, body = server._handle_request(
+                                workers[0]
+                            )
                 elif parsed.path == "/status":
-                    status, body = server._handle_status()
+                    with server.recorder.span(
+                        "server.status", remote_context=remote
+                    ):
+                        status, body = server._handle_status()
                 elif parsed.path == "/metrics":
-                    status, text = server._handle_metrics()
+                    with server.recorder.span(
+                        "server.metrics", remote_context=remote
+                    ):
+                        status, text = server._handle_metrics()
                     self._reply_raw(
                         status,
                         text.encode("utf-8") if text else b"",
@@ -371,7 +471,10 @@ class ICrowdHTTPServer:
                     self._reply(400, {"error": "invalid JSON"})
                     self._observe("/submit", 400, started)
                     return
-                status, body = server._handle_submit(payload)
+                with server.recorder.span(
+                    "server.submit", remote_context=self._remote_context()
+                ):
+                    status, body = server._handle_submit(payload)
                 self._reply(status, body)
                 self._observe("/submit", status, started)
 

@@ -1,4 +1,4 @@
-"""Positive/negative vectors for each repro-lint rule (RL001-RL006)."""
+"""Positive/negative vectors for each repro-lint rule (RL001-RL007)."""
 
 from __future__ import annotations
 
@@ -254,6 +254,69 @@ def test_rl006_immutable_defaults_are_fine() -> None:
 
 
 # -- select --------------------------------------------------------------
+# -- RL007: no OS-entropy identifiers in library code --------------------
+def test_rl007_flags_uuid4_and_urandom() -> None:
+    src = """
+        import os
+        import uuid
+
+        def make_ids():
+            return uuid.uuid4().hex, os.urandom(16).hex()
+    """
+    assert codes(src) == ["RL007", "RL007"]
+
+
+def test_rl007_flags_secrets_module_by_prefix() -> None:
+    src = """
+        import secrets
+
+        def token():
+            return secrets.token_hex(8), secrets.choice("ab")
+    """
+    assert codes(src) == ["RL007", "RL007"]
+
+
+def test_rl007_flags_uuid1_and_system_random() -> None:
+    src = """
+        import random
+        import uuid
+
+        def f():
+            return uuid.uuid1(), random.SystemRandom()
+    """
+    # SystemRandom is OS entropy (RL007) even though RL001 exempts it
+    # as a constructor
+    assert codes(src) == ["RL007", "RL007"]
+
+
+def test_rl007_deterministic_uuids_are_fine() -> None:
+    src = """
+        import uuid
+
+        def f(ns):
+            return uuid.uuid5(ns, "name"), uuid.uuid3(ns, "name")
+    """
+    assert codes(src) == []
+
+
+def test_rl007_injected_id_source_is_the_blessed_path() -> None:
+    src = """
+        def f(ids):
+            return ids.trace_id(), ids.span_id()
+    """
+    assert codes(src) == []
+
+
+def test_rl007_not_applied_to_tests() -> None:
+    src = """
+        import uuid
+
+        def test_f():
+            return uuid.uuid4()
+    """
+    assert codes(src, path=TESTS) == []
+
+
 def test_select_restricts_to_requested_codes() -> None:
     src = textwrap.dedent(
         """

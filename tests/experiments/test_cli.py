@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -57,6 +59,102 @@ class TestExecution:
         assert main(["table5", "--workers", "3", "4"]) == 0
         out = capsys.readouterr().out
         assert "approximation error" in out
+
+
+class TestTelemetryFormats:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["telemetry", "itemcompare"])
+        assert args.faults == 0.0
+        assert args.format == "table"
+        assert args.profile is None
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("cli") / "trace.jsonl"
+
+    def test_table_format(self, trace_path, capsys):
+        assert main(
+            [
+                "telemetry", "itemcompare",
+                "--scale", "0.05",
+                "--trace", str(trace_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "platform.run" in out
+        assert "SLO" in out
+
+    def test_json_format(self, trace_path, capsys):
+        assert main(
+            [
+                "telemetry", "itemcompare",
+                "--scale", "0.05",
+                "--trace", str(trace_path),
+                "--format", "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"] == "itemcompare"
+        assert payload["slo"] is not None
+        assert any(
+            row["name"] == "platform.run" for row in payload["spans"]
+        )
+
+
+class TestTimelineCommand:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        records = [
+            {
+                "type": "span", "name": "server.request",
+                "trace_id": "ab" * 16, "span_id": "cd" * 8,
+                "parent_id": None, "start": 1.0, "elapsed": 0.2,
+            },
+            {"type": "assign", "step": 1, "worker_id": "w1",
+             "task_id": 0, "is_test": False},
+            {"type": "answer", "step": 2, "worker_id": "w1",
+             "task_id": 0, "label": 1, "is_test": False},
+            {"type": "complete", "step": 2, "task_id": 0, "consensus": 1},
+        ]
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        return path
+
+    def test_table_output(self, trace_file, capsys):
+        assert main(["timeline", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1 tasks" in out
+        assert "aggregated@2" in out
+
+    def test_single_task_view(self, trace_file, capsys):
+        assert main(["timeline", str(trace_file), "--task", "0"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("task     0: created@0")
+
+    def test_json_output(self, trace_file, capsys):
+        assert main(
+            ["timeline", str(trace_file), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tasks"] == 1
+        assert payload["complete"] == 1
+
+    def test_chrome_export_with_validation(
+        self, trace_file, tmp_path, capsys
+    ):
+        chrome = tmp_path / "chrome.json"
+        assert main(
+            [
+                "timeline", str(trace_file),
+                "--chrome", str(chrome),
+                "--validate",
+            ]
+        ) == 0
+        assert f"wrote {chrome}" in capsys.readouterr().out
+        trace = json.loads(chrome.read_text())
+        assert trace["traceEvents"]
 
 
 class TestInsertionFlag:

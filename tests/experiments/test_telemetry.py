@@ -47,3 +47,31 @@ class TestTelemetryRun:
 
         setup = make_setup("itemcompare", seed=7, scale=0.06)
         assert setup.estimator.recorder.enabled is False
+
+    def test_slo_report_evaluated_and_rendered(self, result):
+        assert result.slo_report is not None
+        names = {r.slo.name for r in result.slo_report.results}
+        assert "scheme_build_p99" in names
+        assert "SLO" in result.format_table()
+
+    def test_as_dict_is_json_safe_and_complete(self, result):
+        payload = result.as_dict()
+        encoded = json.dumps(payload)  # must not raise / emit NaN
+        assert "NaN" not in encoded
+        assert payload["dataset"] == "itemcompare"
+        assert payload["finished"] is True
+        assert payload["slo"] is not None
+        assert any(
+            row["name"] == "platform.run" for row in payload["spans"]
+        )
+        assert payload["trace_path"] == str(result.trace_path)
+
+    def test_trace_feeds_the_flight_recorder(self, result):
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder.from_jsonl(result.trace_path)
+        assert recorder.timelines()
+        completed = [
+            t for t in recorder.timelines().values() if t.is_complete
+        ]
+        assert completed

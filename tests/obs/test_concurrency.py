@@ -1,0 +1,177 @@
+"""Registry thread-safety under the threaded HTTP server.
+
+``ThreadingHTTPServer`` handles every request on its own thread, so the
+server's registry is mutated concurrently: counters increment, spans
+nest, and ``GET /metrics`` renders mid-flight.  These tests hammer that
+surface and assert the two invariants the locks exist for:
+
+- **no lost updates** — N threads x K increments ends at exactly N*K;
+- **no torn exposition** — every concurrent render is internally
+  consistent (cumulative buckets monotone, ``+Inf`` bucket == count).
+"""
+
+import http.client
+import threading
+
+from repro.baselines import RandomMV
+from repro.core.types import Label, Task, TaskSet
+from repro.obs.exposition import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.platform.server import ICrowdHTTPServer
+
+THREADS = 8
+INCREMENTS = 2000
+
+
+def _parse_samples(text):
+    samples = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+def _series_key(family, labels):
+    """(family, labels-without-le) — one cumulative series per label set."""
+    kept = [
+        part
+        for part in labels.split(",")
+        if part and not part.startswith("le=")
+    ]
+    return family, ",".join(sorted(kept))
+
+
+def _assert_consistent_histograms(samples):
+    """Cumulative buckets must be monotone and end at the count."""
+    by_series = {}
+    for name, value in samples.items():
+        if "_bucket{" in name:
+            family, _, rest = name.partition("_bucket{")
+            by_series.setdefault(
+                _series_key(family, rest.rstrip("}")), []
+            ).append(value)
+    for (family, labels), values in by_series.items():
+        assert values == sorted(values), (
+            f"non-monotone buckets: {family}{{{labels}}}"
+        )
+        count_name = (
+            f"{family}_count{{{labels}}}" if labels else f"{family}_count"
+        )
+        # label order in exposition may differ from our sorted key
+        count = next(
+            (
+                v
+                for k, v in samples.items()
+                if k.startswith(f"{family}_count")
+                and _series_key(family, k.partition("{")[2].rstrip("}"))[1]
+                == labels
+            ),
+            samples.get(count_name),
+        )
+        assert count is not None, f"missing count for {family}{{{labels}}}"
+        assert values[-1] == count, (
+            f"torn series {family}{{{labels}}}: +Inf {values[-1]} != count"
+        )
+
+
+class TestHammer:
+    def test_no_lost_updates_and_no_torn_exposition(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total", "Hammered.")
+        hist = registry.histogram(
+            "hammer_seconds", "Hammered latencies.", buckets=(0.5, 1.0)
+        )
+        start = threading.Barrier(THREADS + 1)
+        renders = []
+
+        def writer(index):
+            start.wait()
+            for i in range(INCREMENTS):
+                counter.inc()
+                hist.observe((index + i) % 3 * 0.4)
+                with registry.span("hammer.outer"):
+                    with registry.span("hammer.inner"):
+                        pass
+
+        def reader():
+            start.wait()
+            for _ in range(50):
+                renders.append(render_prometheus(registry))
+
+        threads = [
+            threading.Thread(target=writer, args=(index,))
+            for index in range(THREADS)
+        ]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert counter.value == THREADS * INCREMENTS
+        assert hist.count == THREADS * INCREMENTS
+        assert sum(hist.bucket_counts) == hist.count
+        spans = dict(
+            (name, count)
+            for name, count, *_ in registry.span_summary()
+        )
+        assert spans["hammer.outer"] == THREADS * INCREMENTS
+        assert spans["hammer.inner"] == THREADS * INCREMENTS
+        for rendered in renders:
+            _assert_consistent_histograms(_parse_samples(rendered))
+        # the final render reflects every update
+        final = _parse_samples(render_prometheus(registry))
+        assert final["hammer_total"] == THREADS * INCREMENTS
+
+
+class TestThreadedServerScrape:
+    def test_concurrent_scrapes_during_traffic_are_never_torn(self):
+        tasks = TaskSet(
+            [
+                Task(i, f"microtask {i} shared tokens", "d",
+                     Label.YES if i % 2 == 0 else Label.NO)
+                for i in range(6)
+            ]
+        )
+        policy = RandomMV(tasks, k=2, seed=0)
+        registry = MetricsRegistry()
+        with ICrowdHTTPServer(tasks, policy, recorder=registry) as server:
+            host, port = server.address
+            stop = threading.Event()
+            scrapes = []
+
+            def scrape_loop():
+                while not stop.is_set():
+                    conn = http.client.HTTPConnection(host, port, timeout=5)
+                    try:
+                        conn.request("GET", "/metrics")
+                        response = conn.getresponse()
+                        body = response.read().decode("utf-8")
+                        assert response.status == 200
+                        scrapes.append(body)
+                    finally:
+                        conn.close()
+
+            scraper = threading.Thread(target=scrape_loop)
+            scraper.start()
+            try:
+                for worker in ("w1", "w2", "w3"):
+                    for _ in range(12):
+                        conn = http.client.HTTPConnection(
+                            host, port, timeout=5
+                        )
+                        try:
+                            conn.request(
+                                "GET", f"/request?worker={worker}"
+                            )
+                            conn.getresponse().read()
+                        finally:
+                            conn.close()
+            finally:
+                stop.set()
+                scraper.join(timeout=10)
+        assert scrapes
+        for body in scrapes:
+            _assert_consistent_histograms(_parse_samples(body))

@@ -1,7 +1,13 @@
-"""Prometheus text-format rendering."""
+"""Prometheus text-format rendering and 0.0.4 conformance audit."""
+
+import math
+import re
+from pathlib import Path
 
 from repro.obs.exposition import CONTENT_TYPE, render_prometheus
 from repro.obs.metrics import MetricsRegistry
+
+FIXTURE = Path(__file__).parent / "fixtures" / "exposition_reference.txt"
 
 
 def test_content_type_is_the_text_format():
@@ -49,3 +55,80 @@ def test_label_values_escaped():
     reg.counter("odd_total", path='a"b\\c\nd').inc()
     text = render_prometheus(reg)
     assert r'odd_total{path="a\"b\\c\nd"} 1' in text
+
+
+def _conformance_registry():
+    """Every rendering hazard in one registry: escaping in help text and
+    label values, non-finite sample values, shared headers for labelled
+    families, cumulative buckets, and an empty histogram."""
+    reg = MetricsRegistry()
+    reg.counter("conf_jobs_total", "Jobs processed.").inc(3)
+    reg.counter("conf_hits_total", "Hits per route.", route="/a").inc(2)
+    reg.counter("conf_hits_total", "Hits per route.", route="/b").inc()
+    reg.gauge("conf_queue_depth", "Items waiting.").set(1.5)
+    ratios = "Division hazards."
+    reg.gauge("conf_ratio", ratios, which="nan").set(float("nan"))
+    reg.gauge("conf_ratio", ratios, which="pinf").set(math.inf)
+    reg.gauge("conf_ratio", ratios, which="ninf").set(-math.inf)
+    reg.counter(
+        "conf_odd_total",
+        "Help with \\ backslash\nand newline.",
+        path='a"b\\c\nd',
+    ).inc()
+    hist = reg.histogram("conf_lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    reg.histogram("conf_empty_seconds", "Never observed.", buckets=(0.5,))
+    return reg
+
+
+def test_reference_fixture_matches_byte_for_byte():
+    """Conformance audit: the exposition of the hazard registry must be
+    byte-identical to the reviewed reference fixture.  Any formatting
+    drift (escaping, value spelling, family grouping) fails here first.
+    """
+    assert render_prometheus(_conformance_registry()) == FIXTURE.read_text(
+        encoding="utf-8"
+    )
+
+
+# Text format 0.0.4 line grammar (comment lines aside):
+# metric_name ['{' labels '}'] ' ' value — no leading whitespace, no
+# tabs, single space separator, value a float or NaN/+Inf/-Inf.
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABELS = r'\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\[\\"n])*"' \
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\[\\"n])*")*\}'
+_VALUE = r"(?:[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|NaN|\+Inf|-Inf)"
+_SAMPLE_RE = re.compile(rf"^{_NAME}(?:{_LABELS})? {_VALUE}$")
+_HELP_RE = re.compile(rf"^# HELP {_NAME} (?:[^\\\n]|\\[\\n])*$")
+_TYPE_RE = re.compile(rf"^# TYPE {_NAME} (?:counter|gauge|histogram)$")
+
+
+def test_every_line_matches_the_text_format_grammar():
+    text = render_prometheus(_conformance_registry())
+    assert text.endswith("\n")
+    seen_types = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP"):
+            assert _HELP_RE.match(line), line
+        elif line.startswith("# TYPE"):
+            match = _TYPE_RE.match(line)
+            assert match, line
+            name = line.split(" ")[2]
+            # one TYPE header per family, TYPE precedes its samples
+            assert name not in seen_types, line
+            seen_types.add(name)
+        else:
+            assert _SAMPLE_RE.match(line), line
+            family = re.match(_NAME, line).group(0)
+            base = re.sub(r"_(bucket|sum|count)$", "", family)
+            assert base in seen_types or family in seen_types, line
+
+
+def test_histogram_invariants_in_reference_output():
+    text = FIXTURE.read_text(encoding="utf-8")
+    # cumulative buckets end at the count, +Inf bucket always present
+    assert 'conf_lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "conf_lat_seconds_count 3" in text
+    assert 'conf_empty_seconds_bucket{le="+Inf"} 0' in text
+    assert "conf_empty_seconds_count 0" in text

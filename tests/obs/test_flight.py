@@ -1,0 +1,163 @@
+"""Flight recorder: lifecycle joins and the Chrome trace export."""
+
+import json
+
+from repro.obs.flight import (
+    FlightRecorder,
+    TaskTimeline,
+    TimelineEntry,
+    validate_chrome_trace,
+)
+
+
+def _span(name, trace_id="ab" * 16, start=1.0, elapsed=0.5, **extra):
+    return {
+        "type": "span",
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": "cd" * 8,
+        "parent_id": None,
+        "start": start,
+        "elapsed": elapsed,
+        **extra,
+    }
+
+
+def _records_with_requeue():
+    """One task that survives an expired lease, one that never finishes."""
+    return [
+        _span("client.request"),
+        _span("server.request", start=1.1, elapsed=0.2),
+        {"type": "assign", "step": 3, "worker_id": "w1", "task_id": 0,
+         "is_test": False},
+        # w1's lease dies; the sweep (same step as the re-assign) runs
+        # before assignment, so expired must sort before assigned
+        {"type": "expire", "step": 9, "worker_id": "w1", "task_id": 0},
+        {"type": "assign", "step": 9, "worker_id": "w2", "task_id": 0,
+         "is_test": False},
+        {"type": "answer", "step": 12, "worker_id": "w2", "task_id": 0,
+         "label": 1, "is_test": False},
+        {"type": "complete", "step": 12, "task_id": 0, "consensus": 1},
+        {"type": "assign", "step": 4, "worker_id": "w3", "task_id": 7,
+         "is_test": True},
+        # skipped record families must be ignored, not crash the join
+        {"type": "request", "step": 1, "worker_id": "w1"},
+        {"type": "reject", "step": 2, "worker_id": "w9"},
+    ]
+
+
+class TestLifecycleJoin:
+    def test_requeue_timeline_reconstructed_in_order(self):
+        recorder = FlightRecorder.from_records(_records_with_requeue())
+        timeline = recorder.timelines()[0]
+        assert timeline.phases() == [
+            "created", "assigned", "expired", "assigned", "submitted",
+            "aggregated",
+        ]
+        assert timeline.is_complete
+        assert timeline.expiries == 1
+        # created is synthesised at step 0
+        assert timeline.entries[0] == TimelineEntry(step=0, phase="created")
+
+    def test_incomplete_task_detected(self):
+        recorder = FlightRecorder.from_records(_records_with_requeue())
+        assert recorder.incomplete_tasks() == [7]
+        assert not recorder.timelines()[7].is_complete
+
+    def test_format_table_and_single_task_view(self):
+        recorder = FlightRecorder.from_records(_records_with_requeue())
+        table = recorder.format_table()
+        assert "2 tasks" in table
+        assert "1 complete lifecycles" in table
+        assert "1 lease expiries" in table
+        line = recorder.format_table(task_id=0)
+        assert line.startswith("task     0: created@0")
+        assert "expired@9(w1)" in line
+        assert recorder.format_table(task_id=99).endswith(
+            "no recorded lifecycle"
+        )
+
+    def test_as_dict_is_json_safe(self):
+        recorder = FlightRecorder.from_records(_records_with_requeue())
+        payload = recorder.as_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["tasks"] == 2
+        assert payload["complete"] == 1
+        assert payload["timelines"]["0"][0]["phase"] == "created"
+
+    def test_from_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in _records_with_requeue():
+                handle.write(json.dumps(record) + "\n")
+            handle.write("\n")  # blank lines are skipped
+        recorder = FlightRecorder.from_jsonl(path)
+        assert len(recorder.spans) == 2
+        assert recorder.timelines()[0].is_complete
+
+
+class TestChromeExport:
+    def test_export_validates_against_schema(self, tmp_path):
+        recorder = FlightRecorder.from_records(_records_with_requeue())
+        trace = recorder.chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        out = recorder.write_chrome(tmp_path / "chrome.json")
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    def test_spans_and_lifecycles_in_separate_process_groups(self):
+        trace = FlightRecorder.from_records(
+            _records_with_requeue()
+        ).chrome_trace()
+        events = trace["traceEvents"]
+        span_events = [
+            e for e in events if e.get("cat") == "span"
+        ]
+        lifecycle = [e for e in events if e.get("cat") == "lifecycle"]
+        assert span_events and all(e["pid"] == 1 for e in span_events)
+        assert lifecycle and all(e["pid"] == 2 for e in lifecycle)
+        # span clock is wall-clock micros
+        assert span_events[0]["ts"] == 1.0 * 1e6
+        # lifecycle clock is steps at 1 step = 1000 us
+        steps = {e["ts"] for e in lifecycle}
+        assert 9 * 1000.0 in steps
+
+    def test_lease_slices_cover_requeue(self):
+        trace = FlightRecorder.from_records(
+            _records_with_requeue()
+        ).chrome_trace()
+        leases = [
+            e for e in trace["traceEvents"] if e.get("cat") == "lease"
+        ]
+        outcomes = sorted(e["args"]["outcome"] for e in leases)
+        assert outcomes == ["expired", "submitted"]
+
+    def test_validator_rejects_broken_traces(self):
+        assert validate_chrome_trace([]) == ["trace must be a JSON object"]
+        assert validate_chrome_trace({}) == ["traceEvents must be an array"]
+        bad = {
+            "traceEvents": [
+                "not-a-dict",
+                {"ph": "X", "pid": 1, "tid": 1, "ts": 0.0},  # no name/dur
+                {"name": "x", "ph": "i", "pid": "one", "tid": 1,
+                 "ts": 0.0, "s": "z"},
+            ]
+        }
+        problems = validate_chrome_trace(bad)
+        assert any("not an object" in p for p in problems)
+        assert any("'name'" in p for p in problems)
+        assert any("non-negative 'dur'" in p for p in problems)
+        assert any("'pid' must be an integer" in p for p in problems)
+        assert any("scope must be g/p/t" in p for p in problems)
+
+
+class TestTaskTimeline:
+    def test_completeness_requires_all_phases(self):
+        partial = TaskTimeline(
+            1,
+            [
+                TimelineEntry(step=0, phase="created"),
+                TimelineEntry(step=1, phase="assigned", worker_id="w"),
+            ],
+        )
+        assert not partial.is_complete
+        assert partial.expiries == 0

@@ -1,0 +1,113 @@
+"""Seeded trace identities and W3C traceparent propagation."""
+
+import threading
+
+import pytest
+
+from repro.obs.ids import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    TraceIdSource,
+    format_traceparent,
+    parse_traceparent,
+)
+
+
+class TestTraceContext:
+    def test_valid_context(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        assert ctx.trace_id == "ab" * 16
+        assert ctx.span_id == "cd" * 8
+
+    @pytest.mark.parametrize(
+        "trace_id,span_id",
+        [
+            ("short", "cd" * 8),
+            ("ab" * 16, "short"),
+            ("AB" * 16, "cd" * 8),  # uppercase hex is invalid per W3C
+            ("zz" * 16, "cd" * 8),
+            ("", ""),
+        ],
+    )
+    def test_invalid_ids_raise(self, trace_id, span_id):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+class TestTraceparentHeader:
+    def test_roundtrip(self):
+        ctx = TraceContext(trace_id="1a" * 16, span_id="2b" * 8)
+        header = format_traceparent(ctx)
+        assert header == f"00-{'1a' * 16}-{'2b' * 8}-01"
+        assert parse_traceparent(header) == ctx
+
+    def test_header_name_is_w3c(self):
+        assert TRACEPARENT_HEADER == "traceparent"
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "",
+            "garbage",
+            "00-tooshort-2b2b2b2b2b2b2b2b-01",
+            "00-" + "1a" * 16 + "-" + "2b" * 8,  # missing flags
+            "xx-" + "1a" * 16 + "-" + "2b" * 8 + "-01",  # bad version
+            "00-" + "00" * 16 + "-" + "2b" * 8 + "-01",  # all-zero trace
+            "00-" + "1a" * 16 + "-" + "00" * 8 + "-01",  # all-zero span
+            "00-" + "1A" * 16 + "-" + "2b" * 8 + "-01",  # uppercase
+        ],
+    )
+    def test_malformed_headers_yield_none_not_errors(self, value):
+        assert parse_traceparent(value) is None
+
+
+class TestTraceIdSource:
+    def test_id_shapes(self):
+        source = TraceIdSource(seed=3)
+        trace_id = source.trace_id()
+        span_id = source.span_id()
+        assert len(trace_id) == 32 and int(trace_id, 16) >= 0
+        assert len(span_id) == 16 and int(span_id, 16) >= 0
+
+    def test_same_seed_same_sequence(self):
+        a = [TraceIdSource(seed=9).trace_id() for _ in range(1)]
+        first = TraceIdSource(seed=9)
+        second = TraceIdSource(seed=9)
+        assert [first.trace_id() for _ in range(5)] == [
+            second.trace_id() for _ in range(5)
+        ]
+        assert a[0] == TraceIdSource(seed=9).trace_id()
+
+    def test_different_seed_or_tag_diverges(self):
+        base = TraceIdSource(seed=1).trace_id()
+        assert TraceIdSource(seed=2).trace_id() != base
+        assert TraceIdSource(seed=1, tag="other").trace_id() != base
+
+    def test_sequence_never_repeats_locally(self):
+        source = TraceIdSource(seed=0)
+        ids = [source.span_id() for _ in range(200)]
+        assert len(set(ids)) == len(ids)
+
+    def test_thread_safe_allocation_is_collision_free(self):
+        source = TraceIdSource(seed=4)
+        out: list[str] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [source.span_id() for _ in range(200)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(out)) == len(out) == 1600
+
+    def test_ids_are_valid_context_material(self):
+        source = TraceIdSource(seed=11)
+        ctx = TraceContext(
+            trace_id=source.trace_id(), span_id=source.span_id()
+        )
+        assert parse_traceparent(format_traceparent(ctx)) == ctx

@@ -55,3 +55,30 @@ def test_event_log_byte_identical_with_and_without_recorder(tmp_path):
     # and the instrumented run actually recorded something
     assert recorded_report.metrics["repro_platform_steps_total"] > 0
     assert plain_report.metrics == {}
+
+
+def test_event_log_byte_identical_with_full_tracing_enabled(tmp_path):
+    """Span identities come from the keyed TraceIdSource counter, never
+    from the experiment RNG — so even a fully traced run (trace file +
+    explicit id source) replays the exact same event log."""
+    from repro.obs.ids import TraceIdSource
+
+    traced = MetricsRegistry(
+        trace_path=tmp_path / "trace.jsonl", ids=TraceIdSource(seed=5)
+    )
+    try:
+        traced_bytes, traced_report = _run_event_log_bytes(
+            traced, tmp_path, "traced"
+        )
+    finally:
+        traced.close()
+    plain_bytes, _ = _run_event_log_bytes(NULL_RECORDER, tmp_path, "bare")
+    assert traced_bytes == plain_bytes
+    # the trace file is real: spans were written with identities
+    lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+    assert lines
+    import json
+
+    record = json.loads(lines[0])
+    assert record["trace_id"] and record["span_id"]
+    assert traced_report.metrics["repro_platform_steps_total"] > 0

@@ -1,0 +1,77 @@
+"""Sampling profiler: collapsed stacks, summaries, lifecycle guards."""
+
+import pytest
+
+from repro.obs.profiling import SamplingProfiler, profile_call
+
+
+def _busy(seconds=0.2):
+    """Spin long enough for a 1 ms sampler to land many samples."""
+    import time
+
+    total = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_captures_samples_of_the_hot_function(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            _busy()
+        assert prof.samples > 10
+        collapsed = prof.collapsed()
+        assert "test_profiling:_busy" in collapsed
+        # collapsed-stack lines are "frame;frame count"
+        for line in collapsed.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack or stack
+            assert int(count) >= 1
+
+    def test_top_functions_and_table(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            _busy()
+        top = prof.top_functions(limit=3)
+        assert top and top[0][1] >= top[-1][1]
+        table = prof.format_table()
+        assert "function" in table and "share" in table
+
+    def test_write_collapsed(self, tmp_path):
+        with SamplingProfiler(interval=0.001) as prof:
+            _busy(0.05)
+        out = prof.write_collapsed(tmp_path / "flame.txt")
+        assert out.read_text() == prof.collapsed()
+
+    def test_summary_is_json_shaped(self):
+        import json
+
+        with SamplingProfiler(interval=0.001) as prof:
+            _busy(0.05)
+        summary = prof.summary(limit=2)
+        json.dumps(summary)
+        assert summary["samples"] == prof.samples
+        assert len(summary["top"]) <= 2
+
+    def test_profile_call_returns_result_and_profiler(self):
+        result, prof = profile_call(lambda: _busy(0.05), interval=0.001)
+        assert result > 0
+        assert prof.samples > 0
+
+    def test_empty_profile_renders(self):
+        prof = SamplingProfiler()
+        assert prof.collapsed() == ""
+        assert "(no samples collected)" in prof.format_table()
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="interval"):
+            SamplingProfiler(interval=0.0)
+
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(interval=0.001)
+        prof.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        finally:
+            prof.stop()

@@ -1,0 +1,131 @@
+"""SLO evaluation over span histograms."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    evaluate_slos,
+    histogram_quantile,
+)
+
+
+def _span_histogram(registry, name, values, buckets=(0.1, 0.5, 1.0)):
+    hist = registry.histogram(
+        "repro_span_duration_seconds",
+        "Wall time spent inside named spans.",
+        buckets=buckets,
+        span=name,
+    )
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        hist = _span_histogram(MetricsRegistry(), "s", [])
+        assert math.isnan(histogram_quantile(hist, 0.5))
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all landing in (0.1, 0.5]: p50 interpolates
+        # linearly to the middle of that bucket
+        hist = _span_histogram(MetricsRegistry(), "s", [0.3] * 10)
+        assert histogram_quantile(hist, 0.5) == pytest.approx(0.3)
+        assert histogram_quantile(hist, 1e-9) == pytest.approx(0.1, abs=0.01)
+
+    def test_inf_bucket_reports_largest_finite_bound(self):
+        hist = _span_histogram(MetricsRegistry(), "s", [5.0, 7.0])
+        assert histogram_quantile(hist, 0.99) == 1.0
+
+    def test_mixed_distribution(self):
+        values = [0.05] * 5 + [0.3] * 4 + [0.9]
+        hist = _span_histogram(MetricsRegistry(), "s", values)
+        # rank 9.9 of 10 lands in the (0.5, 1.0] bucket
+        assert 0.5 < histogram_quantile(hist, 0.99) <= 1.0
+        # rank 5 of 10 is exactly the last observation of bucket one
+        assert histogram_quantile(hist, 0.5) == pytest.approx(0.1)
+
+
+class TestSLOValidation:
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError, match="quantile"):
+            SLO("x", "m", quantile=1.0, threshold=1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            SLO("x", "m", quantile=0.0, threshold=1.0)
+
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLO("x", "m", quantile=0.5, threshold=0.0)
+
+    def test_span_constructor_targets_span_histogram(self):
+        slo = SLO.span("p99", "server.request", 0.99, 0.5)
+        assert slo.metric == "repro_span_duration_seconds"
+        assert slo.labels == (("span", "server.request"),)
+
+
+class TestEvaluation:
+    def test_passing_objective(self):
+        registry = MetricsRegistry()
+        _span_histogram(registry, "fast", [0.05] * 100)
+        report = evaluate_slos(
+            registry, (SLO.span("fast_p99", "fast", 0.99, 0.5),)
+        )
+        (result,) = report.results
+        assert result.passed and not result.skipped
+        assert result.count == 100
+        assert result.violations == 0
+        assert result.budget_used == 0.0
+        assert report.passed
+
+    def test_failing_objective_spends_budget(self):
+        registry = MetricsRegistry()
+        # 10% of observations above the 0.5s threshold, p90 target:
+        # allowance is exactly the violating mass -> budget fully spent
+        _span_histogram(registry, "slow", [0.05] * 90 + [0.9] * 10)
+        report = evaluate_slos(
+            registry, (SLO.span("slow_p95", "slow", 0.95, 0.5),)
+        )
+        (result,) = report.results
+        assert not result.passed
+        assert result.violations == 10
+        assert result.budget_used == pytest.approx(2.0)
+        assert not report.passed
+        assert "FAIL" in report.format_table()
+
+    def test_missing_histogram_skips_and_never_fails(self):
+        report = evaluate_slos(
+            MetricsRegistry(), (SLO.span("ghost", "nothing", 0.99, 1.0),)
+        )
+        (result,) = report.results
+        assert result.skipped and result.passed
+        assert report.passed
+        assert "skip" in report.format_table()
+
+    def test_as_dict_json_safe_with_nan_observed(self):
+        import json
+
+        report = evaluate_slos(
+            MetricsRegistry(), (SLO.span("ghost", "nothing", 0.99, 1.0),)
+        )
+        payload = report.as_dict()
+        encoded = json.dumps(payload)
+        assert "NaN" not in encoded
+        assert payload["objectives"][0]["observed_s"] is None
+
+    def test_label_match_is_exact(self):
+        registry = MetricsRegistry()
+        _span_histogram(registry, "a", [0.01])
+        report = evaluate_slos(
+            registry, (SLO.span("b_p99", "b", 0.99, 1.0),)
+        )
+        assert report.results[0].skipped
+
+    def test_default_slos_cover_serving_and_offline_paths(self):
+        spans = {dict(slo.labels)["span"] for slo in DEFAULT_SLOS}
+        assert "server.request" in spans
+        assert "server.submit" in spans
+        assert "assigner.scheme" in spans

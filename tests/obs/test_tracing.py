@@ -82,6 +82,82 @@ class TestSpans:
         assert "(no spans recorded)" in MetricsRegistry().format_span_table()
 
 
+class TestSpanIdentity:
+    def _registry(self, seed=7, **kwargs):
+        from repro.obs.ids import TraceIdSource
+
+        return MetricsRegistry(
+            clock=FakeClock(), ids=TraceIdSource(seed=seed), **kwargs
+        )
+
+    def test_root_span_gets_fresh_trace(self):
+        reg = self._registry()
+        with reg.span("root") as span:
+            assert len(span.trace_id) == 32
+            assert len(span.span_id) == 16
+            assert span.parent_id is None
+
+    def test_nested_span_inherits_trace_and_parents_on_span_id(self):
+        reg = self._registry()
+        with reg.span("outer") as outer:
+            with reg.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert inner.span_id != outer.span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        reg = self._registry()
+        with reg.span("first") as first:
+            pass
+        with reg.span("second") as second:
+            pass
+        assert first.trace_id != second.trace_id
+
+    def test_remote_context_joins_the_remote_trace(self):
+        from repro.obs.ids import TraceContext
+
+        remote = TraceContext(trace_id="1a" * 16, span_id="2b" * 8)
+        reg = self._registry()
+        with reg.span("server.request", remote_context=remote) as span:
+            assert span.trace_id == remote.trace_id
+            assert span.parent_id == remote.span_id
+            assert span.span_id != remote.span_id
+
+    def test_trace_records_carry_identity(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        reg = self._registry(trace_path=path)
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        reg.close()
+        inner, outer = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert inner["trace_id"] == outer["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_same_seed_yields_identical_identities(self, tmp_path):
+        traces = []
+        for run in range(2):
+            path = tmp_path / f"trace{run}.jsonl"
+            reg = self._registry(seed=11, trace_path=path)
+            with reg.span("outer"):
+                with reg.span("inner"):
+                    pass
+            reg.close()
+            traces.append(path.read_text())
+        assert traces[0] == traces[1]
+
+    def test_default_id_source_is_still_deterministic(self):
+        # a registry without an explicit TraceIdSource falls back to the
+        # default-seeded source: ids exist and replay identically
+        first = MetricsRegistry(clock=FakeClock())
+        second = MetricsRegistry(clock=FakeClock())
+        with first.span("anon") as a, second.span("anon") as b:
+            assert a.trace_id and a.trace_id == b.trace_id
+
+
 class TestTraceFile:
     def test_trace_records_written_and_parseable(self, tmp_path):
         path = tmp_path / "trace.jsonl"
