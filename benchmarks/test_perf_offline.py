@@ -15,7 +15,10 @@ speedups the fast offline phase is built to deliver:
   on the Fig. 10 workload, bit-identical to the fresh basis,
 - incremental basis repair on the insertion-round protocol stays
   within tolerance of a full rebuild and beats it ≥ 5× per batch at
-  the 5k-task scale (serial vs serial — honest on any core count).
+  the 5k-task scale (serial vs serial — honest on any core count),
+- the race sanitizer finds nothing on the hardened ledgers, and its
+  worst-case (all-traced-loop) tax stays bounded; the <5× acceptance
+  bound on the real hammer suite lives in ``test_race_overhead.py``.
 
 Results land in ``benchmarks/results/perf_offline.txt`` (rendered) and
 ``BENCH_offline.json`` at the repo root (machine-readable).
@@ -71,3 +74,8 @@ def test_perf_offline(benchmark, record):
     assert result.incremental["status"] == "ok"
     assert result.incremental["within_epsilon"], result.incremental
     assert result.incremental["speedup"] >= 5.0, result.incremental
+
+    # sanitizer: clean ledgers, and the worst-case micro-hammer tax
+    # (every loop line traced) stays within an order of magnitude
+    assert result.sanitizer["races"] == 0, result.sanitizer
+    assert result.sanitizer["overhead_x"] < 30.0, result.sanitizer

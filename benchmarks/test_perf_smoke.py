@@ -59,3 +59,8 @@ def test_perf_smoke(tmp_path):
     assert incremental["rounds"] == 2
     assert incremental["within_epsilon"], incremental
     assert all(r > 0 for r in incremental["reused_rows"]), incremental
+
+    # sanitizer section ran and found nothing on the hardened ledgers
+    # (no overhead guard at toy sizes — that lives in the full bench)
+    assert result.sanitizer["races"] == 0, result.sanitizer
+    assert result.sanitizer["instrumented_seconds"] > 0

@@ -1,0 +1,81 @@
+"""Race-sanitizer acceptance bound (the <5x wall-time criterion).
+
+The lockset sanitizer line-traces attribute writes, so a loop that is
+*all* traced code (the distilled ledger hammer in
+``BENCH_offline.json``'s ``sanitizer`` section) pays settrace's
+worst-case tax.  The acceptance bound is about the workload the
+sanitizer actually ships with: the concurrency hammer suite run via
+``repro-icrowd lint --race``.  This bench times that suite clean and
+instrumented, back to back in subprocesses, and asserts
+
+- both runs pass (zero race reports on the hardened ledgers), and
+- the instrumented run stays under 5x the clean wall time.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+from conftest import run_once
+
+from repro.obs.tracing import Stopwatch
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: The suite the CI ``race-sanitizer`` job runs: the concurrency
+#: hammers plus the full platform suite.  The mix matters — the bound
+#: is about real usage (hammers diluted by ordinary tests), not a
+#: distilled 100%-traced loop, whose worst-case tax lives in
+#: ``BENCH_offline.json``'s ``sanitizer`` section instead.
+SUITE = [
+    "tests/obs/test_concurrency.py",
+    "tests/obs/test_race_sanitizer.py",
+    "tests/platform",
+]
+
+pytestmark = pytest.mark.benchmarks
+
+
+def _timed_suite(extra: list[str]) -> tuple[int, float]:
+    with Stopwatch() as sw:
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                "-p",
+                "repro.analysis.pytest_race",
+                *extra,
+                *SUITE,
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+    if proc.returncode != 0:
+        print(proc.stdout[-4000:])
+    return proc.returncode, sw.elapsed
+
+
+def test_race_suite_passes_under_5x(benchmark, record):
+    def measure() -> tuple[tuple[int, float], tuple[int, float]]:
+        return _timed_suite([]), _timed_suite(["--race"])
+
+    (clean_code, clean_s), (race_code, race_s) = run_once(
+        benchmark, measure
+    )
+    ratio = race_s / max(clean_s, 1e-9)
+    record(
+        "race_overhead",
+        "Race sanitizer wall-time tax on the concurrency hammer suite\n"
+        f"{'clean':<16}{clean_s:.1f}s\n"
+        f"{'under --race':<16}{race_s:.1f}s\n"
+        f"overhead: {ratio:.2f}x (bound: <5x)",
+    )
+    assert clean_code == 0
+    assert race_code == 0, "sanitizer reported races on hardened code"
+    assert ratio < 5.0, f"sanitizer overhead {ratio:.2f}x >= 5x"

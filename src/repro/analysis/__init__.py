@@ -13,14 +13,23 @@ enforces the substrate statically, in two tiers:
 - a two-pass interprocedural analyzer (``--deep``): pass 1 builds a
   whole-package symbol table and call graph, pass 2 runs CFG-based
   dataflow rules — RL1xx concurrency/resource-lifecycle, RL2xx
-  RNG-stream discipline, RL3xx recorder threading.
+  RNG-stream discipline, RL3xx recorder threading, RL4xx lock
+  discipline (order cycles, unlocked shared writes, blocking under a
+  lock, check-then-act);
+- a dynamic complement (``lint --race -- <pytest args>``): an
+  Eraser-style lockset race sanitizer
+  (:class:`repro.analysis.sanitizer.LockSanitizer`) that traces
+  attribute writes in ``repro.platform``/``repro.obs`` at test time
+  and reports write pairs no common lock protects.
 
 Entry points:
 
-- ``repro-icrowd lint [--deep] [paths...]`` (CLI subcommand),
-- ``python tools/repro_lint.py [--deep] [paths...]`` (standalone),
+- ``repro-icrowd lint [--deep] [--race] [paths...]`` (CLI subcommand),
+- ``python tools/repro_lint.py ...`` (standalone, same options),
 - :func:`repro.analysis.lint_paths` / :func:`lint_source` /
-  :func:`deep_lint_paths` (library).
+  :func:`deep_lint_paths` (library),
+- :func:`repro.analysis.sanitized` / the ``race_sanitizer`` pytest
+  fixture (``repro.analysis.pytest_race``) for in-test sanitizing.
 """
 
 from repro.analysis.deep import deep_lint_paths, deep_lint_sources
@@ -28,11 +37,14 @@ from repro.analysis.deep_rules import DEEP_RULES
 from repro.analysis.diagnostics import Diagnostic, format_diagnostic
 from repro.analysis.linter import lint_file, lint_paths, lint_source
 from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.sanitizer import LockSanitizer, RaceReport, sanitized
 
 __all__ = [
     "ALL_RULES",
     "DEEP_RULES",
     "Diagnostic",
+    "LockSanitizer",
+    "RaceReport",
     "Rule",
     "deep_lint_paths",
     "deep_lint_sources",
@@ -40,4 +52,5 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "sanitized",
 ]

@@ -8,6 +8,7 @@ elsewhere; the linter itself is stdlib-only).
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Sequence
 
 from repro.analysis.deep_rules import DEEP_RULES, DEEP_RULE_CODES
@@ -21,7 +22,26 @@ _FAMILY_TITLES: tuple[tuple[str, str], ...] = (
     ("concurrency", "RL1xx concurrency & resource lifecycle"),
     ("rng", "RL2xx RNG-stream discipline"),
     ("recorder", "RL3xx recorder threading"),
+    ("locking", "RL4xx lock discipline (deadlocks, locksets, atomicity)"),
 )
+
+
+def split_forwarded_args(
+    argv: Sequence[str] | None,
+) -> tuple[list[str], list[str]]:
+    """Split ``lint --race -- <pytest args>`` at the first ``--``.
+
+    Returns ``(own argv, forwarded argv)``; with no ``--`` everything
+    stays in the first element.  ``None`` reads ``sys.argv[1:]`` so
+    both entry points can delegate verbatim.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    own = list(argv)
+    if "--" in own:
+        split = own.index("--")
+        return own[:split], own[split + 1 :]
+    return own, []
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -49,7 +69,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--deep",
         action="store_true",
         help="also run the two-pass interprocedural rules "
-        "(RL1xx concurrency, RL2xx RNG, RL3xx recorder)",
+        "(RL1xx concurrency, RL2xx RNG, RL3xx recorder, "
+        "RL4xx lock discipline)",
+    )
+    parser.add_argument(
+        "--race",
+        action="store_true",
+        help="run the dynamic lockset race sanitizer instead of the "
+        "static rules: forwards everything after -- to pytest with "
+        "the repro.analysis.pytest_race plugin enabled",
     )
     parser.add_argument(
         "--jobs",
@@ -85,11 +113,17 @@ def _print_rules() -> None:
             print(f"  {rule.code}  {flag}  {rule.name:<22} {rule.summary}")
 
 
-def run_lint(args: argparse.Namespace) -> int:
+def run_lint(
+    args: argparse.Namespace, forwarded: Sequence[str] | None = None
+) -> int:
     """Execute a lint run from parsed options; returns the exit code."""
     if args.list_rules:
         _print_rules()
         return 0
+    if getattr(args, "race", False):
+        from repro.analysis.sanitizer import run_race_command
+
+        return run_race_command(list(forwarded or []))
     select = (
         frozenset(c.strip().upper() for c in args.select.split(",") if c.strip())
         if args.select
@@ -141,9 +175,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="repro-lint",
         description=(
             "AST-based determinism linter for the iCrowd reproduction "
-            "(RL001-RL007 single-pass; RL1xx/RL2xx/RL3xx with --deep; "
+            "(RL001-RL007 single-pass; RL1xx/RL2xx/RL3xx/RL4xx with "
+            "--deep; dynamic race sanitizer with --race; "
             "see DESIGN.md §8)"
         ),
     )
     add_lint_arguments(parser)
-    return run_lint(parser.parse_args(list(argv) if argv is not None else None))
+    own, forwarded = split_forwarded_args(argv)
+    return run_lint(parser.parse_args(own), forwarded)

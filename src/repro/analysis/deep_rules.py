@@ -1,4 +1,4 @@
-"""The deep (``--deep``) rule families: RL1xx / RL2xx / RL3xx.
+"""The deep (``--deep``) rule families: RL1xx / RL2xx / RL3xx / RL4xx.
 
 Built on the two-pass substrate — symbol table and call graph from
 pass 1, CFG + taint environments + interprocedural summaries in
@@ -28,6 +28,9 @@ RL203     a module-level RNG stream read from another module — one
 RL301     a function holding a ``recorder`` parameter calls an
           internal function that accepts one without passing it —
           the callee silently records nothing
+RL4xx     lock-discipline rules (ordering cycles, unlocked shared
+          writes, blocking under a lock, check-then-act) — see
+          :mod:`repro.analysis.locks`
 ========  ==========================================================
 
 All deep rules are scoped to product code (``repro/`` outside
@@ -57,6 +60,7 @@ from repro.analysis.dataflow import (
     pool_boundary_args,
     taint_env,
 )
+from repro.analysis.locks import LOCK_RULES, run_lock_rules
 from repro.analysis.rules import Rule, _in_numeric_scope, _is_rng_shim
 from repro.analysis.symbols import RNG_CONSTRUCTORS, SymbolTable
 
@@ -125,6 +129,7 @@ DEEP_RULES: tuple[Rule, ...] = (
         family="recorder",
         deep=True,
     ),
+    *LOCK_RULES,
 )
 
 DEEP_RULE_CODES = frozenset(rule.code for rule in DEEP_RULES)
@@ -860,8 +865,9 @@ def run_package_rules(
     trees: dict[str, ast.Module],
     select: frozenset[str],
 ) -> list[Diagnostic]:
-    """Whole-package deep rules (RL104, RL203)."""
+    """Whole-package deep rules (RL104, RL203, RL401–RL404)."""
     out: list[Diagnostic] = []
+    out.extend(run_lock_rules(symtab, units, trees, summaries, select))
     product_units = [
         unit for unit in units if in_deep_scope(unit.path)
     ]

@@ -1,0 +1,1023 @@
+"""RL4xx lock-discipline rules: the concurrency-correctness tier.
+
+The platform is an online serving loop — ``ThreadingHTTPServer``
+handler threads mutate shared ledgers, the flight-recorder
+:class:`~repro.platform.events.EventLog`, and recorder instruments
+concurrently.  The determinism rules (RL0xx–RL3xx) are blind to the
+defect class that dominates such code: data races, lock-ordering
+deadlocks, and non-atomic check-then-act sequences.  This module
+closes that gap with four interprocedural rules built on the deep
+pipeline (symbol table → call graph → lock facts → fixpoints):
+
+========  ==========================================================
+RL401     inconsistent lock ordering: the interprocedural lock-order
+          graph (edge A→B when B is acquired while A is held,
+          directly or through a resolvable callee) contains a cycle
+          — a potential deadlock
+RL402     write to a shared attribute without the owning lock: an
+          attribute whose other accesses hold a lock is written
+          under none of those locks
+RL403     lock held across a blocking boundary: ``time.sleep``,
+          HTTP/socket calls, ``ProcessPoolExecutor`` shipping, or
+          ``shared_memory`` attach while holding a lock
+RL404     non-atomic check-then-act: an ``if`` tests a guarded
+          attribute outside its lock while the matching update runs
+          under the lock
+========  ==========================================================
+
+Lock identity is static, not dynamic: ``self._lock`` in class ``C``
+of module ``m`` is the single lock ``m.C._lock`` (one lock per class
+attribute — the usual one-instance-per-process shapes this repo
+uses).  Held-sets are lexical (``with`` nesting plus linear
+``acquire()``/``release()`` tracking within a block) and flow through
+the call graph two ways:
+
+- *entry locksets*: a private function's entry held-set is the
+  intersection over all resolved internal call sites of the locks
+  held there (public functions are pinned to the empty set — unknown
+  external callers may hold nothing);
+- *may-acquire* / *may-block* summaries: the union of locks a
+  function may take, and whether it may hit a blocking boundary,
+  propagated callee→caller to a fixpoint.
+
+Known false-positive escapes (see DESIGN.md §8): locks reached
+through aliases or data structures rather than ``self``/globals are
+invisible; conditional ``acquire(timeout=...)`` is not tracked; a
+private function also called from outside the package (e.g. tests)
+may inherit an entry lockset it does not really have.  The shared
+suppression syntax (``# repro-lint: disable=RL40x -- reason``)
+applies at the diagnostic line as usual.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import (
+    KIND_LOCK,
+    KIND_POOL,
+    KIND_SOCKET,
+    FunctionUnit,
+    Summaries,
+    taint_env,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import Rule, _in_numeric_scope
+from repro.analysis.symbols import SymbolTable, module_name
+
+LOCK_RULES: tuple[Rule, ...] = (
+    Rule(
+        "RL401",
+        "lock-order-cycle",
+        "inconsistent lock acquisition order across functions; the "
+        "lock-order graph has a cycle — potential deadlock",
+        family="locking",
+        deep=True,
+    ),
+    Rule(
+        "RL402",
+        "unlocked-shared-write",
+        "write to a shared attribute without the lock that guards "
+        "its other accesses",
+        family="locking",
+        deep=True,
+    ),
+    Rule(
+        "RL403",
+        "blocking-under-lock",
+        "blocking call (sleep / network / pool submit / shm attach) "
+        "while holding a lock",
+        family="locking",
+        deep=True,
+    ),
+    Rule(
+        "RL404",
+        "check-then-act",
+        "guarded attribute tested outside its lock but updated under "
+        "it; the check-then-act pair is not atomic",
+        family="locking",
+        deep=True,
+    ),
+)
+
+LOCK_RULE_CODES = frozenset(rule.code for rule in LOCK_RULES)
+
+#: Constructors whose result is a mutex-like object acquired via
+#: ``with`` (Event/Semaphore are excluded: not two-phase mutexes).
+_LOCK_CONSTRUCTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+#: Blocking externals (RL403) → what the call does.
+_BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "sleeps",
+    "socket.create_connection": "opens a network connection",
+    "urllib.request.urlopen": "performs a blocking HTTP request",
+    "http.client.HTTPConnection": "opens an HTTP connection",
+    "http.client.HTTPSConnection": "opens an HTTPS connection",
+    "multiprocessing.shared_memory.SharedMemory": "attaches shared memory",
+}
+
+#: ``pool.<m>`` methods that ship work across the process boundary.
+_POOL_SHIP_METHODS = frozenset({"submit", "map", "starmap", "apply_async"})
+
+#: socket methods that block on the peer.
+_SOCKET_BLOCK_METHODS = frozenset(
+    {"accept", "connect", "recv", "recv_into", "sendall", "send", "makefile"}
+)
+
+#: Method names that mutate their receiver in place (RL402 writes).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Constructor methods whose self-attribute writes establish, rather
+#: than race on, shared state.
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+_FIXPOINT_ROUNDS = 20
+
+
+def _short(lock: str) -> str:
+    """Human-readable lock name: the last two dotted components."""
+    return ".".join(lock.rsplit(".", 2)[-2:])
+
+
+def _is_private(qualname: str) -> bool:
+    leaf = qualname.rsplit(".", 1)[-1]
+    return leaf.startswith("_") and not leaf.startswith("__")
+
+
+def _self_base_attr(expr: ast.expr) -> str | None:
+    """First attribute off ``self`` for a target/receiver chain.
+
+    ``self.stats.issued`` → ``stats``; ``self._pending[key]`` →
+    ``_pending``; anything not rooted at ``self`` → None.
+    """
+    node = expr
+    attr: str | None = None
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            attr = node.attr
+            node = node.value
+        else:
+            break
+    if isinstance(node, ast.Name) and node.id == "self":
+        return attr
+    return None
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One read or write of a ``self`` attribute."""
+
+    func: str  #: qualname of the enclosing function
+    attr: str
+    node: ast.AST  #: precise node for the diagnostic position
+    held: frozenset[str]  #: lexically held locks at the access
+    is_write: bool
+    in_init: bool
+    test_of: ast.If | None = None  #: the ``if`` whose test reads this
+
+
+@dataclass
+class _FunctionFacts:
+    """Lock facts extracted from one function body."""
+
+    unit: FunctionUnit
+    class_key: str | None
+    #: (node, lock acquired, locks held just before)
+    acquires: list[tuple[ast.AST, str, frozenset[str]]] = field(
+        default_factory=list
+    )
+    #: (node, internal callee qualname, locks held)
+    calls: list[tuple[ast.AST, str, frozenset[str]]] = field(
+        default_factory=list
+    )
+    #: (node, what the call does, locks held)
+    blockers: list[tuple[ast.AST, str, frozenset[str]]] = field(
+        default_factory=list
+    )
+    accesses: list[_Access] = field(default_factory=list)
+
+
+class _FunctionScan:
+    """Single lexical pass over one function collecting lock facts."""
+
+    def __init__(
+        self,
+        analysis: LockAnalysis,
+        unit: FunctionUnit,
+        summaries: Summaries,
+    ) -> None:
+        self._analysis = analysis
+        self._unit = unit
+        self._module = unit.symbol.module
+        self._qualname = unit.symbol.qualname
+        self._in_init = (
+            unit.symbol.local_name.rsplit(".", 1)[-1] in _INIT_METHODS
+        )
+        self._class_key = (
+            f"{self._module}.{unit.enclosing_class}"
+            if unit.enclosing_class is not None
+            else None
+        )
+        self._env = taint_env(
+            unit.node, unit.resolver, summaries, unit.enclosing_class
+        )
+        self.facts = _FunctionFacts(unit=unit, class_key=self._class_key)
+        self._visit(unit.node.body, frozenset())
+
+    # -- lock identity -------------------------------------------------
+    def _lock_name(self, expr: ast.expr) -> str | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self._class_key is not None
+        ):
+            if expr.attr in self._analysis.lock_attrs.get(
+                self._class_key, frozenset()
+            ):
+                return f"{self._class_key}.{expr.attr}"
+            return None
+        if isinstance(expr, ast.Name):
+            if self._env.get(expr.id) == KIND_LOCK:
+                return f"{self._qualname}.{expr.id}"
+            dotted = f"{self._module}.{expr.id}"
+            if dotted in self._analysis.lock_globals:
+                return dotted
+        return None
+
+    # -- statement walk ------------------------------------------------
+    def _visit(self, body: list[ast.stmt], held: frozenset[str]) -> None:
+        # ``extra`` carries locks taken by a bare ``lock.acquire()``
+        # statement for the remainder of this block (linear tracking).
+        extra: set[str] = set()
+        for stmt in body:
+            here = held | frozenset(extra)
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: list[str] = []
+                for item in stmt.items:
+                    self._scan_exprs(item.context_expr, here)
+                    name = self._lock_name(item.context_expr)
+                    if name is not None:
+                        self.facts.acquires.append((stmt, name, here))
+                        acquired.append(name)
+                self._visit(stmt.body, here | frozenset(acquired))
+            elif isinstance(stmt, ast.If):
+                self._scan_exprs(stmt.test, here, test_of=stmt)
+                self._visit(stmt.body, here)
+                self._visit(stmt.orelse, here)
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                header = (
+                    stmt.test
+                    if isinstance(stmt, ast.While)
+                    else stmt.iter
+                )
+                self._scan_exprs(header, here)
+                self._visit(stmt.body, here)
+                self._visit(stmt.orelse, here)
+            elif isinstance(stmt, ast.Try):
+                self._visit(stmt.body, here)
+                for handler in stmt.handlers:
+                    self._visit(handler.body, here)
+                self._visit(stmt.orelse, here)
+                self._visit(stmt.finalbody, here)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested defs are separate analysis units
+            else:
+                self._track_acquire_release(stmt, here, extra)
+                self._scan_exprs(stmt, here)
+
+    def _track_acquire_release(
+        self, stmt: ast.stmt, held: frozenset[str], extra: set[str]
+    ) -> None:
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+        ):
+            return
+        method = stmt.value.func.attr
+        if method not in ("acquire", "release"):
+            return
+        name = self._lock_name(stmt.value.func.value)
+        if name is None:
+            return
+        if method == "acquire":
+            self.facts.acquires.append((stmt, name, held))
+            extra.add(name)
+        else:
+            extra.discard(name)
+
+    # -- expression scan -----------------------------------------------
+    def _scan_exprs(
+        self,
+        root: ast.AST,
+        held: frozenset[str],
+        test_of: ast.If | None = None,
+    ) -> None:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Attribute):
+                self._record_attribute(node, held, test_of)
+            elif isinstance(node, (ast.Subscript, ast.Delete)):
+                self._record_subscript_write(node, held)
+            elif isinstance(node, ast.Call):
+                self._record_call(node, held)
+
+    def _record_attribute(
+        self,
+        node: ast.Attribute,
+        held: frozenset[str],
+        test_of: ast.If | None,
+    ) -> None:
+        if self._class_key is None:
+            return
+        is_store = isinstance(node.ctx, (ast.Store, ast.Del))
+        attr = (
+            _self_base_attr(node)
+            if is_store
+            else (
+                node.attr
+                if isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                else None
+            )
+        )
+        if attr is None or attr in self._analysis.lock_attrs.get(
+            self._class_key, frozenset()
+        ):
+            return
+        self.facts.accesses.append(
+            _Access(
+                func=self._qualname,
+                attr=attr,
+                node=node,
+                held=held,
+                is_write=is_store,
+                in_init=self._in_init,
+                test_of=test_of,
+            )
+        )
+
+    def _record_subscript_write(
+        self, node: ast.Subscript | ast.Delete, held: frozenset[str]
+    ) -> None:
+        if self._class_key is None:
+            return
+        targets = (
+            node.targets
+            if isinstance(node, ast.Delete)
+            else ([node] if isinstance(node.ctx, (ast.Store, ast.Del)) else [])
+        )
+        for target in targets:
+            attr = _self_base_attr(target)
+            if attr is None or attr in self._analysis.lock_attrs.get(
+                self._class_key, frozenset()
+            ):
+                continue
+            self.facts.accesses.append(
+                _Access(
+                    func=self._qualname,
+                    attr=attr,
+                    node=target,
+                    held=held,
+                    is_write=True,
+                    in_init=self._in_init,
+                )
+            )
+
+    def _record_call(self, node: ast.Call, held: frozenset[str]) -> None:
+        callee, external = self._unit.resolver.resolve_call(
+            node, self._unit.enclosing_class
+        )
+        if callee is None and external is None:
+            callee = self._resolve_attr_typed_call(node)
+        if callee is not None:
+            self.facts.calls.append((node, callee, held))
+        if external is not None:
+            reason = _BLOCKING_CALLS.get(external)
+            if reason is not None:
+                self.facts.blockers.append((node, reason, held))
+        self._record_receiver_blocking(node, held)
+        self._record_mutator_write(node, held)
+
+    def _resolve_attr_typed_call(self, node: ast.Call) -> str | None:
+        """Resolve ``self.<attr>.<method>()`` through the attr-type map."""
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+            and self._class_key is not None
+        ):
+            return None
+        target_class = self._analysis.attr_types.get(
+            self._class_key, {}
+        ).get(func.value.attr)
+        if target_class is None:
+            return None
+        method = self._analysis.symtab.class_methods(target_class).get(
+            func.attr
+        )
+        return method.qualname if method is not None else None
+
+    def _record_receiver_blocking(
+        self, node: ast.Call, held: frozenset[str]
+    ) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+        ):
+            return
+        kind = self._env.get(func.value.id)
+        if kind == KIND_POOL and func.attr in _POOL_SHIP_METHODS:
+            self.facts.blockers.append(
+                (node, "ships work to a process pool", held)
+            )
+        elif kind == KIND_SOCKET and func.attr in _SOCKET_BLOCK_METHODS:
+            self.facts.blockers.append((node, "blocks on a socket", held))
+
+    def _record_mutator_write(
+        self, node: ast.Call, held: frozenset[str]
+    ) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and self._class_key is not None
+        ):
+            return
+        attr = _self_base_attr(func.value)
+        if attr is None or attr in self._analysis.lock_attrs.get(
+            self._class_key, frozenset()
+        ):
+            return
+        self.facts.accesses.append(
+            _Access(
+                func=self._qualname,
+                attr=attr,
+                node=node,
+                held=held,
+                is_write=True,
+                in_init=self._in_init,
+            )
+        )
+
+
+class LockAnalysis:
+    """Package-wide lock facts + the three interprocedural fixpoints."""
+
+    def __init__(
+        self,
+        symtab: SymbolTable,
+        units: list[FunctionUnit],
+        trees: dict[str, ast.Module],
+        summaries: Summaries,
+    ) -> None:
+        self.symtab = symtab
+        #: class key (``module.Class``) → lock-valued attribute names
+        self.lock_attrs: dict[str, frozenset[str]] = {}
+        #: class key → attr name → class key of the attr's value
+        self.attr_types: dict[str, dict[str, str]] = {}
+        #: dotted names of module-level locks
+        self.lock_globals: set[str] = set()
+        self._units = sorted(units, key=lambda u: u.symbol.qualname)
+        self._collect_globals_and_fields(trees)
+        self._collect_instance_state()
+        self.facts: dict[str, _FunctionFacts] = {}
+        for unit in self._units:
+            scan = _FunctionScan(self, unit, summaries)
+            self.facts[unit.symbol.qualname] = scan.facts
+        self.entry = self._entry_locksets()
+        self.may_acquire = self._may_acquire()
+        self.may_block = self._may_block()
+
+    # -- fact collection -----------------------------------------------
+    def _collect_globals_and_fields(
+        self, trees: dict[str, ast.Module]
+    ) -> None:
+        """Module-level locks and dataclass lock fields, per tree."""
+        resolvers = {
+            unit.path: unit.resolver for unit in reversed(self._units)
+        }
+        for path in sorted(trees):
+            resolver = resolvers.get(path)
+            if resolver is None or not _in_numeric_scope(path):
+                continue
+            module = module_name(path)
+            for stmt in trees[path].body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Call)
+                    and self._is_lock_call(stmt.value, resolver)
+                ):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.lock_globals.add(f"{module}.{target.id}")
+            for node in ast.walk(trees[path]):
+                if isinstance(node, ast.ClassDef):
+                    self._collect_class_fields(module, node, resolver)
+
+    def _collect_class_fields(
+        self, module: str, node: ast.ClassDef, resolver: object
+    ) -> None:
+        """Dataclass-style class-body lock fields."""
+        attrs: set[str] = set()
+        for stmt in node.body:
+            if not (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ):
+                continue
+            if self._is_lock_field(stmt, resolver):
+                attrs.add(stmt.target.id)
+        if attrs:
+            key = f"{module}.{node.name}"
+            self.lock_attrs[key] = (
+                self.lock_attrs.get(key, frozenset()) | frozenset(attrs)
+            )
+
+    def _is_lock_call(self, call: ast.Call, resolver: object) -> bool:
+        dotted = resolver.dotted_name(call.func)  # type: ignore[attr-defined]
+        return dotted in _LOCK_CONSTRUCTORS
+
+    def _is_lock_field(self, stmt: ast.AnnAssign, resolver: object) -> bool:
+        annotation = resolver.dotted_name(stmt.annotation)  # type: ignore[attr-defined]
+        if annotation in _LOCK_CONSTRUCTORS:
+            return True
+        value = stmt.value
+        if isinstance(value, ast.Call):
+            if self._is_lock_call(value, resolver):
+                return True
+            dotted = resolver.dotted_name(value.func)  # type: ignore[attr-defined]
+            if dotted is not None and dotted.rsplit(".", 1)[-1] == "field":
+                for keyword in value.keywords:
+                    if keyword.arg != "default_factory":
+                        continue
+                    factory = resolver.dotted_name(  # type: ignore[attr-defined]
+                        keyword.value
+                    )
+                    if factory in _LOCK_CONSTRUCTORS:
+                        return True
+                    # late-bound ``lambda: threading.Lock()`` factories
+                    # (used so a sanitizer-patched constructor is seen)
+                    if (
+                        isinstance(keyword.value, ast.Lambda)
+                        and isinstance(keyword.value.body, ast.Call)
+                        and self._is_lock_call(
+                            keyword.value.body, resolver
+                        )
+                    ):
+                        return True
+        return False
+
+    def _collect_instance_state(self) -> None:
+        """``self.X = threading.Lock()`` / ``self.X = Class(...)``."""
+        for unit in self._units:
+            if unit.enclosing_class is None:
+                continue
+            key = f"{unit.symbol.module}.{unit.enclosing_class}"
+            for stmt in ast.walk(unit.node):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    if isinstance(
+                        stmt.value, ast.Call
+                    ) and self._is_lock_call(stmt.value, unit.resolver):
+                        self.lock_attrs[key] = self.lock_attrs.get(
+                            key, frozenset()
+                        ) | {target.attr}
+                    elif isinstance(stmt.value, ast.Call):
+                        callee, _ = unit.resolver.resolve_call(
+                            stmt.value, unit.enclosing_class
+                        )
+                        if callee is None:
+                            continue
+                        if callee.endswith(".__init__"):
+                            callee = callee[: -len(".__init__")]
+                        if self.symtab.is_class(callee):
+                            self.attr_types.setdefault(key, {})[
+                                target.attr
+                            ] = callee
+
+    # -- fixpoints -------------------------------------------------------
+    def effective_held(
+        self, func: str, held: frozenset[str]
+    ) -> frozenset[str]:
+        return held | self.entry.get(func, frozenset())
+
+    def _entry_locksets(self) -> dict[str, frozenset[str]]:
+        """Must-held entry lockset for private functions (∩ over sites)."""
+        sites: dict[str, list[tuple[str, frozenset[str]]]] = {}
+        for qualname, facts in self.facts.items():
+            for _, callee, held in facts.calls:
+                if callee in self.facts and _is_private(callee):
+                    sites.setdefault(callee, []).append((qualname, held))
+        entry: dict[str, frozenset[str]] = {}
+        for _ in range(_FIXPOINT_ROUNDS):
+            changed = False
+            for callee in sorted(sites):
+                merged: frozenset[str] | None = None
+                for caller, held in sites[callee]:
+                    eff = held | entry.get(caller, frozenset())
+                    merged = eff if merged is None else merged & eff
+                new = merged if merged is not None else frozenset()
+                if entry.get(callee, frozenset()) != new:
+                    entry[callee] = new
+                    changed = True
+            if not changed:
+                break
+        return {q: locks for q, locks in entry.items() if locks}
+
+    def _may_acquire(self) -> dict[str, frozenset[str]]:
+        out = {
+            q: frozenset(name for _, name, _ in facts.acquires)
+            for q, facts in self.facts.items()
+        }
+        for _ in range(_FIXPOINT_ROUNDS):
+            changed = False
+            for q in sorted(out):
+                merged = out[q]
+                for _, callee, _ in self.facts[q].calls:
+                    merged = merged | out.get(callee, frozenset())
+                if merged != out[q]:
+                    out[q] = merged
+                    changed = True
+            if not changed:
+                break
+        return out
+
+    def _may_block(self) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for q, facts in self.facts.items():
+            if facts.blockers:
+                node, reason, _ = min(
+                    facts.blockers, key=lambda b: (b[0].lineno, b[0].col_offset)
+                )
+                out[q] = reason
+        for _ in range(_FIXPOINT_ROUNDS):
+            changed = False
+            for q in sorted(self.facts):
+                if q in out:
+                    continue
+                for _, callee, _ in self.facts[q].calls:
+                    if callee in out and callee != q:
+                        out[q] = out[callee]
+                        changed = True
+                        break
+            if not changed:
+                break
+        return out
+
+
+def _diag(
+    path: str, node: ast.AST, code: str, message: str
+) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        code=code,
+        message=message,
+    )
+
+
+# ----------------------------------------------------------------------
+# RL401 — lock-order cycles
+# ----------------------------------------------------------------------
+def _lock_order_edges(
+    analysis: LockAnalysis,
+) -> dict[tuple[str, str], tuple[str, ast.AST]]:
+    """Edge (held A, acquired B) → first site that witnesses it."""
+    edges: dict[tuple[str, str], tuple[str, ast.AST]] = {}
+
+    def add(a: str, b: str, path: str, node: ast.AST) -> None:
+        if a == b:
+            return
+        key = (a, b)
+        if key not in edges:
+            edges[key] = (path, node)
+        else:
+            prev_path, prev = edges[key]
+            if (path, node.lineno, getattr(node, "col_offset", 0)) < (
+                prev_path,
+                prev.lineno,
+                getattr(prev, "col_offset", 0),
+            ):
+                edges[key] = (path, node)
+
+    for q in sorted(analysis.facts):
+        facts = analysis.facts[q]
+        for node, acquired, held in facts.acquires:
+            for a in analysis.effective_held(q, held):
+                add(a, acquired, facts.unit.path, node)
+        for node, callee, held in facts.calls:
+            eff = analysis.effective_held(q, held)
+            if not eff:
+                continue
+            for b in analysis.may_acquire.get(callee, frozenset()):
+                if b in eff:
+                    continue
+                for a in eff:
+                    add(a, b, facts.unit.path, node)
+    return edges
+
+
+def _strongly_connected(
+    nodes: list[str], succ: dict[str, set[str]]
+) -> list[list[str]]:
+    """Tarjan SCCs, iterative, deterministic in ``nodes`` order."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, list[str]]] = [
+            (root, sorted(succ.get(root, set())))
+        ]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            while children:
+                child = children.pop(0)
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, sorted(succ.get(child, set()))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+    return sccs
+
+
+def _rl401(analysis: LockAnalysis) -> list[Diagnostic]:
+    edges = _lock_order_edges(analysis)
+    succ: dict[str, set[str]] = {}
+    nodes: set[str] = set()
+    for a, b in edges:
+        succ.setdefault(a, set()).add(b)
+        nodes.add(a)
+        nodes.add(b)
+    out: list[Diagnostic] = []
+    for scc in _strongly_connected(sorted(nodes), succ):
+        if len(scc) < 2:
+            continue
+        members = set(scc)
+        cycle_edges = sorted(
+            (a, b) for a, b in edges if a in members and b in members
+        )
+        first_a, first_b = cycle_edges[0]
+        path, node = edges[(first_a, first_b)]
+        ordering = " -> ".join(_short(name) for name in scc)
+        out.append(
+            _diag(
+                path,
+                node,
+                "RL401",
+                f"inconsistent lock order: {_short(first_b)} is acquired "
+                f"while holding {_short(first_a)}, but the reverse order "
+                f"also occurs (cycle {ordering}); threads interleaving "
+                "these paths can deadlock",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# RL402 / RL404 — guarded-attribute discipline
+# ----------------------------------------------------------------------
+def _guarded_attrs(
+    analysis: LockAnalysis,
+) -> dict[tuple[str, str], frozenset[str]]:
+    """(class key, attr) → union of locks held across its accesses."""
+    guards: dict[tuple[str, str], set[str]] = {}
+    for q, facts in analysis.facts.items():
+        if facts.class_key is None:
+            continue
+        for access in facts.accesses:
+            key = (facts.class_key, access.attr)
+            guards.setdefault(key, set()).update(
+                analysis.effective_held(q, access.held)
+            )
+    return {
+        key: frozenset(locks) for key, locks in guards.items() if locks
+    }
+
+
+def _rl402(analysis: LockAnalysis) -> list[Diagnostic]:
+    guarded = _guarded_attrs(analysis)
+    out: list[Diagnostic] = []
+    for q in sorted(analysis.facts):
+        facts = analysis.facts[q]
+        if facts.class_key is None:
+            continue
+        for access in facts.accesses:
+            if not access.is_write or access.in_init:
+                continue
+            guards = guarded.get((facts.class_key, access.attr))
+            if not guards:
+                continue
+            eff = analysis.effective_held(q, access.held)
+            if eff & guards:
+                continue
+            names = ", ".join(sorted(_short(lock) for lock in guards))
+            attr = f"{facts.class_key.rsplit('.', 1)[-1]}.{access.attr}"
+            out.append(
+                _diag(
+                    facts.unit.path,
+                    access.node,
+                    "RL402",
+                    f"write to shared attribute {attr} without the owning "
+                    f"lock; its other accesses hold {names} — concurrent "
+                    "handler threads can interleave here",
+                )
+            )
+    return out
+
+
+def _rl404(analysis: LockAnalysis) -> list[Diagnostic]:
+    guarded = _guarded_attrs(analysis)
+    out: list[Diagnostic] = []
+    for q in sorted(analysis.facts):
+        facts = analysis.facts[q]
+        if facts.class_key is None:
+            continue
+        for access in facts.accesses:
+            if access.test_of is None or access.is_write:
+                continue
+            guards = guarded.get((facts.class_key, access.attr))
+            if not guards:
+                continue
+            eff = analysis.effective_held(q, access.held)
+            if eff & guards:
+                continue
+            # the matching update: a locked write to the same attribute
+            # at or below the check
+            locked_write = any(
+                other.is_write
+                and not other.in_init
+                and other.attr == access.attr
+                and other.node.lineno >= access.test_of.lineno
+                and analysis.effective_held(q, other.held) & guards
+                for other in facts.accesses
+            )
+            if not locked_write:
+                continue
+            # double-checked locking: the attribute is re-tested under
+            # the lock before the write — the idiom is safe
+            rechecked = any(
+                other.test_of is not None
+                and other.attr == access.attr
+                and analysis.effective_held(q, other.held) & guards
+                for other in facts.accesses
+            )
+            if rechecked:
+                continue
+            names = ", ".join(sorted(_short(lock) for lock in guards))
+            attr = f"{facts.class_key.rsplit('.', 1)[-1]}.{access.attr}"
+            out.append(
+                _diag(
+                    facts.unit.path,
+                    access.test_of,
+                    "RL404",
+                    f"non-atomic check-then-act on {attr}: the test runs "
+                    f"outside {names} but the update holds it; another "
+                    "thread can act between check and update — move the "
+                    "check inside the locked region",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# RL403 — blocking under a lock
+# ----------------------------------------------------------------------
+def _rl403(analysis: LockAnalysis) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    reported_directly: set[str] = set()
+    for q in sorted(analysis.facts):
+        facts = analysis.facts[q]
+        for node, reason, held in facts.blockers:
+            eff = analysis.effective_held(q, held)
+            if not eff:
+                continue
+            reported_directly.add(q)
+            names = ", ".join(sorted(_short(lock) for lock in eff))
+            out.append(
+                _diag(
+                    facts.unit.path,
+                    node,
+                    "RL403",
+                    f"blocking call ({reason}) while holding {names}; "
+                    "every thread contending for the lock stalls for the "
+                    "full blocking duration — release before blocking",
+                )
+            )
+    for q in sorted(analysis.facts):
+        facts = analysis.facts[q]
+        for node, callee, held in facts.calls:
+            eff = analysis.effective_held(q, held)
+            if not eff or callee == q or callee in reported_directly:
+                continue
+            reason = analysis.may_block.get(callee)
+            if reason is None:
+                continue
+            names = ", ".join(sorted(_short(lock) for lock in eff))
+            leaf = callee.rsplit(".", 1)[-1]
+            out.append(
+                _diag(
+                    facts.unit.path,
+                    node,
+                    "RL403",
+                    f"call to {leaf}() may block ({reason}) while holding "
+                    f"{names}; release the lock before calling into a "
+                    "blocking path",
+                )
+            )
+    return out
+
+
+def run_lock_rules(
+    symtab: SymbolTable,
+    units: list[FunctionUnit],
+    trees: dict[str, ast.Module],
+    summaries: Summaries,
+    select: frozenset[str],
+) -> list[Diagnostic]:
+    """Apply the selected RL4xx rules over the whole package."""
+    wanted = select & LOCK_RULE_CODES
+    if not wanted:
+        return []
+    scoped = [u for u in units if _in_numeric_scope(u.path)]
+    if not scoped:
+        return []
+    analysis = LockAnalysis(symtab, scoped, trees, summaries)
+    out: list[Diagnostic] = []
+    if "RL401" in wanted:
+        out.extend(_rl401(analysis))
+    if "RL402" in wanted:
+        out.extend(_rl402(analysis))
+    if "RL403" in wanted:
+        out.extend(_rl403(analysis))
+    if "RL404" in wanted:
+        out.extend(_rl404(analysis))
+    return sorted(out, key=lambda d: (d.path, d.line, d.col, d.code))

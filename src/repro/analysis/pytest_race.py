@@ -1,0 +1,69 @@
+"""pytest plugin: run every test under the lockset race sanitizer.
+
+Enabled two ways:
+
+- ``repro-icrowd lint --race -- <pytest args>`` loads this plugin and
+  passes ``--race``, so *every* collected test runs inside a fresh
+  :class:`~repro.analysis.sanitizer.LockSanitizer` and fails if any
+  race is reported;
+- a test module can opt in explicitly via the ``race_sanitizer``
+  fixture (no ``--race`` needed) to assert reports — or their
+  absence — itself.
+
+The autouse fixture is a no-op unless ``--race`` was given, so the
+plugin is safe to keep permanently installed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import pytest
+
+from repro.analysis.sanitizer import LockSanitizer
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--race",
+        action="store_true",
+        default=False,
+        help="run every test under the repro lockset race sanitizer "
+        "and fail on any reported race",
+    )
+
+
+@pytest.fixture
+def race_sanitizer() -> Iterator[LockSanitizer]:
+    """Explicit sanitizer for tests that inspect reports themselves."""
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _race_guard(request: pytest.FixtureRequest) -> Iterator[None]:
+    """Under ``--race``: sanitize the test, fail on any report."""
+    if not request.config.getoption("--race"):
+        yield
+        return
+    if "race_sanitizer" in request.fixturenames:
+        # the test manages its own sanitizer; two tracers would fight
+        yield
+        return
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
+    if sanitizer.reports:
+        pytest.fail(
+            "lockset race sanitizer found "
+            f"{len(sanitizer.reports)} race(s):\n\n"
+            f"{sanitizer.format_reports()}",
+            pytrace=False,
+        )

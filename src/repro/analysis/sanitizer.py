@@ -1,0 +1,559 @@
+"""Eraser-style dynamic lockset race sanitizer.
+
+The static RL4xx rules (:mod:`repro.analysis.locks`) reason about
+locks they can *name*; this module catches what escapes them at
+runtime.  It implements the classic Eraser lockset algorithm
+[Savage et al., TOCS 1997] over attribute *writes* in
+``repro.platform`` and ``repro.obs``:
+
+- every ``threading.Lock``/``threading.RLock`` created while the
+  sanitizer is installed is wrapped so each thread's *held lockset*
+  is tracked (re-entrant acquires counted);
+- a per-line write map, built by parsing the target modules' source,
+  tells the tracer which lines write which ``obj.attr``;
+- each shadowed ``(object, attribute)`` starts *exclusive* to its
+  first writing thread (initialisation writes never alarm); the
+  first write from a second thread moves it to *shared-modified*
+  and seeds the candidate lockset with the locks held right then;
+  every later write intersects the candidate with the writer's held
+  set.  An empty candidate means no single lock protected every
+  write — a :class:`RaceReport` with both stack pairs is recorded.
+
+Instrumentation uses ``sys.monitoring`` on Python 3.12+ (cheap
+per-line callbacks with ``DISABLE`` for untargeted code) and falls
+back to ``sys.settrace`` + ``threading.settrace`` elsewhere.  Either
+way the sanitizer is strictly opt-in: nothing in this module runs
+unless :meth:`LockSanitizer.install` is called (via
+``repro-icrowd lint --race -- <pytest args>`` or the
+``repro.analysis.pytest_race`` plugin).
+
+Known escapes, by design: locks created *before* ``install()`` are
+untracked; ``Condition.wait`` releases the underlying lock without
+updating the tracked held-set for the wait's duration; objects
+written only ever by one thread stay in the exclusive state and are
+never checked.  ``threading.local`` instances are exempt — per-thread
+storage cannot race.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import pkgutil
+import sys
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from types import FrameType, ModuleType
+from typing import Any
+
+#: The genuine lock class, captured at import so sanitizer internals
+#: stay untracked even when ``threading.Lock`` is patched.
+_REAL_LOCK = threading.Lock
+
+#: Method names that mutate their receiver in place (count as writes).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Frames kept in each captured stack.
+_STACK_DEPTH = 8
+
+#: ``sys.monitoring`` (3.12+); None on earlier interpreters.  The
+#: ``getattr`` keeps 3.11 type checkers happy — the attribute does
+#: not exist there.
+_MONITORING: Any = (
+    getattr(sys, "monitoring", None)
+    if sys.version_info >= (3, 12)
+    else None
+)
+
+_MISSING = object()
+
+StackFrame = tuple[str, int, str]
+
+
+def _capture_stack(frame: FrameType | None) -> tuple[StackFrame, ...]:
+    out: list[StackFrame] = []
+    node = frame
+    while node is not None and len(out) < _STACK_DEPTH:
+        code = node.f_code
+        out.append((code.co_filename, node.f_lineno, code.co_qualname))
+        node = node.f_back
+    return tuple(out)
+
+
+def _format_stack(stack: tuple[StackFrame, ...]) -> str:
+    return "\n".join(
+        f"    {path}:{line} in {func}" for path, line, func in stack
+    )
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One unsynchronised write pair on a shared attribute."""
+
+    obj_type: str
+    attr: str
+    first_thread: str
+    first_locks: tuple[str, ...]
+    first_stack: tuple[StackFrame, ...]
+    second_thread: str
+    second_locks: tuple[str, ...]
+    second_stack: tuple[StackFrame, ...]
+
+    def format(self) -> str:
+        """Human-readable report: both writes, their locks and stacks."""
+        first_locks = ", ".join(self.first_locks) or "none"
+        second_locks = ", ".join(self.second_locks) or "none"
+        return (
+            f"RACE on {self.obj_type}.{self.attr}: no common lock "
+            "protects its writes\n"
+            f"  thread {self.first_thread!r} wrote holding "
+            f"[{first_locks}] at:\n{_format_stack(self.first_stack)}\n"
+            f"  thread {self.second_thread!r} wrote holding "
+            f"[{second_locks}] at:\n{_format_stack(self.second_stack)}"
+        )
+
+
+class _TrackedLock:
+    """Wrapper recording acquire/release in the owning sanitizer."""
+
+    def __init__(self, sanitizer: LockSanitizer, inner: Any, kind: str) -> None:
+        self._sanitizer = sanitizer
+        self._inner = inner
+        self._kind = kind
+
+    def acquire(self, *args: Any, **kwargs: Any) -> bool:
+        got = bool(self._inner.acquire(*args, **kwargs))
+        if got:
+            self._sanitizer._push_lock(self)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._sanitizer._pop_lock(self)
+
+    def locked(self) -> bool:
+        return bool(self._inner.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<tracked {self._kind} {id(self._inner):#x}>"
+
+    def __getattr__(self, name: str) -> Any:
+        # Condition's lock protocol (_is_owned, _acquire_restore,
+        # _release_save) and anything else falls through to the real
+        # lock; those paths bypass held-set tracking (documented).
+        return getattr(self._inner, name)
+
+
+@dataclass
+class _Shadow:
+    """Eraser shadow word for one (object, attribute)."""
+
+    obj: object  #: strong ref pins id() for the sanitizer's lifetime
+    owner: int  #: first writer's thread id (exclusive state)
+    shared: bool = False
+    candidate: frozenset[int] = frozenset()
+    reported: bool = False
+    last_thread: str = ""
+    #: lock ids held at the last write (labels resolved lazily)
+    last_locks: frozenset[int] = frozenset()
+    last_stack: tuple[StackFrame, ...] = ()
+
+
+#: (owner-name chain from the frame, attribute written)
+_WriteDescriptor = tuple[tuple[str, ...], str]
+
+
+def _name_chain(expr: ast.expr) -> tuple[str, ...] | None:
+    """``self.stats`` → ``("self", "stats")``; None if not a pure chain."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _write_target(expr: ast.expr) -> _WriteDescriptor | None:
+    """Descriptor for one assignment target, if it writes an attribute."""
+    node = expr
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if not isinstance(node, ast.Attribute):
+        return None
+    chain = _name_chain(node.value)
+    if chain is None:
+        return None
+    return (chain, node.attr)
+
+
+def _collect_writes(
+    tree: ast.Module,
+) -> dict[int, list[_WriteDescriptor]]:
+    """line → attribute writes occurring on that line."""
+    out: dict[int, list[_WriteDescriptor]] = {}
+
+    def add(lineno: int, desc: _WriteDescriptor | None) -> None:
+        if desc is not None:
+            bucket = out.setdefault(lineno, [])
+            if desc not in bucket:
+                bucket.append(desc)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                add(node.lineno, _write_target(target))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            add(node.lineno, _write_target(node.target))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                add(node.lineno, _write_target(target))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            receiver = node.func.value
+            target = _write_target(receiver) if not isinstance(
+                receiver, ast.Name
+            ) else None
+            add(node.lineno, target)
+    return out
+
+
+def _default_target_files() -> list[str]:
+    """Every module file under ``repro.platform`` and ``repro.obs``."""
+    files: list[str] = []
+    for package_name in ("repro.platform", "repro.obs"):
+        package = __import__(package_name, fromlist=["__name__"])
+        if package.__file__ is not None:
+            files.append(package.__file__)
+        search = getattr(package, "__path__", None)
+        if search is None:
+            continue
+        for info in pkgutil.iter_modules(search):
+            module: ModuleType = __import__(
+                f"{package_name}.{info.name}", fromlist=["__name__"]
+            )
+            if module.__file__ is not None:
+                files.append(module.__file__)
+    return files
+
+
+class LockSanitizer:
+    """Install/uninstall lifecycle for the dynamic race detector."""
+
+    def __init__(self, extra_files: list[str] | None = None) -> None:
+        self._extra_files = [
+            os.path.abspath(path) for path in (extra_files or [])
+        ]
+        #: co_filename → line → write descriptors
+        self._writes: dict[str, dict[int, list[_WriteDescriptor]]] = {}
+        self._held = threading.local()
+        #: code object → write map scoped to its lines (None = skip);
+        #: _MISSING sentinel distinguishes "not yet computed"
+        self._code_cache: dict[Any, Any] = {}
+        self._shadows: dict[tuple[int, str], _Shadow] = {}
+        self._shadow_guard = _REAL_LOCK()
+        self._lock_names: dict[int, str] = {}
+        self.reports: list[RaceReport] = []
+        self._installed = False
+        self._orig_lock: Any = None
+        self._orig_rlock: Any = None
+        self._prev_trace: Any = None
+        self._tool_id: int | None = None
+
+    # -- held-lockset bookkeeping --------------------------------------
+    def _held_counts(self) -> dict[int, int]:
+        counts = getattr(self._held, "counts", None)
+        if counts is None:
+            counts = {}
+            self._held.counts = counts
+        return counts
+
+    def _push_lock(self, lock: _TrackedLock) -> None:
+        counts = self._held_counts()
+        key = id(lock)
+        counts[key] = counts.get(key, 0) + 1
+        if key not in self._lock_names:
+            self._lock_names[key] = repr(lock)
+
+    def _pop_lock(self, lock: _TrackedLock) -> None:
+        counts = self._held_counts()
+        key = id(lock)
+        remaining = counts.get(key, 0) - 1
+        if remaining > 0:
+            counts[key] = remaining
+        else:
+            counts.pop(key, None)
+
+    def _held_set(self) -> frozenset[int]:
+        return frozenset(self._held_counts())
+
+    def _lock_labels(self, held: frozenset[int]) -> tuple[str, ...]:
+        return tuple(
+            sorted(self._lock_names.get(key, f"<lock {key:#x}>") for key in held)
+        )
+
+    # -- write recording -----------------------------------------------
+    def _record_write(
+        self, obj: object, attr: str, frame: FrameType
+    ) -> None:
+        if isinstance(obj, (threading.local, ModuleType)):
+            return
+        # The shadow table is GIL-consistent, not locked: each dict op
+        # is atomic, ``owner`` is fixed at creation, and candidate
+        # intersection commutes, so concurrent updates converge to the
+        # same verdict.  Only the (cold) report path takes the guard.
+        held = self._held_set()
+        key = (id(obj), attr)
+        shadow = self._shadows.get(key)
+        ident = threading.get_ident()
+        if shadow is None:
+            self._shadows[key] = _Shadow(
+                obj=obj,
+                owner=ident,
+                last_thread=threading.current_thread().name,
+                last_locks=held,
+                last_stack=_capture_stack(frame),
+            )
+            return
+        if not shadow.shared:
+            if shadow.owner == ident:
+                shadow.last_thread = threading.current_thread().name
+                shadow.last_locks = held
+                shadow.last_stack = _capture_stack(frame)
+                return
+            shadow.shared = True
+            shadow.candidate = held
+        else:
+            shadow.candidate = shadow.candidate & held
+        if not shadow.candidate and not shadow.reported:
+            with self._shadow_guard:
+                if shadow.reported:
+                    return
+                shadow.reported = True
+                self.reports.append(
+                    RaceReport(
+                        obj_type=type(obj).__name__,
+                        attr=attr,
+                        first_thread=shadow.last_thread,
+                        first_locks=self._lock_labels(shadow.last_locks),
+                        first_stack=shadow.last_stack,
+                        second_thread=threading.current_thread().name,
+                        second_locks=self._lock_labels(held),
+                        second_stack=_capture_stack(frame),
+                    )
+                )
+
+    def _handle_line(self, frame: FrameType, lineno: int) -> None:
+        by_line = self._writes.get(frame.f_code.co_filename)
+        if by_line is None:
+            return
+        descriptors = by_line.get(lineno)
+        if not descriptors:
+            return
+        for chain, attr in descriptors:
+            obj: Any = frame.f_locals.get(chain[0], _MISSING)
+            if obj is _MISSING:
+                obj = frame.f_globals.get(chain[0], _MISSING)
+            if obj is _MISSING:
+                continue
+            for name in chain[1:]:
+                obj = getattr(obj, name, _MISSING)
+                if obj is _MISSING:
+                    break
+            if obj is not _MISSING:
+                self._record_write(obj, attr, frame)
+
+    # -- settrace backend ----------------------------------------------
+    def _code_writes(
+        self, code: Any
+    ) -> dict[int, list[_WriteDescriptor]] | None:
+        """Write map restricted to one code object's line span.
+
+        Cached per code object so the (hot) call event does set
+        intersection work only once; functions whose body contains no
+        tracked write return None and are never line-traced at all.
+        """
+        cached = self._code_cache.get(code, _MISSING)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+        by_line = self._writes.get(code.co_filename)
+        scoped: dict[int, list[_WriteDescriptor]] | None = None
+        if by_line is not None:
+            lines = {
+                lineno
+                for _, _, lineno in code.co_lines()
+                if lineno is not None
+            }
+            scoped = {
+                lineno: descs
+                for lineno, descs in by_line.items()
+                if lineno in lines
+            } or None
+        self._code_cache[code] = scoped
+        return scoped
+
+    def _global_trace(self, frame: FrameType, event: str, arg: object) -> Any:
+        if event != "call":
+            return None
+        scoped = self._code_writes(frame.f_code)
+        if scoped is None:
+            return None
+        handle = self._handle_line
+
+        def local(
+            frame: FrameType, event: str, arg: object
+        ) -> Any:
+            # per-line fast path: one dict probe on the scoped map
+            if event == "line" and frame.f_lineno in scoped:
+                handle(frame, frame.f_lineno)
+            return local
+
+        return local
+
+    # -- sys.monitoring backend (3.12+) --------------------------------
+    def _monitor_line(self, code: Any, lineno: int) -> Any:
+        by_line = self._writes.get(code.co_filename)
+        if by_line is None or lineno not in by_line:
+            return _MONITORING.DISABLE
+        frame = sys._getframe(1)
+        self._handle_line(frame, lineno)
+        return None
+
+    # -- lifecycle -------------------------------------------------------
+    def install(self) -> None:
+        """Start watching: patch lock constructors, enable tracing.
+
+        Parses the target files for attribute-write lines, swaps
+        ``threading.Lock``/``RLock`` for tracked wrappers, and turns
+        on the line-event backend (``sys.monitoring`` on 3.12+, else
+        ``settrace`` on every thread).  Idempotent.
+        """
+        if self._installed:
+            return
+        for path in _default_target_files() + self._extra_files:
+            try:
+                source = Path(path).read_text(encoding="utf-8")
+            except OSError:
+                continue
+            lines = _collect_writes(ast.parse(source))
+            if lines:
+                self._writes[path] = lines
+        self._orig_lock = threading.Lock
+        self._orig_rlock = threading.RLock
+        orig_lock, orig_rlock = self._orig_lock, self._orig_rlock
+
+        def tracked_lock() -> _TrackedLock:
+            return _TrackedLock(self, orig_lock(), "Lock")
+
+        def tracked_rlock() -> _TrackedLock:
+            return _TrackedLock(self, orig_rlock(), "RLock")
+
+        threading.Lock = tracked_lock  # type: ignore[assignment]
+        threading.RLock = tracked_rlock  # type: ignore[assignment]
+        if _MONITORING is not None:
+            tool_id = _MONITORING.PROFILER_ID
+            _MONITORING.use_tool_id(tool_id, "repro-race-sanitizer")
+            _MONITORING.register_callback(
+                tool_id, _MONITORING.events.LINE, self._monitor_line
+            )
+            _MONITORING.set_events(tool_id, _MONITORING.events.LINE)
+            self._tool_id = tool_id
+        else:
+            self._prev_trace = sys.gettrace()
+            threading.settrace(self._global_trace)
+            sys.settrace(self._global_trace)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Undo :meth:`install`: restore tracing and real lock types.
+
+        Accumulated ``reports`` survive so callers can inspect them
+        after the watched region ends.  Idempotent.
+        """
+        if not self._installed:
+            return
+        if self._tool_id is not None:
+            _MONITORING.set_events(
+                self._tool_id, _MONITORING.events.NO_EVENTS
+            )
+            _MONITORING.register_callback(
+                self._tool_id, _MONITORING.events.LINE, None
+            )
+            _MONITORING.free_tool_id(self._tool_id)
+            self._tool_id = None
+        else:
+            sys.settrace(self._prev_trace)
+            threading.settrace(self._prev_trace)
+            self._prev_trace = None
+        threading.Lock = self._orig_lock  # type: ignore[assignment]
+        threading.RLock = self._orig_rlock  # type: ignore[assignment]
+        self._installed = False
+
+    def format_reports(self) -> str:
+        """All accumulated reports, blank-line separated."""
+        return "\n\n".join(report.format() for report in self.reports)
+
+
+@contextmanager
+def sanitized(
+    extra_files: list[str] | None = None,
+) -> Iterator[LockSanitizer]:
+    """``with sanitized() as s: ...`` — install/uninstall bracketing."""
+    sanitizer = LockSanitizer(extra_files=extra_files)
+    sanitizer.install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+
+
+def run_race_command(pytest_args: list[str]) -> int:
+    """``repro-icrowd lint --race -- <pytest args>`` entry point.
+
+    Runs pytest in-process with the race plugin enabled; every test
+    executes under a fresh sanitizer and fails on any report.
+    """
+    try:
+        import pytest
+    except ImportError:
+        print("repro-lint: --race needs pytest installed")
+        return 2
+    if not pytest_args:
+        print(
+            "repro-lint: --race needs pytest arguments after '--', "
+            "e.g. lint --race -- tests/obs/test_concurrency.py"
+        )
+        return 2
+    return int(
+        pytest.main(
+            ["-p", "repro.analysis.pytest_race", "--race", *pytest_args]
+        )
+    )

@@ -17,7 +17,11 @@ import argparse
 import json
 import sys
 
-from repro.analysis.cli import add_lint_arguments, run_lint
+from repro.analysis.cli import (
+    add_lint_arguments,
+    run_lint,
+    split_forwarded_args,
+)
 from repro.experiments import (
     fig6_diversity,
     fig7_qualification,
@@ -60,7 +64,8 @@ _DESCRIPTIONS = {
     "chaos": "interaction-loop resilience under injected faults",
     "telemetry": "instrumented run: span timings, counters, SLOs, trace",
     "timeline": "flight recorder: per-task timelines from a trace file",
-    "lint": "repro-lint static analysis: determinism rules RL001-RL007",
+    "lint": "repro-lint static analysis (RL001-RL007; RL1xx-RL4xx "
+    "with --deep) and the --race dynamic lockset sanitizer",
 }
 
 
@@ -169,6 +174,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="insertion rounds in the incremental section",
     )
     perf.add_argument(
+        "--sanitizer", dest="sanitizer", action="store_true",
+        default=True,
+        help="measure the race-sanitizer instrumentation tax "
+        "(default: on)",
+    )
+    perf.add_argument(
+        "--no-sanitizer", dest="sanitizer", action="store_false",
+        help="skip the sanitizer section",
+    )
+    perf.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write machine-readable results to PATH",
     )
@@ -272,9 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    own = list(sys.argv[1:]) if argv is None else list(argv)
+    forwarded: list[str] = []
+    if own[:1] == ["lint"]:
+        own, forwarded = split_forwarded_args(own)
+    args = build_parser().parse_args(own)
     if args.command == "lint":
-        return run_lint(args)
+        return run_lint(args, forwarded)
     if args.command == "list":
         for name, description in _DESCRIPTIONS.items():
             print(f"{name:<8} {description}")
@@ -325,6 +344,7 @@ def main(argv: list[str] | None = None) -> int:
             stream_tasks=args.stream_tasks,
             stream_batch=args.stream_batch,
             stream_rounds=args.stream_rounds,
+            sanitizer=args.sanitizer,
             profile_path=args.profile,
         )
         print(result.format_table())

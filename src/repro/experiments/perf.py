@@ -20,6 +20,11 @@ Times the three layers of the fast offline phase on *this* machine:
    timed against a full rebuild, with the repaired basis checked
    within ``epsilon`` of the rebuild.  Both sides run serial, so this
    section is honest on any core count (no ``skipped_single_core``).
+6. **Sanitizer** — the lockset race sanitizer's instrumentation tax:
+   a threaded lease-ledger hammer timed clean vs under
+   :func:`repro.analysis.sanitizer.sanitized`, asserting zero races
+   either way.  The sanitizer is strictly opt-in, so this tax is paid
+   only under ``lint --race``; the section documents its bound.
 
 CPU counting is honest: :func:`usable_cpu_count` reports the cores this
 process may actually run on (``os.sched_getaffinity``), and on a
@@ -39,6 +44,7 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -137,6 +143,8 @@ class PerfOfflineResult:
     sharded: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
     incremental: dict = field(default_factory=dict)
+    #: race-sanitizer instrumentation tax on a threaded ledger hammer
+    sanitizer: dict = field(default_factory=dict)
     #: sampling-profiler summary of the whole measurement, when
     #: ``perf_offline(profile_path=...)`` was set
     profile: dict = field(default_factory=dict)
@@ -236,6 +244,19 @@ class PerfOfflineResult:
                 f"(max |diff| {i['max_abs_diff']:.2e}); "
                 f"repair speedup {i['speedup']:.1f}x (serial vs serial)",
             ]
+        z = self.sanitizer
+        if z:
+            lines += [
+                "",
+                f"[sanitizer] lockset race sanitizer tax, "
+                f"{z['threads']} thread(s) x {z['rounds']} "
+                f"issue/settle round(s)",
+                f"{'clean':<22}{z['clean_seconds']:<18.3f}",
+                f"{'instrumented':<22}{z['instrumented_seconds']:<18.3f}",
+                f"overhead {z['overhead_x']:.2f}x "
+                f"(opt-in: zero when not installed); "
+                f"races found: {z['races']}",
+            ]
         if self.profile:
             hottest = self.profile.get("top") or [{}]
             lines += [
@@ -257,6 +278,7 @@ class PerfOfflineResult:
             "sharded": self.sharded,
             "cache": self.cache,
             "incremental": self.incremental,
+            "sanitizer": self.sanitizer,
             "profile": self.profile,
         }
 
@@ -466,6 +488,57 @@ def _measure_incremental(
     }
 
 
+def _measure_sanitizer(
+    threads: int = 4, rounds: int = 1_500
+) -> dict:
+    """Instrumentation tax of the lockset race sanitizer.
+
+    Runs the same threaded lease-ledger hammer twice — clean, then
+    under :func:`repro.analysis.sanitizer.sanitized` — and reports the
+    wall-clock ratio.  The hammer's hot loop lives in
+    ``repro.platform.leases``, a default sanitizer target, so this is
+    the *worst case*: essentially every executed line is traced.  The
+    representative <5x bound on the real hammer suite is asserted by
+    ``benchmarks/test_race_overhead.py``.
+    """
+    from repro.analysis.sanitizer import sanitized
+    from repro.platform.leases import LeaseLedger
+
+    def hammer() -> float:
+        ledger = LeaseLedger(timeout=10)
+
+        def work(i: int) -> None:
+            for k in range(rounds):
+                ledger.issue(f"w{i}", k, now=0)
+                ledger.settle(f"w{i}", k, now=1)
+
+        pool = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(threads)
+        ]
+        with Stopwatch() as sw:
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+        if ledger.stats.answered != threads * rounds:
+            raise AssertionError("hammer lost updates")
+        return sw.elapsed
+
+    clean_seconds = hammer()
+    with sanitized() as sanitizer:
+        instrumented_seconds = hammer()
+    return {
+        "workload": "lease issue/settle hammer",
+        "threads": threads,
+        "rounds": rounds,
+        "clean_seconds": clean_seconds,
+        "instrumented_seconds": instrumented_seconds,
+        "overhead_x": instrumented_seconds / max(clean_seconds, 1e-12),
+        "races": len(sanitizer.reports),
+    }
+
+
 def perf_offline(
     kernel_tasks: int = 50_000,
     kernel_neighbors: int = 20,
@@ -487,6 +560,7 @@ def perf_offline(
     stream_rounds: int = 3,
     stream_neighbors: int = 6,
     cluster_size: int = 100,
+    sanitizer: bool = True,
     profile_path: str | pathlib.Path | None = None,
 ) -> PerfOfflineResult:
     """Measure kernel / basis / sharded / cache / incremental timings.
@@ -506,6 +580,9 @@ def perf_offline(
     ``stream_rounds`` rounds of ``stream_batch`` new tasks each).  Its
     repair-vs-rebuild comparison is serial on both sides, so it never
     needs a multicore skip.
+
+    ``sanitizer=False`` drops the race-sanitizer tax section (a
+    threaded lease hammer timed clean vs instrumented).
 
     ``profile_path`` samples the whole measurement with
     :class:`repro.obs.SamplingProfiler` and writes collapsed stacks
@@ -535,6 +612,7 @@ def perf_offline(
                 stream_rounds=stream_rounds,
                 stream_neighbors=stream_neighbors,
                 cluster_size=cluster_size,
+                sanitizer=sanitizer,
             )
         )
         out = profiler.write_collapsed(profile_path)
@@ -650,4 +728,8 @@ def perf_offline(
             basis_epsilon,
             seed,
         )
+
+    # ---- layer 6: race-sanitizer instrumentation tax ------------------
+    if sanitizer:
+        result.sanitizer = _measure_sanitizer()
     return result

@@ -293,8 +293,14 @@ class MetricsRegistry:
 
     # -- views ----------------------------------------------------------
     def metrics(self) -> Iterator[Metric]:
-        """Every registered instrument, in registration order."""
-        return iter(list(self._metrics.values()))
+        """Every registered instrument, in registration order.
+
+        Copied under ``_lock``: handler threads register instruments
+        concurrently, and copying an insertion-ordered dict mid-insert
+        can tear.
+        """
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def snapshot(self) -> dict[str, float]:
         """Flat name→value view for reports.

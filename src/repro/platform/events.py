@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
 from dataclasses import asdict, dataclass, field, fields
 from collections.abc import Iterator, Mapping
 
@@ -144,39 +145,59 @@ def event_from_dict(record: Mapping[str, object]) -> Event | None:
 
 @dataclass
 class EventLog:
-    """Append-only event trace with typed accessors."""
+    """Append-only event trace with typed accessors.
+
+    Safe to share between the HTTP handler threads that append and a
+    reader polling the accessors: appends run under ``_lock`` and every
+    accessor (including iteration) works on a locked snapshot, so a
+    concurrent append never tears an in-progress scan.
+    """
 
     events: list[Event] = field(default_factory=list)
+    #: late-bound factory so the race sanitizer's patched lock
+    #: constructor is used when a log is created under test
+    _lock: threading.Lock = field(
+        default_factory=lambda: threading.Lock(),
+        repr=False,
+        compare=False,
+    )
 
     def append(self, event: Event) -> None:
         """Record one event."""
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
+
+    def snapshot(self) -> list[Event]:
+        """All events so far, as a consistent copy."""
+        with self._lock:
+            return list(self.events)
 
     def __len__(self) -> int:
-        return len(self.events)
+        with self._lock:
+            return len(self.events)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self.events)
+        return iter(self.snapshot())
 
     def answers(self) -> list[AnswerEvent]:
         """All answer events in order."""
-        return [e for e in self.events if isinstance(e, AnswerEvent)]
+        return [e for e in self.snapshot() if isinstance(e, AnswerEvent)]
 
     def assignments(self) -> list[AssignEvent]:
         """All assignment events in order."""
-        return [e for e in self.events if isinstance(e, AssignEvent)]
+        return [e for e in self.snapshot() if isinstance(e, AssignEvent)]
 
     def completions(self) -> list[CompleteEvent]:
         """All task-completion events in order."""
-        return [e for e in self.events if isinstance(e, CompleteEvent)]
+        return [e for e in self.snapshot() if isinstance(e, CompleteEvent)]
 
     def rejections(self) -> list[RejectEvent]:
         """All worker-rejection events in order."""
-        return [e for e in self.events if isinstance(e, RejectEvent)]
+        return [e for e in self.snapshot() if isinstance(e, RejectEvent)]
 
     def expirations(self) -> list[ExpireEvent]:
         """All lease-expiry events in order."""
-        return [e for e in self.events if isinstance(e, ExpireEvent)]
+        return [e for e in self.snapshot() if isinstance(e, ExpireEvent)]
 
     # -- persistence ----------------------------------------------------
     def to_jsonl(
@@ -188,7 +209,7 @@ class EventLog:
         run's events after the observability trace of the same run.
         """
         with open(path, "a" if append else "w", encoding="utf-8") as fh:
-            for event in self.events:
+            for event in self.snapshot():
                 fh.write(
                     json.dumps(event_to_dict(event), sort_keys=True) + "\n"
                 )

@@ -15,11 +15,16 @@ ledger makes the platform's side of the contract explicit:
 
 The ledger is pure bookkeeping — it never touches the policy — so both
 :class:`repro.platform.SimulatedPlatform` and the HTTP facade share it.
+In the HTTP deployment it is hit by concurrent handler threads, so
+every state transition runs under the ledger's own ``_lock`` — the
+server's coarse lock nests outside it (always server → ledger, never
+the reverse, so the static lock-order graph stays acyclic).
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 
 from repro.core.types import TaskId, WorkerId
@@ -112,6 +117,9 @@ class LeaseLedger:
             raise ValueError(f"lease timeout must be positive, got {timeout}")
         self.timeout = timeout
         self.recorder = recorder
+        #: guards every ledger mutation; acquired by handler threads
+        #: while the server lock is (possibly) already held.
+        self._lock = threading.Lock()
         self._pending: dict[LeaseKey, Lease] = {}
         #: pairs whose lease expired and was never answered; an answer
         #: arriving for one of these is late exactly once.
@@ -137,19 +145,20 @@ class LeaseLedger:
             expires_at=now + self.timeout,
             is_test=is_test,
         )
-        if key in self._expired:
-            # the same worker took the same slot again after expiry
-            self._expired.discard(key)
-            self.stats.reissued += 1
+        with self._lock:
+            if key in self._expired:
+                # the same worker took the same slot again after expiry
+                self._expired.discard(key)
+                self.stats.reissued += 1
+                self.recorder.counter(
+                    "repro_lease_reissued_total",
+                    "Leases reopened by the same worker after expiry.",
+                ).inc()
+            self._pending[key] = lease
+            self.stats.issued += 1
             self.recorder.counter(
-                "repro_lease_reissued_total",
-                "Leases reopened by the same worker after expiry.",
+                "repro_lease_issued_total", "Assignment leases opened."
             ).inc()
-        self._pending[key] = lease
-        self.stats.issued += 1
-        self.recorder.counter(
-            "repro_lease_issued_total", "Assignment leases opened."
-        ).inc()
         return lease
 
     def settle(
@@ -157,54 +166,57 @@ class LeaseLedger:
     ) -> SettleResult:
         """Classify an incoming answer and close its lease if pending."""
         key = (worker_id, task_id)
-        lease = self._pending.get(key)
-        if lease is not None:
-            if now > lease.expires_at:
-                # expired but not yet swept: treat exactly like a sweep
+        with self._lock:
+            lease = self._pending.get(key)
+            if lease is not None:
+                if now > lease.expires_at:
+                    # expired but not yet swept: treat exactly like a
+                    # sweep
+                    del self._pending[key]
+                    lease.status = LeaseStatus.EXPIRED
+                    self.stats.expired += 1
+                    self.stats.late_answers += 1
+                    self._count_expired(1)
+                    self._count_late()
+                    return SettleResult.LATE
                 del self._pending[key]
-                lease.status = LeaseStatus.EXPIRED
-                self.stats.expired += 1
+                lease.status = LeaseStatus.ANSWERED
+                self._answered.add(key)
+                self.stats.answered += 1
+                self.recorder.counter(
+                    "repro_lease_answered_total",
+                    "Leases closed by a matching in-time answer.",
+                ).inc()
+                return SettleResult.ANSWERED
+            if key in self._expired:
+                self._expired.discard(key)
                 self.stats.late_answers += 1
-                self._count_expired(1)
                 self._count_late()
                 return SettleResult.LATE
-            del self._pending[key]
-            lease.status = LeaseStatus.ANSWERED
-            self._answered.add(key)
-            self.stats.answered += 1
-            self.recorder.counter(
-                "repro_lease_answered_total",
-                "Leases closed by a matching in-time answer.",
-            ).inc()
-            return SettleResult.ANSWERED
-        if key in self._expired:
-            self._expired.discard(key)
-            self.stats.late_answers += 1
-            self._count_late()
-            return SettleResult.LATE
-        if key in self._answered:
-            self.stats.duplicate_answers += 1
-            self.recorder.counter(
-                "repro_lease_duplicate_total",
-                "Answers arriving for already-settled leases.",
-            ).inc()
-            return SettleResult.DUPLICATE
-        return SettleResult.UNKNOWN
+            if key in self._answered:
+                self.stats.duplicate_answers += 1
+                self.recorder.counter(
+                    "repro_lease_duplicate_total",
+                    "Answers arriving for already-settled leases.",
+                ).inc()
+                return SettleResult.DUPLICATE
+            return SettleResult.UNKNOWN
 
     def expire_due(self, now: int) -> list[Lease]:
         """Expire every pending lease whose deadline has passed."""
-        due = [
-            lease
-            for lease in self._pending.values()
-            if now > lease.expires_at
-        ]
-        for lease in due:
-            del self._pending[lease.key]
-            lease.status = LeaseStatus.EXPIRED
-            self._expired.add(lease.key)
-            self.stats.expired += 1
-        if due:
-            self._count_expired(len(due))
+        with self._lock:
+            due = [
+                lease
+                for lease in self._pending.values()
+                if now > lease.expires_at
+            ]
+            for lease in due:
+                del self._pending[lease.key]
+                lease.status = LeaseStatus.EXPIRED
+                self._expired.add(lease.key)
+                self.stats.expired += 1
+            if due:
+                self._count_expired(len(due))
         return due
 
     def _count_expired(self, amount: int) -> None:
@@ -221,16 +233,19 @@ class LeaseLedger:
     # ------------------------------------------------------------------
     def outstanding(self) -> dict[LeaseKey, Lease]:
         """Currently pending leases (copy)."""
-        return dict(self._pending)
+        with self._lock:
+            return dict(self._pending)
 
     def has_pending(self, worker_id: WorkerId, task_id: TaskId) -> bool:
         """Whether a lease for the pair is currently open."""
-        return (worker_id, task_id) in self._pending
+        with self._lock:
+            return (worker_id, task_id) in self._pending
 
     def has_seen(self, worker_id: WorkerId) -> bool:
         """Whether any lease (in any state) was ever issued to a worker."""
-        if any(w == worker_id for w, _ in self._pending):
-            return True
-        if any(w == worker_id for w, _ in self._answered):
-            return True
-        return any(w == worker_id for w, _ in self._expired)
+        with self._lock:
+            if any(w == worker_id for w, _ in self._pending):
+                return True
+            if any(w == worker_id for w, _ in self._answered):
+                return True
+            return any(w == worker_id for w, _ in self._expired)

@@ -6,10 +6,15 @@ microtask at most once per job (as a vote or a performance test), so
 that pair is a natural payment key.  Duplicate submissions — client
 retries, re-delivered POSTs — therefore can never double-pay; the
 attempt is counted instead (:attr:`PaymentLedger.duplicate_attempts`).
+
+In the HTTP deployment the ledger is shared by concurrent handler
+threads, so every credit and every snapshot runs under the ledger's
+own ``_lock`` (innermost in the server → ledger nesting order).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.types import TaskId, WorkerId
@@ -25,19 +30,34 @@ class PaymentLedger:
     _paid_keys: set[tuple[WorkerId, TaskId]] = field(default_factory=set)
     #: blocked double-payment attempts (should stay 0 without faults)
     duplicate_attempts: int = 0
+    #: guards every mutation and snapshot; ``pay_once`` holds it across
+    #: the paid-key check *and* the credit so the idempotence test-then-
+    #: insert is atomic (the lock is non-reentrant — internal helpers
+    #: below run with it already held).  The lambda keeps the factory
+    #: late-bound so the race sanitizer's patched constructor is used.
+    _lock: threading.Lock = field(
+        default_factory=lambda: threading.Lock(),
+        repr=False,
+        compare=False,
+    )
 
     def __post_init__(self) -> None:
         if self.price_per_microtask < 0:
             raise ValueError("price_per_microtask must be non-negative")
 
-    def pay(self, worker_id: WorkerId, amount: float | None = None) -> float:
-        """Credit a worker for one submitted microtask answer."""
+    def _credit(self, worker_id: WorkerId, amount: float | None) -> float:
+        """Apply one credit; caller must hold ``_lock``."""
         amount = self.price_per_microtask if amount is None else amount
         if amount < 0:
             raise ValueError("payment amount must be non-negative")
         self._earnings[worker_id] = self._earnings.get(worker_id, 0.0) + amount
         self._counts[worker_id] = self._counts.get(worker_id, 0) + 1
         return amount
+
+    def pay(self, worker_id: WorkerId, amount: float | None = None) -> float:
+        """Credit a worker for one submitted microtask answer."""
+        with self._lock:
+            return self._credit(worker_id, amount)
 
     def pay_once(
         self,
@@ -51,25 +71,30 @@ class PaymentLedger:
         pair was already paid (the attempt is counted, not honoured).
         """
         key = (worker_id, task_id)
-        if key in self._paid_keys:
-            self.duplicate_attempts += 1
-            return 0.0
-        self._paid_keys.add(key)
-        return self.pay(worker_id, amount)
+        with self._lock:
+            if key in self._paid_keys:
+                self.duplicate_attempts += 1
+                return 0.0
+            self._paid_keys.add(key)
+            return self._credit(worker_id, amount)
 
     def earnings(self, worker_id: WorkerId) -> float:
         """Total amount credited to a worker so far."""
-        return self._earnings.get(worker_id, 0.0)
+        with self._lock:
+            return self._earnings.get(worker_id, 0.0)
 
     def payments_made(self, worker_id: WorkerId) -> int:
         """Number of payments credited to a worker so far."""
-        return self._counts.get(worker_id, 0)
+        with self._lock:
+            return self._counts.get(worker_id, 0)
 
     @property
     def total_cost(self) -> float:
         """Total amount the requester has spent."""
-        return sum(self._earnings.values())
+        with self._lock:
+            return sum(self._earnings.values())
 
     def statement(self) -> dict[WorkerId, float]:
         """Per-worker earnings snapshot."""
-        return dict(self._earnings)
+        with self._lock:
+            return dict(self._earnings)

@@ -1,0 +1,142 @@
+"""Lockset race sanitizer self-tests.
+
+The workload classes live in *this* file and the sanitizer is pointed
+at it via ``extra_files``, so the tests exercise the real pipeline —
+source parsing, line tracing, lock wrapping, shadow-word transitions —
+not a mocked subset.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.analysis.sanitizer import (
+    LockSanitizer,
+    _collect_writes,
+    run_race_command,
+    sanitized,
+)
+import ast
+
+WRITERS = 4
+ROUNDS = 50
+
+
+class _RacyCounter:
+    """Writes a shared attribute with no lock at all."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> None:
+        for _ in range(ROUNDS):
+            self.value += 1
+
+
+class _LockedCounter:
+    """Every write runs under one lock created post-install."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.value = 0
+
+    def bump(self) -> None:
+        for _ in range(ROUNDS):
+            with self.lock:
+                self.value += 1
+
+
+class _LocalCounter:
+    """Per-thread state: same attribute name, never shared."""
+
+    def __init__(self) -> None:
+        self.slots = threading.local()
+
+    def bump(self) -> None:
+        self.slots.value = getattr(self.slots, "value", 0) + 1
+
+
+def _hammer(target) -> None:
+    threads = [
+        threading.Thread(target=target) for _ in range(WRITERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def test_racy_counter_is_reported_once():
+    with sanitized(extra_files=[__file__]) as sanitizer:
+        counter = _RacyCounter()
+        _hammer(counter.bump)
+    assert len(sanitizer.reports) == 1
+    (report,) = sanitizer.reports
+    assert report.obj_type == "_RacyCounter"
+    assert report.attr == "value"
+    assert report.first_stack and report.second_stack
+    assert "RACE on _RacyCounter.value" in sanitizer.format_reports()
+
+
+def test_locked_counter_is_clean():
+    with sanitized(extra_files=[__file__]) as sanitizer:
+        counter = _LockedCounter()
+        _hammer(counter.bump)
+        assert counter.value == WRITERS * ROUNDS
+    assert sanitizer.reports == []
+
+
+def test_single_thread_writes_never_alarm():
+    # the exclusive state: initialisation-style single-owner writes
+    with sanitized(extra_files=[__file__]) as sanitizer:
+        counter = _RacyCounter()
+        counter.bump()
+        counter.bump()
+    assert sanitizer.reports == []
+
+
+def test_thread_local_state_is_exempt():
+    with sanitized(extra_files=[__file__]) as sanitizer:
+        counter = _LocalCounter()
+        _hammer(counter.bump)
+    assert sanitizer.reports == []
+
+
+def test_uninstall_restores_tracing_and_lock_classes():
+    before_lock = threading.Lock
+    before_trace = sys.gettrace()
+    sanitizer = LockSanitizer(extra_files=[__file__])
+    sanitizer.install()
+    try:
+        assert threading.Lock is not before_lock
+    finally:
+        sanitizer.uninstall()
+    assert threading.Lock is before_lock
+    assert sys.gettrace() is before_trace
+
+
+def test_collect_writes_maps_mutations_to_lines():
+    source = (
+        "def f(self, other):\n"            # 1
+        "    self.a = 1\n"                 # 2
+        "    self.b += 2\n"                # 3
+        "    self.items[3] = 4\n"          # 4
+        "    self.bucket.append(5)\n"      # 5
+        "    del self.gone\n"              # 6
+        "    local = 7\n"                  # 7 (not an attribute write)
+        "    plain.append(8)\n"            # 8 (Name receiver: untracked)
+    )
+    writes = _collect_writes(ast.parse(source))
+    assert writes[2] == [(("self",), "a")]
+    assert writes[3] == [(("self",), "b")]
+    assert writes[4] == [(("self",), "items")]
+    assert writes[5] == [(("self",), "bucket")]
+    assert writes[6] == [(("self",), "gone")]
+    assert 7 not in writes
+    assert 8 not in writes
+
+
+def test_run_race_command_requires_forwarded_args(capsys):
+    assert run_race_command([]) == 2
+    assert "--race needs pytest arguments" in capsys.readouterr().out

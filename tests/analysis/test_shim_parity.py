@@ -1,0 +1,79 @@
+"""``tools/repro_lint.py`` must stay a thin shim over the lint CLI.
+
+The standalone checker and ``repro-icrowd lint`` advertise identical
+behaviour; the cheapest way to keep that promise is to make the shim
+*be* the CLI — it imports :func:`repro.analysis.cli.main` and forwards
+``sys.argv`` untouched.  These tests pin that contract:
+
+- the shim's ``main`` is the same object the package exports (any
+  divergence means someone forked the option surface);
+- both entry points print the same rule catalogue and agree on exit
+  codes, including the ``--race -- <pytest args>`` forwarding split.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SHIM = REPO_ROOT / "tools" / "repro_lint.py"
+SRC = REPO_ROOT / "src"
+
+
+def _load_shim():
+    spec = importlib.util.spec_from_file_location("repro_lint_shim", SHIM)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_shim(*args: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, str(SHIM), *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": ""},
+    )
+
+
+def test_shim_main_is_the_cli_main():
+    from repro.analysis.cli import main
+
+    shim = _load_shim()
+    assert shim.main is main
+
+
+def test_rule_catalogue_matches():
+    shim = _run_shim("--list-rules")
+    cli = _run_cli("--list-rules")
+    assert shim.returncode == 0 and cli.returncode == 0
+    assert shim.stdout == cli.stdout
+    assert "RL401" in shim.stdout and "RL404" in shim.stdout
+
+
+def test_exit_codes_agree_on_usage_errors():
+    # deep-only rule selected without --deep: both exit 2
+    shim = _run_shim("--select", "RL402", str(SRC / "repro" / "platform"))
+    cli = _run_cli("--select", "RL402", str(SRC / "repro" / "platform"))
+    assert shim.returncode == cli.returncode == 2
+
+
+def test_race_forwarding_split_agrees():
+    # --race with no forwarded pytest args is a usage error on both
+    shim = _run_shim("--race")
+    cli = _run_cli("--race")
+    assert shim.returncode == cli.returncode == 2

@@ -1,0 +1,170 @@
+"""Concurrency regression hammers for the platform ledgers.
+
+The HTTP facade serves every request on its own thread, and the lease,
+payment and event ledgers are all reachable from those handler threads.
+Each test here is a distilled version of a race the lockset sanitizer
+(:mod:`repro.analysis.sanitizer`) reported before the ledgers grew
+their own locks:
+
+- ``LeaseLedger`` — concurrent issue/settle/expire tearing ``_pending``
+  and losing ``stats`` updates;
+- ``PaymentLedger.pay_once`` — the paid-key check and the credit were
+  two steps, so duplicate submissions could double-pay;
+- ``EventLog`` — appends racing a reader's iteration;
+- ``MetricsRegistry.metrics()`` — copying the instrument dict while a
+  handler thread registers a new instrument.
+
+They assert exact counter totals, not absence of exceptions alone, so
+a lost update fails even when nothing raises.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.platform.events import EventLog, RequestEvent
+from repro.platform.leases import LeaseLedger, SettleResult
+from repro.platform.payments import PaymentLedger
+
+THREADS = 8
+ROUNDS = 300
+
+
+def _run_threads(target, count: int = THREADS) -> None:
+    """Start ``count`` threads on ``target(i)`` behind a barrier."""
+    barrier = threading.Barrier(count)
+
+    def runner(i: int) -> None:
+        barrier.wait()
+        target(i)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestLeaseLedgerHammer:
+    def test_concurrent_issue_settle_exact_counts(self):
+        ledger = LeaseLedger(timeout=10_000)
+
+        def work(i: int) -> None:
+            for k in range(ROUNDS):
+                ledger.issue(f"w{i}", k, now=0)
+                assert (
+                    ledger.settle(f"w{i}", k, now=1)
+                    is SettleResult.ANSWERED
+                )
+
+        _run_threads(work)
+        assert ledger.stats.issued == THREADS * ROUNDS
+        assert ledger.stats.answered == THREADS * ROUNDS
+        assert not ledger.outstanding()
+
+    def test_concurrent_expiry_races_settlement(self):
+        """Every lease ends exactly once: answered or expired, never both."""
+        ledger = LeaseLedger(timeout=1)
+
+        def work(i: int) -> None:
+            if i == 0:
+                for _ in range(ROUNDS):
+                    ledger.expire_due(now=5)
+                return
+            for k in range(ROUNDS):
+                ledger.issue(f"w{i}", k, now=0)
+                ledger.settle(f"w{i}", k, now=5)  # past the deadline
+
+        _run_threads(work)
+        issued = (THREADS - 1) * ROUNDS
+        assert ledger.stats.issued == issued
+        # a stale answer is late whether the sweep or the settle won
+        assert ledger.stats.expired + ledger.stats.late_answers >= issued
+        assert ledger.stats.answered == 0
+
+
+class TestPaymentLedgerHammer:
+    def test_pay_once_is_atomic_per_key(self):
+        """N threads race the same key: exactly one credit lands."""
+        ledger = PaymentLedger(price_per_microtask=0.25)  # binary-exact
+
+        def work(i: int) -> None:
+            for k in range(ROUNDS):
+                ledger.pay_once("w", k)
+
+        _run_threads(work)
+        assert ledger.payments_made("w") == ROUNDS
+        assert ledger.earnings("w") == 0.25 * ROUNDS
+        assert ledger.duplicate_attempts == (THREADS - 1) * ROUNDS
+
+    def test_pay_never_loses_updates(self):
+        ledger = PaymentLedger(price_per_microtask=1.0)
+
+        def work(i: int) -> None:
+            for _ in range(ROUNDS):
+                ledger.pay("w")
+
+        _run_threads(work)
+        assert ledger.payments_made("w") == THREADS * ROUNDS
+        assert ledger.total_cost == float(THREADS * ROUNDS)
+
+
+class TestEventLogHammer:
+    def test_appends_race_iteration(self):
+        log = EventLog()
+        done = threading.Event()
+        seen: list[int] = []
+
+        def reader() -> None:
+            while not done.is_set():
+                seen.append(sum(1 for _ in log))
+            seen.append(len(log))
+
+        def writer(i: int) -> None:
+            for k in range(ROUNDS):
+                log.append(RequestEvent(step=k, worker_id=f"w{i}"))
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        try:
+            _run_threads(writer)
+        finally:
+            done.set()
+            reader_thread.join()
+        assert len(log) == THREADS * ROUNDS
+        assert seen[-1] == THREADS * ROUNDS
+        # counts observed mid-flight are monotone snapshots, never torn
+        assert all(0 <= n <= THREADS * ROUNDS for n in seen)
+
+
+class TestRegistryIterationHammer:
+    def test_metrics_view_races_registration(self):
+        """Iterating ``metrics()`` while handlers register instruments."""
+        registry = MetricsRegistry()
+        done = threading.Event()
+        failures: list[BaseException] = []
+
+        def reader() -> None:
+            try:
+                while not done.is_set():
+                    for metric in registry.metrics():
+                        assert metric.name
+            except BaseException as exc:  # pragma: no cover - regression
+                failures.append(exc)
+
+        def writer(i: int) -> None:
+            for k in range(ROUNDS):
+                registry.counter(f"c_{i}_{k}", "hammer counter").inc()
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        try:
+            _run_threads(writer)
+        finally:
+            done.set()
+            reader_thread.join()
+        assert not failures
+        assert len(list(registry.metrics())) == THREADS * ROUNDS

@@ -3,11 +3,15 @@
 
 Usage::
 
-    python tools/repro_lint.py [paths...] [--format=text|github]
+    python tools/repro_lint.py [paths...] [--deep] [--jobs N]
+                               [--race -- <pytest args>]
 
-Equivalent to ``repro-icrowd lint``; this wrapper only fixes up
-``sys.path`` so the checker runs from a bare checkout with no install
-step (CI uses it exactly this way).
+A thin argv-forwarding shim around :func:`repro.analysis.cli.main` —
+the same function ``repro-icrowd lint`` delegates to, so the two
+entry points accept identical options by construction (a parity test
+in ``tests/analysis/test_shim_parity.py`` keeps it that way).  The
+wrapper only fixes up ``sys.path`` so the checker runs from a bare
+checkout with no install step (CI uses it exactly this way).
 """
 
 from __future__ import annotations
@@ -22,4 +26,4 @@ if str(_SRC) not in sys.path:
 from repro.analysis.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))
